@@ -1,0 +1,324 @@
+// Package main's bench harness: one testing.B benchmark per table and
+// figure of the paper's evaluation (see DESIGN.md §3 for the index), plus
+// ablation benches for the design decisions DESIGN.md §4 calls out.
+//
+// Run everything:
+//
+//	go test -bench=. -benchmem
+//
+// Regenerate a single artifact with full output:
+//
+//	go run ./cmd/paperrepro -exp fig7
+package main
+
+import (
+	"testing"
+
+	"exterminator/internal/correct"
+	"exterminator/internal/diefast"
+	"exterminator/internal/experiments"
+	"exterminator/internal/freelist"
+	"exterminator/internal/inject"
+	"exterminator/internal/mem"
+	"exterminator/internal/modes"
+	"exterminator/internal/mutator"
+	"exterminator/internal/workloads"
+	"exterminator/internal/xrand"
+)
+
+// ---------------------------------------------------------------------
+// Table 1: error-handling matrix
+// ---------------------------------------------------------------------
+
+func BenchmarkTable1ErrorMatrix(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Table1(uint64(i + 1))
+		if len(res.RowsData) != 5 {
+			b.Fatal("table 1 incomplete")
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Figure 7: runtime overhead, per benchmark group
+// ---------------------------------------------------------------------
+
+// benchWorkload times one workload under one allocator stack.
+func benchWorkload(b *testing.B, prog mutator.Program, exterminator bool) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		seed := uint64(i + 1)
+		var out *mutator.Outcome
+		if exterminator {
+			h := diefast.New(diefast.DefaultConfig(), xrand.New(seed))
+			h.OnError = func(diefast.Event) {}
+			a := correct.New(h)
+			e := mutator.NewEnv(a, h.Space(), xrand.New(7), nil)
+			out = mutator.Run(prog, e)
+		} else {
+			rng := xrand.New(seed)
+			fl := freelist.New(mem.NewSpace(rng.Split()), rng.Split())
+			e := mutator.NewEnv(fl, fl.Space(), xrand.New(7), nil)
+			e.NoSites = true
+			out = mutator.Run(prog, e)
+		}
+		if !out.Completed {
+			b.Fatalf("workload failed: %s", out)
+		}
+	}
+}
+
+func BenchmarkFig7Espresso_Baseline(b *testing.B) {
+	p, _ := workloads.ByName("espresso", 1)
+	benchWorkload(b, p, false)
+}
+
+func BenchmarkFig7Espresso_Exterminator(b *testing.B) {
+	p, _ := workloads.ByName("espresso", 1)
+	benchWorkload(b, p, true)
+}
+
+func BenchmarkFig7Cfrac_Baseline(b *testing.B) {
+	p, _ := workloads.ByName("cfrac", 1)
+	benchWorkload(b, p, false)
+}
+
+func BenchmarkFig7Cfrac_Exterminator(b *testing.B) {
+	p, _ := workloads.ByName("cfrac", 1)
+	benchWorkload(b, p, true)
+}
+
+func BenchmarkFig7Crafty_Baseline(b *testing.B) {
+	p, _ := workloads.ByName("crafty", 1)
+	benchWorkload(b, p, false)
+}
+
+func BenchmarkFig7Crafty_Exterminator(b *testing.B) {
+	p, _ := workloads.ByName("crafty", 1)
+	benchWorkload(b, p, true)
+}
+
+func BenchmarkFig7Gcc_Baseline(b *testing.B) {
+	p, _ := workloads.ByName("gcc", 1)
+	benchWorkload(b, p, false)
+}
+
+func BenchmarkFig7Gcc_Exterminator(b *testing.B) {
+	p, _ := workloads.ByName("gcc", 1)
+	benchWorkload(b, p, true)
+}
+
+// BenchmarkFig7FullSweep regenerates the entire figure (all 16 bars plus
+// the geometric means) once per iteration.
+func BenchmarkFig7FullSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig7(1, uint64(i+1))
+		if res.GeoMeanAll <= 0 {
+			b.Fatal("empty sweep")
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// §7.2 injected faults
+// ---------------------------------------------------------------------
+
+func BenchmarkInjectedOverflows(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.InjectedOverflows(2, uint64(i+1))
+		if d, _ := res.CorrectionRate(); d == 0 {
+			b.Fatal("nothing detected")
+		}
+	}
+}
+
+func BenchmarkInjectedDanglingIterative(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.InjectedDanglingIterative(3, uint64(i+1))
+	}
+}
+
+func BenchmarkCumulativeDangling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.InjectedDanglingCumulative(1, uint64(i+1))
+	}
+}
+
+// ---------------------------------------------------------------------
+// §7.2 case studies
+// ---------------------------------------------------------------------
+
+func BenchmarkSquidCaseStudy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Squid(3, uint64(i+19))
+		if !res.Detected {
+			b.Skip("layout hid the overflow in this iteration")
+		}
+	}
+}
+
+func BenchmarkMozillaCaseStudy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Mozilla(uint64(i + 23))
+		if !res.Immediate.Identified {
+			b.Fatal("immediate scenario failed")
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// §7.3 / §6.4 patch overhead and size
+// ---------------------------------------------------------------------
+
+func BenchmarkPatchOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.PatchCost(uint64(i + 29))
+	}
+}
+
+func BenchmarkPatchSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.PatchSize(uint64(i + 31))
+		if res.GzipBytes == 0 {
+			b.Fatal("empty patch file")
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Theorems 1–3
+// ---------------------------------------------------------------------
+
+func BenchmarkTheorem1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Theorem1(50000, uint64(i+37))
+	}
+}
+
+func BenchmarkTheorem2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Theorem2(200, uint64(i+41))
+	}
+}
+
+func BenchmarkTheorem3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Theorem3(500, uint64(i+43))
+	}
+}
+
+// ---------------------------------------------------------------------
+// Ablations (DESIGN.md §4)
+// ---------------------------------------------------------------------
+
+// Ablation 2: canary fill probability p. Sweeps the §5.2 tradeoff: the
+// cost of DieFast free paths as p rises.
+func benchFillProb(b *testing.B, p float64) {
+	h := diefast.New(diefast.CumulativeConfig(p), xrand.New(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ptr, _ := h.Malloc(64, 0)
+		h.Free(ptr, 0)
+	}
+}
+
+func BenchmarkAblationFillP10(b *testing.B) { benchFillProb(b, 0.10) }
+func BenchmarkAblationFillP50(b *testing.B) { benchFillProb(b, 0.50) }
+func BenchmarkAblationFillP90(b *testing.B) { benchFillProb(b, 0.90) }
+
+// Ablation 3: heap multiplier M. Higher M = more over-provisioning =
+// fewer probe collisions but more mapped memory.
+func benchMultiplier(b *testing.B, m float64) {
+	cfg := diefast.DefaultConfig()
+	cfg.Diehard.M = m
+	h := diefast.New(cfg, xrand.New(1))
+	var live []mem.Addr
+	rng := xrand.New(9)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(live) > 128 {
+			k := rng.Intn(len(live))
+			h.Free(live[k], 0)
+			live[k] = live[len(live)-1]
+			live = live[:len(live)-1]
+		}
+		p, _ := h.Malloc(48, 0)
+		live = append(live, p)
+	}
+}
+
+func BenchmarkAblationM15(b *testing.B) { benchMultiplier(b, 1.5) }
+func BenchmarkAblationM20(b *testing.B) { benchMultiplier(b, 2.0) }
+func BenchmarkAblationM40(b *testing.B) { benchMultiplier(b, 4.0) }
+
+// Ablation 4: deferral deduction — the 2(T−τ)+1 doubling rule converges
+// in logarithmically many executions; a constant deferral does not. The
+// bench measures iterations-to-correction for an injected dangling error.
+func BenchmarkAblationDeferralDoubling(b *testing.B) {
+	prog, _ := workloads.ByName("espresso", 1)
+	for i := 0; i < b.N; i++ {
+		hookFor := func() mutator.Hook {
+			return inject.New(inject.Plan{Kind: inject.Dangling, TriggerAlloc: 2300, Seed: uint64(i + 3)})
+		}
+		modes.Iterative(prog, nil, hookFor, modes.Options{HeapSeed: uint64(i + 1), MaxIterations: 4})
+	}
+}
+
+// Ablation 5: isolation cost with and without the §4.1 word filters is
+// covered in internal/isolate benches; here the end-to-end cost of a
+// three-image analysis round.
+func BenchmarkIsolationRound(b *testing.B) {
+	prog, _ := workloads.ByName("espresso", 1)
+	hookFor := func() mutator.Hook {
+		return inject.New(inject.Plan{Kind: inject.Overflow, TriggerAlloc: 700, Size: 20, Seed: 17})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		modes.Iterative(prog, nil, hookFor, modes.Options{HeapSeed: uint64(i + 1), MaxIterations: 1})
+	}
+}
+
+// ---------------------------------------------------------------------
+// Real-algorithm workloads (QM minimizer, multi-precision factorizer)
+// ---------------------------------------------------------------------
+
+func BenchmarkRealMinimizer_Baseline(b *testing.B) {
+	p, _ := workloads.ByName("espresso-qm", 1)
+	benchWorkload(b, p, false)
+}
+
+func BenchmarkRealMinimizer_Exterminator(b *testing.B) {
+	p, _ := workloads.ByName("espresso-qm", 1)
+	benchWorkload(b, p, true)
+}
+
+func BenchmarkRealFactorizer_Baseline(b *testing.B) {
+	p, _ := workloads.ByName("cfrac-mp", 1)
+	benchWorkload(b, p, false)
+}
+
+func BenchmarkRealFactorizer_Exterminator(b *testing.B) {
+	p, _ := workloads.ByName("cfrac-mp", 1)
+	benchWorkload(b, p, true)
+}
+
+// Ablation (DESIGN.md §4.3 continued): end-to-end M sweep via the
+// experiment driver.
+func BenchmarkAblationMSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.AblationM(3, uint64(i+1))
+	}
+}
+
+// Figure 5 as a running system: replicated service throughput with
+// per-chunk voting (healthy stream).
+func BenchmarkServeHealthyStream(b *testing.B) {
+	chunks := workloads.SquidRequestStream(workloads.SquidBenignInput(60))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := modes.Serve(workloads.NewSquidStream(), chunks, nil, modes.Options{HeapSeed: uint64(i + 1)})
+		if len(res.Incidents) != 0 {
+			b.Fatal("benign stream had incidents")
+		}
+	}
+}

@@ -1,0 +1,240 @@
+// Command exterminate runs a workload under Exterminator in one of the
+// three modes, optionally injecting a fault, and writes any runtime
+// patches it derives.
+//
+//	exterminate -workload espresso -fault overflow -size 20 -mode iterative -patches out.xtp
+//	exterminate -workload squid -hostile -mode iterative -patches squid.xtp -dump-image img.xtm
+//	exterminate -workload mozilla -mode cumulative
+//
+// Patches written by one run can be fed back with -load, merged with
+// patchmerge, and inspected with -text.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"exterminator/internal/core"
+	"exterminator/internal/diefast"
+	"exterminator/internal/image"
+	"exterminator/internal/inject"
+	"exterminator/internal/mutator"
+	"exterminator/internal/trace"
+	"exterminator/internal/workloads"
+	"exterminator/internal/xrand"
+)
+
+func main() {
+	var (
+		workload   = flag.String("workload", "espresso", "workload name (espresso, cfrac, gzip, ..., squid, mozilla)")
+		mode       = flag.String("mode", "iterative", "iterative | replicated | cumulative")
+		fault      = flag.String("fault", "", "inject a fault: overflow | dangling | double-free | invalid-free")
+		size       = flag.Int("size", 20, "overflow size in bytes")
+		trigger    = flag.Uint64("trigger", 700, "allocation ordinal at which the fault fires")
+		seed       = flag.Uint64("seed", 1, "base heap seed")
+		replicas   = flag.Int("replicas", 3, "replica count (replicated mode)")
+		maxRuns    = flag.Int("maxruns", 60, "run budget (cumulative mode)")
+		hostile    = flag.Bool("hostile", false, "use the workload's hostile input (squid/mozilla)")
+		patchOut   = flag.String("patches", "", "write derived patches to this file")
+		patchIn    = flag.String("load", "", "pre-load patches from this file")
+		text       = flag.Bool("text", false, "also print patches in text form")
+		dumpImage  = flag.String("dump-image", "", "dump one buggy-run heap image to this file")
+		recordTo   = flag.String("record", "", "record the workload's allocation trace to this file")
+		historyIn  = flag.String("resume-history", "", "resume cumulative mode from this history file")
+		historyOut = flag.String("save-history", "", "write the cumulative history to this file")
+		breakpoint = flag.Uint64("breakpoint", 0, "with -dump-image: capture at this malloc breakpoint instead of at the first error")
+		faultSeed  = flag.Uint64("fault-seed", 17, "victim-selection seed for the injected fault (keep fixed across replicas: the bug must be the same logical bug)")
+	)
+	flag.Parse()
+
+	prog, ok := workloads.ByName(*workload, 1)
+	if !ok {
+		fatalf("unknown workload %q", *workload)
+	}
+	input := inputFor(*workload, *hostile)
+
+	var hookFor core.HookFactory
+	if *fault != "" {
+		kind, ok := faultKind(*fault)
+		if !ok {
+			fatalf("unknown fault %q", *fault)
+		}
+		plan := inject.Plan{Kind: kind, TriggerAlloc: *trigger, Size: *size, Seed: *faultSeed}
+		hookFor = func() mutator.Hook { return inject.New(plan) }
+	}
+
+	opts := core.Options{Seed: *seed, Replicas: *replicas, MaxRuns: *maxRuns}
+	if *patchIn != "" {
+		p, err := core.LoadPatches(*patchIn)
+		if err != nil {
+			fatalf("load patches: %v", err)
+		}
+		opts.Patches = p
+	}
+	ext := core.New(opts)
+
+	if *dumpImage != "" {
+		if err := dumpOneImage(prog, input, hookFor, *seed, *breakpoint, *dumpImage); err != nil {
+			fatalf("dump image: %v", err)
+		}
+		fmt.Println("heap image written to", *dumpImage)
+	}
+	if *recordTo != "" {
+		if err := recordTrace(prog, input, *seed, *recordTo); err != nil {
+			fatalf("record trace: %v", err)
+		}
+		fmt.Println("allocation trace written to", *recordTo)
+	}
+
+	var patches *core.Patches
+	switch *mode {
+	case "iterative":
+		res := ext.Iterative(prog, input, hookFor)
+		fmt.Println(res)
+		for i, r := range res.Rounds {
+			fmt.Printf("  round %d: images=%d overflows=%d danglings=%d newPatches=%d\n",
+				i+1, r.Images, r.Overflows, r.Danglings, r.NewPatches)
+		}
+		patches = res.Patches
+	case "replicated":
+		res := ext.Replicated(prog, input, hookFor)
+		fmt.Printf("replicated: detected=%v (%s) corrected=%v\n", res.ErrorDetected, res.Detection, res.Corrected)
+		for i, o := range res.Outcomes {
+			fmt.Printf("  replica %d: %s\n", i, o)
+		}
+		patches = res.Patches
+	case "cumulative":
+		var hookForRun func(int) core.Hook
+		if hookFor != nil {
+			hookForRun = func(int) core.Hook { return hookFor() }
+		}
+		inputFn := func(int) []byte { return input }
+		var hist *core.History
+		if *historyIn != "" {
+			var err error
+			if hist, err = core.LoadHistory(*historyIn); err != nil {
+				fatalf("load history: %v", err)
+			}
+			fmt.Printf("resuming from %s\n", hist)
+		}
+		res := ext.CumulativeResume(prog, inputFn, hookForRun, hist, *workload == "mozilla")
+		fmt.Printf("cumulative: identified=%v after %d runs (%d failures)\n", res.Identified, res.Runs, res.Failures)
+		fmt.Printf("  %s\n", res.History)
+		if *historyOut != "" {
+			if err := core.SaveHistory(res.History, *historyOut); err != nil {
+				fatalf("save history: %v", err)
+			}
+			fmt.Println("history written to", *historyOut)
+		}
+		patches = res.Patches
+	default:
+		fatalf("unknown mode %q", *mode)
+	}
+
+	if patches.Len() > 0 {
+		fmt.Printf("derived %d patch entr%s\n", patches.Len(), plural(patches.Len()))
+		if *text {
+			core.WritePatchesText(patches, os.Stdout)
+		}
+	} else {
+		fmt.Println("no patches derived")
+	}
+	if *patchOut != "" {
+		if err := core.SavePatches(patches, *patchOut); err != nil {
+			fatalf("save patches: %v", err)
+		}
+		fmt.Println("patches written to", *patchOut)
+	}
+}
+
+func inputFor(workload string, hostile bool) []byte {
+	switch workload {
+	case "squid":
+		if hostile {
+			return workloads.SquidHostileInput(200, 100)
+		}
+		return workloads.SquidBenignInput(200)
+	case "mozilla":
+		return workloads.MozillaSession(5, hostile)
+	default:
+		return nil
+	}
+}
+
+func faultKind(name string) (inject.Kind, bool) {
+	switch name {
+	case "overflow":
+		return inject.Overflow, true
+	case "underflow":
+		return inject.Underflow, true
+	case "dangling":
+		return inject.Dangling, true
+	case "double-free":
+		return inject.DoubleFree, true
+	case "invalid-free":
+		return inject.InvalidFree, true
+	}
+	return 0, false
+}
+
+// dumpOneImage runs the program on a DieFast heap and writes a heap
+// image for heapview. Like the paper's dumps, the image is taken at the
+// first error signal (or at the malloc breakpoint when given) — images
+// taken at exit carry stale evidence. It prints the image's clock so
+// further replicas can be dumped at the same breakpoint.
+func dumpOneImage(prog mutator.Program, input []byte, hookFor core.HookFactory, seed, breakpoint uint64, path string) error {
+	h := diefast.New(diefast.DefaultConfig(), xrand.New(seed))
+	if breakpoint == 0 {
+		// Stop at the first DieFast signal, as the paper's initial
+		// detection run does.
+		h.OnError = func(ev diefast.Event) { panic(mutator.Stop{Reason: ev.String()}) }
+	} else {
+		h.OnError = func(diefast.Event) {}
+	}
+	e := mutator.NewEnv(h, h.Space(), xrand.New(0x9106), input)
+	e.StopAtClock = breakpoint
+	if hookFor != nil {
+		e.Hook = hookFor()
+	}
+	out := mutator.Run(prog, e)
+	img := image.Capture(h, out.String())
+	fmt.Printf("image clock: %d (%s)\n", img.Clock, out)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return img.Encode(f)
+}
+
+// recordTrace runs the workload once through a trace recorder and writes
+// the trace file (replayable against any allocator).
+func recordTrace(prog mutator.Program, input []byte, seed uint64, path string) error {
+	h := diefast.New(diefast.DefaultConfig(), xrand.New(seed))
+	h.OnError = func(diefast.Event) {}
+	rec := trace.NewRecorder(h)
+	e := mutator.NewEnv(rec, h.Space(), xrand.New(0x9106), input)
+	out := mutator.Run(prog, e)
+	if !out.Completed {
+		return fmt.Errorf("recording run did not complete: %s", out)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return rec.Trace().Encode(f)
+}
+
+func plural(n int) string {
+	if n == 1 {
+		return "y"
+	}
+	return "ies"
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "exterminate: "+format+"\n", args...)
+	os.Exit(1)
+}

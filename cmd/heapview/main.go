@@ -1,0 +1,138 @@
+// Command heapview inspects heap image files written by Exterminator
+// (the paper's §3.4 heap dumps): header, miniheap geometry, object
+// population, and — with -corrupt — the canary corruption evidence the
+// error isolator works from. With -isolate and two or more images of the
+// same logical execution, it runs the §4 error isolator post mortem and
+// prints a bug report — exactly the paper's offline isolation process.
+//
+//	heapview image.xtm
+//	heapview -corrupt -objects image.xtm
+//	heapview -isolate run1.xtm run2.xtm run3.xtm
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"exterminator/internal/image"
+	"exterminator/internal/isolate"
+	"exterminator/internal/report"
+)
+
+func main() {
+	objects := flag.Bool("objects", false, "list every tracked object")
+	corrupt := flag.Bool("corrupt", false, "list corrupted canary ranges")
+	doIsolate := flag.Bool("isolate", false, "run error isolation across ≥2 images of the same execution")
+	flag.Parse()
+
+	if *doIsolate {
+		if flag.NArg() < 2 {
+			fmt.Fprintln(os.Stderr, "usage: heapview -isolate <image-file> <image-file>...")
+			os.Exit(2)
+		}
+		isolateImages(flag.Args())
+		return
+	}
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: heapview [-objects] [-corrupt] <image-file>")
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	img, err := image.Decode(f)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("reason:  %s\n", img.Reason)
+	fmt.Printf("clock:   %d allocations\n", img.Clock)
+	fmt.Printf("canary:  %08x\n", uint32(img.Canary))
+	fmt.Printf("M:       %.1f\n", img.M)
+	live, freed, bad := img.Stats()
+	fmt.Printf("objects: %d live, %d freed, %d bad-isolated\n", live, freed, bad)
+	fmt.Printf("miniheaps:\n")
+	for _, m := range img.Minis {
+		fmt.Printf("  [%d] class=%d %d x %dB @ 0x%x (t=%d)\n",
+			m.Index, m.Class, m.Slots, m.SlotSize, m.Base, m.CreateTime)
+	}
+
+	if *objects {
+		fmt.Println("object table:")
+		for i := range img.Objects {
+			o := &img.Objects[i]
+			state := "live"
+			switch {
+			case o.Bad:
+				state = "BAD"
+			case !o.Live:
+				state = "free"
+				if o.Canaried {
+					state = "free+canary"
+				}
+			}
+			fmt.Printf("  id=%-6d mini=%-3d slot=%-4d addr=0x%-12x size=%-5d %-11s alloc=%08x free=%08x t=[%d,%d]\n",
+				o.ID, o.Mini, o.Slot, o.Addr, o.ReqSize, state,
+				uint32(o.AllocSite), uint32(o.FreeSite), o.AllocTime, o.FreeTime)
+		}
+	}
+
+	if *corrupt {
+		fmt.Println("canary corruption:")
+		found := 0
+		for i := range img.Objects {
+			o := &img.Objects[i]
+			if o.Live || !o.Canaried {
+				continue
+			}
+			for _, r := range img.Canary.CorruptRanges(o.Data) {
+				fmt.Printf("  object %d @0x%x: bytes [%d,%d): % x\n",
+					o.ID, o.Addr, r.Start, r.End, r.Bytes)
+				found++
+			}
+		}
+		if found == 0 {
+			fmt.Println("  (none — heap is clean)")
+		}
+	}
+}
+
+// isolateImages runs the §4 isolator across image files and prints the
+// derived findings and runtime patches.
+func isolateImages(paths []string) {
+	var images []*image.Image
+	for _, path := range paths {
+		f, err := os.Open(path)
+		if err != nil {
+			fatal(err)
+		}
+		img, err := image.Decode(f)
+		f.Close()
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", path, err))
+		}
+		fmt.Printf("%s: clock=%d reason=%q\n", path, img.Clock, img.Reason)
+		images = append(images, img)
+	}
+	rep, err := isolate.Analyze(images)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println()
+	if rep.Empty() {
+		fmt.Println("no errors isolated (no cross-image corruption evidence)")
+		return
+	}
+	report.FromIsolation(rep, nil).Write(os.Stdout)
+	fmt.Println("runtime patches:")
+	fmt.Print(rep.Patches().String())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "heapview:", err)
+	os.Exit(1)
+}

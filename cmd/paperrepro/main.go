@@ -1,0 +1,61 @@
+// Command paperrepro regenerates the tables and figures of the paper's
+// evaluation (§7) plus the theorem validations. With no arguments it runs
+// every experiment; pass -exp to select one.
+//
+//	paperrepro -exp fig7
+//	paperrepro -exp squid -seed 99
+//	paperrepro -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"exterminator/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "", "experiment id to run (default: all)")
+	seed := flag.Uint64("seed", 1, "base random seed")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	if *list {
+		for _, name := range experiments.Names() {
+			fmt.Println(name)
+		}
+		return
+	}
+
+	reg := experiments.Registry()
+	run := func(name string) error {
+		fn, ok := reg[name]
+		if !ok {
+			return fmt.Errorf("unknown experiment %q (use -list)", name)
+		}
+		fmt.Printf("==> %s\n", name)
+		start := time.Now()
+		res := fn(*seed)
+		for _, row := range res.Rows() {
+			fmt.Printf("    %s\n", row)
+		}
+		fmt.Printf("    (%.2fs)\n\n", time.Since(start).Seconds())
+		return nil
+	}
+
+	if *exp != "" {
+		if err := run(*exp); err != nil {
+			fmt.Fprintln(os.Stderr, "paperrepro:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	for _, name := range experiments.Names() {
+		if err := run(name); err != nil {
+			fmt.Fprintln(os.Stderr, "paperrepro:", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,50 @@
+// Command patchmerge implements collaborative bug correction (paper
+// §6.4): it merges any number of runtime patch files — taking the maximum
+// pad per allocation site and the maximum deferral per site pair — into
+// one file that covers every error any user observed.
+//
+//	patchmerge -o merged.xtp user1.xtp user2.xtp user3.xtp
+//	patchmerge -text merged.xtp            # print, don't write
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"exterminator/internal/core"
+)
+
+func main() {
+	out := flag.String("o", "", "output patch file (omit to just print a summary)")
+	text := flag.Bool("text", false, "print the merged patches in text form")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: patchmerge [-o merged.xtp] [-text] <patch-file>...")
+		os.Exit(2)
+	}
+
+	merged := core.NewPatches()
+	for _, path := range flag.Args() {
+		p, err := core.LoadPatches(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "patchmerge: %s: %v\n", path, err)
+			os.Exit(1)
+		}
+		merged.Merge(p)
+		fmt.Printf("%s: %d entries\n", path, p.Len())
+	}
+	fmt.Printf("merged: %d entries (%d pads, %d deferrals)\n",
+		merged.Len(), len(merged.Pads), len(merged.Deferrals))
+
+	if *text {
+		core.WritePatchesText(merged, os.Stdout)
+	}
+	if *out != "" {
+		if err := core.SavePatches(merged, *out); err != nil {
+			fmt.Fprintln(os.Stderr, "patchmerge:", err)
+			os.Exit(1)
+		}
+		fmt.Println("written to", *out)
+	}
+}

@@ -1,0 +1,104 @@
+// Command tracebench replays a recorded allocation trace against every
+// allocator in the repository and reports wall time — the classic
+// trace-driven allocator comparison methodology behind evaluations like
+// the paper's §7.1, applied to a workload you recorded with
+// `exterminate -record`.
+//
+//	exterminate -workload espresso -record esp.xta
+//	tracebench esp.xta
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"exterminator/internal/correct"
+	"exterminator/internal/diefast"
+	"exterminator/internal/diehard"
+	"exterminator/internal/freelist"
+	"exterminator/internal/mem"
+	"exterminator/internal/mutator"
+	"exterminator/internal/trace"
+	"exterminator/internal/xrand"
+)
+
+func main() {
+	reps := flag.Int("reps", 3, "repetitions per allocator (best time reported)")
+	seed := flag.Uint64("seed", 1, "base heap seed")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: tracebench [-reps n] <trace-file>")
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	tr, err := trace.Decode(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+	mallocs, frees, bytes, peak := tr.Stats()
+	fmt.Printf("trace: %d mallocs, %d frees, %d bytes requested, peak live %d\n\n",
+		mallocs, frees, bytes, peak)
+
+	configs := []struct {
+		name  string
+		build func(s uint64) (interface{ Clock() uint64 }, *mutator.Env)
+	}{
+		{"freelist (libc-style)", func(s uint64) (interface{ Clock() uint64 }, *mutator.Env) {
+			rng := xrand.New(s)
+			fl := freelist.New(mem.NewSpace(rng.Split()), rng.Split())
+			e := mutator.NewEnv(fl, fl.Space(), xrand.New(7), nil)
+			e.NoSites = true
+			return fl, e
+		}},
+		{"diehard (tolerate)", func(s uint64) (interface{ Clock() uint64 }, *mutator.Env) {
+			rng := xrand.New(s)
+			dh := diehard.New(diehard.DefaultConfig(), mem.NewSpace(rng.Split()), rng.Split())
+			e := mutator.NewEnv(dh, dh.Space(), xrand.New(7), nil)
+			e.NoSites = true
+			return dh, e
+		}},
+		{"diefast (detect)", func(s uint64) (interface{ Clock() uint64 }, *mutator.Env) {
+			h := diefast.New(diefast.DefaultConfig(), xrand.New(s))
+			h.OnError = func(diefast.Event) {}
+			return h, mutator.NewEnv(h, h.Space(), xrand.New(7), nil)
+		}},
+		{"exterminator (correct)", func(s uint64) (interface{ Clock() uint64 }, *mutator.Env) {
+			h := diefast.New(diefast.DefaultConfig(), xrand.New(s))
+			h.OnError = func(diefast.Event) {}
+			a := correct.New(h)
+			return a, mutator.NewEnv(a, h.Space(), xrand.New(7), nil)
+		}},
+	}
+
+	var baseline time.Duration
+	for _, cfg := range configs {
+		best := time.Duration(1 << 62)
+		for r := 0; r < *reps; r++ {
+			_, e := cfg.build(*seed + uint64(r)*7919)
+			start := time.Now()
+			out := mutator.Run(trace.Player{T: tr}, e)
+			d := time.Since(start)
+			if !out.Completed {
+				fatal(fmt.Errorf("%s: replay failed: %s", cfg.name, out))
+			}
+			if d < best {
+				best = d
+			}
+		}
+		if baseline == 0 {
+			baseline = best
+		}
+		fmt.Printf("%-24s %10v   %.2fx\n", cfg.name, best, float64(best)/float64(baseline))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracebench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,73 @@
+// Live replicated service (paper Figure 5): a squid-like cache server
+// runs continuously across replicated, independently randomized heaps.
+// Hostile requests carrying the 6-byte overflow arrive repeatedly; the
+// voter and DieFast catch the damage, the isolator derives a pad from
+// synchronized live heap images, and the patch is reloaded into the
+// running replicas — the service never stops answering.
+//
+//	go run ./examples/liveserver
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"exterminator/internal/core"
+	"exterminator/internal/workloads"
+)
+
+func main() {
+	// A request stream with three exploit waves.
+	var raw bytes.Buffer
+	raw.Write(workloads.SquidHostileInput(60, 30))
+	raw.Write(workloads.SquidHostileInput(60, 20))
+	raw.Write(workloads.SquidHostileInput(60, 45))
+	chunks := workloads.SquidRequestStream(raw.Bytes())
+	fmt.Printf("request stream: %d requests, 3 of them hostile\n\n", len(chunks))
+
+	var res *core.ServeResult
+	for seed := uint64(1); seed <= 6; seed++ {
+		ext := core.New(core.Options{Seed: seed * 99991, Replicas: 4})
+		res = ext.Serve(workloads.NewSquidStream(), chunks, nil)
+		if len(res.Incidents) > 0 {
+			break
+		}
+		fmt.Printf("(layout %d hid the overflow — like a lucky production day; retrying)\n", seed)
+	}
+
+	fmt.Printf("service summary: %s\n\n", res)
+	if res.Chunks != len(chunks) {
+		log.Fatal("liveserver: service stopped early")
+	}
+	for _, inc := range res.Incidents {
+		fmt.Printf("incident at request %d: %s -> %d new patch entr%s",
+			inc.Chunk, inc.Detection, inc.NewPatches, plural(inc.NewPatches))
+		if len(inc.Restarted) > 0 {
+			fmt.Printf(" (replicas %v restarted)", inc.Restarted)
+		}
+		fmt.Println()
+	}
+	if len(res.Incidents) == 0 {
+		fmt.Println("no incidents this run — the exploit missed every canary")
+		return
+	}
+	fmt.Println("\nfinal runtime patches (applied without ever stopping the service):")
+	core.WritePatchesText(res.Patches, indent{})
+	fmt.Println("\nEvery request — including the exploits — was answered; the voted")
+	fmt.Println("output stream never carried corrupted data (Figure 5's promise).")
+}
+
+type indent struct{}
+
+func (indent) Write(p []byte) (int, error) {
+	fmt.Print("  " + string(p))
+	return len(p), nil
+}
+
+func plural(n int) string {
+	if n == 1 {
+		return "y"
+	}
+	return "ies"
+}

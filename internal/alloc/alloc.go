@@ -1,0 +1,136 @@
+// Package alloc defines the allocator contract shared by every memory
+// manager in this reproduction — the libc-style freelist baseline, DieHard,
+// DieFast, and the correcting allocator — together with the size-class
+// geometry and common statistics.
+//
+// Simulated mutator programs allocate through this interface; the
+// execution driver swaps implementations to reproduce the paper's
+// comparisons (GNU libc vs Exterminator in Figure 7, DieHard vs
+// Exterminator in Table 1).
+package alloc
+
+import (
+	"exterminator/internal/mem"
+	"exterminator/internal/site"
+)
+
+// FreeStatus classifies the outcome of a Free call.
+type FreeStatus int
+
+const (
+	// FreeOK: the object was live and is now freed.
+	FreeOK FreeStatus = iota
+	// FreeDouble: the pointer was already free — benign under
+	// DieHard-style bitmaps (paper §2).
+	FreeDouble
+	// FreeInvalid: the pointer was never returned by the allocator —
+	// detected by range checks and ignored (paper §2).
+	FreeInvalid
+	// FreeDeferred: the correcting allocator queued the deallocation to
+	// execute later (paper §6.3).
+	FreeDeferred
+)
+
+// String returns a short name for the status.
+func (s FreeStatus) String() string {
+	switch s {
+	case FreeOK:
+		return "ok"
+	case FreeDouble:
+		return "double-free"
+	case FreeInvalid:
+		return "invalid-free"
+	case FreeDeferred:
+		return "deferred"
+	default:
+		return "unknown"
+	}
+}
+
+// Allocator is the malloc/free interface simulated programs run against.
+// Sites identify the calling context (paper §3.2); the baseline allocator
+// ignores them.
+type Allocator interface {
+	// Malloc allocates size bytes and returns the object address. It
+	// returns an error only for unsatisfiable requests.
+	Malloc(size int, allocSite site.ID) (mem.Addr, error)
+	// Free releases ptr.
+	Free(ptr mem.Addr, freeSite site.ID) FreeStatus
+	// Clock returns the allocation clock: the number of allocations to
+	// date (the paper's measure of time, §3.4).
+	Clock() uint64
+}
+
+// Size classes: powers of two from 16 bytes. Class i holds objects of
+// exactly 16<<i bytes, mirroring DieHard's one-size-per-miniheap layout.
+const (
+	MinSlotSize = 16
+	NumClasses  = 17 // 16 B .. 1 MiB
+)
+
+// MaxRequest is the largest request the size classes can satisfy.
+const MaxRequest = MinSlotSize << (NumClasses - 1)
+
+// ClassForSize returns the size class for an n-byte request, or -1 if the
+// request exceeds MaxRequest or is non-positive.
+func ClassForSize(n int) int {
+	if n <= 0 || n > MaxRequest {
+		return -1
+	}
+	c := 0
+	s := MinSlotSize
+	for s < n {
+		s <<= 1
+		c++
+	}
+	return c
+}
+
+// ClassSlotSize returns the slot size of class c.
+func ClassSlotSize(c int) int {
+	if c < 0 || c >= NumClasses {
+		panic("alloc: size class out of range")
+	}
+	return MinSlotSize << uint(c)
+}
+
+// Stats counts allocator activity; all implementations embed it.
+type Stats struct {
+	Mallocs        uint64
+	Frees          uint64
+	DoubleFrees    uint64
+	InvalidFrees   uint64
+	BytesRequested uint64
+	Live           int // currently live objects
+	PeakLive       int
+	LiveBytes      int // requested bytes currently live
+	PeakLiveBytes  int
+}
+
+// NoteMalloc records a successful allocation of n bytes.
+func (s *Stats) NoteMalloc(n int) {
+	s.Mallocs++
+	s.BytesRequested += uint64(n)
+	s.Live++
+	if s.Live > s.PeakLive {
+		s.PeakLive = s.Live
+	}
+	s.LiveBytes += n
+	if s.LiveBytes > s.PeakLiveBytes {
+		s.PeakLiveBytes = s.LiveBytes
+	}
+}
+
+// NoteFree records the outcome of a free of an n-byte object.
+func (s *Stats) NoteFree(status FreeStatus, n int) {
+	switch status {
+	case FreeOK:
+		s.Frees++
+		s.Live--
+		s.LiveBytes -= n
+	case FreeDouble:
+		s.DoubleFrees++
+	case FreeInvalid:
+		s.InvalidFrees++
+	}
+}

@@ -1,0 +1,71 @@
+package alloc
+
+import "testing"
+
+func TestClassForSize(t *testing.T) {
+	cases := []struct{ n, want int }{
+		{1, 0}, {15, 0}, {16, 0},
+		{17, 1}, {32, 1},
+		{33, 2}, {64, 2},
+		{65, 3},
+		{1024, 6},
+		{MaxRequest, NumClasses - 1},
+		{MaxRequest + 1, -1},
+		{0, -1}, {-5, -1},
+	}
+	for _, c := range cases {
+		if got := ClassForSize(c.n); got != c.want {
+			t.Errorf("ClassForSize(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestClassSlotSizeInverse(t *testing.T) {
+	for c := 0; c < NumClasses; c++ {
+		s := ClassSlotSize(c)
+		if ClassForSize(s) != c {
+			t.Errorf("class %d slot %d maps back to %d", c, s, ClassForSize(s))
+		}
+		if ClassForSize(s+1) != c+1 && s != MaxRequest {
+			t.Errorf("slot+1 did not advance class at %d", s)
+		}
+	}
+}
+
+func TestClassSlotSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	ClassSlotSize(NumClasses)
+}
+
+func TestStatsAccounting(t *testing.T) {
+	var s Stats
+	s.NoteMalloc(100)
+	s.NoteMalloc(50)
+	if s.Live != 2 || s.PeakLive != 2 || s.BytesRequested != 150 || s.LiveBytes != 150 {
+		t.Fatalf("%+v", s)
+	}
+	s.NoteFree(FreeOK, 100)
+	if s.Live != 1 || s.Frees != 1 || s.LiveBytes != 50 {
+		t.Fatalf("%+v", s)
+	}
+	s.NoteFree(FreeDouble, 0)
+	s.NoteFree(FreeInvalid, 0)
+	if s.DoubleFrees != 1 || s.InvalidFrees != 1 || s.Live != 1 {
+		t.Fatalf("%+v", s)
+	}
+	if s.PeakLive != 2 || s.PeakLiveBytes != 150 {
+		t.Fatalf("peak tracking wrong: %+v", s)
+	}
+}
+
+func TestFreeStatusStrings(t *testing.T) {
+	for _, st := range []FreeStatus{FreeOK, FreeDouble, FreeInvalid, FreeDeferred, FreeStatus(99)} {
+		if st.String() == "" {
+			t.Fatal("empty status string")
+		}
+	}
+}

@@ -1,0 +1,159 @@
+// Package bitmap provides the allocation bitmaps at the core of DieHard's
+// heap layout (paper §3.1, Figure 2).
+//
+// Each miniheap tracks its object slots with one bit per slot. Allocation
+// randomly probes for a clear bit — O(1) expected time when the heap is at
+// most 1/M full — and freeing resets the bit. Because "a bit can only be
+// reset once", double frees are benign (paper §2), a property the Clear
+// method exposes by reporting whether it actually changed state.
+package bitmap
+
+import "exterminator/internal/xrand"
+
+// Bitmap is a fixed-size bit set. The zero value is an empty bitmap of
+// length 0; use New.
+type Bitmap struct {
+	words []uint64
+	n     int // number of valid bits
+	set   int // number of set bits
+}
+
+// New returns a bitmap of n bits, all clear.
+func New(n int) *Bitmap {
+	if n < 0 {
+		panic("bitmap: negative size")
+	}
+	return &Bitmap{words: make([]uint64, (n+63)/64), n: n}
+}
+
+// Len returns the number of bits.
+func (b *Bitmap) Len() int { return b.n }
+
+// Count returns the number of set bits.
+func (b *Bitmap) Count() int { return b.set }
+
+// Get reports whether bit i is set.
+func (b *Bitmap) Get(i int) bool {
+	b.check(i)
+	return b.words[i>>6]&(1<<uint(i&63)) != 0
+}
+
+// Set sets bit i and reports whether the bitmap changed (the bit was
+// previously clear).
+func (b *Bitmap) Set(i int) bool {
+	b.check(i)
+	w, m := i>>6, uint64(1)<<uint(i&63)
+	if b.words[w]&m != 0 {
+		return false
+	}
+	b.words[w] |= m
+	b.set++
+	return true
+}
+
+// Clear clears bit i and reports whether the bitmap changed (the bit was
+// previously set). A second Clear of the same bit is a no-op, which is the
+// bitmap-level mechanism that makes double frees benign.
+func (b *Bitmap) Clear(i int) bool {
+	b.check(i)
+	w, m := i>>6, uint64(1)<<uint(i&63)
+	if b.words[w]&m == 0 {
+		return false
+	}
+	b.words[w] &^= m
+	b.set--
+	return true
+}
+
+// RandomClearBit returns a uniformly random clear bit, probing random
+// positions as DieHard's allocator does. It returns -1 if every bit is
+// set. Expected probes are n/(n-set), i.e. O(1) while the occupancy
+// invariant (≤ 1/M full) holds; a deterministic fallback scan bounds the
+// worst case.
+func (b *Bitmap) RandomClearBit(rng *xrand.RNG) int {
+	free := b.n - b.set
+	if free == 0 {
+		return -1
+	}
+	// Random probing: with occupancy ≤ 1/2 this succeeds in ≤ 2 expected
+	// tries. Cap probes to keep the worst case linear overall.
+	maxProbes := 8 * (b.n/free + 1)
+	if maxProbes > 256 {
+		maxProbes = 256
+	}
+	for t := 0; t < maxProbes; t++ {
+		i := rng.Intn(b.n)
+		if b.words[i>>6]&(1<<uint(i&63)) == 0 {
+			return i
+		}
+	}
+	// Fallback: pick the k-th clear bit uniformly to preserve the uniform
+	// distribution even under pathological occupancy.
+	k := rng.Intn(free)
+	for i := 0; i < b.n; i++ {
+		if b.words[i>>6]&(1<<uint(i&63)) == 0 {
+			if k == 0 {
+				return i
+			}
+			k--
+		}
+	}
+	return -1 // unreachable while counts are consistent
+}
+
+// ForEachSet calls fn for each set bit in ascending order.
+func (b *Bitmap) ForEachSet(fn func(i int)) {
+	for w, word := range b.words {
+		for word != 0 {
+			bit := trailingZeros64(word)
+			i := w<<6 + bit
+			if i >= b.n {
+				return
+			}
+			fn(i)
+			word &^= 1 << uint(bit)
+		}
+	}
+}
+
+// Clone returns a deep copy.
+func (b *Bitmap) Clone() *Bitmap {
+	w := make([]uint64, len(b.words))
+	copy(w, b.words)
+	return &Bitmap{words: w, n: b.n, set: b.set}
+}
+
+// Words exposes the raw backing words for serialization. The returned
+// slice must not be modified.
+func (b *Bitmap) Words() []uint64 { return b.words }
+
+// FromWords reconstructs a bitmap of n bits from raw words (the inverse of
+// Words, used by the heap-image decoder).
+func FromWords(n int, words []uint64) *Bitmap {
+	b := New(n)
+	copy(b.words, words)
+	for i := 0; i < n; i++ {
+		if b.words[i>>6]&(1<<uint(i&63)) != 0 {
+			b.set++
+		}
+	}
+	return b
+}
+
+func (b *Bitmap) check(i int) {
+	if i < 0 || i >= b.n {
+		panic("bitmap: index out of range")
+	}
+}
+
+func trailingZeros64(v uint64) int {
+	if v == 0 {
+		return 64
+	}
+	n := 0
+	for v&1 == 0 {
+		v >>= 1
+		n++
+	}
+	return n
+}

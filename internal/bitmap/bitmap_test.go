@@ -1,0 +1,223 @@
+package bitmap
+
+import (
+	"testing"
+	"testing/quick"
+
+	"exterminator/internal/xrand"
+)
+
+func TestSetClearGet(t *testing.T) {
+	b := New(130)
+	if b.Count() != 0 || b.Len() != 130 {
+		t.Fatal("fresh bitmap not empty")
+	}
+	if !b.Set(0) || !b.Set(64) || !b.Set(129) {
+		t.Fatal("Set returned false on clear bit")
+	}
+	if b.Count() != 3 {
+		t.Fatalf("count = %d", b.Count())
+	}
+	if !b.Get(64) || b.Get(63) {
+		t.Fatal("Get wrong")
+	}
+	if b.Set(64) {
+		t.Fatal("double Set reported change")
+	}
+	if !b.Clear(64) {
+		t.Fatal("Clear of set bit reported no change")
+	}
+	if b.Clear(64) {
+		t.Fatal("double Clear reported change (double free must be benign)")
+	}
+	if b.Count() != 2 {
+		t.Fatalf("count after clear = %d", b.Count())
+	}
+}
+
+func TestRandomClearBitAlwaysFree(t *testing.T) {
+	rng := xrand.New(9)
+	b := New(256)
+	for i := 0; i < 128; i++ {
+		b.Set(rng.Intn(256))
+	}
+	for i := 0; i < 1000; i++ {
+		bit := b.RandomClearBit(rng)
+		if bit < 0 {
+			t.Fatal("no clear bit found in half-empty bitmap")
+		}
+		if b.Get(bit) {
+			t.Fatalf("RandomClearBit returned set bit %d", bit)
+		}
+	}
+}
+
+func TestRandomClearBitFull(t *testing.T) {
+	b := New(64)
+	for i := 0; i < 64; i++ {
+		b.Set(i)
+	}
+	if got := b.RandomClearBit(xrand.New(1)); got != -1 {
+		t.Fatalf("full bitmap returned %d", got)
+	}
+}
+
+func TestRandomClearBitNearlyFull(t *testing.T) {
+	// One free slot among 4096: the fallback path must still find it.
+	b := New(4096)
+	for i := 0; i < 4096; i++ {
+		if i != 1234 {
+			b.Set(i)
+		}
+	}
+	rng := xrand.New(5)
+	for trial := 0; trial < 50; trial++ {
+		if got := b.RandomClearBit(rng); got != 1234 {
+			t.Fatalf("got %d, want 1234", got)
+		}
+	}
+}
+
+func TestRandomClearBitUniform(t *testing.T) {
+	// Among 4 free slots, each should be chosen ~uniformly.
+	b := New(64)
+	free := map[int]int{3: 0, 17: 0, 42: 0, 63: 0}
+	for i := 0; i < 64; i++ {
+		if _, ok := free[i]; !ok {
+			b.Set(i)
+		}
+	}
+	rng := xrand.New(77)
+	const trials = 20000
+	for i := 0; i < trials; i++ {
+		free[b.RandomClearBit(rng)]++
+	}
+	for bit, c := range free {
+		if c < trials/4-trials/16 || c > trials/4+trials/16 {
+			t.Errorf("bit %d chosen %d times (want ~%d)", bit, c, trials/4)
+		}
+	}
+}
+
+func TestForEachSet(t *testing.T) {
+	b := New(200)
+	want := []int{0, 1, 63, 64, 65, 127, 128, 199}
+	for _, i := range want {
+		b.Set(i)
+	}
+	var got []int
+	b.ForEachSet(func(i int) { got = append(got, i) })
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	b := New(64)
+	b.Set(10)
+	c := b.Clone()
+	c.Set(20)
+	if b.Get(20) {
+		t.Fatal("clone aliases original")
+	}
+	if !c.Get(10) {
+		t.Fatal("clone missing original bit")
+	}
+}
+
+func TestWordsRoundTrip(t *testing.T) {
+	b := New(100)
+	for _, i := range []int{0, 31, 64, 99} {
+		b.Set(i)
+	}
+	c := FromWords(100, b.Words())
+	if c.Count() != b.Count() {
+		t.Fatalf("count %d != %d", c.Count(), b.Count())
+	}
+	for i := 0; i < 100; i++ {
+		if b.Get(i) != c.Get(i) {
+			t.Fatalf("bit %d differs", i)
+		}
+	}
+}
+
+func TestPropertyCountConsistent(t *testing.T) {
+	if err := quick.Check(func(ops []uint16) bool {
+		b := New(512)
+		naive := map[int]bool{}
+		for _, op := range ops {
+			i := int(op % 512)
+			if op&0x8000 != 0 {
+				b.Set(i)
+				naive[i] = true
+			} else {
+				b.Clear(i)
+				delete(naive, i)
+			}
+		}
+		if b.Count() != len(naive) {
+			return false
+		}
+		for i := 0; i < 512; i++ {
+			if b.Get(i) != naive[i] {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	b := New(10)
+	for _, f := range []func(){
+		func() { b.Get(10) },
+		func() { b.Set(-1) },
+		func() { b.Clear(11) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("out-of-range access did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func BenchmarkRandomClearBitHalfFull(b *testing.B) {
+	bm := New(4096)
+	rng := xrand.New(1)
+	for i := 0; i < 2048; i++ {
+		bm.Set(rng.Intn(4096))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bm.RandomClearBit(rng)
+	}
+}
+
+func BenchmarkLinearScanBaseline(b *testing.B) {
+	// Ablation partner for BenchmarkRandomClearBitHalfFull: first-fit scan
+	// (what a naive allocator would do) for the same occupancy.
+	bm := New(4096)
+	rng := xrand.New(1)
+	for i := 0; i < 2048; i++ {
+		bm.Set(rng.Intn(4096))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < bm.Len(); j++ {
+			if !bm.Get(j) {
+				break
+			}
+		}
+	}
+}

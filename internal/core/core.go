@@ -1,0 +1,253 @@
+// Package core is Exterminator's public facade: the one-stop API a
+// downstream user programs against.
+//
+// Exterminator (Novark, Berger & Zorn, PLDI 2007) automatically detects,
+// isolates and *corrects* heap memory errors — buffer overflows and
+// dangling pointers — with provably low false positive and negative
+// rates, and tolerates double and invalid frees outright. This
+// reproduction runs the complete system over a simulated heap (see
+// DESIGN.md for the substitution argument): simulated programs allocate
+// through DieFast, a probabilistic debugging allocator derived from
+// DieHard; the error isolator diffs randomized heap images or applies a
+// Bayesian test over run summaries; and the correcting allocator applies
+// the resulting runtime patches — pads and deallocation deferrals — to
+// current and future executions.
+//
+// Typical use:
+//
+//	ext := core.New(core.Options{})
+//	res := ext.Iterative(myProgram, input, nil)
+//	if res.Corrected {
+//	    core.SavePatches(res.Patches, "app.patches")
+//	}
+//
+// Patches compose: users merge patch files with core.MergePatches
+// (collaborative correction, §6.4).
+package core
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"exterminator/internal/correct"
+	"exterminator/internal/cumulative"
+	"exterminator/internal/diefast"
+	"exterminator/internal/modes"
+	"exterminator/internal/mutator"
+	"exterminator/internal/patch"
+	"exterminator/internal/xrand"
+)
+
+// Program is the simulated-application interface (re-exported from the
+// mutator substrate).
+type Program = mutator.Program
+
+// Env is the execution environment programs run against.
+type Env = mutator.Env
+
+// Outcome describes how a run ended.
+type Outcome = mutator.Outcome
+
+// Hook observes allocations (fault injection and instrumentation).
+type Hook = mutator.Hook
+
+// Patches is a runtime patch set: pad and deferral tables.
+type Patches = patch.Set
+
+// Options configures an Exterminator instance.
+type Options struct {
+	// Seed drives all heap randomization. Zero means a fixed default;
+	// callers wanting independent instances pass distinct seeds.
+	Seed uint64
+	// ProgSeed seeds program-level randomness.
+	ProgSeed uint64
+	// Images is the number of heap images per isolation round (k).
+	Images int
+	// Replicas for replicated mode.
+	Replicas int
+	// MaxRuns bounds cumulative mode.
+	MaxRuns int
+	// FillProb is cumulative mode's canary probability p.
+	FillProb float64
+	// Patches pre-loads runtime patches (e.g. from a previous session).
+	Patches *Patches
+}
+
+// Exterminator is a configured instance.
+type Exterminator struct {
+	opts Options
+}
+
+// New returns an instance.
+func New(opts Options) *Exterminator {
+	return &Exterminator{opts: opts}
+}
+
+func (x *Exterminator) modeOptions() modes.Options {
+	return modes.Options{
+		HeapSeed: x.opts.Seed,
+		ProgSeed: x.opts.ProgSeed,
+		Images:   x.opts.Images,
+		Replicas: x.opts.Replicas,
+		MaxRuns:  x.opts.MaxRuns,
+		FillProb: x.opts.FillProb,
+		Patches:  x.opts.Patches,
+	}
+}
+
+// IterativeResult re-exports the iterative-mode outcome.
+type IterativeResult = modes.IterativeResult
+
+// ReplicatedResult re-exports the replicated-mode outcome.
+type ReplicatedResult = modes.ReplicatedResult
+
+// CumulativeResult re-exports the cumulative-mode outcome.
+type CumulativeResult = modes.CumulativeResult
+
+// HookFactory builds a fresh hook per execution.
+type HookFactory = modes.HookFactory
+
+// Iterative detects, isolates and corrects errors by re-running prog over
+// the same input with fresh heap randomization (§3.4 iterative mode).
+func (x *Exterminator) Iterative(prog Program, input []byte, hookFor HookFactory) *IterativeResult {
+	return modes.Iterative(prog, input, hookFor, x.modeOptions())
+}
+
+// Replicated runs prog across differently randomized replicas with output
+// voting, correcting on any error indication (§3.4 replicated mode).
+func (x *Exterminator) Replicated(prog Program, input []byte, hookFor HookFactory) *ReplicatedResult {
+	return modes.Replicated(prog, input, hookFor, x.modeOptions())
+}
+
+// Cumulative isolates errors across many (possibly nondeterministic) runs
+// using per-site summaries and a Bayesian classifier (§5). inputFor may
+// vary the input per run; nil runs with no input. varyProgSeed gives each
+// run different program-level randomness (for nondeterministic
+// applications).
+func (x *Exterminator) Cumulative(prog Program, inputFor func(run int) []byte, hookFor func(run int) Hook, varyProgSeed bool) *CumulativeResult {
+	o := x.modeOptions()
+	o.VaryProgSeed = varyProgSeed
+	return modes.Cumulative(prog, inputFor, hookFor, o)
+}
+
+// History is the cumulative-mode per-site summary store.
+type History = cumulative.History
+
+// CumulativeResume continues cumulative isolation from a persisted
+// history (the §3.4 deployment story: summaries, not heap images, carry
+// across process restarts).
+func (x *Exterminator) CumulativeResume(prog Program, inputFor func(run int) []byte, hookFor func(run int) Hook, hist *History, varyProgSeed bool) *CumulativeResult {
+	o := x.modeOptions()
+	o.VaryProgSeed = varyProgSeed
+	return modes.CumulativeResume(prog, inputFor, hookFor, hist, o)
+}
+
+// SaveHistory writes a cumulative history to a file.
+func SaveHistory(h *History, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("core: save history: %w", err)
+	}
+	defer f.Close()
+	if err := h.Encode(f); err != nil {
+		return fmt.Errorf("core: save history: %w", err)
+	}
+	return nil
+}
+
+// LoadHistory reads a cumulative history written by SaveHistory.
+func LoadHistory(path string) (*History, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("core: load history: %w", err)
+	}
+	defer f.Close()
+	return cumulative.DecodeHistory(f)
+}
+
+// StreamProgram is the long-running-service contract for Serve.
+type StreamProgram = mutator.StreamProgram
+
+// Session is a live per-replica service instance.
+type Session = mutator.Session
+
+// ServeResult reports a completed replicated service run.
+type ServeResult = modes.ServeResult
+
+// Serve runs a replicated, continuously-patching service over an input
+// stream (Figure 5): per-chunk output voting, synchronized image dumps on
+// any error indication, on-the-fly patch reload into the live replicas,
+// and automatic restart of crashed replicas.
+func (x *Exterminator) Serve(prog StreamProgram, chunks [][]byte, hookFor HookFactory) *ServeResult {
+	return modes.Serve(prog, chunks, hookFor, x.modeOptions())
+}
+
+// Verify runs prog once under patches and reports whether the run was
+// clean (no crash, failure, DieFast signal, or residual corruption).
+func (x *Exterminator) Verify(prog Program, input []byte, hook Hook, patches *Patches) (*Outcome, bool) {
+	return modes.Verify(prog, input, hook, patches, x.opts.Seed^0xFEEDFACE, orDefault(x.opts.ProgSeed, 0x9106))
+}
+
+// RunOnce executes prog over a fresh correcting DieFast heap with the
+// given patches and returns the outcome plus the allocator for
+// inspection. It is the building block for custom experiment drivers.
+func (x *Exterminator) RunOnce(prog Program, input []byte, hook Hook, patches *Patches) (*Outcome, *correct.Allocator) {
+	h := diefast.New(diefast.DefaultConfig(), xrand.New(orDefault(x.opts.Seed, 0x5eed)))
+	h.OnError = func(diefast.Event) {}
+	a := correct.New(h)
+	if patches != nil {
+		a.Reload(patches.Clone())
+	}
+	e := mutator.NewEnv(a, h.Space(), xrand.New(orDefault(x.opts.ProgSeed, 0x9106)), input)
+	e.Hook = hook
+	return mutator.Run(prog, e), a
+}
+
+func orDefault(v, d uint64) uint64 {
+	if v == 0 {
+		return d
+	}
+	return v
+}
+
+// NewPatches returns an empty patch set.
+func NewPatches() *Patches { return patch.New() }
+
+// MergePatches folds any number of patch sets into one by taking maxima —
+// collaborative correction (§6.4).
+func MergePatches(sets ...*Patches) *Patches {
+	out := patch.New()
+	for _, s := range sets {
+		if s != nil {
+			out.Merge(s)
+		}
+	}
+	return out
+}
+
+// SavePatches writes a patch set to a file in the binary format.
+func SavePatches(p *Patches, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("core: save patches: %w", err)
+	}
+	defer f.Close()
+	if err := p.Encode(f); err != nil {
+		return fmt.Errorf("core: save patches: %w", err)
+	}
+	return nil
+}
+
+// LoadPatches reads a patch set written by SavePatches.
+func LoadPatches(path string) (*Patches, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("core: load patches: %w", err)
+	}
+	defer f.Close()
+	return patch.Decode(f)
+}
+
+// WritePatchesText writes the human-readable patch format.
+func WritePatchesText(p *Patches, w io.Writer) error { return p.EncodeText(w) }

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"exterminator/internal/inject"
+	"exterminator/internal/site"
+	"exterminator/internal/workloads"
+)
+
+func TestIterativeEndToEnd(t *testing.T) {
+	ext := New(Options{Seed: 41})
+	prog, _ := workloads.ByName("espresso", 1)
+	hookFor := func() Hook {
+		return inject.New(inject.Plan{Kind: inject.Overflow, TriggerAlloc: 700, Size: 20, Seed: 17})
+	}
+	res := ext.Iterative(prog, nil, hookFor)
+	if !res.Corrected && !res.CleanAtStart {
+		t.Fatalf("not corrected: %s", res)
+	}
+}
+
+func TestVerifyAndRunOnce(t *testing.T) {
+	ext := New(Options{Seed: 42})
+	prog, _ := workloads.ByName("cfrac", 1)
+	out, clean := ext.Verify(prog, nil, nil, nil)
+	if !clean || !out.Completed {
+		t.Fatalf("clean workload not clean: %s", out)
+	}
+	out2, a := ext.RunOnce(prog, nil, nil, nil)
+	if !out2.Completed {
+		t.Fatalf("RunOnce: %s", out2)
+	}
+	if a.Clock() == 0 {
+		t.Fatal("no allocations recorded")
+	}
+}
+
+func TestPatchFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	p := NewPatches()
+	p.AddPad(site.ID(0xAA), 6)
+	p.AddDeferral(site.Pair{Alloc: 1, Free: 2}, 33)
+	path := filepath.Join(dir, "app.patches")
+	if err := SavePatches(p, path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadPatches(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(p) {
+		t.Fatal("round trip mismatch")
+	}
+	var buf bytes.Buffer
+	if err := WritePatchesText(got, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("empty text encoding")
+	}
+}
+
+func TestLoadPatchesMissingFile(t *testing.T) {
+	if _, err := LoadPatches(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Fatal("missing file loaded")
+	}
+}
+
+func TestMergePatchesCollaborative(t *testing.T) {
+	// Two users hit different bugs; merging covers both (§6.4).
+	u1 := NewPatches()
+	u1.AddPad(site.ID(0x1), 6)
+	u2 := NewPatches()
+	u2.AddPad(site.ID(0x1), 4) // same site, smaller pad
+	u2.AddDeferral(site.Pair{Alloc: 0x2, Free: 0x3}, 100)
+	merged := MergePatches(u1, u2, nil)
+	if merged.Pad(site.ID(0x1)) != 6 {
+		t.Fatal("merge did not take max pad")
+	}
+	if merged.Deferral(site.Pair{Alloc: 0x2, Free: 0x3}) != 100 {
+		t.Fatal("merge lost deferral")
+	}
+}
+
+func TestSavePatchesBadPath(t *testing.T) {
+	if err := SavePatches(NewPatches(), string(os.PathSeparator)+"no/such/dir/x"); err == nil {
+		t.Fatal("save to bad path succeeded")
+	}
+}
+
+func TestServeFacade(t *testing.T) {
+	ext := New(Options{Seed: 44, Replicas: 3})
+	chunks := workloads.SquidRequestStream(workloads.SquidBenignInput(40))
+	res := ext.Serve(workloads.NewSquidStream(), chunks, nil)
+	if res.Chunks != len(chunks) {
+		t.Fatalf("served %d of %d", res.Chunks, len(chunks))
+	}
+	if len(res.Incidents) != 0 {
+		t.Fatalf("benign stream had incidents: %+v", res.Incidents)
+	}
+}
+
+func TestHistoryFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	ext := New(Options{Seed: 45, MaxRuns: 3})
+	prog, _ := workloads.ByName("cfrac", 1)
+	res := ext.Cumulative(prog, nil, nil, false)
+	path := filepath.Join(dir, "h.xtc")
+	if err := SaveHistory(res.History, path); err != nil {
+		t.Fatal(err)
+	}
+	hist, err := LoadHistory(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hist.Runs != res.History.Runs {
+		t.Fatalf("runs %d != %d", hist.Runs, res.History.Runs)
+	}
+	// Resume and confirm run accounting continues.
+	res2 := ext.CumulativeResume(prog, nil, nil, hist, false)
+	if res2.Runs <= res.Runs {
+		t.Fatalf("resumed run count %d not beyond %d", res2.Runs, res.Runs)
+	}
+	if _, err := LoadHistory(filepath.Join(dir, "missing")); err == nil {
+		t.Fatal("missing history loaded")
+	}
+}

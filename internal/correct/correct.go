@@ -1,0 +1,219 @@
+// Package correct implements the correcting memory allocator (paper §6.3,
+// Figure 6).
+//
+// The correcting allocator wraps DieFast and applies runtime patches:
+//
+//   - on every malloc it advances the allocation clock, executes any
+//     deferred frees that have come due, and pads the request if the
+//     allocation site has a pad-table entry;
+//   - on every free it consults the deferral table for the (allocation
+//     site, deallocation site) pair and either frees immediately or
+//     pushes the pointer on a deferral priority queue.
+//
+// Patches can be reloaded at any time (the paper's on-the-fly reload
+// signal for running replicas), and the pad/deferral tables rebuild
+// without interrupting execution.
+package correct
+
+import (
+	stdheap "container/heap"
+
+	"exterminator/internal/alloc"
+	"exterminator/internal/diefast"
+	"exterminator/internal/mem"
+	"exterminator/internal/patch"
+	"exterminator/internal/site"
+)
+
+// deferred is one queued deallocation.
+type deferred struct {
+	ptr mem.Addr
+	due uint64 // allocation clock at which to really free
+	seq int    // FIFO tie-break for equal due times
+}
+
+// deferralQueue is a min-heap on due time.
+type deferralQueue []deferred
+
+func (q deferralQueue) Len() int { return len(q) }
+func (q deferralQueue) Less(i, j int) bool {
+	if q[i].due != q[j].due {
+		return q[i].due < q[j].due
+	}
+	return q[i].seq < q[j].seq
+}
+func (q deferralQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *deferralQueue) Push(x any)   { *q = append(*q, x.(deferred)) }
+func (q *deferralQueue) Pop() any {
+	old := *q
+	n := len(old)
+	item := old[n-1]
+	*q = old[:n-1]
+	return item
+}
+
+// Allocator is the correcting allocator.
+type Allocator struct {
+	heap    *diefast.Heap
+	patches *patch.Set
+	queue   deferralQueue
+	seq     int
+
+	// frontPads maps the pointer handed to the program to its leading
+	// pad: with a front pad the program sees slotBase+frontPad, and the
+	// allocator must translate back on free (the §2.1 backward-overflow
+	// extension).
+	frontPads map[mem.Addr]int
+
+	// accounting for §7.3 (patch overhead)
+	padBytesLive  int
+	padBytesPeak  int
+	deferredBytes uint64 // Σ size × deferral length ("drag", §6.2)
+	deferredCount uint64
+	padSizes      map[mem.Addr]int // live pad per object (keyed by slot base)
+}
+
+var _ alloc.Allocator = (*Allocator)(nil)
+
+// New wraps a DieFast heap with an (initially empty) patch set.
+func New(h *diefast.Heap) *Allocator {
+	return &Allocator{
+		heap:      h,
+		patches:   patch.New(),
+		padSizes:  make(map[mem.Addr]int),
+		frontPads: make(map[mem.Addr]int),
+	}
+}
+
+// Heap returns the underlying DieFast heap.
+func (a *Allocator) Heap() *diefast.Heap { return a.heap }
+
+// Patches returns the active patch set.
+func (a *Allocator) Patches() *patch.Set { return a.patches }
+
+// Reload installs a new patch set, as the paper's reload signal does for
+// running replicas. Already-queued deferrals keep their original due
+// times; future operations use the new tables.
+func (a *Allocator) Reload(p *patch.Set) {
+	if p == nil {
+		p = patch.New()
+	}
+	a.patches = p
+}
+
+// Clock returns the allocation clock.
+func (a *Allocator) Clock() uint64 { return a.heap.Clock() }
+
+// Malloc implements Figure 6's correcting_malloc, extended with leading
+// pads: with a front pad f the allocator requests size+f+pad bytes and
+// returns base+f, so underflows of up to f bytes stay inside the object's
+// own slot.
+func (a *Allocator) Malloc(size int, allocSite site.ID) (mem.Addr, error) {
+	// The clock ticks inside DieFast's Commit; the deferral queue is
+	// drained against the post-allocation clock, so an object deferred
+	// "d allocations" survives exactly d further allocations.
+	pad := int(a.patches.Pad(allocSite))
+	front := int(a.patches.FrontPad(allocSite))
+	// Keep the program-visible pointer 8-aligned so word accesses at
+	// offset 0 behave as without the patch.
+	front = (front + 7) &^ 7
+	base, err := a.heap.Malloc(size+front+pad, allocSite)
+	if err != nil && (pad > 0 || front > 0) {
+		// A padded request can exceed the max size class; fall back to
+		// the unpadded size rather than failing the program.
+		base, err = a.heap.Malloc(size, allocSite)
+		pad, front = 0, 0
+	}
+	if err != nil {
+		return 0, err
+	}
+	if pad+front > 0 {
+		a.padSizes[base] = pad + front
+		a.padBytesLive += pad + front
+		if a.padBytesLive > a.padBytesPeak {
+			a.padBytesPeak = a.padBytesLive
+		}
+	}
+	ptr := base + mem.Addr(front)
+	if front > 0 {
+		a.frontPads[ptr] = front
+	}
+	a.drain()
+	return ptr, nil
+}
+
+// translate maps a program pointer back to its slot base (undoing any
+// front pad) and reports the front pad applied.
+func (a *Allocator) translate(ptr mem.Addr) (mem.Addr, int) {
+	if f, ok := a.frontPads[ptr]; ok {
+		return ptr - mem.Addr(f), f
+	}
+	return ptr, 0
+}
+
+// Free implements Figure 6's correcting_free: defer if the site pair has a
+// deferral entry, otherwise free immediately. Front-padded pointers are
+// translated back to their slot base first.
+func (a *Allocator) Free(ptr mem.Addr, freeSite site.ID) alloc.FreeStatus {
+	base, front := a.translate(ptr)
+	mh, slot, ok := a.heap.Diehard().Lookup(base)
+	if !ok {
+		return a.heap.Free(base, freeSite) // counted invalid by diehard
+	}
+	if front > 0 {
+		delete(a.frontPads, ptr)
+	}
+	m := mh.Meta(slot)
+	pair := site.Pair{Alloc: m.AllocSite, Free: freeSite}
+	d := a.patches.Deferral(pair)
+	if d == 0 {
+		a.unaccountPad(base)
+		return a.heap.Free(base, freeSite)
+	}
+	// Record the logical free site now, so a heap image taken while the
+	// object sits in the queue still shows where the program freed it.
+	m.FreeSite = freeSite
+	a.seq++
+	stdheap.Push(&a.queue, deferred{ptr: base, due: a.heap.Clock() + d, seq: a.seq})
+	a.deferredCount++
+	a.deferredBytes += uint64(m.ReqSize) * d
+	return alloc.FreeDeferred
+}
+
+// drain really-frees deferred objects that have come due (Figure 6's loop
+// at the top of correcting_malloc).
+func (a *Allocator) drain() {
+	now := a.heap.Clock()
+	for len(a.queue) > 0 && a.queue[0].due <= now {
+		d := stdheap.Pop(&a.queue).(deferred)
+		a.unaccountPad(d.ptr)
+		a.heap.Free(d.ptr, 0)
+	}
+}
+
+// Flush immediately frees everything in the deferral queue (used at
+// program end so heap accounting balances).
+func (a *Allocator) Flush() {
+	for len(a.queue) > 0 {
+		d := stdheap.Pop(&a.queue).(deferred)
+		a.unaccountPad(d.ptr)
+		a.heap.Free(d.ptr, 0)
+	}
+}
+
+// PendingDeferrals returns the number of queued deallocations.
+func (a *Allocator) PendingDeferrals() int { return len(a.queue) }
+
+func (a *Allocator) unaccountPad(ptr mem.Addr) {
+	if pad, ok := a.padSizes[ptr]; ok {
+		a.padBytesLive -= pad
+		delete(a.padSizes, ptr)
+	}
+}
+
+// Overhead reports the space cost of active patches for §7.3:
+// peak live pad bytes, and total drag (object bytes × allocations
+// deferred).
+func (a *Allocator) Overhead() (padPeakBytes int, dragBytes uint64, deferredObjects uint64) {
+	return a.padBytesPeak, a.deferredBytes, a.deferredCount
+}

@@ -1,0 +1,431 @@
+// Package cumulative implements Exterminator's cumulative-mode error
+// isolation (paper §5).
+//
+// Cumulative mode isolates errors without replication, identical inputs
+// or deterministic execution: instead of heap images it keeps a few
+// numbers per call site per run, and applies a Bayesian hypothesis test
+// across runs.
+//
+// Buffer overflows (§5.1): after a run in which corruption was found at
+// slot k of miniheap Mc, every allocation site A gets an observation
+// (X, Y) where X = P(C_A) is the probability — under the randomized
+// placement — that at least one of A's objects landed where it *could*
+// have caused the corruption (same miniheap, lower slot), and Y = C_A
+// records whether one actually did. For an innocent site Y tracks X
+// (pure chance); for the culprit, Y=1 far more often than X predicts.
+//
+// Dangling pointers (§5.2): freed objects are canaried with probability
+// p (=1/2), turning each run into a Bernoulli trial; for each failed run
+// and each (alloc site, free site) pair, X = 1 − (1−p)^m is the chance
+// at least one of its m freed objects was canaried and Y records whether
+// one was. Canarying a prematurely freed object is what *makes* the
+// program fail, so the guilty pair's Y correlates with failure.
+//
+// The test (§5.1) rejects H0 (θ_A = 0) when
+//
+//	P(X̄,Ȳ | H1) / P(X̄,Ȳ | H0)  >  P(H0) / P(H1),
+//
+// with prior P(H1) = 1/(cN) (c = 4, N = number of sites), a uniform prior
+// on θ_A, and the H1 likelihood integrated numerically over θ.
+package cumulative
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"exterminator/internal/diefast"
+	"exterminator/internal/mem"
+	"exterminator/internal/patch"
+	"exterminator/internal/site"
+)
+
+// Observation is one run's (X, Y) for one site (or site pair).
+type Observation struct {
+	X float64 // probability of satisfying the criteria by chance
+	Y bool    // whether the criteria were actually satisfied
+}
+
+// Config parameterizes the classifier.
+type Config struct {
+	// C is the prior constant: P(H1) = 1/(C·N). The paper uses 4.
+	C float64
+	// P is the canary fill probability used by the heap (needed to
+	// compute dangling X values). The paper uses 1/2.
+	P float64
+}
+
+// DefaultConfig mirrors the paper (§5.1–§5.2).
+func DefaultConfig() Config { return Config{C: 4, P: 0.5} }
+
+// History accumulates per-site summaries across runs. "The retained data
+// is on the order of a few kilobytes per execution" (§3.4): observations,
+// not heap images.
+type History struct {
+	cfg Config
+
+	overflow map[site.ID][]Observation
+	dangling map[site.Pair][]Observation
+	padHint  map[site.ID]uint32
+	dferHint map[site.Pair]uint64
+	sites    map[site.ID]bool // all allocation sites ever seen (N)
+
+	Runs        int
+	FailedRuns  int
+	CorruptRuns int
+}
+
+// NewHistory returns an empty history.
+func NewHistory(cfg Config) *History {
+	if cfg.C <= 0 {
+		cfg.C = 4
+	}
+	if cfg.P <= 0 || cfg.P >= 1 {
+		cfg.P = 0.5
+	}
+	return &History{
+		cfg:      cfg,
+		overflow: make(map[site.ID][]Observation),
+		dangling: make(map[site.Pair][]Observation),
+		padHint:  make(map[site.ID]uint32),
+		dferHint: make(map[site.Pair]uint64),
+		sites:    make(map[site.ID]bool),
+	}
+}
+
+// Sites returns N, the number of distinct allocation sites observed.
+func (hist *History) Sites() int { return len(hist.sites) }
+
+// RecordRun folds one finished run into the history. failed reports
+// whether the run crashed, aborted, or produced divergent output. The
+// heap must have been created with diefast.CumulativeConfig so the
+// allocation and free logs are present.
+func (hist *History) RecordRun(h *diefast.Heap, failed bool) {
+	hist.Runs++
+	if failed {
+		hist.FailedRuns++
+	}
+	log := h.Diehard().Log()
+	for _, rec := range log {
+		hist.sites[rec.Site] = true
+	}
+
+	// Overflow summaries: only runs that exhibit corruption contribute
+	// (§5.1 phase 1: identify heap corruption).
+	if corr := h.Scan(false); len(corr) > 0 {
+		hist.CorruptRuns++
+		hist.recordOverflow(h, corr[0])
+	}
+
+	// Dangling summaries: only failed runs contribute (§5.2).
+	if failed {
+		hist.recordDangling(h)
+	}
+}
+
+// recordOverflow computes (X, Y) per allocation site for the first
+// corruption found this run, plus the pad hint.
+func (hist *History) recordOverflow(h *diefast.Heap, corr diefast.Corruption) {
+	dh := h.Diehard()
+	minis := dh.Miniheaps()
+	mc := minis[corr.Mini]
+	k := corr.Slot
+
+	// Per-object P(C_i), folded per site into P(C_A) = 1 − Π(1 − P(C_i)),
+	// and the observed C_A.
+	noSat := make(map[site.ID]float64) // Π (1 − P(C_i))
+	satisf := make(map[site.ID]bool)
+	for _, rec := range dh.Log() {
+		if _, ok := noSat[rec.Site]; !ok {
+			noSat[rec.Site] = 1
+		}
+		if rec.Class != mc.Class {
+			continue // wrong size class: P(C_i) = 0
+		}
+		if mc.CreateTime > rec.Time {
+			continue // corrupt miniheap did not exist yet: P(C_i) = 0
+		}
+		denom := 0
+		for _, mj := range minis {
+			if mj.Class == mc.Class && mj.CreateTime <= rec.Time {
+				denom += mj.Slots
+			}
+		}
+		if denom == 0 {
+			continue
+		}
+		pc := (float64(mc.Slots) / float64(denom)) * (float64(k) / float64(mc.Slots))
+		noSat[rec.Site] *= 1 - pc
+		if rec.Mini == corr.Mini && rec.Slot < k {
+			satisf[rec.Site] = true
+		}
+	}
+	for s, ns := range noSat {
+		hist.overflow[s] = append(hist.overflow[s], Observation{X: 1 - ns, Y: satisf[s]})
+	}
+
+	// Pad hint (§5.1): search backwards from the corruption for the
+	// nearest object from each candidate site; the pad is the distance
+	// from that object's usable end to the end of the corruption.
+	corrEnd := 0
+	for _, r := range corr.Ranges {
+		if r.End > corrEnd {
+			corrEnd = r.End
+		}
+	}
+	corrEndAddr := mc.SlotAddr(corr.Slot) + mem.Addr(corrEnd)
+	for slot := corr.Slot; slot >= 0; slot-- {
+		m := mc.Meta(slot)
+		if m.ID == 0 || slot == corr.Slot {
+			continue
+		}
+		need := int64(corrEndAddr) - int64(mc.SlotAddr(slot)) - int64(m.ReqSize)
+		if need <= 0 {
+			continue
+		}
+		if cur := hist.padHint[m.AllocSite]; uint32(need) > cur {
+			hist.padHint[m.AllocSite] = uint32(need)
+		}
+	}
+}
+
+// recordDangling computes (X, Y) per (alloc, free) site pair for a failed
+// run, plus the lifetime-extension hint from the oldest canaried object.
+func (hist *History) recordDangling(h *diefast.Heap) {
+	type agg struct {
+		m        int
+		canaried bool
+		oldest   uint64 // earliest FreeTime among canaried objects
+	}
+	pairs := make(map[site.Pair]*agg)
+	for _, fr := range h.FreeLog() {
+		p := site.Pair{Alloc: fr.AllocSite, Free: fr.FreeSite}
+		a := pairs[p]
+		if a == nil {
+			a = &agg{oldest: math.MaxUint64}
+			pairs[p] = a
+		}
+		a.m++
+		if fr.Canaried {
+			a.canaried = true
+			if fr.FreeTime < a.oldest {
+				a.oldest = fr.FreeTime
+			}
+		}
+	}
+	T := h.Clock()
+	for p, a := range pairs {
+		x := 1 - math.Pow(1-hist.cfg.P, float64(a.m))
+		hist.dangling[p] = append(hist.dangling[p], Observation{X: x, Y: a.canaried})
+		if a.canaried {
+			ext := 2 * (T - a.oldest)
+			if ext == 0 {
+				ext = 1
+			}
+			if ext > hist.dferHint[p] {
+				hist.dferHint[p] = ext
+			}
+		}
+	}
+}
+
+// OverflowSite is an allocation site identified as an overflow source.
+type OverflowSite struct {
+	Site  site.ID
+	Pad   uint32
+	Bayes float64 // L1/L0
+	Runs  int     // observations used
+}
+
+// DanglingPair is a site pair identified as a dangling-pointer source.
+type DanglingPair struct {
+	Pair     site.Pair
+	Deferral uint64
+	Bayes    float64
+	Runs     int
+}
+
+// Findings is the classifier output.
+type Findings struct {
+	Overflows []OverflowSite
+	Danglings []DanglingPair
+}
+
+// Patches converts findings into runtime patches.
+func (f *Findings) Patches() *patch.Set {
+	ps := patch.New()
+	for _, o := range f.Overflows {
+		ps.AddPad(o.Site, o.Pad)
+	}
+	for _, d := range f.Danglings {
+		ps.AddDeferral(d.Pair, d.Deferral)
+	}
+	return ps
+}
+
+// Empty reports whether nothing crossed the threshold.
+func (f *Findings) Empty() bool {
+	return len(f.Overflows) == 0 && len(f.Danglings) == 0
+}
+
+// Identify runs the hypothesis test over everything recorded so far.
+func (hist *History) Identify() *Findings {
+	f := &Findings{}
+	n := len(hist.sites)
+	if n == 0 {
+		return f
+	}
+	threshold := hist.cfg.C*float64(n) - 1
+
+	for s, obs := range hist.overflow {
+		ratio := BayesFactor(obs)
+		if ratio > threshold {
+			pad := hist.padHint[s]
+			if pad == 0 {
+				continue // identified but no pad estimate yet
+			}
+			f.Overflows = append(f.Overflows, OverflowSite{Site: s, Pad: pad, Bayes: ratio, Runs: len(obs)})
+		}
+	}
+	for p, obs := range hist.dangling {
+		ratio := BayesFactor(obs)
+		if ratio > threshold {
+			d := hist.dferHint[p]
+			if d == 0 {
+				continue
+			}
+			f.Danglings = append(f.Danglings, DanglingPair{Pair: p, Deferral: d, Bayes: ratio, Runs: len(obs)})
+		}
+	}
+	sort.Slice(f.Overflows, func(i, j int) bool { return f.Overflows[i].Bayes > f.Overflows[j].Bayes })
+	sort.Slice(f.Danglings, func(i, j int) bool { return f.Danglings[i].Bayes > f.Danglings[j].Bayes })
+	return f
+}
+
+// BayesFactor computes P(X̄,Ȳ|H1) / P(X̄,Ȳ|H0) for a site's observations
+// (§5.1). It returns +Inf when H0 assigns probability zero to the data
+// (Y observed with X = 0).
+//
+// The ratio is evaluated as ∫₀¹ Π_i [P(Y_i|θ,X_i) / P(Y_i|H0,X_i)] dθ:
+// dividing factor by factor keeps the integrand moderate for
+// chance-consistent observations, so histories of thousands of runs
+// neither underflow L0 (which would fabricate +Inf evidence) nor
+// overflow L1.
+func BayesFactor(obs []Observation) float64 {
+	if len(obs) == 0 {
+		return 0
+	}
+	for _, o := range obs {
+		if o.Y && o.X <= 0 {
+			return math.Inf(1) // impossible under H0
+		}
+	}
+	return integrateRatio(obs)
+}
+
+// integrateRatio evaluates the Bayes factor with Simpson's rule. Under
+// θ, P(Y_i = 1) = (1−θ)X_i + θ; under H0, P(Y_i = 1) = X_i.
+func integrateRatio(obs []Observation) float64 {
+	const steps = 512 // even
+	const eps = 1e-12
+	g := func(theta float64) float64 {
+		r := 1.0
+		for _, o := range obs {
+			x := o.X
+			if x < eps {
+				x = eps
+			}
+			if x > 1-eps {
+				x = 1 - eps
+			}
+			py := (1-theta)*x + theta
+			if o.Y {
+				r *= py / x
+			} else {
+				r *= (1 - py) / (1 - x)
+			}
+			if math.IsInf(r, 1) {
+				return r // genuinely overwhelming evidence
+			}
+		}
+		return r
+	}
+	h := 1.0 / steps
+	sum := g(0) + g(1)
+	for i := 1; i < steps; i++ {
+		x := float64(i) * h
+		if i%2 == 1 {
+			sum += 4 * g(x)
+		} else {
+			sum += 2 * g(x)
+		}
+	}
+	return sum * h / 3
+}
+
+// Candidate is a (site or pair, Bayes factor) ranking entry, exposed for
+// diagnostics and tooling regardless of whether it crossed the threshold.
+type Candidate struct {
+	Site  site.ID   // overflow candidates
+	Pair  site.Pair // dangling candidates
+	Bayes float64
+	Obs   int
+	YRate float64 // fraction of observations with Y=1
+}
+
+// OverflowCandidates returns all tracked allocation sites ranked by Bayes
+// factor, descending.
+func (hist *History) OverflowCandidates() []Candidate {
+	var out []Candidate
+	for s, obs := range hist.overflow {
+		out = append(out, Candidate{Site: s, Bayes: BayesFactor(obs), Obs: len(obs), YRate: yRate(obs)})
+	}
+	sortCandidates(out)
+	return out
+}
+
+// DanglingCandidates returns all tracked site pairs ranked by Bayes
+// factor, descending.
+func (hist *History) DanglingCandidates() []Candidate {
+	var out []Candidate
+	for p, obs := range hist.dangling {
+		out = append(out, Candidate{Pair: p, Bayes: BayesFactor(obs), Obs: len(obs), YRate: yRate(obs)})
+	}
+	sortCandidates(out)
+	return out
+}
+
+func yRate(obs []Observation) float64 {
+	if len(obs) == 0 {
+		return 0
+	}
+	y := 0
+	for _, o := range obs {
+		if o.Y {
+			y++
+		}
+	}
+	return float64(y) / float64(len(obs))
+}
+
+func sortCandidates(cs []Candidate) {
+	sort.Slice(cs, func(i, j int) bool { return cs[i].Bayes > cs[j].Bayes })
+}
+
+// Threshold returns the decision threshold cN−1 for the current N.
+func (hist *History) Threshold() float64 {
+	return hist.cfg.C*float64(len(hist.sites)) - 1
+}
+
+// String summarizes the history.
+func (hist *History) String() string {
+	return fmt.Sprintf("cumulative history: %d runs (%d failed, %d corrupt), %d sites, %d/%d tracked overflow/dangling keys",
+		hist.Runs, hist.FailedRuns, hist.CorruptRuns, len(hist.sites), len(hist.overflow), len(hist.dangling))
+}
+
+// ObservationsFor exposes a site's overflow observations (for tests and
+// the experiment harness).
+func (hist *History) ObservationsFor(s site.ID) []Observation { return hist.overflow[s] }
+
+// DanglingObservationsFor exposes a pair's observations.
+func (hist *History) DanglingObservationsFor(p site.Pair) []Observation { return hist.dangling[p] }

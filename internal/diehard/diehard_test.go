@@ -1,0 +1,303 @@
+package diehard
+
+import (
+	"testing"
+
+	"exterminator/internal/alloc"
+	"exterminator/internal/mem"
+	"exterminator/internal/xrand"
+)
+
+func newHeap(seed uint64) *Heap {
+	rng := xrand.New(seed)
+	return New(DefaultConfig(), mem.NewSpace(rng.Split()), rng)
+}
+
+func TestMallocFreeBasic(t *testing.T) {
+	h := newHeap(1)
+	p, err := h.Malloc(100, 0xA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mh, slot, ok := h.Lookup(p)
+	if !ok {
+		t.Fatal("Lookup failed")
+	}
+	m := mh.Meta(slot)
+	if m.ID != 1 || m.AllocSite != 0xA || m.ReqSize != 100 || m.AllocTime != 1 {
+		t.Fatalf("meta = %+v", m)
+	}
+	if h.Clock() != 1 {
+		t.Fatalf("clock = %d", h.Clock())
+	}
+	if st := h.Free(p, 0xB); st != alloc.FreeOK {
+		t.Fatalf("free = %v", st)
+	}
+	if m.FreeSite != 0xB || m.FreeTime != 1 {
+		t.Fatalf("free meta = %+v", m)
+	}
+}
+
+func TestObjectIDsSequential(t *testing.T) {
+	h := newHeap(2)
+	for i := 1; i <= 50; i++ {
+		p, _ := h.Malloc(24, 0)
+		mh, slot, _ := h.Lookup(p)
+		if got := mh.Meta(slot).ID; uint64(got) != uint64(i) {
+			t.Fatalf("allocation %d got id %d", i, got)
+		}
+	}
+}
+
+func TestOccupancyInvariantUnderChurn(t *testing.T) {
+	h := newHeap(3)
+	rng := xrand.New(99)
+	var live []mem.Addr
+	for i := 0; i < 5000; i++ {
+		if len(live) > 0 && rng.Bool(0.4) {
+			k := rng.Intn(len(live))
+			h.Free(live[k], 0)
+			live = append(live[:k], live[k+1:]...)
+		} else {
+			p, err := h.Malloc(8+rng.Intn(200), 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			live = append(live, p)
+		}
+		if i%500 == 0 {
+			if err := h.CheckInvariants(); err != nil {
+				t.Fatalf("step %d: %v", i, err)
+			}
+		}
+	}
+	if err := h.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNoOverlappingObjects(t *testing.T) {
+	h := newHeap(4)
+	type span struct{ lo, hi mem.Addr }
+	var spans []span
+	for i := 0; i < 300; i++ {
+		p, _ := h.Malloc(64, 0)
+		spans = append(spans, span{p, p + 64})
+	}
+	for i := range spans {
+		for j := i + 1; j < len(spans); j++ {
+			a, b := spans[i], spans[j]
+			if a.lo < b.hi && b.lo < a.hi {
+				t.Fatalf("objects overlap: [%x,%x) and [%x,%x)", a.lo, a.hi, b.lo, b.hi)
+			}
+		}
+	}
+}
+
+func TestDoubleFreeBenign(t *testing.T) {
+	h := newHeap(5)
+	p, _ := h.Malloc(32, 0)
+	h.Free(p, 0)
+	if st := h.Free(p, 0); st != alloc.FreeDouble {
+		t.Fatalf("second free = %v", st)
+	}
+	if err := h.CheckInvariants(); err != nil {
+		t.Fatalf("double free corrupted state: %v", err)
+	}
+	if h.Stats().DoubleFrees != 1 {
+		t.Fatal("double free not counted")
+	}
+}
+
+func TestInvalidFreeIgnored(t *testing.T) {
+	h := newHeap(6)
+	p, _ := h.Malloc(32, 0)
+	cases := []mem.Addr{
+		0xdead0000, // unmapped
+		p + 1,      // interior pointer
+	}
+	for _, bad := range cases {
+		if st := h.Free(bad, 0); st != alloc.FreeInvalid {
+			t.Fatalf("Free(%#x) = %v, want invalid", bad, st)
+		}
+	}
+	if err := h.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// The real object is still live and freeable.
+	if st := h.Free(p, 0); st != alloc.FreeOK {
+		t.Fatalf("valid free after invalid frees = %v", st)
+	}
+}
+
+func TestGrowthDoubles(t *testing.T) {
+	cfg := DefaultConfig()
+	rng := xrand.New(7)
+	h := New(cfg, mem.NewSpace(rng.Split()), rng)
+	// Force repeated growth of one class.
+	for i := 0; i < 1000; i++ {
+		if _, err := h.Malloc(16, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	minis := h.Miniheaps()
+	if len(minis) < 2 {
+		t.Fatalf("expected growth, got %d miniheaps", len(minis))
+	}
+	largest := 0
+	for i, mh := range minis {
+		if mh.Class != 0 {
+			continue
+		}
+		if largest > 0 && mh.Slots != largest*2 {
+			t.Fatalf("miniheap %d has %d slots, previous largest %d (want doubling)", i, mh.Slots, largest)
+		}
+		if mh.Slots > largest {
+			largest = mh.Slots
+		}
+	}
+	cap0, inUse0 := h.ClassInfo(0)
+	if float64(inUse0)*cfg.M > float64(cap0) {
+		t.Fatalf("invariant: inUse=%d capacity=%d", inUse0, cap0)
+	}
+}
+
+func TestIndependentRandomizationAcrossSeeds(t *testing.T) {
+	// Same allocation sequence, different seeds: addresses must differ
+	// (this is the replica independence the isolator needs).
+	h1, h2 := newHeap(100), newHeap(200)
+	same := 0
+	const n = 200
+	for i := 0; i < n; i++ {
+		p1, _ := h1.Malloc(48, 0)
+		p2, _ := h2.Malloc(48, 0)
+		if p1 == p2 {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("%d/%d identical addresses across seeds", same, n)
+	}
+}
+
+func TestSameSeedReproducible(t *testing.T) {
+	h1, h2 := newHeap(42), newHeap(42)
+	for i := 0; i < 200; i++ {
+		p1, _ := h1.Malloc(48, 0)
+		p2, _ := h2.Malloc(48, 0)
+		if p1 != p2 {
+			t.Fatalf("same seed diverged at allocation %d", i)
+		}
+	}
+}
+
+func TestRandomPlacementWithinClass(t *testing.T) {
+	// Consecutive allocations should not be adjacent in address order
+	// (freelist allocators are; DieHard is not).
+	h := newHeap(8)
+	var addrs []mem.Addr
+	for i := 0; i < 100; i++ {
+		p, _ := h.Malloc(16, 0)
+		addrs = append(addrs, p)
+	}
+	adjacent := 0
+	for i := 1; i < len(addrs); i++ {
+		d := int64(addrs[i]) - int64(addrs[i-1])
+		if d == 16 || d == -16 {
+			adjacent++
+		}
+	}
+	if adjacent > 20 {
+		t.Fatalf("%d/99 consecutive allocations adjacent — not randomized", adjacent)
+	}
+}
+
+func TestUnsatisfiableRequest(t *testing.T) {
+	h := newHeap(9)
+	if _, err := h.Malloc(alloc.MaxRequest+1, 0); err == nil {
+		t.Fatal("huge malloc succeeded")
+	}
+	if _, err := h.Malloc(0, 0); err == nil {
+		t.Fatal("zero malloc succeeded")
+	}
+}
+
+func TestAllocLog(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.LogAllocs = true
+	rng := xrand.New(10)
+	h := New(cfg, mem.NewSpace(rng.Split()), rng)
+	h.Malloc(100, 0xAA)
+	h.Malloc(20, 0xBB)
+	log := h.Log()
+	if len(log) != 2 {
+		t.Fatalf("log len = %d", len(log))
+	}
+	if log[0].Site != 0xAA || log[0].ID != 1 || log[0].Size != 100 {
+		t.Fatalf("log[0] = %+v", log[0])
+	}
+	if log[1].Time != 2 || log[1].Class != alloc.ClassForSize(20) {
+		t.Fatalf("log[1] = %+v", log[1])
+	}
+	mh := h.Miniheaps()[log[1].Mini]
+	if got := mh.Meta(log[1].Slot).ID; got != 2 {
+		t.Fatalf("log slot does not hold object: id=%d", got)
+	}
+}
+
+func TestMarkBadSlotNeverReused(t *testing.T) {
+	h := newHeap(11)
+	mh, slot := h.AllocSlot(0)
+	h.MarkBad(mh, slot)
+	addr := mh.SlotAddr(slot)
+	for i := 0; i < 500; i++ {
+		p, _ := h.Malloc(16, 0)
+		if p == addr {
+			t.Fatal("bad-isolated slot was reused")
+		}
+	}
+	// Freeing a bad slot is rejected.
+	if st := h.Free(addr, 0); st != alloc.FreeInvalid {
+		t.Fatalf("free of bad slot = %v", st)
+	}
+}
+
+func TestFreeSlotsSeparateLiveObjects(t *testing.T) {
+	// With M=2 at most half the slots of a class are ever in use, so live
+	// objects are separated by expected ≥1 free slot — the implicit
+	// fence-post property DieFast relies on (§3.3).
+	h := newHeap(12)
+	for i := 0; i < 400; i++ {
+		h.Malloc(16, 0)
+	}
+	capacity, inUse := h.ClassInfo(0)
+	if inUse*2 > capacity {
+		t.Fatalf("occupancy %d/%d exceeds 1/M", inUse, capacity)
+	}
+}
+
+func BenchmarkMalloc(b *testing.B) {
+	h := newHeap(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, _ := h.Malloc(64, 0)
+		h.Free(p, 0)
+	}
+}
+
+func BenchmarkMallocChurn(b *testing.B) {
+	h := newHeap(1)
+	rng := xrand.New(2)
+	var live []mem.Addr
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(live) > 64 {
+			k := rng.Intn(len(live))
+			h.Free(live[k], 0)
+			live[k] = live[len(live)-1]
+			live = live[:len(live)-1]
+		}
+		p, _ := h.Malloc(16+rng.Intn(100), 0)
+		live = append(live, p)
+	}
+}

@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"exterminator/internal/correct"
+	"exterminator/internal/diefast"
+	"exterminator/internal/freelist"
+	"exterminator/internal/mem"
+	"exterminator/internal/mutator"
+	"exterminator/internal/stats"
+	"exterminator/internal/workloads"
+	"exterminator/internal/xrand"
+)
+
+// Fig7Row is one bar of Figure 7: a benchmark's execution time under the
+// Exterminator stack normalized to the libc-style baseline.
+type Fig7Row struct {
+	Benchmark  string
+	Group      string // "alloc-intensive" or "SPECint-like"
+	BaselineNs int64
+	ExtermNs   int64
+	Normalized float64
+}
+
+// Fig7Result reproduces Figure 7.
+type Fig7Result struct {
+	RowsData     []Fig7Row
+	GeoMeanAlloc float64
+	GeoMeanSpec  float64
+	GeoMeanAll   float64
+}
+
+// Name implements Result.
+func (*Fig7Result) Name() string { return "fig7" }
+
+// Rows implements Result.
+func (r *Fig7Result) Rows() []string {
+	out := []string{fmt.Sprintf("%-10s %-16s %12s %12s %10s", "benchmark", "group", "baseline", "exterminator", "normalized")}
+	for _, row := range r.RowsData {
+		out = append(out, fmt.Sprintf("%-10s %-16s %10dus %10dus %9.2fx",
+			row.Benchmark, row.Group, row.BaselineNs/1000, row.ExtermNs/1000, row.Normalized))
+	}
+	out = append(out,
+		row("geomean alloc-intensive: %.2fx (paper: ~1.81x)", r.GeoMeanAlloc),
+		row("geomean SPECint-like:    %.2fx (paper: ~1.07x)", r.GeoMeanSpec),
+		row("geomean overall:         %.2fx (paper: ~1.25x)", r.GeoMeanAll),
+	)
+	return out
+}
+
+// timeBaseline runs prog under the libc-style freelist with no site
+// hashing and returns the wall time of the simulated execution.
+func timeBaseline(prog mutator.Program, seed uint64) int64 {
+	rng := xrand.New(seed)
+	fl := freelist.New(mem.NewSpace(rng.Split()), rng.Split())
+	e := mutator.NewEnv(fl, fl.Space(), xrand.New(7), nil)
+	e.NoSites = true
+	start := time.Now()
+	out := mutator.Run(prog, e)
+	d := time.Since(start).Nanoseconds()
+	if !out.Completed {
+		// A clean workload must not trip the baseline; make it obvious.
+		panic(fmt.Sprintf("fig7: baseline run failed: %s", out))
+	}
+	return d
+}
+
+// timeExterminator runs prog under DieFast + correcting allocator with
+// full site hashing — the §7.1 non-replicated configuration.
+func timeExterminator(prog mutator.Program, seed uint64) int64 {
+	h := diefast.New(diefast.DefaultConfig(), xrand.New(seed))
+	h.OnError = func(diefast.Event) {}
+	a := correct.New(h)
+	e := mutator.NewEnv(a, h.Space(), xrand.New(7), nil)
+	start := time.Now()
+	out := mutator.Run(prog, e)
+	d := time.Since(start).Nanoseconds()
+	if !out.Completed {
+		panic(fmt.Sprintf("fig7: exterminator run failed: %s", out))
+	}
+	return d
+}
+
+// Fig7 measures the full suite. Each benchmark runs `reps` times per
+// allocator (best-of to damp scheduler noise); scale multiplies workload
+// length.
+func Fig7(scale int, seed uint64) *Fig7Result {
+	const reps = 3
+	res := &Fig7Result{}
+	measure := func(prog mutator.Program, group string) {
+		base, ext := int64(1<<62), int64(1<<62)
+		for r := 0; r < reps; r++ {
+			if d := timeBaseline(prog, seed+uint64(r)); d < base {
+				base = d
+			}
+			if d := timeExterminator(prog, seed+uint64(r)+100); d < ext {
+				ext = d
+			}
+		}
+		if base <= 0 {
+			base = 1
+		}
+		res.RowsData = append(res.RowsData, Fig7Row{
+			Benchmark: prog.Name(), Group: group,
+			BaselineNs: base, ExtermNs: ext,
+			Normalized: float64(ext) / float64(base),
+		})
+	}
+	for _, p := range workloads.AllocIntensive(scale) {
+		measure(p, "alloc-intensive")
+	}
+	for _, p := range workloads.SPECLike(scale) {
+		measure(p, "SPECint-like")
+	}
+
+	var ai, sp, all []float64
+	for _, r := range res.RowsData {
+		all = append(all, r.Normalized)
+		if r.Group == "alloc-intensive" {
+			ai = append(ai, r.Normalized)
+		} else {
+			sp = append(sp, r.Normalized)
+		}
+	}
+	res.GeoMeanAlloc = stats.GeoMean(ai)
+	res.GeoMeanSpec = stats.GeoMean(sp)
+	res.GeoMeanAll = stats.GeoMean(all)
+	return res
+}

@@ -1,0 +1,224 @@
+package experiments
+
+import (
+	"math"
+
+	"exterminator/internal/diefast"
+	"exterminator/internal/mem"
+	"exterminator/internal/xrand"
+)
+
+// ---------------------------------------------------------------------
+// Theorem 1: P(identical overflow across k heaps)
+// ---------------------------------------------------------------------
+
+// Thm1Result validates Theorem 1's conclusion: the probability that a
+// buffer overflow overwrites the same object identically in every heap —
+// the event that could masquerade as a dangling overwrite — decays
+// geometrically in the number of heaps.
+//
+// The Monte-Carlo model places H objects at uniformly random positions
+// per heap (DieHard's randomized placement); an overflow from a culprit
+// overwrites the objects within S slots after it; "identical" requires
+// the same victim at the same culprit-relative distance in every heap.
+type Thm1Result struct {
+	H, S    int
+	Trials  int
+	RateK2  float64
+	RateK3  float64
+	ModelK2 float64 // S/(H−1)^2: the exact model probability
+	ModelK3 float64
+	PaperK2 float64 // the paper's (1/2^k)(1/(H−S)^k) bound expression
+	PaperK3 float64
+}
+
+// Name implements Result.
+func (*Thm1Result) Name() string { return "thm1" }
+
+// Rows implements Result.
+func (r *Thm1Result) Rows() []string {
+	return []string{
+		row("model: H=%d objects, overflow span S=%d, %d trials", r.H, r.S, r.Trials),
+		row("k=2: observed %.2e | exact S/(H-1)^k = %.2e | paper-form bound %.2e", r.RateK2, r.ModelK2, r.PaperK2),
+		row("k=3: observed %.2e | exact S/(H-1)^k = %.2e | paper-form bound %.2e", r.RateK3, r.ModelK3, r.PaperK3),
+		row("conclusion: identical overwrite is vanishingly rare and decays ~1/(H-1) per extra heap"),
+	}
+}
+
+// Theorem1 runs the Monte Carlo.
+func Theorem1(trials int, seed uint64) *Thm1Result {
+	const H, S = 100, 4
+	rng := xrand.New(seed)
+	count := func(k int) float64 {
+		hits := 0
+		for t := 0; t < trials; t++ {
+			// Circular distances between culprit and victim are uniform
+			// on [1, H-1] and independent per heap.
+			d0 := 1 + rng.Intn(H-1)
+			same := d0 <= S
+			for h := 1; h < k && same; h++ {
+				if 1+rng.Intn(H-1) != d0 {
+					same = false
+				}
+			}
+			if same {
+				hits++
+			}
+		}
+		return float64(hits) / float64(trials)
+	}
+	paper := func(k int) float64 {
+		return math.Pow(0.5, float64(k)) * math.Pow(1/float64(H-S), float64(k))
+	}
+	model := func(k int) float64 {
+		return float64(S) / math.Pow(float64(H-1), float64(k))
+	}
+	return &Thm1Result{
+		H: H, S: S, Trials: trials,
+		RateK2: count(2), RateK3: count(3),
+		ModelK2: model(2), ModelK3: model(3),
+		PaperK2: paper(2), PaperK3: paper(3),
+	}
+}
+
+// ---------------------------------------------------------------------
+// Theorem 2: P(missed overflow) ≤ (1 − (M−1)/2M)^k + 1/256^b
+// ---------------------------------------------------------------------
+
+// Thm2Result validates the false-negative bound on real DieFast heaps:
+// an overflow of b bytes goes undetected only if it misses every canary
+// across all k heaps.
+type Thm2Result struct {
+	B      int // overflow bytes
+	Trials int
+	Rates  []float64 // miss rate for k = 1..4
+	Bounds []float64
+}
+
+// Name implements Result.
+func (*Thm2Result) Name() string { return "thm2" }
+
+// Rows implements Result.
+func (r *Thm2Result) Rows() []string {
+	out := []string{row("overflow of %d bytes, %d trials per k, M=2, p=1/2", r.B, r.Trials)}
+	for i := range r.Rates {
+		ok := "within bound"
+		if r.Rates[i] > r.Bounds[i] {
+			ok = "EXCEEDS bound"
+		}
+		out = append(out, row("k=%d: observed miss rate %.4f | bound %.4f | %s", i+1, r.Rates[i], r.Bounds[i], ok))
+	}
+	return out
+}
+
+// Theorem2 measures miss rates on DieFast heaps in cumulative
+// configuration (p = 1/2, the configuration Theorem 2's proof assumes).
+func Theorem2(trials int, seed uint64) *Thm2Result {
+	const b = 8
+	const maxK = 4
+	rng := xrand.New(seed)
+
+	// missedOnce reports whether a b-byte overflow escaped detection on
+	// one freshly churned heap.
+	missedOnce := func(heapSeed uint64) bool {
+		h := diefast.New(diefast.CumulativeConfig(0.5), xrand.New(heapSeed))
+		var live []mem.Addr
+		progRng := xrand.New(heapSeed ^ 0xdddd)
+		for i := 0; i < 300; i++ {
+			p, _ := h.Malloc(24, 0)
+			live = append(live, p)
+			if len(live) > 30 {
+				k := progRng.Intn(len(live))
+				h.Free(live[k], 0)
+				live[k] = live[len(live)-1]
+				live = live[:len(live)-1]
+			}
+		}
+		victim := live[progRng.Intn(len(live))]
+		over := make([]byte, b)
+		for i := range over {
+			over[i] = 0xE1 + byte(i)
+		}
+		if f := h.Space().Write(victim+32, over); f != nil {
+			return false // walked off the miniheap: loudly detected
+		}
+		return len(h.Scan(false)) == 0
+	}
+
+	res := &Thm2Result{B: b, Trials: trials}
+	for k := 1; k <= maxK; k++ {
+		misses := 0
+		for t := 0; t < trials; t++ {
+			all := true
+			for h := 0; h < k && all; h++ {
+				all = missedOnce(rng.Uint64())
+			}
+			if all {
+				misses++
+			}
+		}
+		res.Rates = append(res.Rates, float64(misses)/float64(trials))
+		res.Bounds = append(res.Bounds, math.Pow(1-0.25, float64(k))+math.Pow(1.0/256, float64(b)))
+	}
+	return res
+}
+
+// ---------------------------------------------------------------------
+// Theorem 3: E[possible culprits] = 1/(H−1)^(k−2)
+// ---------------------------------------------------------------------
+
+// Thm3Result validates the expected number of accidental culprit
+// candidates: objects that happen to sit at the same distance before a
+// victim in every heap.
+type Thm3Result struct {
+	H      int
+	Trials int
+	MeanK2 float64 // paper: 1
+	MeanK3 float64 // paper: 1/(H−1)
+	MeanK4 float64 // paper: 1/(H−1)^2
+}
+
+// Name implements Result.
+func (*Thm3Result) Name() string { return "thm3" }
+
+// Rows implements Result.
+func (r *Thm3Result) Rows() []string {
+	return []string{
+		row("model: H=%d objects, %d trials", r.H, r.Trials),
+		row("k=2: mean accidental culprits %.3f (theory: 1)", r.MeanK2),
+		row("k=3: mean %.5f (theory: 1/(H-1) = %.5f)", r.MeanK3, 1/float64(r.H-1)),
+		row("k=4: mean %.6f (theory: 1/(H-1)^2 = %.6f)", r.MeanK4, 1/math.Pow(float64(r.H-1), 2)),
+		row("conclusion: one extra image eliminates false culprits (§4.1)"),
+	}
+}
+
+// Theorem3 runs the Monte Carlo on circular random layouts.
+func Theorem3(trials int, seed uint64) *Thm3Result {
+	const H = 100
+	rng := xrand.New(seed)
+	mean := func(k int) float64 {
+		total := 0
+		for t := 0; t < trials; t++ {
+			// Distances from each candidate to the victim, per heap:
+			// independent uniform on [1, H-1] (circular layout). Count
+			// candidates with equal distance across all heaps.
+			for c := 0; c < H-1; c++ {
+				d0 := 1 + rng.Intn(H-1)
+				same := true
+				for h := 1; h < k && same; h++ {
+					if 1+rng.Intn(H-1) != d0 {
+						same = false
+					}
+				}
+				if same {
+					total++
+				}
+			}
+		}
+		return float64(total) / float64(trials)
+	}
+	return &Thm3Result{
+		H: H, Trials: trials,
+		MeanK2: mean(2), MeanK3: mean(3), MeanK4: mean(4),
+	}
+}

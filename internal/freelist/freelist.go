@@ -1,0 +1,172 @@
+// Package freelist implements a conventional libc-style memory allocator
+// over the simulated address space: segregated LIFO free lists with
+// inline 16-byte object headers, in the spirit of the Lea allocator that
+// underlies GNU libc (paper §3.2, §7.1).
+//
+// It is the reproduction's stand-in for "GNU libc (Linux) allocator" in
+// two comparisons:
+//
+//   - Figure 7 normalizes Exterminator's runtime to this allocator;
+//   - Table 1 contrasts how memory errors behave: here, overflows smash
+//     inline headers, dangling writes corrupt freelist links, and double
+//     frees abort — whereas DieHard/Exterminator tolerate all of them.
+//
+// Like glibc, it detects *some* corruption (header magic checks, the
+// moral equivalent of glibc's "free(): invalid pointer") and aborts by
+// panicking with *Abort, which the mutator driver reports as a crash.
+package freelist
+
+import (
+	"fmt"
+
+	"exterminator/internal/alloc"
+	"exterminator/internal/mem"
+	"exterminator/internal/site"
+	"exterminator/internal/xrand"
+)
+
+// headerSize is the inline header preceding each object: 8 bytes of size
+// class + 8 bytes of magic (size-xor-cookie), matching the 16-byte header
+// of 64-bit freelist allocators the paper cites (§3.2).
+const headerSize = 16
+
+// arenaSize is the growth unit.
+const arenaSize = 1 << 20
+
+// freedMark is xored into the magic word while an object sits on a free
+// list; seeing it again on free detects a double free, as glibc's
+// "double free or corruption" check does.
+const freedMark = 0x5a5a5a5a5a5a5a5a
+
+// Abort is the panic value raised when the allocator detects corruption —
+// the analogue of glibc calling abort().
+type Abort struct {
+	Reason string
+	Addr   mem.Addr
+}
+
+// Error implements error.
+func (a *Abort) Error() string {
+	return fmt.Sprintf("freelist abort: %s at 0x%x", a.Reason, a.Addr)
+}
+
+// Heap is a freelist allocator instance.
+type Heap struct {
+	space  *mem.Space
+	cookie uint64 // per-process header cookie
+	free   [alloc.NumClasses][]mem.Addr
+	bump   struct {
+		region *mem.Region
+		off    int
+	}
+	clock uint64
+	stats alloc.Stats
+}
+
+var _ alloc.Allocator = (*Heap)(nil)
+
+// New creates a freelist heap. rng only places arenas and draws the
+// header cookie; allocation order is deterministic (LIFO reuse, bump
+// growth) exactly as a real freelist allocator is.
+func New(space *mem.Space, rng *xrand.RNG) *Heap {
+	return &Heap{space: space, cookie: rng.Uint64() | 1}
+}
+
+// Space returns the underlying address space.
+func (h *Heap) Space() *mem.Space { return h.space }
+
+// Clock returns the allocation clock.
+func (h *Heap) Clock() uint64 { return h.clock }
+
+// Stats returns accumulated statistics.
+func (h *Heap) Stats() alloc.Stats { return h.stats }
+
+func (h *Heap) magic(class int) uint64 {
+	return h.cookie ^ uint64(class)<<32 ^ 0xfeedface
+}
+
+// Malloc allocates size bytes. The returned pointer is preceded by an
+// inline header inside the same mapped region, so a backward overflow or
+// an overflow from the previous object corrupts it — faithful freelist
+// fragility.
+func (h *Heap) Malloc(size int, _ site.ID) (mem.Addr, error) {
+	class := alloc.ClassForSize(size)
+	if class < 0 {
+		return 0, fmt.Errorf("freelist: unsatisfiable request of %d bytes", size)
+	}
+	h.clock++
+	var obj mem.Addr
+	if n := len(h.free[class]); n > 0 {
+		obj = h.free[class][n-1]
+		h.free[class] = h.free[class][:n-1]
+		// Validate the freed-state magic; corruption of a freelisted
+		// object's header is detected here, like glibc's malloc checks.
+		hdr := obj - headerSize
+		m, f := h.space.Read64(hdr + 8)
+		if f != nil {
+			panic(&Abort{Reason: "corrupted free list", Addr: hdr})
+		}
+		if m != h.magic(class)^freedMark {
+			panic(&Abort{Reason: "malloc(): memory corruption", Addr: obj})
+		}
+	} else {
+		obj = h.carve(class)
+	}
+	hdr := obj - headerSize
+	h.space.Write64(hdr, uint64(class))
+	h.space.Write64(hdr+8, h.magic(class))
+	h.stats.NoteMalloc(size)
+	// No zero fill: uninitialized reads observe stale bytes, as with libc.
+	return obj, nil
+}
+
+func (h *Heap) carve(class int) mem.Addr {
+	need := headerSize + alloc.ClassSlotSize(class)
+	if h.bump.region == nil || h.bump.off+need > h.bump.region.Size() {
+		sz := arenaSize
+		if need > sz {
+			sz = need
+		}
+		h.bump.region = h.space.Map(sz, h)
+		h.bump.off = 0
+	}
+	obj := h.bump.region.Base + mem.Addr(h.bump.off+headerSize)
+	h.bump.off += need
+	return obj
+}
+
+// Free returns ptr to its size-class free list. Corrupted headers and
+// double frees abort; genuinely invalid pointers (not from this heap)
+// also abort, as glibc's "free(): invalid pointer" does.
+func (h *Heap) Free(ptr mem.Addr, _ site.ID) alloc.FreeStatus {
+	if ptr < headerSize {
+		panic(&Abort{Reason: "free(): invalid pointer", Addr: ptr})
+	}
+	hdr := ptr - headerSize
+	r := h.space.Find(hdr)
+	if r == nil || r.Tag != any(h) {
+		panic(&Abort{Reason: "free(): invalid pointer", Addr: ptr})
+	}
+	classWord, f1 := h.space.Read64(hdr)
+	m, f2 := h.space.Read64(hdr + 8)
+	if f1 != nil || f2 != nil {
+		panic(&Abort{Reason: "free(): invalid pointer", Addr: ptr})
+	}
+	class := int(classWord)
+	if class < 0 || class >= alloc.NumClasses {
+		// Header smashed by an overflow.
+		panic(&Abort{Reason: "free(): invalid size", Addr: ptr})
+	}
+	switch m {
+	case h.magic(class):
+		// Live object: ok.
+	case h.magic(class) ^ freedMark:
+		panic(&Abort{Reason: "double free or corruption", Addr: ptr})
+	default:
+		panic(&Abort{Reason: "free(): corrupted header", Addr: ptr})
+	}
+	h.space.Write64(hdr+8, h.magic(class)^freedMark)
+	h.free[class] = append(h.free[class], ptr)
+	h.stats.NoteFree(alloc.FreeOK, alloc.ClassSlotSize(class))
+	return alloc.FreeOK
+}

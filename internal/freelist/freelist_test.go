@@ -1,0 +1,174 @@
+package freelist
+
+import (
+	"testing"
+
+	"exterminator/internal/mem"
+	"exterminator/internal/xrand"
+)
+
+func newHeap(seed uint64) *Heap {
+	rng := xrand.New(seed)
+	return New(mem.NewSpace(rng.Split()), rng)
+}
+
+func expectAbort(t *testing.T, reason string, fn func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("expected abort (%s), got none", reason)
+		}
+		if _, ok := r.(*Abort); !ok {
+			t.Fatalf("panic value %v is not *Abort", r)
+		}
+	}()
+	fn()
+}
+
+func TestMallocFreeReuseLIFO(t *testing.T) {
+	h := newHeap(1)
+	p, err := h.Malloc(100, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Free(p, 0)
+	q, _ := h.Malloc(100, 0)
+	if q != p {
+		t.Fatalf("LIFO reuse expected: %x != %x", q, p)
+	}
+}
+
+func TestSequentialAllocationsAdjacent(t *testing.T) {
+	// The defining contrast with DieHard: bump allocation is contiguous.
+	h := newHeap(2)
+	p1, _ := h.Malloc(16, 0)
+	p2, _ := h.Malloc(16, 0)
+	if p2 != p1+16+headerSize {
+		t.Fatalf("not contiguous: %x then %x", p1, p2)
+	}
+}
+
+func TestWriteReadData(t *testing.T) {
+	h := newHeap(3)
+	p, _ := h.Malloc(64, 0)
+	if f := h.Space().Write(p, []byte("payload")); f != nil {
+		t.Fatal(f)
+	}
+	buf := make([]byte, 7)
+	h.Space().Read(p, buf)
+	if string(buf) != "payload" {
+		t.Fatalf("%q", buf)
+	}
+}
+
+func TestDoubleFreeAborts(t *testing.T) {
+	h := newHeap(4)
+	p, _ := h.Malloc(32, 0)
+	h.Free(p, 0)
+	expectAbort(t, "double free", func() { h.Free(p, 0) })
+}
+
+func TestInvalidFreeAborts(t *testing.T) {
+	h := newHeap(5)
+	h.Malloc(32, 0)
+	expectAbort(t, "invalid pointer", func() { h.Free(0xdeadbeef00, 0) })
+}
+
+func TestInteriorFreeAborts(t *testing.T) {
+	h := newHeap(6)
+	p, _ := h.Malloc(32, 0)
+	expectAbort(t, "corrupted header", func() { h.Free(p+8, 0) })
+}
+
+func TestOverflowSmashesNextHeader(t *testing.T) {
+	// Writing past the end of an object corrupts the next object's inline
+	// header; the next free of that object aborts — the classic libc
+	// failure mode that DieHard-style headerless layouts avoid.
+	h := newHeap(7)
+	a, _ := h.Malloc(16, 0)
+	b, _ := h.Malloc(16, 0)
+	over := make([]byte, 24) // 16 bytes of slot + 8 into b's header
+	for i := range over {
+		over[i] = 0xEE
+	}
+	h.Space().Write(a, over)
+	expectAbort(t, "smashed header", func() { h.Free(b, 0) })
+}
+
+func TestDanglingReuseExposesAliasing(t *testing.T) {
+	// After free, the next same-size malloc returns the same memory;
+	// writes through the stale pointer corrupt the new owner. This is the
+	// unsafe behaviour DieHard randomization makes improbable.
+	h := newHeap(8)
+	p, _ := h.Malloc(48, 0)
+	h.Space().Write(p, []byte("OWNER-A!"))
+	h.Free(p, 0)
+	q, _ := h.Malloc(48, 0)
+	if q != p {
+		t.Skip("allocator did not reuse immediately")
+	}
+	h.Space().Write(p, []byte("STALEPTR")) // dangling write
+	buf := make([]byte, 8)
+	h.Space().Read(q, buf)
+	if string(buf) != "STALEPTR" {
+		t.Fatalf("dangling write did not alias new owner: %q", buf)
+	}
+}
+
+func TestNoZeroFill(t *testing.T) {
+	h := newHeap(9)
+	p, _ := h.Malloc(32, 0)
+	h.Space().Write(p, []byte{0xAA, 0xBB})
+	h.Free(p, 0)
+	q, _ := h.Malloc(32, 0)
+	buf := make([]byte, 2)
+	h.Space().Read(q, buf)
+	if buf[0] != 0xAA || buf[1] != 0xBB {
+		t.Fatalf("expected stale bytes, got % x", buf)
+	}
+}
+
+func TestStatsAndClock(t *testing.T) {
+	h := newHeap(10)
+	p, _ := h.Malloc(10, 0)
+	h.Malloc(20, 0)
+	h.Free(p, 0)
+	if h.Clock() != 2 {
+		t.Fatalf("clock = %d", h.Clock())
+	}
+	s := h.Stats()
+	if s.Mallocs != 2 || s.Frees != 1 {
+		t.Fatalf("%+v", s)
+	}
+}
+
+func TestUnsatisfiableRequest(t *testing.T) {
+	h := newHeap(11)
+	if _, err := h.Malloc(1<<30, 0); err == nil {
+		t.Fatal("huge malloc succeeded")
+	}
+}
+
+func TestArenaGrowth(t *testing.T) {
+	h := newHeap(12)
+	// Allocate more than one arena's worth.
+	n := arenaSize/(1024+headerSize) + 10
+	for i := 0; i < n; i++ {
+		if _, err := h.Malloc(1024, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if h.Space().NumRegions() < 2 {
+		t.Fatal("no arena growth")
+	}
+}
+
+func BenchmarkFreelistMallocFree(b *testing.B) {
+	h := newHeap(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, _ := h.Malloc(64, 0)
+		h.Free(p, 0)
+	}
+}

@@ -1,0 +1,134 @@
+// Package heap implements miniheaps: the unit of DieHard's adaptive heap
+// layout (paper §3.1, Figure 2) extended with Exterminator's out-of-band
+// per-object metadata (paper §3.2, Figure 1).
+//
+// A miniheap is a contiguous region holding object slots of exactly one
+// size, an allocation bitmap, and — below the line in Figure 1 — five
+// metadata fields per slot used by error isolation and correction:
+//
+//	object id, allocation site, deallocation site, deallocation time,
+//	and a canary bit.
+//
+// The metadata lives outside the simulated address space (out-of-band), so
+// mutator bugs can corrupt object *contents* but never the allocator's own
+// bookkeeping — the same robustness property DieHard gets from segregating
+// its bitmaps from the data pages.
+package heap
+
+import (
+	"fmt"
+
+	"exterminator/internal/bitmap"
+	"exterminator/internal/mem"
+	"exterminator/internal/site"
+	"exterminator/internal/xrand"
+)
+
+// ObjectID identifies the n-th successful allocation of a run (1-based).
+// Object ids are the cross-heap identity used by the iterative/replicated
+// isolator: addresses differ across randomized heaps, ids do not. Zero
+// means "no object has ever occupied this slot".
+type ObjectID uint64
+
+// Meta is the out-of-band per-slot metadata of Figure 1.
+type Meta struct {
+	ID        ObjectID // id of current or most recent occupant
+	AllocSite site.ID
+	FreeSite  site.ID
+	AllocTime uint64 // allocation clock when allocated
+	FreeTime  uint64 // allocation clock when freed (0 if live or never used)
+	ReqSize   uint32 // requested size (≤ slot size; includes any pad)
+	Canaried  bool   // slot was filled with canaries when freed
+	Bad       bool   // bad-object isolation: corrupted, never reuse
+}
+
+// Miniheap is one chunk of the adaptive heap: Slots slots of SlotSize
+// bytes each, backed by a randomly placed region of the simulated address
+// space.
+type Miniheap struct {
+	Index      int    // creation order across the whole heap (deterministic)
+	Class      int    // size-class index
+	SlotSize   int    // bytes per slot
+	Slots      int    // number of slots
+	CreateTime uint64 // allocation clock at creation
+
+	Region *mem.Region
+	bits   *bitmap.Bitmap
+	meta   []Meta
+}
+
+// NewMiniheap maps a fresh miniheap into space.
+func NewMiniheap(space *mem.Space, index, class, slotSize, slots int, createTime uint64) *Miniheap {
+	if slotSize <= 0 || slots <= 0 {
+		panic("heap: non-positive miniheap geometry")
+	}
+	mh := &Miniheap{
+		Index:      index,
+		Class:      class,
+		SlotSize:   slotSize,
+		Slots:      slots,
+		CreateTime: createTime,
+		bits:       bitmap.New(slots),
+		meta:       make([]Meta, slots),
+	}
+	mh.Region = space.Map(slotSize*slots, mh)
+	return mh
+}
+
+// Base returns the address of slot 0.
+func (m *Miniheap) Base() mem.Addr { return m.Region.Base }
+
+// SlotAddr returns the address of slot i.
+func (m *Miniheap) SlotAddr(i int) mem.Addr {
+	return m.Region.Base + mem.Addr(i*m.SlotSize)
+}
+
+// AddrSlot maps an address to the slot containing it. ok is false if addr
+// is outside the miniheap.
+func (m *Miniheap) AddrSlot(addr mem.Addr) (slot int, ok bool) {
+	if !m.Region.Contains(addr) {
+		return 0, false
+	}
+	return int(addr-m.Region.Base) / m.SlotSize, true
+}
+
+// SlotData returns the backing bytes of slot i (aliasing the region).
+func (m *Miniheap) SlotData(i int) []byte {
+	off := i * m.SlotSize
+	return m.Region.Data[off : off+m.SlotSize]
+}
+
+// Meta returns a pointer to slot i's metadata.
+func (m *Miniheap) Meta(i int) *Meta { return &m.meta[i] }
+
+// InUse reports whether slot i is currently allocated (or bad-isolated).
+func (m *Miniheap) InUse(i int) bool { return m.bits.Get(i) }
+
+// Used returns the number of allocated slots.
+func (m *Miniheap) Used() int { return m.bits.Count() }
+
+// FreeSlots returns the number of unallocated slots.
+func (m *Miniheap) FreeSlots() int { return m.Slots - m.bits.Count() }
+
+// RandomFreeSlot picks a uniformly random free slot, or -1 if full.
+func (m *Miniheap) RandomFreeSlot(rng *xrand.RNG) int {
+	return m.bits.RandomClearBit(rng)
+}
+
+// Take marks slot i allocated. It reports whether the slot was free.
+func (m *Miniheap) Take(i int) bool { return m.bits.Set(i) }
+
+// Release marks slot i free. It reports whether the slot was allocated;
+// a second Release is a no-op (the bitmap property that makes double frees
+// benign, paper §2).
+func (m *Miniheap) Release(i int) bool { return m.bits.Clear(i) }
+
+// Bitmap exposes the allocation bitmap for image capture. Callers must not
+// mutate it.
+func (m *Miniheap) Bitmap() *bitmap.Bitmap { return m.bits }
+
+// String summarizes the miniheap geometry.
+func (m *Miniheap) String() string {
+	return fmt.Sprintf("miniheap[%d] class=%d %dx%dB @0x%x used=%d",
+		m.Index, m.Class, m.Slots, m.SlotSize, m.Region.Base, m.Used())
+}

@@ -1,0 +1,136 @@
+package heap
+
+import (
+	"testing"
+
+	"exterminator/internal/mem"
+	"exterminator/internal/xrand"
+)
+
+func newMini(t *testing.T, slotSize, slots int) (*mem.Space, *Miniheap) {
+	t.Helper()
+	space := mem.NewSpace(xrand.New(42))
+	return space, NewMiniheap(space, 0, 3, slotSize, slots, 7)
+}
+
+func TestGeometry(t *testing.T) {
+	_, m := newMini(t, 64, 32)
+	if m.Region.Size() != 64*32 {
+		t.Fatalf("region size = %d", m.Region.Size())
+	}
+	if m.SlotAddr(0) != m.Base() {
+		t.Fatal("slot 0 not at base")
+	}
+	if m.SlotAddr(5) != m.Base()+5*64 {
+		t.Fatal("slot addressing wrong")
+	}
+	if m.CreateTime != 7 || m.Class != 3 {
+		t.Fatal("fields not recorded")
+	}
+}
+
+func TestAddrSlotRoundTrip(t *testing.T) {
+	_, m := newMini(t, 48, 16)
+	for i := 0; i < 16; i++ {
+		for _, off := range []mem.Addr{0, 1, 47} {
+			slot, ok := m.AddrSlot(m.SlotAddr(i) + off)
+			if !ok || slot != i {
+				t.Fatalf("AddrSlot(slot %d + %d) = %d, %v", i, off, slot, ok)
+			}
+		}
+	}
+	if _, ok := m.AddrSlot(m.Base() - 1); ok {
+		t.Fatal("resolved address below base")
+	}
+	if _, ok := m.AddrSlot(m.Base() + 48*16); ok {
+		t.Fatal("resolved address past end")
+	}
+}
+
+func TestTakeReleaseDoubleFree(t *testing.T) {
+	_, m := newMini(t, 32, 8)
+	if !m.Take(3) {
+		t.Fatal("Take of free slot failed")
+	}
+	if m.Take(3) {
+		t.Fatal("double Take succeeded")
+	}
+	if m.Used() != 1 || m.FreeSlots() != 7 {
+		t.Fatal("counts wrong")
+	}
+	if !m.Release(3) {
+		t.Fatal("Release failed")
+	}
+	if m.Release(3) {
+		t.Fatal("double Release changed state (must be benign)")
+	}
+	if m.Used() != 0 {
+		t.Fatal("count after release wrong")
+	}
+}
+
+func TestRandomFreeSlotAvoidsTaken(t *testing.T) {
+	rng := xrand.New(5)
+	_, m := newMini(t, 16, 64)
+	for i := 0; i < 32; i++ {
+		m.Take(i)
+	}
+	for trial := 0; trial < 500; trial++ {
+		s := m.RandomFreeSlot(rng)
+		if s < 32 {
+			t.Fatalf("picked taken slot %d", s)
+		}
+	}
+}
+
+func TestSlotDataAliasesRegion(t *testing.T) {
+	space, m := newMini(t, 16, 4)
+	d := m.SlotData(2)
+	d[0] = 0xAB
+	var b [1]byte
+	if f := space.Read(m.SlotAddr(2), b[:]); f != nil {
+		t.Fatalf("read: %v", f)
+	}
+	if b[0] != 0xAB {
+		t.Fatal("SlotData does not alias region memory")
+	}
+	if len(d) != 16 {
+		t.Fatalf("slot data len = %d", len(d))
+	}
+}
+
+func TestMetaPersistence(t *testing.T) {
+	_, m := newMini(t, 16, 4)
+	meta := m.Meta(1)
+	meta.ID = 99
+	meta.AllocSite = 0xabcd
+	meta.Canaried = true
+	if got := m.Meta(1); got.ID != 99 || got.AllocSite != 0xabcd || !got.Canaried {
+		t.Fatal("meta not persisted through pointer")
+	}
+}
+
+func TestRegionTagBackPointer(t *testing.T) {
+	space, m := newMini(t, 16, 4)
+	r := space.Find(m.Base())
+	if r == nil || r.Tag != m {
+		t.Fatal("region tag does not point back to miniheap")
+	}
+}
+
+func TestStringNonEmpty(t *testing.T) {
+	_, m := newMini(t, 16, 4)
+	if m.String() == "" {
+		t.Fatal("empty String")
+	}
+}
+
+func TestBadGeometryPanics(t *testing.T) {
+	space := mem.NewSpace(xrand.New(1))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero slots did not panic")
+		}
+	}()
+	NewMiniheap(space, 0, 0, 16, 0, 0)
+}

@@ -1,0 +1,320 @@
+// Package image implements Exterminator's heap images (paper §3.4).
+//
+// A heap image is "akin to a core dump, but contains less data (e.g., no
+// code), and is organized to simplify processing": the full heap contents
+// and metadata of every tracked slot, plus the current allocation time.
+// The iterative/replicated error isolator (§4) consumes several images of
+// the *same logical execution* under differently randomized heaps and
+// diffs objects by their ids.
+//
+// Images capture every slot that has ever held an object — live objects,
+// freed (possibly canaried) slots whose last occupant is still recorded,
+// and bad-isolated slots — because freed slots carry the canary evidence
+// the isolator needs.
+package image
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"exterminator/internal/canary"
+	"exterminator/internal/diefast"
+	"exterminator/internal/heap"
+	"exterminator/internal/mem"
+	"exterminator/internal/site"
+)
+
+// Miniheap records the geometry of one miniheap at capture time.
+// Miniheap indexing is deterministic across replicas (creation order
+// follows the program's allocation sequence), which cumulative-mode
+// probability computations rely on.
+type Miniheap struct {
+	Index      int
+	Class      int
+	SlotSize   int
+	Slots      int
+	Base       mem.Addr
+	CreateTime uint64
+}
+
+// Object is one tracked slot.
+type Object struct {
+	ID        heap.ObjectID
+	Mini      int // miniheap index
+	Slot      int
+	Addr      mem.Addr
+	SlotSize  int
+	ReqSize   int
+	AllocSite site.ID
+	FreeSite  site.ID
+	AllocTime uint64
+	FreeTime  uint64
+	Live      bool
+	Canaried  bool
+	Bad       bool
+	Data      []byte // full slot contents
+}
+
+// End returns the first address past the slot.
+func (o *Object) End() mem.Addr { return o.Addr + mem.Addr(o.SlotSize) }
+
+// Image is a captured heap state.
+type Image struct {
+	Reason  string // why the image was dumped (signal, divergence, breakpoint)
+	Clock   uint64 // allocation time at capture (the malloc breakpoint value)
+	Canary  canary.Canary
+	M       float64
+	Minis   []Miniheap
+	Objects []Object
+
+	byID map[heap.ObjectID]*Object
+}
+
+// Capture snapshots a DieFast heap.
+func Capture(h *diefast.Heap, reason string) *Image {
+	dh := h.Diehard()
+	img := &Image{
+		Reason: reason,
+		Clock:  dh.Clock(),
+		Canary: h.Canary(),
+		M:      dh.M(),
+	}
+	for _, mh := range dh.Miniheaps() {
+		img.Minis = append(img.Minis, Miniheap{
+			Index: mh.Index, Class: mh.Class, SlotSize: mh.SlotSize,
+			Slots: mh.Slots, Base: mh.Base(), CreateTime: mh.CreateTime,
+		})
+		for slot := 0; slot < mh.Slots; slot++ {
+			m := mh.Meta(slot)
+			if m.ID == 0 {
+				continue // never occupied
+			}
+			data := make([]byte, mh.SlotSize)
+			copy(data, mh.SlotData(slot))
+			img.Objects = append(img.Objects, Object{
+				ID: m.ID, Mini: mh.Index, Slot: slot,
+				Addr: mh.SlotAddr(slot), SlotSize: mh.SlotSize,
+				ReqSize: int(m.ReqSize), AllocSite: m.AllocSite, FreeSite: m.FreeSite,
+				AllocTime: m.AllocTime, FreeTime: m.FreeTime,
+				Live: mh.InUse(slot) && !m.Bad, Canaried: m.Canaried, Bad: m.Bad,
+				Data: data,
+			})
+		}
+	}
+	return img
+}
+
+// Object returns the record for an object id, or nil if the id is not in
+// the image (e.g. its slot has been recycled).
+func (img *Image) Object(id heap.ObjectID) *Object {
+	if img.byID == nil {
+		img.byID = make(map[heap.ObjectID]*Object, len(img.Objects))
+		for i := range img.Objects {
+			img.byID[img.Objects[i].ID] = &img.Objects[i]
+		}
+	}
+	return img.byID[id]
+}
+
+// ObjectAt resolves an address to the object whose slot contains it, or
+// nil. Used for pointer-equivalence tests during isolation.
+func (img *Image) ObjectAt(addr mem.Addr) *Object {
+	for i := range img.Objects {
+		o := &img.Objects[i]
+		if addr >= o.Addr && addr < o.End() {
+			return o
+		}
+	}
+	return nil
+}
+
+// Mini returns the miniheap record with the given index, or nil.
+func (img *Image) Mini(index int) *Miniheap {
+	for i := range img.Minis {
+		if img.Minis[i].Index == index {
+			return &img.Minis[i]
+		}
+	}
+	return nil
+}
+
+// Stats summarizes the image for tools.
+func (img *Image) Stats() (live, freed, bad int) {
+	for i := range img.Objects {
+		switch {
+		case img.Objects[i].Bad:
+			bad++
+		case img.Objects[i].Live:
+			live++
+		default:
+			freed++
+		}
+	}
+	return
+}
+
+// Binary format. All integers little-endian, fixed width.
+const (
+	magic   = 0x484d5458 // "XTMH"
+	version = 1
+)
+
+// Encode writes the image.
+func (img *Image) Encode(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	writeU32 := func(v uint32) { binary.Write(bw, binary.LittleEndian, v) }
+	writeU64 := func(v uint64) { binary.Write(bw, binary.LittleEndian, v) }
+
+	writeU32(magic)
+	writeU32(version)
+	reason := []byte(img.Reason)
+	writeU32(uint32(len(reason)))
+	bw.Write(reason)
+	writeU64(img.Clock)
+	writeU32(uint32(img.Canary))
+	writeU64(uint64(img.M * 1000)) // milli-M, avoids float encoding
+	writeU32(uint32(len(img.Minis)))
+	writeU32(uint32(len(img.Objects)))
+
+	for _, m := range img.Minis {
+		writeU32(uint32(m.Index))
+		writeU32(uint32(m.Class))
+		writeU32(uint32(m.SlotSize))
+		writeU32(uint32(m.Slots))
+		writeU64(m.Base)
+		writeU64(m.CreateTime)
+	}
+	for i := range img.Objects {
+		o := &img.Objects[i]
+		writeU64(uint64(o.ID))
+		writeU32(uint32(o.Mini))
+		writeU32(uint32(o.Slot))
+		writeU64(o.Addr)
+		writeU32(uint32(o.SlotSize))
+		writeU32(uint32(o.ReqSize))
+		writeU32(uint32(o.AllocSite))
+		writeU32(uint32(o.FreeSite))
+		writeU64(o.AllocTime)
+		writeU64(o.FreeTime)
+		var flags uint32
+		if o.Live {
+			flags |= 1
+		}
+		if o.Canaried {
+			flags |= 2
+		}
+		if o.Bad {
+			flags |= 4
+		}
+		writeU32(flags)
+		writeU32(uint32(len(o.Data)))
+		bw.Write(o.Data)
+	}
+	return bw.Flush()
+}
+
+// Decode reads an image written by Encode.
+func Decode(r io.Reader) (*Image, error) {
+	br := bufio.NewReader(r)
+	var err error
+	readU32 := func() uint32 {
+		var v uint32
+		if err == nil {
+			err = binary.Read(br, binary.LittleEndian, &v)
+		}
+		return v
+	}
+	readU64 := func() uint64 {
+		var v uint64
+		if err == nil {
+			err = binary.Read(br, binary.LittleEndian, &v)
+		}
+		return v
+	}
+
+	if m := readU32(); err != nil || m != magic {
+		if err == nil {
+			err = errors.New("bad magic")
+		}
+		return nil, fmt.Errorf("image: %w", err)
+	}
+	if v := readU32(); err != nil || v != version {
+		if err == nil {
+			err = fmt.Errorf("unsupported version %d", v)
+		}
+		return nil, fmt.Errorf("image: %w", err)
+	}
+	img := &Image{}
+	rlen := readU32()
+	if err != nil {
+		return nil, fmt.Errorf("image: %w", err)
+	}
+	const maxStr = 1 << 16
+	if rlen > maxStr {
+		return nil, errors.New("image: implausible reason length")
+	}
+	reason := make([]byte, rlen)
+	if _, e := io.ReadFull(br, reason); e != nil {
+		return nil, fmt.Errorf("image: reason: %w", e)
+	}
+	img.Reason = string(reason)
+	img.Clock = readU64()
+	img.Canary = canary.Canary(readU32())
+	img.M = float64(readU64()) / 1000
+	nMinis := readU32()
+	nObjs := readU32()
+	if err != nil {
+		return nil, fmt.Errorf("image: header: %w", err)
+	}
+	const maxEntries = 1 << 26
+	if nMinis > maxEntries || nObjs > maxEntries {
+		return nil, errors.New("image: implausible entry count")
+	}
+	for i := uint32(0); i < nMinis; i++ {
+		m := Miniheap{
+			Index:    int(readU32()),
+			Class:    int(readU32()),
+			SlotSize: int(readU32()),
+			Slots:    int(readU32()),
+		}
+		m.Base = readU64()
+		m.CreateTime = readU64()
+		if err != nil {
+			return nil, fmt.Errorf("image: miniheap %d: %w", i, err)
+		}
+		img.Minis = append(img.Minis, m)
+	}
+	for i := uint32(0); i < nObjs; i++ {
+		var o Object
+		o.ID = heap.ObjectID(readU64())
+		o.Mini = int(readU32())
+		o.Slot = int(readU32())
+		o.Addr = readU64()
+		o.SlotSize = int(readU32())
+		o.ReqSize = int(readU32())
+		o.AllocSite = site.ID(readU32())
+		o.FreeSite = site.ID(readU32())
+		o.AllocTime = readU64()
+		o.FreeTime = readU64()
+		flags := readU32()
+		o.Live = flags&1 != 0
+		o.Canaried = flags&2 != 0
+		o.Bad = flags&4 != 0
+		dlen := readU32()
+		if err != nil {
+			return nil, fmt.Errorf("image: object %d: %w", i, err)
+		}
+		if dlen > 1<<24 {
+			return nil, errors.New("image: implausible object size")
+		}
+		o.Data = make([]byte, dlen)
+		if _, e := io.ReadFull(br, o.Data); e != nil {
+			return nil, fmt.Errorf("image: object %d data: %w", i, e)
+		}
+		img.Objects = append(img.Objects, o)
+	}
+	return img, nil
+}

@@ -1,0 +1,242 @@
+package image
+
+import (
+	"bytes"
+	"testing"
+
+	"exterminator/internal/diefast"
+	"exterminator/internal/heap"
+	"exterminator/internal/mem"
+	"exterminator/internal/site"
+	"exterminator/internal/xrand"
+)
+
+func buildHeap(seed uint64) (*diefast.Heap, []mem.Addr) {
+	h := diefast.New(diefast.DefaultConfig(), xrand.New(seed))
+	var ptrs []mem.Addr
+	for i := 0; i < 30; i++ {
+		p, _ := h.Malloc(40+i, site.ID(i%5))
+		ptrs = append(ptrs, p)
+	}
+	for i := 0; i < 10; i++ {
+		h.Free(ptrs[i], site.ID(0x99))
+	}
+	return h, ptrs
+}
+
+func TestCaptureContents(t *testing.T) {
+	h, _ := buildHeap(1)
+	img := Capture(h, "test")
+	if img.Reason != "test" || img.Clock != 30 {
+		t.Fatalf("header: reason=%q clock=%d", img.Reason, img.Clock)
+	}
+	if img.Canary != h.Canary() || img.M != 2 {
+		t.Fatal("canary or M not captured")
+	}
+	live, freed, bad := img.Stats()
+	if live != 20 || freed != 10 || bad != 0 {
+		t.Fatalf("stats = %d live, %d freed, %d bad", live, freed, bad)
+	}
+	if len(img.Minis) == 0 {
+		t.Fatal("no miniheaps captured")
+	}
+}
+
+func TestObjectLookupByID(t *testing.T) {
+	h, ptrs := buildHeap(2)
+	img := Capture(h, "t")
+	for id := heap.ObjectID(1); id <= 30; id++ {
+		o := img.Object(id)
+		if o == nil {
+			t.Fatalf("object %d missing", id)
+		}
+		if o.ID != id {
+			t.Fatalf("object %d has id %d", id, o.ID)
+		}
+	}
+	if img.Object(999) != nil {
+		t.Fatal("phantom object")
+	}
+	// Address matches the allocator's pointer for a live object.
+	o := img.Object(15)
+	if o.Addr != ptrs[14] {
+		t.Fatalf("object 15 addr %x, allocator returned %x", o.Addr, ptrs[14])
+	}
+}
+
+func TestFreedObjectsCarryCanaryEvidence(t *testing.T) {
+	h, _ := buildHeap(3)
+	img := Capture(h, "t")
+	for id := heap.ObjectID(1); id <= 10; id++ {
+		o := img.Object(id)
+		if o.Live {
+			t.Fatalf("object %d should be freed", id)
+		}
+		if !o.Canaried {
+			t.Fatalf("freed object %d not canaried in AlwaysFill mode", id)
+		}
+		if !img.Canary.Verify(o.Data) {
+			t.Fatalf("freed object %d canary not intact in image", id)
+		}
+		if o.FreeSite != 0x99 || o.FreeTime == 0 {
+			t.Fatalf("free metadata missing: %+v", o)
+		}
+	}
+}
+
+func TestCaptureIsSnapshot(t *testing.T) {
+	h, ptrs := buildHeap(4)
+	img := Capture(h, "t")
+	o := img.Object(15)
+	before := make([]byte, len(o.Data))
+	copy(before, o.Data)
+	// Mutate the heap after capture.
+	h.Space().Write(ptrs[14], []byte{0xFF, 0xFE, 0xFD})
+	if !bytes.Equal(o.Data, before) {
+		t.Fatal("image data aliases live heap")
+	}
+}
+
+func TestObjectAt(t *testing.T) {
+	h, ptrs := buildHeap(5)
+	img := Capture(h, "t")
+	o := img.ObjectAt(ptrs[14] + 3)
+	if o == nil || o.ID != 15 {
+		t.Fatalf("ObjectAt interior = %+v", o)
+	}
+	if img.ObjectAt(0x1) != nil {
+		t.Fatal("ObjectAt unmapped returned object")
+	}
+}
+
+func TestMiniLookup(t *testing.T) {
+	h, _ := buildHeap(6)
+	img := Capture(h, "t")
+	m := img.Mini(0)
+	if m == nil || m.Index != 0 {
+		t.Fatal("Mini(0) missing")
+	}
+	if img.Mini(999) != nil {
+		t.Fatal("phantom miniheap")
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	h, _ := buildHeap(7)
+	img := Capture(h, "sig: corruption at alloc")
+	var buf bytes.Buffer
+	if err := img.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Reason != img.Reason || got.Clock != img.Clock || got.Canary != img.Canary || got.M != img.M {
+		t.Fatal("header mismatch")
+	}
+	if len(got.Minis) != len(img.Minis) || len(got.Objects) != len(img.Objects) {
+		t.Fatal("count mismatch")
+	}
+	for i := range img.Minis {
+		if got.Minis[i] != img.Minis[i] {
+			t.Fatalf("miniheap %d mismatch", i)
+		}
+	}
+	for i := range img.Objects {
+		a, b := &img.Objects[i], &got.Objects[i]
+		if a.ID != b.ID || a.Addr != b.Addr || a.Live != b.Live ||
+			a.Canaried != b.Canaried || a.Bad != b.Bad ||
+			a.AllocSite != b.AllocSite || a.FreeSite != b.FreeSite ||
+			a.AllocTime != b.AllocTime || a.FreeTime != b.FreeTime ||
+			a.ReqSize != b.ReqSize || a.SlotSize != b.SlotSize ||
+			a.Mini != b.Mini || a.Slot != b.Slot {
+			t.Fatalf("object %d field mismatch:\n%+v\n%+v", i, a, b)
+		}
+		if !bytes.Equal(a.Data, b.Data) {
+			t.Fatalf("object %d data mismatch", i)
+		}
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	for _, in := range [][]byte{
+		nil,
+		[]byte("short"),
+		[]byte("XXXXYYYYZZZZWWWWVVVVUUUU00000000"),
+	} {
+		if _, err := Decode(bytes.NewReader(in)); err == nil {
+			t.Fatalf("decoded garbage %q", in)
+		}
+	}
+	// Truncated valid stream.
+	h, _ := buildHeap(8)
+	var buf bytes.Buffer
+	Capture(h, "t").Encode(&buf)
+	if _, err := Decode(bytes.NewReader(buf.Bytes()[:buf.Len()/2])); err == nil {
+		t.Fatal("decoded truncated image")
+	}
+}
+
+func TestBadIsolatedObjectsInImage(t *testing.T) {
+	h := diefast.New(diefast.DefaultConfig(), xrand.New(9))
+	p, _ := h.Malloc(40, 1)
+	h.Free(p, 2)
+	h.Space().Write(p, []byte("CORRUPT!"))
+	h.OnError = func(diefast.Event) {}
+	for i := 0; i < 5000 && len(h.Events()) == 0; i++ {
+		q, _ := h.Malloc(40, 1)
+		h.Free(q, 2)
+	}
+	if len(h.Events()) == 0 {
+		t.Skip("corruption not probed in this run")
+	}
+	img := Capture(h, "t")
+	_, _, bad := img.Stats()
+	if bad == 0 {
+		t.Fatal("bad-isolated slot not in image")
+	}
+	o := img.Object(1)
+	if o == nil || !o.Bad {
+		t.Fatalf("object 1 not marked bad: %+v", o)
+	}
+	if string(o.Data[:8]) != "CORRUPT!" {
+		t.Fatalf("evidence not preserved: %q", o.Data[:8])
+	}
+}
+
+func TestClockIsMallocBreakpoint(t *testing.T) {
+	// The replay driver uses Image.Clock as the malloc breakpoint; it must
+	// equal the number of allocations to date (paper §3.4).
+	h := diefast.New(diefast.DefaultConfig(), xrand.New(10))
+	for i := 0; i < 17; i++ {
+		h.Malloc(16, 0)
+	}
+	if img := Capture(h, "t"); img.Clock != 17 {
+		t.Fatalf("clock = %d, want 17", img.Clock)
+	}
+}
+
+func BenchmarkCapture1000Objects(b *testing.B) {
+	h := diefast.New(diefast.DefaultConfig(), xrand.New(1))
+	for i := 0; i < 1000; i++ {
+		h.Malloc(64, site.ID(i%10))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Capture(h, "bench")
+	}
+}
+
+func BenchmarkEncodeDecode(b *testing.B) {
+	h, _ := buildHeap(1)
+	img := Capture(h, "bench")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		img.Encode(&buf)
+		if _, err := Decode(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package image
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"exterminator/internal/diefast"
+	"exterminator/internal/heap"
+	"exterminator/internal/site"
+	"exterminator/internal/xrand"
+)
+
+// TestPropertyRoundTripArbitraryHeaps captures heaps produced by random
+// allocation/free sequences and checks Encode∘Decode is the identity on
+// every field and every byte.
+func TestPropertyRoundTripArbitraryHeaps(t *testing.T) {
+	err := quick.Check(func(seed uint64, ops []uint16) bool {
+		if len(ops) > 300 {
+			ops = ops[:300]
+		}
+		h := diefast.New(diefast.CumulativeConfig(0.5), xrand.New(seed))
+		var live []uint64
+		for _, op := range ops {
+			if op%3 != 0 || len(live) == 0 {
+				p, err := h.Malloc(1+int(op)%500, site.ID(op))
+				if err != nil {
+					return false
+				}
+				live = append(live, p)
+			} else {
+				k := int(op) % len(live)
+				h.Free(live[k], site.ID(op^0xFF))
+				live = append(live[:k], live[k+1:]...)
+			}
+		}
+		img := Capture(h, "property")
+		var buf bytes.Buffer
+		if err := img.Encode(&buf); err != nil {
+			return false
+		}
+		got, err := Decode(&buf)
+		if err != nil {
+			return false
+		}
+		if got.Clock != img.Clock || got.Canary != img.Canary ||
+			got.M != img.M || got.Reason != img.Reason ||
+			len(got.Minis) != len(img.Minis) || len(got.Objects) != len(img.Objects) {
+			return false
+		}
+		for i := range img.Minis {
+			if got.Minis[i] != img.Minis[i] {
+				return false
+			}
+		}
+		for i := range img.Objects {
+			a, b := &img.Objects[i], &got.Objects[i]
+			if a.ID != b.ID || a.Mini != b.Mini || a.Slot != b.Slot ||
+				a.Addr != b.Addr || a.SlotSize != b.SlotSize ||
+				a.ReqSize != b.ReqSize || a.AllocSite != b.AllocSite ||
+				a.FreeSite != b.FreeSite || a.AllocTime != b.AllocTime ||
+				a.FreeTime != b.FreeTime || a.Live != b.Live ||
+				a.Canaried != b.Canaried || a.Bad != b.Bad ||
+				!bytes.Equal(a.Data, b.Data) {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyObjectIndexComplete: every live allocation appears in the
+// image exactly once, retrievable by id, with the address the allocator
+// returned.
+func TestPropertyObjectIndexComplete(t *testing.T) {
+	err := quick.Check(func(seed uint64, n uint8) bool {
+		h := diefast.New(diefast.DefaultConfig(), xrand.New(seed))
+		count := 1 + int(n)%100
+		addrs := make(map[uint64]uint64, count)
+		for i := 0; i < count; i++ {
+			p, err := h.Malloc(16, 0)
+			if err != nil {
+				return false
+			}
+			addrs[uint64(i+1)] = p
+		}
+		img := Capture(h, "t")
+		seen := 0
+		for id, addr := range addrs {
+			o := img.Object(heap.ObjectID(id))
+			if o == nil || o.Addr != addr || !o.Live {
+				return false
+			}
+			seen++
+		}
+		return seen == count
+	}, &quick.Config{MaxCount: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

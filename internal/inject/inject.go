@@ -1,0 +1,166 @@
+// Package inject plants memory errors into simulated programs at
+// deterministic logical points — the reproduction of the fault injector
+// that accompanies the DieHard distribution, which the paper uses for its
+// §7.2 injected-fault experiments.
+//
+// A Plan fires at a fixed allocation ordinal. Because object ordinals are
+// identical across replicas (same program seed and input), the same
+// logical bug recurs in every replica and every iterative re-execution,
+// exactly as a real deterministic bug would — while its *physical*
+// manifestation (which neighbour gets smashed) differs per randomized
+// heap. Victims are chosen from the live-object table by a PRNG seeded
+// from the plan, so the choice is also replica-deterministic.
+//
+// Supported bug classes match Table 1: buffer overflows (forward),
+// dangling pointers (premature free; the program's own later accesses
+// become dangling reads/writes and its later free a double free), double
+// frees, and invalid frees. Uninitialized reads need no injector: any
+// program that reads before writing exercises them.
+package inject
+
+import (
+	"fmt"
+
+	"exterminator/internal/alloc"
+	"exterminator/internal/mutator"
+	"exterminator/internal/xrand"
+)
+
+// Kind classifies injected bugs.
+type Kind int
+
+const (
+	// Overflow writes Size bytes past the end of a victim object.
+	Overflow Kind = iota
+	// Underflow writes Size bytes before the start of a victim object
+	// (a backward overflow — the §2.1 extension).
+	Underflow
+	// Dangling frees a victim object underneath the program while the
+	// program still uses it.
+	Dangling
+	// DoubleFree frees a victim object twice in a row.
+	DoubleFree
+	// InvalidFree frees an address never returned by the allocator.
+	InvalidFree
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case Overflow:
+		return "overflow"
+	case Underflow:
+		return "underflow"
+	case Dangling:
+		return "dangling"
+	case DoubleFree:
+		return "double-free"
+	case InvalidFree:
+		return "invalid-free"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Plan describes one injected bug.
+type Plan struct {
+	Kind Kind
+	// TriggerAlloc is the allocation ordinal at which the bug fires.
+	TriggerAlloc uint64
+	// Size is the overflow length in bytes (Overflow only). The paper
+	// injects 4, 20 and 36 (§7.2).
+	Size int
+	// Seed drives victim selection (replica-deterministic).
+	Seed uint64
+	// Pattern is the first byte of the overflow string (subsequent bytes
+	// increment), making overflow strings recognizable.
+	Pattern byte
+}
+
+// Injector applies a Plan as a mutator.Hook.
+type Injector struct {
+	Plan
+	fired bool
+
+	// VictimOrd records which object the bug hit (diagnostics/tests).
+	VictimOrd uint64
+	// VictimPtr records the victim's address in this replica.
+	VictimPtr mutator.Ptr
+	// VictimSize records the victim's requested size.
+	VictimSize int
+}
+
+var _ mutator.Hook = (*Injector)(nil)
+
+// New returns an injector for the plan.
+func New(plan Plan) *Injector {
+	if plan.Pattern == 0 {
+		plan.Pattern = 0xC3
+	}
+	return &Injector{Plan: plan}
+}
+
+// Fired reports whether the bug has been planted.
+func (in *Injector) Fired() bool { return in.fired }
+
+// AfterMalloc implements mutator.Hook.
+func (in *Injector) AfterMalloc(e *mutator.Env, ord uint64, ptr mutator.Ptr, size int) {
+	if in.fired || ord < in.TriggerAlloc {
+		return
+	}
+	in.fired = true
+
+	// Deterministic victim choice: seed-driven index into the live table
+	// ordered by ordinal. Ordinals align across replicas, so every
+	// replica picks the same logical object.
+	rng := xrand.New(in.Seed ^ 0x1ec7a0)
+	live := e.Live()
+	if len(live) == 0 {
+		return
+	}
+	victim := live[rng.Intn(len(live))]
+	in.VictimOrd = victim.Ord
+	in.VictimPtr = victim.Ptr
+	in.VictimSize = victim.Size
+
+	switch in.Kind {
+	case Overflow:
+		// Forward overflow: write Size bytes reaching past the victim's
+		// allocation. Like the DieHard distribution's allocator-level
+		// injector, the write starts at the victim's size-class boundary
+		// so it always escapes the object (a write absorbed by class
+		// rounding would be a non-bug). The write itself may trap (walks
+		// off a miniheap) — a legitimate outcome of the bug.
+		start := victim.Size
+		if c := alloc.ClassForSize(victim.Size); c >= 0 {
+			start = alloc.ClassSlotSize(c)
+		}
+		over := make([]byte, in.Size)
+		for i := range over {
+			over[i] = in.Pattern + byte(i)
+		}
+		e.Write(victim.Ptr, start, over)
+	case Underflow:
+		// Backward overflow: write Size bytes immediately before the
+		// object's start (negative offsets; may trap at a miniheap's
+		// first slot — a legitimate outcome).
+		under := make([]byte, in.Size)
+		for i := range under {
+			under[i] = in.Pattern + byte(i)
+		}
+		e.Write(victim.Ptr, -in.Size, under)
+	case Dangling:
+		// Premature free underneath the program. DieFast may canary the
+		// slot; the program's own future reads/writes of this object are
+		// now dangling accesses, and its eventual Free a double free.
+		e.FreeUnderneath(victim.Ptr)
+	case DoubleFree:
+		e.FreeUnderneath(victim.Ptr)
+		e.FreeUnderneath(victim.Ptr)
+		// The program no longer owns the object either way.
+		e.Free(victim.Ptr)
+	case InvalidFree:
+		// An address the allocator never returned: interior pointer.
+		e.Alloc.Free(victim.Ptr+1, e.Stack.Hash())
+	}
+}

@@ -1,0 +1,130 @@
+package inject
+
+import (
+	"testing"
+
+	"exterminator/internal/alloc"
+	"exterminator/internal/diefast"
+	"exterminator/internal/mutator"
+	"exterminator/internal/xrand"
+)
+
+// churnProg allocates and frees deterministically; the injector plants
+// bugs while it runs.
+type churnProg struct{ n int }
+
+func (churnProg) Name() string { return "churn" }
+func (p churnProg) Run(e *mutator.Env) {
+	var live []mutator.Ptr
+	for i := 0; i < p.n; i++ {
+		ptr := e.Malloc(8 + e.Rng.Intn(56))
+		live = append(live, ptr)
+		if len(live) > 16 {
+			k := e.Rng.Intn(len(live))
+			e.Free(live[k])
+			live = append(live[:k], live[k+1:]...)
+		}
+	}
+	e.Printf("clock=%d\n", e.Alloc.Clock())
+}
+
+func runWith(t *testing.T, heapSeed uint64, plan Plan) (*mutator.Outcome, *Injector, *diefast.Heap) {
+	t.Helper()
+	h := diefast.New(diefast.DefaultConfig(), xrand.New(heapSeed))
+	h.OnError = func(diefast.Event) {} // record only
+	e := mutator.NewEnv(h, h.Space(), xrand.New(7), nil)
+	inj := New(plan)
+	e.Hook = inj
+	out := mutator.Run(churnProg{n: 300}, e)
+	return out, inj, h
+}
+
+func TestOverflowInjection(t *testing.T) {
+	plan := Plan{Kind: Overflow, TriggerAlloc: 150, Size: 20, Seed: 9}
+	out, inj, h := runWith(t, 1, plan)
+	if !inj.Fired() {
+		t.Fatal("injector never fired")
+	}
+	if out.Crashed {
+		t.Skipf("overflow walked off a miniheap in this layout: %s", out)
+	}
+	// The overflow corrupted memory past the victim; a heap scan must see
+	// canary corruption (victim neighbourhood is half canaried).
+	if len(h.Scan(false)) == 0 && len(h.Events()) == 0 {
+		t.Skip("overflow landed on uncanaried space in this layout")
+	}
+}
+
+func TestVictimChoiceDeterministicAcrossHeaps(t *testing.T) {
+	plan := Plan{Kind: Overflow, TriggerAlloc: 100, Size: 4, Seed: 42}
+	_, i1, _ := runWith(t, 111, plan)
+	_, i2, _ := runWith(t, 999, plan)
+	if i1.VictimOrd != i2.VictimOrd {
+		t.Fatalf("victims differ across heap seeds: %d vs %d", i1.VictimOrd, i2.VictimOrd)
+	}
+	if i1.VictimSize != i2.VictimSize {
+		t.Fatal("victim sizes differ")
+	}
+}
+
+func TestDanglingInjection(t *testing.T) {
+	plan := Plan{Kind: Dangling, TriggerAlloc: 120, Seed: 3}
+	out, inj, h := runWith(t, 2, plan)
+	if !inj.Fired() {
+		t.Fatal("injector never fired")
+	}
+	// The program later frees the object itself: that becomes a double
+	// free, which DieHard tolerates. The run should not crash.
+	if out.Crashed {
+		t.Fatalf("dangling injection crashed DieFast run: %s", out)
+	}
+	if h.Diehard().Stats().DoubleFrees == 0 {
+		t.Skip("program freed the victim before injection in this schedule")
+	}
+}
+
+func TestDoubleFreeInjectionBenignOnDieFast(t *testing.T) {
+	plan := Plan{Kind: DoubleFree, TriggerAlloc: 80, Seed: 5}
+	out, _, h := runWith(t, 3, plan)
+	if out.Crashed {
+		t.Fatalf("double free crashed DieFast: %s", out)
+	}
+	if h.Diehard().Stats().DoubleFrees == 0 {
+		t.Fatal("double free not recorded")
+	}
+}
+
+func TestInvalidFreeInjectionBenignOnDieFast(t *testing.T) {
+	plan := Plan{Kind: InvalidFree, TriggerAlloc: 80, Seed: 5}
+	out, _, h := runWith(t, 4, plan)
+	if out.Crashed {
+		t.Fatalf("invalid free crashed DieFast: %s", out)
+	}
+	if h.Diehard().Stats().InvalidFrees == 0 {
+		t.Fatal("invalid free not recorded")
+	}
+}
+
+func TestInjectorFiresOnce(t *testing.T) {
+	plan := Plan{Kind: Overflow, TriggerAlloc: 10, Size: 4, Seed: 1}
+	_, inj, _ := runWith(t, 5, plan)
+	if !inj.Fired() {
+		t.Fatal("never fired")
+	}
+	// Firing more than once would corrupt more than one location; the
+	// single-victim invariant is what makes the bug "a bug", so the
+	// injector latches. (Indirectly verified: VictimOrd stable.)
+	if inj.VictimOrd == 0 || inj.VictimOrd > 10 {
+		t.Fatalf("victim ord %d outside live set at trigger", inj.VictimOrd)
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for _, k := range []Kind{Overflow, Dangling, DoubleFree, InvalidFree, Kind(99)} {
+		if k.String() == "" {
+			t.Fatal("empty kind string")
+		}
+	}
+}
+
+var _ alloc.Allocator = (*diefast.Heap)(nil)

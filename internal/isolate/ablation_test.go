@@ -1,0 +1,91 @@
+package isolate
+
+import (
+	"testing"
+
+	"exterminator/internal/heap"
+	"exterminator/internal/image"
+)
+
+func objID(v uint64) heap.ObjectID { return heap.ObjectID(v) }
+
+// pointerRichTrace builds replicas of a program whose live objects store
+// cross-object pointers — the §4.1 case where naive byte diffing drowns
+// in false victims because pointer values differ across randomized heaps.
+func pointerRichImages(k int) []*image.Image {
+	out := make([]*image.Image, k)
+	for i := 0; i < k; i++ {
+		out[i] = runTrace(uint64(5000+i*104729), 60, 32, func(r *replicaRun) {
+			// Every even live object stores a pointer to the next odd
+			// object at offset 8 (odd ids are freed by runTrace, so point
+			// at even ones: even id -> even id + 2).
+			for id := uint64(2); id+2 <= 60; id += 2 {
+				src, dst := r.ptrs[objID(id)], r.ptrs[objID(id+2)]
+				r.h.Space().Write64(src+8, dst)
+			}
+		})
+	}
+	return out
+}
+
+func TestPointerFilterSuppressesFalseVictims(t *testing.T) {
+	imgs := pointerRichImages(3)
+
+	full, err := Analyze(imgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, err := AnalyzeWithOptions(imgs, Options{NoPointerFilter: true, NoDistinctFilter: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With filters, the pointer words are recognized as equivalent: no
+	// live victims. Without them, every pointer-holding object looks
+	// corrupted.
+	if len(full.LiveVictims) != 0 {
+		t.Fatalf("filters left %d false live victims", len(full.LiveVictims))
+	}
+	if len(naive.LiveVictims) < 10 {
+		t.Fatalf("naive diff found only %d live victims; expected many false positives", len(naive.LiveVictims))
+	}
+}
+
+func TestFiltersDoNotMaskRealOverflow(t *testing.T) {
+	// The filters must not hide real corruption: an injected overflow is
+	// still found with filters on (try several layout draws).
+	for base := 0; base < 5; base++ {
+		imgs := make([]*image.Image, 3)
+		for i := range imgs {
+			imgs[i] = runTrace(uint64(7000+base*31337+i*7919), 60, 32, overflowFault(8, 32, 20))
+		}
+		rep, err := Analyze(imgs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rep.Overflows) == 0 {
+			continue
+		}
+		if rep.Overflows[0].CulpritID != 8 {
+			t.Fatalf("culprit = %d", rep.Overflows[0].CulpritID)
+		}
+		return
+	}
+	t.Fatal("overflow never found across 5 layout draws")
+}
+
+func BenchmarkAnalyzeWithFilters(b *testing.B) {
+	imgs := pointerRichImages(3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Analyze(imgs)
+	}
+}
+
+func BenchmarkAnalyzeNaiveDiff(b *testing.B) {
+	imgs := pointerRichImages(3)
+	opts := Options{NoPointerFilter: true, NoDistinctFilter: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		AnalyzeWithOptions(imgs, opts)
+	}
+}

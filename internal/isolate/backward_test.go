@@ -1,0 +1,89 @@
+package isolate
+
+import (
+	"testing"
+
+	"exterminator/internal/image"
+	"exterminator/internal/mem"
+)
+
+// underflowFault writes b bytes immediately before the victim object —
+// a backward overflow.
+func underflowFault(victim uint64, b int) func(*replicaRun) {
+	return func(r *replicaRun) {
+		p := r.ptrs[objID(victim)]
+		under := make([]byte, b)
+		for i := range under {
+			under[i] = byte(0xB0 + i)
+		}
+		r.h.Space().Write(p-mem.Addr(b), under)
+	}
+}
+
+func TestUnderflowIsolatedAsBackward(t *testing.T) {
+	const victim, size, b = 8, 32, 12
+	foundRight, foundWrong := 0, 0
+	for base := 0; base < 6; base++ {
+		imgs := make([]*image.Image, 3)
+		for i := range imgs {
+			imgs[i] = runTrace(uint64(9000+base*4241+i*7919), 60, size, underflowFault(victim, b))
+		}
+		rep, err := Analyze(imgs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var top *OverflowFinding
+		for i := range rep.Overflows {
+			if rep.Overflows[i].Backward {
+				top = &rep.Overflows[i]
+				break
+			}
+		}
+		if top == nil {
+			continue // invisible in this layout draw
+		}
+		if top.CulpritID == victim {
+			foundRight++
+			if top.Pad < b {
+				t.Errorf("front pad %d does not cover %d-byte underflow", top.Pad, b)
+			}
+			ps := rep.Patches()
+			if ps.FrontPad(top.AllocSite) != top.Pad {
+				t.Error("patch does not carry the front pad")
+			}
+		} else {
+			foundWrong++
+		}
+	}
+	if foundRight == 0 {
+		t.Fatalf("underflow never isolated across 6 layout draws (wrong culprits: %d)", foundWrong)
+	}
+	if foundWrong > foundRight {
+		t.Fatalf("wrong culprit dominates: %d right vs %d wrong", foundRight, foundWrong)
+	}
+}
+
+func TestForwardOverflowNotMisreadAsBackward(t *testing.T) {
+	// A forward overflow must still rank a forward culprit first.
+	for base := 0; base < 6; base++ {
+		imgs := make([]*image.Image, 4)
+		for i := range imgs {
+			imgs[i] = runTrace(uint64(11000+base*5557+i*7919), 60, 32, overflowFault(10, 32, 16))
+		}
+		rep, err := Analyze(imgs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rep.Overflows) == 0 {
+			continue
+		}
+		if rep.Overflows[0].Backward {
+			t.Fatalf("forward overflow ranked backward candidate first: %+v", rep.Overflows[0])
+		}
+		if rep.Overflows[0].CulpritID != 10 {
+			t.Fatalf("culprit = %d", rep.Overflows[0].CulpritID)
+		}
+		return
+	}
+	t.Fatal("overflow never visible across 6 layout draws")
+}

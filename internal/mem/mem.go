@@ -1,0 +1,294 @@
+// Package mem implements the simulated 64-bit address space on which every
+// allocator in this reproduction operates.
+//
+// Exterminator (PLDI 2007) is a C/C++ runtime; Go's garbage-collected
+// runtime cannot host the real thing, so — per the reproduction's
+// substitution rule — we run its algorithms over a byte-accurate simulated
+// heap instead. A Space maps miniheap-sized Regions at random,
+// non-overlapping base addresses (mirroring DieHard's randomly located
+// miniheaps, §5.1 of the paper: "miniheaps are randomly located throughout
+// the whole address space"). All mutator loads and stores go through the
+// Space, which reproduces the two hardware traps the paper relies on:
+//
+//   - SegFault: access to an unmapped address (e.g. dereferencing a
+//     canary-filled pointer, whose value is never a mapped base);
+//   - AlignFault: word access at a misaligned address (the canary's low bit
+//     is set precisely so that dereferencing it misaligns, §3.3).
+//
+// Faults are reported as *Fault values; the mutator layer converts them to
+// panics that the execution driver recovers, playing the role of the
+// paper's signal handler that dumps a heap image on SIGSEGV.
+package mem
+
+import (
+	"fmt"
+	"sort"
+
+	"exterminator/internal/xrand"
+)
+
+// Addr is a simulated 64-bit address.
+type Addr = uint64
+
+// FaultKind classifies simulated hardware traps.
+type FaultKind int
+
+const (
+	// SegV is an access to an unmapped address.
+	SegV FaultKind = iota
+	// Align is a misaligned word access.
+	Align
+)
+
+// String returns the conventional signal-style name of the fault kind.
+func (k FaultKind) String() string {
+	switch k {
+	case SegV:
+		return "SIGSEGV"
+	case Align:
+		return "SIGBUS"
+	default:
+		return fmt.Sprintf("FaultKind(%d)", int(k))
+	}
+}
+
+// Fault describes a simulated hardware trap. It implements error and is
+// also used as a panic value by the mutator layer.
+type Fault struct {
+	Kind FaultKind
+	Addr Addr
+	Op   string // "read", "write", ...
+}
+
+// Error implements the error interface.
+func (f *Fault) Error() string {
+	return fmt.Sprintf("%s: %s at 0x%x", f.Kind, f.Op, f.Addr)
+}
+
+// Region is a contiguous mapped range of the simulated address space.
+type Region struct {
+	Base Addr
+	Data []byte
+	// Tag lets the owner (a miniheap, a freelist arena) identify itself
+	// when an address is resolved back to its region.
+	Tag any
+}
+
+// Size returns the region length in bytes.
+func (r *Region) Size() int { return len(r.Data) }
+
+// End returns the first address past the region.
+func (r *Region) End() Addr { return r.Base + Addr(len(r.Data)) }
+
+// Contains reports whether addr falls inside the region.
+func (r *Region) Contains(addr Addr) bool {
+	return addr >= r.Base && addr < r.End()
+}
+
+// Space is a simulated address space: a set of disjoint Regions. The zero
+// value is not usable; call NewSpace.
+type Space struct {
+	regions []*Region // sorted by Base
+	rng     *xrand.RNG
+	mapped  int // total mapped bytes
+}
+
+// Page-size alignment for random placement. Generous alignment keeps
+// region bases well separated, as with mmap on a real system.
+const baseAlign = 1 << 12
+
+// addrBits bounds randomly chosen bases to a 47-bit user-space-like range,
+// leaving the top of the address space unmapped so that canary values
+// (which have high random bits) never collide with a mapped region.
+const addrBits = 47
+
+// NewSpace returns an empty address space whose random placement is driven
+// by rng.
+func NewSpace(rng *xrand.RNG) *Space {
+	return &Space{rng: rng}
+}
+
+// MappedBytes returns the total number of currently mapped bytes.
+func (s *Space) MappedBytes() int { return s.mapped }
+
+// NumRegions returns the number of mapped regions.
+func (s *Space) NumRegions() int { return len(s.regions) }
+
+// Map allocates a region of the given size at a random, aligned,
+// non-overlapping base address and returns it.
+func (s *Space) Map(size int, tag any) *Region {
+	if size <= 0 {
+		panic("mem: Map with non-positive size")
+	}
+	for {
+		base := (s.rng.Uint64() % (1 << addrBits)) &^ (baseAlign - 1)
+		if base == 0 {
+			continue // keep address 0 unmapped so nil-like pointers fault
+		}
+		if base+Addr(size) < base { // wrap
+			continue
+		}
+		if s.overlaps(base, size) {
+			continue
+		}
+		r := &Region{Base: base, Data: make([]byte, size), Tag: tag}
+		s.insert(r)
+		s.mapped += size
+		return r
+	}
+}
+
+// MapAt maps a region at a specific base address (used by tests and by the
+// image loader to reconstruct a heap exactly). It panics if the placement
+// overlaps an existing region or is unaligned to 8 bytes.
+func (s *Space) MapAt(base Addr, size int, tag any) *Region {
+	if size <= 0 {
+		panic("mem: MapAt with non-positive size")
+	}
+	if base%8 != 0 {
+		panic("mem: MapAt with misaligned base")
+	}
+	if s.overlaps(base, size) {
+		panic(fmt.Sprintf("mem: MapAt overlap at 0x%x", base))
+	}
+	r := &Region{Base: base, Data: make([]byte, size), Tag: tag}
+	s.insert(r)
+	s.mapped += size
+	return r
+}
+
+// Unmap removes a region from the space. Accesses to its range fault
+// afterwards.
+func (s *Space) Unmap(r *Region) {
+	i := s.search(r.Base)
+	if i < len(s.regions) && s.regions[i] == r {
+		s.regions = append(s.regions[:i], s.regions[i+1:]...)
+		s.mapped -= len(r.Data)
+		return
+	}
+	panic("mem: Unmap of region not in space")
+}
+
+func (s *Space) overlaps(base Addr, size int) bool {
+	i := s.search(base)
+	if i < len(s.regions) && s.regions[i].Base < base+Addr(size) {
+		return true
+	}
+	if i > 0 && s.regions[i-1].End() > base {
+		return true
+	}
+	return false
+}
+
+// search returns the index of the first region with Base >= addr.
+func (s *Space) search(addr Addr) int {
+	return sort.Search(len(s.regions), func(i int) bool {
+		return s.regions[i].Base >= addr
+	})
+}
+
+// Find returns the region containing addr, or nil if addr is unmapped.
+func (s *Space) Find(addr Addr) *Region {
+	i := s.search(addr)
+	if i < len(s.regions) && s.regions[i].Contains(addr) {
+		return s.regions[i]
+	}
+	if i > 0 && s.regions[i-1].Contains(addr) {
+		return s.regions[i-1]
+	}
+	return nil
+}
+
+// Regions calls fn for every mapped region in ascending base order.
+func (s *Space) Regions(fn func(*Region)) {
+	for _, r := range s.regions {
+		fn(r)
+	}
+}
+
+// resolve locates the region for an n-byte access at addr, faulting if the
+// access is unmapped or spills past the region end (an overflow that walks
+// off a miniheap hits unmapped space, as in the paper's §5.1 assumption).
+func (s *Space) resolve(addr Addr, n int, op string) (*Region, int, *Fault) {
+	r := s.Find(addr)
+	if r == nil {
+		return nil, 0, &Fault{Kind: SegV, Addr: addr, Op: op}
+	}
+	off := int(addr - r.Base)
+	if off+n > len(r.Data) {
+		return nil, 0, &Fault{Kind: SegV, Addr: r.End(), Op: op}
+	}
+	return r, off, nil
+}
+
+// Read copies len(buf) bytes starting at addr into buf.
+func (s *Space) Read(addr Addr, buf []byte) *Fault {
+	r, off, f := s.resolve(addr, len(buf), "read")
+	if f != nil {
+		return f
+	}
+	copy(buf, r.Data[off:])
+	return nil
+}
+
+// Write copies buf into the space starting at addr.
+func (s *Space) Write(addr Addr, buf []byte) *Fault {
+	r, off, f := s.resolve(addr, len(buf), "write")
+	if f != nil {
+		return f
+	}
+	copy(r.Data[off:], buf)
+	return nil
+}
+
+// Read64 loads a 64-bit little-endian word. Misaligned loads raise an
+// Align fault — this is how a dereferenced canary (low bit set) traps.
+func (s *Space) Read64(addr Addr) (uint64, *Fault) {
+	if addr%8 != 0 {
+		return 0, &Fault{Kind: Align, Addr: addr, Op: "read64"}
+	}
+	r, off, f := s.resolve(addr, 8, "read64")
+	if f != nil {
+		return 0, f
+	}
+	return le64(r.Data[off:]), nil
+}
+
+// Write64 stores a 64-bit little-endian word, with the same alignment rule
+// as Read64.
+func (s *Space) Write64(addr Addr, v uint64) *Fault {
+	if addr%8 != 0 {
+		return &Fault{Kind: Align, Addr: addr, Op: "write64"}
+	}
+	r, off, f := s.resolve(addr, 8, "write64")
+	if f != nil {
+		return f
+	}
+	putLE64(r.Data[off:], v)
+	return nil
+}
+
+func le64(b []byte) uint64 {
+	_ = b[7]
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}
+
+func putLE64(b []byte, v uint64) {
+	_ = b[7]
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+	b[4] = byte(v >> 32)
+	b[5] = byte(v >> 40)
+	b[6] = byte(v >> 48)
+	b[7] = byte(v >> 56)
+}
+
+func (s *Space) insert(r *Region) {
+	i := s.search(r.Base)
+	s.regions = append(s.regions, nil)
+	copy(s.regions[i+1:], s.regions[i:])
+	s.regions[i] = r
+}

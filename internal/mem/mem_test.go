@@ -1,0 +1,212 @@
+package mem
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"exterminator/internal/xrand"
+)
+
+func newSpace() *Space { return NewSpace(xrand.New(1)) }
+
+func TestMapReadWrite(t *testing.T) {
+	s := newSpace()
+	r := s.Map(4096, "test")
+	if r.Size() != 4096 {
+		t.Fatalf("size = %d", r.Size())
+	}
+	data := []byte("hello, heap")
+	if f := s.Write(r.Base+100, data); f != nil {
+		t.Fatalf("write: %v", f)
+	}
+	buf := make([]byte, len(data))
+	if f := s.Read(r.Base+100, buf); f != nil {
+		t.Fatalf("read: %v", f)
+	}
+	if !bytes.Equal(buf, data) {
+		t.Fatalf("read back %q", buf)
+	}
+}
+
+func TestUnmappedAccessFaults(t *testing.T) {
+	s := newSpace()
+	var buf [8]byte
+	f := s.Read(0xdeadbeef000, buf[:])
+	if f == nil || f.Kind != SegV {
+		t.Fatalf("expected SegV, got %v", f)
+	}
+	if f.Error() == "" {
+		t.Fatal("empty fault message")
+	}
+}
+
+func TestAccessPastRegionEndFaults(t *testing.T) {
+	s := newSpace()
+	r := s.Map(64, nil)
+	var buf [16]byte
+	f := s.Read(r.Base+56, buf[:])
+	if f == nil || f.Kind != SegV {
+		t.Fatalf("expected SegV on spill, got %v", f)
+	}
+	if f.Addr != r.End() {
+		t.Fatalf("fault addr = %x, want region end %x", f.Addr, r.End())
+	}
+}
+
+func TestRegionsDoNotOverlap(t *testing.T) {
+	s := newSpace()
+	for i := 0; i < 200; i++ {
+		s.Map(1<<12+i*64, i)
+	}
+	var prev *Region
+	s.Regions(func(r *Region) {
+		if prev != nil && prev.End() > r.Base {
+			t.Fatalf("overlap: [%x,%x) and [%x,%x)", prev.Base, prev.End(), r.Base, r.End())
+		}
+		prev = r
+	})
+	if s.NumRegions() != 200 {
+		t.Fatalf("regions = %d", s.NumRegions())
+	}
+}
+
+func TestFindResolvesInterior(t *testing.T) {
+	s := newSpace()
+	r := s.Map(1024, "tag")
+	for _, off := range []Addr{0, 1, 512, 1023} {
+		got := s.Find(r.Base + off)
+		if got != r {
+			t.Fatalf("Find(base+%d) = %v", off, got)
+		}
+	}
+	if s.Find(r.End()) == r {
+		t.Fatal("Find(end) resolved into region")
+	}
+	if got := s.Find(r.Base + 512); got.Tag != "tag" {
+		t.Fatalf("tag = %v", got.Tag)
+	}
+}
+
+func TestUnmapFaultsAfter(t *testing.T) {
+	s := newSpace()
+	r := s.Map(256, nil)
+	base := r.Base
+	s.Unmap(r)
+	var b [1]byte
+	if f := s.Read(base, b[:]); f == nil {
+		t.Fatal("read of unmapped region succeeded")
+	}
+	if s.MappedBytes() != 0 {
+		t.Fatalf("mapped bytes = %d", s.MappedBytes())
+	}
+}
+
+func TestWord64RoundTrip(t *testing.T) {
+	s := newSpace()
+	r := s.Map(64, nil)
+	if f := s.Write64(r.Base+16, 0x1122334455667788); f != nil {
+		t.Fatalf("write64: %v", f)
+	}
+	v, f := s.Read64(r.Base + 16)
+	if f != nil {
+		t.Fatalf("read64: %v", f)
+	}
+	if v != 0x1122334455667788 {
+		t.Fatalf("read64 = %x", v)
+	}
+	// Little-endian byte order is part of the image format contract.
+	var b [8]byte
+	s.Read(r.Base+16, b[:])
+	if b[0] != 0x88 || b[7] != 0x11 {
+		t.Fatalf("byte order: % x", b)
+	}
+}
+
+func TestMisalignedWordFaults(t *testing.T) {
+	s := newSpace()
+	r := s.Map(64, nil)
+	_, f := s.Read64(r.Base + 1)
+	if f == nil || f.Kind != Align {
+		t.Fatalf("expected Align fault, got %v", f)
+	}
+	if f2 := s.Write64(r.Base+3, 1); f2 == nil || f2.Kind != Align {
+		t.Fatalf("expected Align fault on write, got %v", f2)
+	}
+}
+
+func TestCanaryLikeValueFaultsOnDereference(t *testing.T) {
+	// A canary always has its low bit set (paper §3.3); treating it as a
+	// pointer and dereferencing must trap.
+	s := newSpace()
+	canaryish := uint64(0x9e3779b97f4a7c15) | 1
+	if _, f := s.Read64(Addr(canaryish)); f == nil {
+		t.Fatal("dereferencing canary-like value did not fault")
+	}
+}
+
+func TestMapAtExactPlacement(t *testing.T) {
+	s := newSpace()
+	r := s.MapAt(0x10000, 128, nil)
+	if r.Base != 0x10000 {
+		t.Fatalf("base = %x", r.Base)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("overlapping MapAt did not panic")
+		}
+	}()
+	s.MapAt(0x10040, 128, nil)
+}
+
+func TestAddressZeroNeverMapped(t *testing.T) {
+	s := newSpace()
+	for i := 0; i < 100; i++ {
+		r := s.Map(64, nil)
+		if r.Base == 0 {
+			t.Fatal("region mapped at address 0")
+		}
+	}
+	var b [1]byte
+	if f := s.Read(0, b[:]); f == nil || f.Kind != SegV {
+		t.Fatalf("null deref did not SegV: %v", f)
+	}
+}
+
+func TestPropertyReadsSeeWrites(t *testing.T) {
+	s := newSpace()
+	r := s.Map(1<<16, nil)
+	if err := quick.Check(func(off uint16, val uint64) bool {
+		a := r.Base + Addr(off&^7)
+		if a+8 > r.End() {
+			return true
+		}
+		if f := s.Write64(a, val); f != nil {
+			return false
+		}
+		got, f := s.Read64(a)
+		return f == nil && got == val
+	}, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLe64Helpers(t *testing.T) {
+	var b [8]byte
+	putLE64(b[:], 0xdeadbeefcafebabe)
+	if le64(b[:]) != 0xdeadbeefcafebabe {
+		t.Fatal("le64 round trip failed")
+	}
+}
+
+func BenchmarkFindAmong1000Regions(b *testing.B) {
+	s := newSpace()
+	var bases []Addr
+	for i := 0; i < 1000; i++ {
+		bases = append(bases, s.Map(4096, nil).Base)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Find(bases[i%len(bases)] + 100)
+	}
+}

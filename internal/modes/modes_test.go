@@ -1,0 +1,255 @@
+package modes
+
+import (
+	"testing"
+
+	"exterminator/internal/inject"
+	"exterminator/internal/mutator"
+	"exterminator/internal/workloads"
+)
+
+func espresso() mutator.Program {
+	p, _ := workloads.ByName("espresso", 1)
+	return p
+}
+
+func overflowHook(size int) HookFactory {
+	return func() mutator.Hook {
+		return inject.New(inject.Plan{Kind: inject.Overflow, TriggerAlloc: 700, Size: size, Seed: 17})
+	}
+}
+
+func danglingHook() HookFactory {
+	return func() mutator.Hook {
+		return inject.New(inject.Plan{Kind: inject.Dangling, TriggerAlloc: 700, Seed: 23})
+	}
+}
+
+func TestIterativeCleanRun(t *testing.T) {
+	res := Iterative(espresso(), nil, nil, Options{HeapSeed: 1})
+	if !res.CleanAtStart || res.Corrected || res.GaveUp {
+		t.Fatalf("%s", res)
+	}
+	if res.Patches.Len() != 0 {
+		t.Fatal("clean run generated patches")
+	}
+}
+
+func TestIterativeCorrectsInjectedOverflow(t *testing.T) {
+	// The §7.2 experiment: injected overflows, iterative mode. The paper
+	// observed 3 images sufficing; we assert correction within the
+	// default budget and verify the patched program runs clean.
+	for _, size := range []int{4, 20, 36} {
+		// A single detection run may miss the overflow when it lands on
+		// uncanaried space (the paper ran 10 experiments per size); try a
+		// few heap seeds and require at least one full correction.
+		corrected := false
+		for seed := uint64(0); seed < 5 && !corrected; seed++ {
+			res := Iterative(espresso(), nil, overflowHook(size), Options{HeapSeed: uint64(100+size) + seed*977})
+			if res.CleanAtStart || !res.Corrected {
+				continue
+			}
+			if res.Patches.Len() == 0 {
+				t.Fatalf("size %d: corrected without patches?", size)
+			}
+			// Independent verification on a fresh seed.
+			if _, clean := Verify(espresso(), nil, overflowHook(size)(), res.Patches, 0xFEED+seed, 0x9106); !clean {
+				t.Fatalf("size %d: patched program still misbehaves", size)
+			}
+			corrected = true
+		}
+		if !corrected {
+			t.Fatalf("size %d: never corrected across 5 seeds", size)
+		}
+	}
+}
+
+func TestIterativeDanglingWriteCorrection(t *testing.T) {
+	// Injected dangling pointers in iterative mode: the paper isolates
+	// the error when the program *writes* through the dangling pointer
+	// (4/10 runs) and cannot when it only reads (the canary-read
+	// crash/abort cases). Either outcome is faithful; what must hold is
+	// no wrong patch and, when corrected, a clean verified rerun.
+	corrected, gaveUp := 0, 0
+	for trial := uint64(1); trial <= 6; trial++ {
+		// Each trial is a *different* injected dangling fault (different
+		// victim and trigger), as in the paper's 10 distinct faults.
+		hookFor := func() mutator.Hook {
+			return inject.New(inject.Plan{Kind: inject.Dangling, TriggerAlloc: 300 + trial*150, Seed: trial * 13})
+		}
+		res := Iterative(espresso(), nil, hookFor, Options{HeapSeed: trial * 31})
+		switch {
+		case res.Corrected:
+			corrected++
+		case res.GaveUp:
+			gaveUp++
+		}
+	}
+	if corrected == 0 && gaveUp == 0 {
+		t.Fatal("dangling injection neither corrected nor abandoned in 6 trials")
+	}
+	t.Logf("dangling iterative: %d corrected, %d gave up (paper: 4/10 vs 6/10)", corrected, gaveUp)
+}
+
+func TestReplicatedHealthyRun(t *testing.T) {
+	res := Replicated(espresso(), nil, nil, Options{HeapSeed: 5})
+	if res.ErrorDetected {
+		t.Fatalf("healthy run flagged: %s", res.Detection)
+	}
+	if len(res.Agreed) == 0 {
+		t.Fatal("no agreed output")
+	}
+	for _, o := range res.Outcomes {
+		if !o.Completed {
+			t.Fatalf("replica outcome: %s", o)
+		}
+	}
+}
+
+func TestReplicatedDetectsAndCorrectsOverflow(t *testing.T) {
+	res := Replicated(espresso(), nil, overflowHook(20), Options{HeapSeed: 6, Replicas: 4})
+	if !res.ErrorDetected {
+		t.Fatal("overflow not detected across replicas")
+	}
+	if res.Patches.Len() == 0 {
+		t.Fatalf("no patches from replicated isolation (detection: %s)", res.Detection)
+	}
+	if !res.Corrected {
+		t.Fatalf("patched re-run not clean (detection: %s)", res.Detection)
+	}
+}
+
+func TestCumulativeIdentifiesInjectedDangling(t *testing.T) {
+	// The §7.2 cumulative-mode experiment: injected dangling pointers in
+	// espresso, isolated by correlating canary placement with failures.
+	// Following the paper's methodology, first search for an injector
+	// seed whose fault actually triggers an error, then use that seed
+	// deterministically.
+	// The trigger sits near the run's end: a premature free close to the
+	// object's real lifetime end, so the slot is rarely reused before the
+	// program's own accesses — failure then hinges on the canary coin.
+	plan, ok := findFailingDanglingPlan(2300, 20)
+	if !ok {
+		t.Fatal("no injector seed triggers a failure")
+	}
+	hook := func(run int) mutator.Hook { return inject.New(plan) }
+	res := Cumulative(espresso(), nil, hook, Options{HeapSeed: 7, MaxRuns: 80})
+	if !res.Identified {
+		t.Fatalf("cumulative mode never identified the dangling error: %s", res.History)
+	}
+	if len(res.Findings.Danglings) == 0 {
+		t.Fatalf("findings: %+v", res.Findings)
+	}
+	t.Logf("identified after %d runs, %d failures (paper: 22–34 runs, ~15 failures)", res.Runs, res.Failures)
+}
+
+// findFailingDanglingPlan searches injector seeds for a dangling fault
+// that actually makes espresso fail (the paper's "run the injector using
+// a random seed until it triggers an error").
+func findFailingDanglingPlan(trigger uint64, maxSeeds uint64) (inject.Plan, bool) {
+	for s := uint64(1); s <= maxSeeds; s++ {
+		plan := inject.Plan{Kind: inject.Dangling, TriggerAlloc: trigger, Seed: s}
+		for heapSeed := uint64(1); heapSeed <= 3; heapSeed++ {
+			out, _ := Verify(espresso(), nil, inject.New(plan), nil, heapSeed*1299709, 0x9106)
+			if out.Bad() {
+				return plan, true
+			}
+		}
+	}
+	return inject.Plan{}, false
+}
+
+func TestCumulativeMozilla(t *testing.T) {
+	// The Mozilla case study (§7.2): nondeterministic workload, cumulative
+	// mode, immediate-trigger scenario.
+	moz := workloads.NewMozilla(8)
+	inputFor := func(run int) []byte { return workloads.MozillaSession(2, true) }
+	res := Cumulative(moz, inputFor, nil, Options{HeapSeed: 8, MaxRuns: 80, VaryProgSeed: true})
+	if !res.Identified {
+		t.Fatalf("mozilla overflow never identified: %s", res.History)
+	}
+	if len(res.Findings.Overflows) == 0 {
+		t.Fatal("no overflow finding")
+	}
+	t.Logf("mozilla isolated after %d runs (paper: 23 immediate / 34 browse-first)", res.Runs)
+}
+
+func TestVerifyDetectsResidualBug(t *testing.T) {
+	// Verify must fail when the bug is still present (no patches).
+	_, clean := Verify(espresso(), nil, overflowHook(20)(), nil, 9, 0x9106)
+	if clean {
+		t.Fatal("Verify passed an unpatched buggy run")
+	}
+	_, clean = Verify(espresso(), nil, nil, nil, 9, 0x9106)
+	if !clean {
+		t.Fatal("Verify failed a clean run")
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	var o Options
+	o.fill()
+	if o.Images != 3 || o.Replicas != 3 || o.MaxIterations != 8 || o.FillProb != 0.5 {
+		t.Fatalf("%+v", o)
+	}
+}
+
+func TestIterativeCorrectsRealMinimizer(t *testing.T) {
+	// End-to-end on a real algorithm (QM minimizer), not a synthetic
+	// profile: inject an overflow, isolate, patch, verify.
+	prog, _ := workloads.ByName("espresso-qm", 1)
+	hookFor := func() mutator.Hook {
+		return inject.New(inject.Plan{Kind: inject.Overflow, TriggerAlloc: 120, Size: 12, Seed: 5})
+	}
+	corrected := false
+	for seed := uint64(1); seed <= 8 && !corrected; seed++ {
+		res := Iterative(prog, nil, hookFor, Options{HeapSeed: seed * 104729})
+		if res.Corrected {
+			corrected = true
+			if _, clean := Verify(prog, nil, hookFor(), res.Patches, 0xF00D+seed, 0x9106); !clean {
+				t.Fatal("patched minimizer still misbehaves")
+			}
+		}
+	}
+	if !corrected {
+		t.Fatal("minimizer overflow never corrected across 8 seeds")
+	}
+}
+
+func TestReplicatedRealFactorizer(t *testing.T) {
+	// The factorizer is deterministic: replicas agree on healthy runs.
+	prog, _ := workloads.ByName("cfrac-mp", 1)
+	res := Replicated(prog, nil, nil, Options{HeapSeed: 77})
+	if res.ErrorDetected {
+		t.Fatalf("healthy factorizer flagged: %s", res.Detection)
+	}
+	if len(res.Agreed) == 0 {
+		t.Fatal("no agreed output")
+	}
+}
+
+func TestIterativeCorrectsInjectedUnderflow(t *testing.T) {
+	// The §2.1 extension end to end: the paper's §7.2 even describes its
+	// overflow experiments as "underflowing objects in the espresso
+	// benchmark". Inject a backward overflow, isolate, front-pad, verify.
+	hookFor := func() mutator.Hook {
+		return inject.New(inject.Plan{Kind: inject.Underflow, TriggerAlloc: 700, Size: 12, Seed: 29})
+	}
+	corrected := false
+	for seed := uint64(1); seed <= 8 && !corrected; seed++ {
+		res := Iterative(espresso(), nil, hookFor, Options{HeapSeed: seed * 15485863})
+		if !res.Corrected {
+			continue
+		}
+		if len(res.Patches.FrontPads) == 0 {
+			t.Fatalf("corrected without a front pad: %s", res.Patches)
+		}
+		if _, clean := Verify(espresso(), nil, hookFor(), res.Patches, 0xFACE+seed, 0x9106); !clean {
+			t.Fatal("front-padded program still misbehaves")
+		}
+		corrected = true
+	}
+	if !corrected {
+		t.Fatal("underflow never corrected across 8 seeds")
+	}
+}

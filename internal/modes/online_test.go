@@ -1,0 +1,71 @@
+package modes
+
+import (
+	"testing"
+
+	"exterminator/internal/correct"
+	"exterminator/internal/diefast"
+	"exterminator/internal/mutator"
+	"exterminator/internal/patch"
+	"exterminator/internal/workloads"
+	"exterminator/internal/xrand"
+)
+
+// TestOnTheFlyPatchReload exercises the paper's deployment story for
+// long-running programs (§3.4, §6.3): a server keeps running on one heap;
+// an error is isolated out-of-band; the correcting allocator reloads the
+// patches without interrupting execution; subsequent allocations are
+// fixed in place.
+func TestOnTheFlyPatchReload(t *testing.T) {
+	squid := workloads.NewSquid()
+	hostile := workloads.SquidHostileInput(200, 100)
+
+	// Derive patches out-of-band (the error isolator process).
+	var patches *patch.Set
+	for seed := uint64(1); seed <= 8; seed++ {
+		ir := Iterative(squid, hostile, nil, Options{HeapSeed: seed * 7919})
+		if ir.Corrected {
+			patches = ir.Patches
+			break
+		}
+	}
+	if patches == nil {
+		t.Fatal("could not derive squid patches")
+	}
+
+	// The long-running server: ONE heap and allocator across phases.
+	h := diefast.New(diefast.DefaultConfig(), xrand.New(0xBEEF))
+	h.OnError = func(diefast.Event) {} // record only
+	a := correct.New(h)
+	env := mutator.NewEnv(a, h.Space(), xrand.New(4), hostile)
+
+	// Phase 1: unpatched service hits the exploit.
+	out1 := mutator.Run(squid, env)
+	if !out1.Completed {
+		t.Skipf("phase 1 crashed in this layout: %s", out1)
+	}
+	corrupt1 := len(h.Scan(false))
+	if corrupt1 == 0 && len(h.Events()) == 0 {
+		t.Skip("exploit left no visible corruption in this layout")
+	}
+	eventsBefore := len(h.Events())
+
+	// The reload signal: patches applied to the running allocator.
+	a.Reload(patches.Clone())
+
+	// Phase 2: same process, same heap, fresh hostile traffic.
+	env2 := mutator.NewEnv(a, h.Space(), xrand.New(4), hostile)
+	out2 := mutator.Run(squid, env2)
+	if !out2.Completed {
+		t.Fatalf("patched phase crashed: %s", out2)
+	}
+	// Phase 2's overflow must be contained: no new DieFast events and no
+	// new corrupt slots beyond phase 1's residue (which is bad-isolated
+	// and stays visible by design).
+	if got := len(h.Events()); got != eventsBefore {
+		t.Fatalf("new DieFast events after reload: %d -> %d", eventsBefore, got)
+	}
+	if got := len(h.Scan(false)); got > corrupt1 {
+		t.Fatalf("new corruption after reload: %d -> %d", corrupt1, got)
+	}
+}

@@ -1,0 +1,8 @@
+package modes
+
+import "exterminator/internal/voter"
+
+// voterResult aliases the voter package's result type.
+type voterResult = voter.Result
+
+func voteImpl(outputs [][]byte) voter.Result { return voter.Vote(outputs) }

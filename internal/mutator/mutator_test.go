@@ -1,0 +1,227 @@
+package mutator
+
+import (
+	"strings"
+	"testing"
+
+	"exterminator/internal/diefast"
+	"exterminator/internal/mem"
+	"exterminator/internal/xrand"
+)
+
+// progFunc adapts a function to Program.
+type progFunc struct {
+	name string
+	fn   func(e *Env)
+}
+
+func (p progFunc) Name() string { return p.name }
+func (p progFunc) Run(e *Env)   { p.fn(e) }
+
+func newEnv(seed uint64) *Env {
+	h := diefast.New(diefast.DefaultConfig(), xrand.New(seed))
+	return NewEnv(h, h.Space(), xrand.New(99), nil)
+}
+
+func TestCompletedRun(t *testing.T) {
+	e := newEnv(1)
+	out := Run(progFunc{"ok", func(e *Env) {
+		p := e.Malloc(32)
+		e.Write(p, 0, []byte("hello"))
+		buf := make([]byte, 5)
+		e.Read(p, 0, buf)
+		if string(buf) != "hello" {
+			e.Fail("readback mismatch")
+		}
+		e.Free(p)
+		e.Print("done")
+	}}, e)
+	if !out.Completed || out.Crashed || out.Failed {
+		t.Fatalf("outcome: %s", out)
+	}
+	if strings.TrimSpace(string(out.Output)) != "done" {
+		t.Fatalf("output %q", out.Output)
+	}
+	if out.Clock != 1 {
+		t.Fatalf("clock = %d", out.Clock)
+	}
+}
+
+func TestCrashOnWildWrite(t *testing.T) {
+	out := Run(progFunc{"wild", func(e *Env) {
+		e.Write(0xdeadbeef000, 0, []byte("boom"))
+	}}, newEnv(2))
+	if !out.Crashed || out.Fault == nil || out.Fault.Kind != mem.SegV {
+		t.Fatalf("outcome: %s", out)
+	}
+	if out.Completed {
+		t.Fatal("crashed run marked completed")
+	}
+}
+
+func TestCrashOnCanaryDeref(t *testing.T) {
+	out := Run(progFunc{"dangle-read", func(e *Env) {
+		p := e.Malloc(64)
+		e.FreeUnderneath(p) // premature free; slot is canary-filled
+		v := e.Read64(p, 0) // reads the canary word
+		e.Deref(v)          // dereferences it: alignment/segv trap
+	}}, newEnv(3))
+	if !out.Crashed {
+		t.Fatalf("outcome: %s", out)
+	}
+}
+
+func TestFailOutcome(t *testing.T) {
+	out := Run(progFunc{"abort", func(e *Env) { e.Fail("bitset corrupt") }}, newEnv(4))
+	if !out.Failed || out.FailMsg != "bitset corrupt" || out.Crashed {
+		t.Fatalf("outcome: %s", out)
+	}
+	if !out.Bad() {
+		t.Fatal("failed run not Bad()")
+	}
+}
+
+func TestStopOutcome(t *testing.T) {
+	out := Run(progFunc{"stop", func(e *Env) { panic(Stop{Reason: "diefast signal"}) }}, newEnv(5))
+	if !out.Stopped || out.StopReason != "diefast signal" {
+		t.Fatalf("outcome: %s", out)
+	}
+	if out.Bad() {
+		t.Fatal("stop is not a failure")
+	}
+}
+
+func TestMallocBreakpoint(t *testing.T) {
+	e := newEnv(6)
+	e.StopAtClock = 5
+	allocs := 0
+	out := Run(progFunc{"bp", func(e *Env) {
+		for i := 0; i < 100; i++ {
+			e.Malloc(16)
+			allocs++
+		}
+	}}, e)
+	if !out.BreakpointHit {
+		t.Fatalf("outcome: %s", out)
+	}
+	// The 5th allocation completes (clock=5) but control never returns to
+	// the program, so its own counter reads 4.
+	if allocs != 4 || out.Clock != 5 {
+		t.Fatalf("stopped after %d allocs, clock %d", allocs, out.Clock)
+	}
+}
+
+func TestCallSitesDistinguishPaths(t *testing.T) {
+	e := newEnv(7)
+	h := e.Alloc.(*diefast.Heap)
+	var p1, p2 Ptr
+	Run(progFunc{"sites", func(e *Env) {
+		e.Call(0x100, func() { p1 = e.Malloc(32) })
+		e.Call(0x200, func() { p2 = e.Malloc(32) })
+	}}, e)
+	m1, s1, _ := h.Diehard().Lookup(p1)
+	m2, s2, _ := h.Diehard().Lookup(p2)
+	if m1.Meta(s1).AllocSite == m2.Meta(s2).AllocSite {
+		t.Fatal("different call paths produced the same site")
+	}
+}
+
+func TestLiveTracking(t *testing.T) {
+	e := newEnv(8)
+	Run(progFunc{"live", func(e *Env) {
+		a := e.Malloc(16)
+		b := e.Malloc(16)
+		c := e.Malloc(16)
+		e.Free(b)
+		live := e.Live()
+		if len(live) != 2 {
+			t.Fatalf("live = %d", len(live))
+		}
+		if live[0].Ptr != a || live[1].Ptr != c {
+			t.Fatal("live order not by ordinal")
+		}
+		if live[0].Ord != 1 || live[1].Ord != 3 {
+			t.Fatalf("ordinals %d,%d", live[0].Ord, live[1].Ord)
+		}
+		if o, ok := e.Object(a); !ok || o.Size != 16 {
+			t.Fatal("Object lookup failed")
+		}
+		if _, ok := e.Object(b); ok {
+			t.Fatal("freed object still live")
+		}
+	}}, e)
+}
+
+type countingHook struct {
+	ords  []uint64
+	sizes []int
+}
+
+func (h *countingHook) AfterMalloc(e *Env, ord uint64, ptr Ptr, size int) {
+	h.ords = append(h.ords, ord)
+	h.sizes = append(h.sizes, size)
+}
+
+func TestHookObservesAllocations(t *testing.T) {
+	e := newEnv(9)
+	hook := &countingHook{}
+	e.Hook = hook
+	Run(progFunc{"hooked", func(e *Env) {
+		e.Malloc(10)
+		e.Malloc(20)
+	}}, e)
+	if len(hook.ords) != 2 || hook.ords[0] != 1 || hook.sizes[1] != 20 {
+		t.Fatalf("hook saw %v %v", hook.ords, hook.sizes)
+	}
+}
+
+func TestDeterministicAcrossHeapSeeds(t *testing.T) {
+	// Same program seed, different heap seeds: outputs and clocks align
+	// (the replica property).
+	prog := progFunc{"det", func(e *Env) {
+		var ptrs []Ptr
+		for i := 0; i < 200; i++ {
+			p := e.Malloc(8 + e.Rng.Intn(100))
+			ptrs = append(ptrs, p)
+			if len(ptrs) > 10 && e.Rng.Bool(0.5) {
+				k := e.Rng.Intn(len(ptrs))
+				e.Free(ptrs[k])
+				ptrs = append(ptrs[:k], ptrs[k+1:]...)
+			}
+		}
+		e.Printf("allocs=%d live=%d\n", e.Alloc.Clock(), len(ptrs))
+	}}
+	run := func(heapSeed uint64) *Outcome {
+		h := diefast.New(diefast.DefaultConfig(), xrand.New(heapSeed))
+		e := NewEnv(h, h.Space(), xrand.New(42), nil)
+		return Run(prog, e)
+	}
+	o1, o2 := run(111), run(222)
+	if string(o1.Output) != string(o2.Output) || o1.Clock != o2.Clock {
+		t.Fatalf("replicas diverged: %q/%d vs %q/%d", o1.Output, o1.Clock, o2.Output, o2.Clock)
+	}
+}
+
+func TestHarnessBugsNotSwallowed(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-fault panic was swallowed")
+		}
+	}()
+	Run(progFunc{"bug", func(e *Env) { panic("harness bug") }}, newEnv(10))
+}
+
+func TestOutcomeStrings(t *testing.T) {
+	for _, o := range []*Outcome{
+		{Program: "p", Completed: true},
+		{Program: "p", Crashed: true, Fault: &mem.Fault{Kind: mem.SegV}},
+		{Program: "p", Crashed: true},
+		{Program: "p", Failed: true, FailMsg: "x"},
+		{Program: "p", Stopped: true, StopReason: "r"},
+		{Program: "p", BreakpointHit: true},
+	} {
+		if o.String() == "" {
+			t.Fatal("empty outcome string")
+		}
+	}
+}

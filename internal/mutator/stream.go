@@ -1,0 +1,19 @@
+package mutator
+
+// StreamProgram is a long-running service processed in input chunks —
+// the continuously-running-program shape of the paper's replicated mode
+// (Figure 5): input is broadcast chunk by chunk, output voted per chunk,
+// and the process (and its heap) lives across chunks.
+type StreamProgram interface {
+	// Name identifies the service.
+	Name() string
+	// NewSession creates per-replica service state bound to env.
+	NewSession(e *Env) Session
+}
+
+// Session is one replica's live service instance.
+type Session interface {
+	// Step processes one input chunk. Memory errors surface as panics,
+	// which the serving harness traps per replica.
+	Step(chunk []byte)
+}

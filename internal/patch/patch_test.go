@@ -1,0 +1,234 @@
+package patch
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"exterminator/internal/site"
+)
+
+func TestAddPadKeepsMax(t *testing.T) {
+	s := New()
+	if !s.AddPad(1, 10) {
+		t.Fatal("first AddPad reported no change")
+	}
+	if s.AddPad(1, 5) {
+		t.Fatal("smaller pad reported change")
+	}
+	if !s.AddPad(1, 20) {
+		t.Fatal("larger pad reported no change")
+	}
+	if s.Pad(1) != 20 {
+		t.Fatalf("pad = %d", s.Pad(1))
+	}
+	if s.AddPad(2, 0) {
+		t.Fatal("zero pad stored")
+	}
+}
+
+func TestAddDeferralKeepsMax(t *testing.T) {
+	s := New()
+	p := site.Pair{Alloc: 1, Free: 2}
+	s.AddDeferral(p, 100)
+	s.AddDeferral(p, 50)
+	if s.Deferral(p) != 100 {
+		t.Fatalf("deferral = %d", s.Deferral(p))
+	}
+	s.AddDeferral(p, 200)
+	if s.Deferral(p) != 200 {
+		t.Fatalf("deferral = %d", s.Deferral(p))
+	}
+	if s.Deferral(site.Pair{Alloc: 9, Free: 9}) != 0 {
+		t.Fatal("missing pair nonzero")
+	}
+}
+
+func mkSet(pads map[uint32]uint32, defs map[[2]uint32]uint64) *Set {
+	s := New()
+	for k, v := range pads {
+		s.AddPad(site.ID(k), v)
+	}
+	for k, v := range defs {
+		s.AddDeferral(site.Pair{Alloc: site.ID(k[0]), Free: site.ID(k[1])}, v)
+	}
+	return s
+}
+
+func TestMergeSemilattice(t *testing.T) {
+	a := mkSet(map[uint32]uint32{1: 10, 2: 5}, map[[2]uint32]uint64{{1, 2}: 7})
+	b := mkSet(map[uint32]uint32{1: 4, 3: 9}, map[[2]uint32]uint64{{1, 2}: 11, {3, 4}: 2})
+
+	ab := a.Clone()
+	ab.Merge(b)
+	ba := b.Clone()
+	ba.Merge(a)
+	if !ab.Equal(ba) {
+		t.Fatal("merge not commutative")
+	}
+	if ab.Pad(1) != 10 || ab.Pad(3) != 9 {
+		t.Fatal("merge did not take maxima")
+	}
+	if ab.Deferral(site.Pair{Alloc: 1, Free: 2}) != 11 {
+		t.Fatal("deferral max wrong")
+	}
+	// Idempotent.
+	ab2 := ab.Clone()
+	if ab2.Merge(ab) {
+		t.Fatal("self merge reported change")
+	}
+	if !ab2.Equal(ab) {
+		t.Fatal("merge not idempotent")
+	}
+}
+
+func TestMergeAssociative(t *testing.T) {
+	if err := quick.Check(func(p1, p2, p3 map[uint32]uint32) bool {
+		a := mkSet(p1, nil)
+		b := mkSet(p2, nil)
+		c := mkSet(p3, nil)
+		left := a.Clone()
+		left.Merge(b)
+		left.Merge(c)
+		bc := b.Clone()
+		bc.Merge(c)
+		right := a.Clone()
+		right.Merge(bc)
+		return left.Equal(right)
+	}, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	s := mkSet(
+		map[uint32]uint32{0xdeadbeef: 6, 1: 36},
+		map[[2]uint32]uint64{{0xa, 0xb}: 21, {0xffffffff, 0}: 1 << 40},
+	)
+	var buf bytes.Buffer
+	if err := s.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(s) {
+		t.Fatalf("round trip mismatch:\n%s\nvs\n%s", got, s)
+	}
+}
+
+func TestBinaryRejectsGarbage(t *testing.T) {
+	if _, err := Decode(bytes.NewReader([]byte("not a patch file....."))); err == nil {
+		t.Fatal("garbage decoded")
+	}
+	if _, err := Decode(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty decoded")
+	}
+	// Truncated records.
+	s := mkSet(map[uint32]uint32{1: 2}, nil)
+	var buf bytes.Buffer
+	s.Encode(&buf)
+	trunc := buf.Bytes()[:buf.Len()-3]
+	if _, err := Decode(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("truncated file decoded")
+	}
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	s := mkSet(
+		map[uint32]uint32{0xcafe: 12},
+		map[[2]uint32]uint64{{0x1, 0x2}: 33},
+	)
+	var buf bytes.Buffer
+	if err := s.EncodeText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(s) {
+		t.Fatalf("text round trip mismatch: %s vs %s", got, s)
+	}
+}
+
+func TestTextComments(t *testing.T) {
+	in := "# a comment\n\npad 0000cafe 6\ndefer 00000001 00000002 10\n"
+	s, err := DecodeText(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Pad(0xcafe) != 6 || s.Deferral(site.Pair{Alloc: 1, Free: 2}) != 10 {
+		t.Fatalf("parsed %s", s)
+	}
+}
+
+func TestTextErrors(t *testing.T) {
+	for _, bad := range []string{
+		"pad 1\n",
+		"pad zz 5\n",
+		"defer 1 2\n",
+		"frobnicate 1 2 3\n",
+	} {
+		if _, err := DecodeText(strings.NewReader(bad)); err == nil {
+			t.Errorf("parsed bad input %q", bad)
+		}
+	}
+}
+
+func TestDeterministicEncoding(t *testing.T) {
+	s := mkSet(map[uint32]uint32{3: 1, 1: 1, 2: 1}, map[[2]uint32]uint64{{2, 1}: 5, {1, 1}: 5})
+	var b1, b2 bytes.Buffer
+	s.Encode(&b1)
+	s.Clone().Encode(&b2)
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Fatal("encoding not deterministic")
+	}
+	if s.String() != s.Clone().String() {
+		t.Fatal("text not deterministic")
+	}
+}
+
+func TestPropertyEncodeDecodeIdentity(t *testing.T) {
+	if err := quick.Check(func(pads map[uint32]uint32, defs map[uint32]uint64) bool {
+		s := New()
+		for k, v := range pads {
+			if v > 0 {
+				s.AddPad(site.ID(k), v)
+			}
+		}
+		for k, v := range defs {
+			if v > 0 {
+				s.AddDeferral(site.Pair{Alloc: site.ID(k), Free: site.ID(k >> 1)}, v)
+			}
+		}
+		var buf bytes.Buffer
+		if err := s.Encode(&buf); err != nil {
+			return false
+		}
+		got, err := Decode(&buf)
+		return err == nil && got.Equal(s)
+	}, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLen(t *testing.T) {
+	s := mkSet(map[uint32]uint32{1: 1, 2: 2}, map[[2]uint32]uint64{{1, 2}: 3})
+	if s.Len() != 3 {
+		t.Fatalf("len = %d", s.Len())
+	}
+}
+
+func BenchmarkMerge1000Sites(b *testing.B) {
+	big := New()
+	for i := uint32(0); i < 1000; i++ {
+		big.AddPad(site.ID(i), i+1)
+	}
+	for i := 0; i < b.N; i++ {
+		s := New()
+		s.Merge(big)
+	}
+}

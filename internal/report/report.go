@@ -1,0 +1,201 @@
+// Package report turns runtime patches and isolation findings into
+// human-readable bug reports with suggested fixes — the tool the paper's
+// future-work section (§9) describes: "we plan to develop a tool to
+// process runtime patches into bug reports with suggested fixes."
+//
+// A report explains, per patch entry, what the runtime evidence implies
+// about the source defect:
+//
+//   - a pad entry means every allocation from one call site is written
+//     past its end by up to pad bytes — an undersized buffer or an
+//     off-by-N loop bound at that site;
+//   - a deferral entry means objects allocated at one site and freed at
+//     another are still used after the free — the free site runs too
+//     early by roughly deferral/2 allocations (the §6.2 patch doubles the
+//     observed gap).
+//
+// When a site.Registry is available the report resolves site hashes back
+// to the synthetic call stacks that produced them.
+package report
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"exterminator/internal/isolate"
+	"exterminator/internal/patch"
+	"exterminator/internal/site"
+)
+
+// Finding is one diagnosed defect.
+type Finding struct {
+	Kind      string // "buffer-overflow" or "dangling-pointer"
+	Title     string
+	Details   []string
+	Suggested string
+}
+
+// Report is a set of findings derived from patches (and optionally richer
+// isolation output).
+type Report struct {
+	Findings []Finding
+}
+
+// FromPatches derives a report from a bare patch set. reg may be nil.
+func FromPatches(p *patch.Set, reg *site.Registry) *Report {
+	r := &Report{}
+	for _, s := range sortedSites(p.Pads) {
+		pad := p.Pads[s]
+		f := Finding{
+			Kind:  "buffer-overflow",
+			Title: fmt.Sprintf("heap buffer overflow from allocation site %v", s),
+			Details: []string{
+				fmt.Sprintf("objects allocated at %v are overwritten up to %d byte(s) past their end", s, pad),
+				"the runtime currently contains the overflow by over-allocating (pad table entry)",
+			},
+			Suggested: fmt.Sprintf("audit the buffer size computation at this site: the allocation is at least %d byte(s) too small for the data written into it (check for off-by-one loop bounds, missing terminator/header space, or unescaped-length vs escaped-length confusion)", pad),
+		}
+		f.Details = append(f.Details, describeSite(reg, s, "allocation")...)
+		r.Findings = append(r.Findings, f)
+	}
+	for _, s := range sortedSites(p.FrontPads) {
+		pad := p.FrontPads[s]
+		f := Finding{
+			Kind:  "buffer-underflow",
+			Title: fmt.Sprintf("heap buffer underflow from allocation site %v", s),
+			Details: []string{
+				fmt.Sprintf("objects allocated at %v are overwritten up to %d byte(s) *before* their start", s, pad),
+				"the runtime currently contains the underflow with a leading pad (front-pad table entry)",
+			},
+			Suggested: fmt.Sprintf("audit index arithmetic at this site: writes reach %d byte(s) below the buffer (check for negative indices, off-by-one at position 0, or pointer arithmetic that backs up past the base)", pad),
+		}
+		f.Details = append(f.Details, describeSite(reg, s, "allocation")...)
+		r.Findings = append(r.Findings, f)
+	}
+	for _, pr := range sortedPairs(p.Deferrals) {
+		d := p.Deferrals[pr]
+		f := Finding{
+			Kind:  "dangling-pointer",
+			Title: fmt.Sprintf("premature free: %v", pr),
+			Details: []string{
+				fmt.Sprintf("objects allocated at %v and freed at %v are still used after the free", pr.Alloc, pr.Free),
+				fmt.Sprintf("the free runs roughly %d allocation(s) too early (the runtime defers it by %d)", d/2, d),
+			},
+			Suggested: "move the deallocation past the last use of the object, or transfer ownership explicitly; if the object is shared, reference-count or copy before freeing",
+		}
+		f.Details = append(f.Details, describeSite(reg, pr.Alloc, "allocation")...)
+		f.Details = append(f.Details, describeSite(reg, pr.Free, "deallocation")...)
+		r.Findings = append(r.Findings, f)
+	}
+	return r
+}
+
+// FromIsolation enriches a patch-derived report with the isolator's
+// detail: victim lists, overflow extents and confidence scores.
+func FromIsolation(rep *isolate.Report, reg *site.Registry) *Report {
+	r := &Report{}
+	for _, o := range rep.Overflows {
+		f := Finding{
+			Kind:  "buffer-overflow",
+			Title: fmt.Sprintf("heap buffer overflow from object %d (site %v)", o.CulpritID, o.AllocSite),
+			Details: []string{
+				fmt.Sprintf("overflow begins %d byte(s) from the object's start and extends to byte %d", o.Delta, o.Extent),
+				fmt.Sprintf("confidence %.6f (evidence: %d overflow-string bytes across %d heap image(s))", o.Score, o.Evidence, o.Obs),
+				fmt.Sprintf("suggested pad: %d byte(s)", o.Pad),
+			},
+			Suggested: fmt.Sprintf("grow the buffer allocated at %v by at least %d byte(s), or fix the write loop that runs past it", o.AllocSite, o.Pad),
+		}
+		if len(o.Victims) > 0 {
+			f.Details = append(f.Details, fmt.Sprintf("corrupted neighbour object(s): %v", o.Victims))
+		}
+		f.Details = append(f.Details, describeSite(reg, o.AllocSite, "allocation")...)
+		r.Findings = append(r.Findings, f)
+	}
+	for _, d := range rep.Danglings {
+		f := Finding{
+			Kind:  "dangling-pointer",
+			Title: fmt.Sprintf("dangling-pointer overwrite of object %d", d.VictimID),
+			Details: []string{
+				fmt.Sprintf("the object was freed at allocation time %d and written afterwards (last allocation time %d)", d.FreeTime, d.LastAlloc),
+				fmt.Sprintf("lifetime extension applied: %d allocation(s)", d.Deferral),
+			},
+			Suggested: fmt.Sprintf("the free at %v runs at least %d allocation(s) before the object's real last use; move it later or remove it", d.Pair.Free, d.LastAlloc-d.FreeTime),
+		}
+		f.Details = append(f.Details, describeSite(reg, d.Pair.Alloc, "allocation")...)
+		f.Details = append(f.Details, describeSite(reg, d.Pair.Free, "deallocation")...)
+		r.Findings = append(r.Findings, f)
+	}
+	return r
+}
+
+// Empty reports whether there is nothing to report.
+func (r *Report) Empty() bool { return len(r.Findings) == 0 }
+
+// Write renders the report as text.
+func (r *Report) Write(w io.Writer) error {
+	if r.Empty() {
+		_, err := fmt.Fprintln(w, "no memory errors on record — patch set is empty")
+		return err
+	}
+	for i, f := range r.Findings {
+		if _, err := fmt.Fprintf(w, "[%d] %s: %s\n", i+1, strings.ToUpper(f.Kind), f.Title); err != nil {
+			return err
+		}
+		for _, d := range f.Details {
+			if _, err := fmt.Fprintf(w, "    - %s\n", d); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "    FIX: %s\n\n", f.Suggested); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// String renders the report.
+func (r *Report) String() string {
+	var b strings.Builder
+	r.Write(&b)
+	return b.String()
+}
+
+func describeSite(reg *site.Registry, s site.ID, role string) []string {
+	if reg == nil {
+		return nil
+	}
+	frames := reg.Lookup(s)
+	if frames == nil {
+		return nil
+	}
+	parts := make([]string, len(frames))
+	for i, pc := range frames {
+		parts[i] = fmt.Sprintf("0x%x", pc)
+	}
+	return []string{fmt.Sprintf("%s call stack (outermost first): %s", role, strings.Join(parts, " > "))}
+}
+
+func sortedSites(m map[site.ID]uint32) []site.ID {
+	out := make([]site.ID, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func sortedPairs(m map[site.Pair]uint64) []site.Pair {
+	out := make([]site.Pair, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Alloc != out[j].Alloc {
+			return out[i].Alloc < out[j].Alloc
+		}
+		return out[i].Free < out[j].Free
+	})
+	return out
+}

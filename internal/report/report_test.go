@@ -1,0 +1,116 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"exterminator/internal/heap"
+	"exterminator/internal/isolate"
+	"exterminator/internal/patch"
+	"exterminator/internal/site"
+)
+
+type heapID = heap.ObjectID
+
+func TestFromPatchesOverflow(t *testing.T) {
+	p := patch.New()
+	p.AddPad(site.ID(0xABCD), 6)
+	r := FromPatches(p, nil)
+	if len(r.Findings) != 1 {
+		t.Fatalf("findings = %d", len(r.Findings))
+	}
+	f := r.Findings[0]
+	if f.Kind != "buffer-overflow" {
+		t.Fatalf("kind = %q", f.Kind)
+	}
+	text := r.String()
+	if !strings.Contains(text, "6 byte(s)") || !strings.Contains(text, "FIX:") {
+		t.Fatalf("report text missing essentials:\n%s", text)
+	}
+}
+
+func TestFromPatchesDangling(t *testing.T) {
+	p := patch.New()
+	p.AddDeferral(site.Pair{Alloc: 1, Free: 2}, 42)
+	r := FromPatches(p, nil)
+	if len(r.Findings) != 1 || r.Findings[0].Kind != "dangling-pointer" {
+		t.Fatalf("%+v", r.Findings)
+	}
+	if !strings.Contains(r.String(), "21 allocation(s) too early") {
+		t.Fatalf("deferral halving missing:\n%s", r)
+	}
+}
+
+func TestRegistryResolution(t *testing.T) {
+	reg := site.NewRegistry()
+	var st site.Stack
+	st.Push(0x1111)
+	st.Push(0x2222)
+	id := reg.Record(&st)
+
+	p := patch.New()
+	p.AddPad(id, 8)
+	r := FromPatches(p, reg)
+	text := r.String()
+	if !strings.Contains(text, "0x1111") || !strings.Contains(text, "0x2222") {
+		t.Fatalf("call stack not resolved:\n%s", text)
+	}
+}
+
+func TestFromIsolation(t *testing.T) {
+	rep := &isolate.Report{
+		Overflows: []isolate.OverflowFinding{{
+			CulpritID: 12, AllocSite: 0xA, Delta: 32, Extent: 52,
+			Pad: 20, Score: 0.999999, Evidence: 40, Obs: 3,
+			Victims: []heapID{7, 9},
+		}},
+		Danglings: []isolate.DanglingFinding{{
+			VictimID: 5, Pair: site.Pair{Alloc: 1, Free: 2},
+			FreeTime: 100, LastAlloc: 120, Deferral: 41,
+		}},
+	}
+	r := FromIsolation(rep, nil)
+	if len(r.Findings) != 2 {
+		t.Fatalf("findings = %d", len(r.Findings))
+	}
+	text := r.String()
+	for _, want := range []string{"object 12", "suggested pad: 20", "object 5", "lifetime extension applied: 41"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("missing %q in:\n%s", want, text)
+		}
+	}
+}
+
+func TestEmptyReport(t *testing.T) {
+	r := FromPatches(patch.New(), nil)
+	if !r.Empty() {
+		t.Fatal("not empty")
+	}
+	if !strings.Contains(r.String(), "no memory errors") {
+		t.Fatal("empty message missing")
+	}
+}
+
+func TestDeterministicOrder(t *testing.T) {
+	p := patch.New()
+	p.AddPad(3, 1)
+	p.AddPad(1, 1)
+	p.AddPad(2, 1)
+	a := FromPatches(p, nil).String()
+	b := FromPatches(p, nil).String()
+	if a != b {
+		t.Fatal("report order nondeterministic")
+	}
+}
+
+func TestFromPatchesUnderflow(t *testing.T) {
+	p := patch.New()
+	p.AddFrontPad(site.ID(0xDD), 12)
+	r := FromPatches(p, nil)
+	if len(r.Findings) != 1 || r.Findings[0].Kind != "buffer-underflow" {
+		t.Fatalf("%+v", r.Findings)
+	}
+	if !strings.Contains(r.String(), "before") {
+		t.Fatalf("underflow wording missing:\n%s", r)
+	}
+}

@@ -1,0 +1,114 @@
+// Package site implements allocation/deallocation call-site identification
+// (paper §3.2, Figure 3).
+//
+// Exterminator keys its runtime patches by *site*: a 32-bit hash of the
+// least significant bytes of the five most-recent return addresses on the
+// call stack at the time of an allocation or deallocation, computed with
+// Dan Bernstein's DJB2 hash. Our simulated mutator programs maintain an
+// explicit Stack of synthetic return addresses (one per simulated call
+// frame), so sites are stable across runs and across differently
+// randomized heaps — exactly the property the correcting allocator's pad
+// and deferral tables rely on.
+package site
+
+import "fmt"
+
+// ID is a 32-bit call-site hash. The zero ID means "unknown site".
+type ID uint32
+
+// String formats the site like a debugger would show a code hash.
+func (s ID) String() string { return fmt.Sprintf("site:%08x", uint32(s)) }
+
+// Pair identifies the (allocation site, deallocation site) combination
+// that keys dangling-pointer deferral patches (paper §6.2).
+type Pair struct {
+	Alloc ID
+	Free  ID
+}
+
+// String formats the pair.
+func (p Pair) String() string {
+	return fmt.Sprintf("alloc:%08x/free:%08x", uint32(p.Alloc), uint32(p.Free))
+}
+
+// depth is the number of most-recent return addresses hashed (Figure 3
+// reads five ints starting at the program counter array).
+const depth = 5
+
+// HashPCs computes the DJB2 hash of the least significant 32 bits of the
+// five most-recent return addresses (pcs[len-1] is the innermost frame).
+// Shorter stacks hash the frames that exist, with missing frames as zero,
+// matching a shallow call stack in the real system.
+func HashPCs(pcs []uint64) ID {
+	var h uint32 = 5381
+	for i := 0; i < depth; i++ {
+		var pc uint32
+		idx := len(pcs) - depth + i
+		if idx >= 0 {
+			pc = uint32(pcs[idx]) // least-significant bytes of the address
+		}
+		h = ((h << 5) + h) + pc // h*33 + pc
+	}
+	return ID(h)
+}
+
+// Stack is a simulated call stack of synthetic return addresses. The zero
+// value is an empty stack, ready to use.
+type Stack struct {
+	pcs []uint64
+}
+
+// Push enters a simulated call frame with the given return address.
+func (s *Stack) Push(pc uint64) { s.pcs = append(s.pcs, pc) }
+
+// Pop leaves the innermost frame. It panics on an empty stack, which would
+// indicate a bug in a workload program.
+func (s *Stack) Pop() {
+	if len(s.pcs) == 0 {
+		panic("site: Pop of empty stack")
+	}
+	s.pcs = s.pcs[:len(s.pcs)-1]
+}
+
+// Depth returns the current number of frames.
+func (s *Stack) Depth() int { return len(s.pcs) }
+
+// Hash returns the site ID for the current stack contents.
+func (s *Stack) Hash() ID { return HashPCs(s.pcs) }
+
+// Snapshot returns a copy of the current frames (outermost first), for
+// diagnostics and the site registry.
+func (s *Stack) Snapshot() []uint64 {
+	out := make([]uint64, len(s.pcs))
+	copy(out, s.pcs)
+	return out
+}
+
+// Registry maps site IDs back to the stacks that produced them, so tools
+// can print human-readable provenance (the paper's future-work bug-report
+// tool, §9). Recording is best-effort: the first stack observed for an ID
+// wins.
+type Registry struct {
+	stacks map[ID][]uint64
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{stacks: make(map[ID][]uint64)}
+}
+
+// Record associates the stack with its hash if not already present, and
+// returns the hash.
+func (r *Registry) Record(s *Stack) ID {
+	id := s.Hash()
+	if _, ok := r.stacks[id]; !ok {
+		r.stacks[id] = s.Snapshot()
+	}
+	return id
+}
+
+// Lookup returns the recorded frames for id, or nil.
+func (r *Registry) Lookup(id ID) []uint64 { return r.stacks[id] }
+
+// Len returns the number of distinct sites recorded.
+func (r *Registry) Len() int { return len(r.stacks) }

@@ -1,0 +1,141 @@
+package site
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestHashPCsMatchesDJB2Reference(t *testing.T) {
+	// Reference: hash = 5381; 5 rounds of hash = hash*33 + pc[i].
+	pcs := []uint64{0x1000, 0x2000, 0x3000, 0x4000, 0x5000}
+	var want uint32 = 5381
+	for _, pc := range pcs {
+		want = want*33 + uint32(pc)
+	}
+	if got := HashPCs(pcs); got != ID(want) {
+		t.Fatalf("got %08x, want %08x", uint32(got), want)
+	}
+}
+
+func TestHashUsesFiveMostRecent(t *testing.T) {
+	deep := []uint64{1, 2, 3, 4, 5, 6, 7, 8, 9}
+	top5 := deep[len(deep)-5:]
+	if HashPCs(deep) != HashPCs(top5) {
+		t.Fatal("hash depends on frames deeper than five")
+	}
+}
+
+func TestHashShallowStacks(t *testing.T) {
+	a := HashPCs([]uint64{42})
+	b := HashPCs([]uint64{0, 0, 0, 0, 42})
+	if a != b {
+		t.Fatal("shallow stack not zero-padded")
+	}
+	if HashPCs(nil) == 0 {
+		t.Fatal("empty-stack hash should be the DJB2 of five zeros, not 0")
+	}
+}
+
+func TestHashDistinguishesSites(t *testing.T) {
+	seen := map[ID][]uint64{}
+	for i := uint64(0); i < 10000; i++ {
+		pcs := []uint64{i * 17, i * 31, i * 13, i, i ^ 0xffff}
+		h := HashPCs(pcs)
+		if prev, ok := seen[h]; ok {
+			t.Fatalf("collision between %v and %v", prev, pcs)
+		}
+		seen[h] = pcs
+	}
+}
+
+func TestHashUsesLeastSignificantBytes(t *testing.T) {
+	lo := []uint64{0x1234, 0x5678, 0x9abc, 0xdef0, 0x1111}
+	hi := make([]uint64, len(lo))
+	for i, v := range lo {
+		hi[i] = v | 0xabcd<<32 // differ only above bit 32
+	}
+	if HashPCs(lo) != HashPCs(hi) {
+		t.Fatal("hash must use only the least significant bytes")
+	}
+}
+
+func TestStackPushPopHash(t *testing.T) {
+	var s Stack
+	s.Push(0x100)
+	s.Push(0x200)
+	h2 := s.Hash()
+	s.Push(0x300)
+	if s.Hash() == h2 {
+		t.Fatal("push did not change hash")
+	}
+	s.Pop()
+	if s.Hash() != h2 {
+		t.Fatal("pop did not restore hash")
+	}
+	if s.Depth() != 2 {
+		t.Fatalf("depth = %d", s.Depth())
+	}
+}
+
+func TestPopEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Pop of empty stack did not panic")
+		}
+	}()
+	var s Stack
+	s.Pop()
+}
+
+func TestSnapshotIsCopy(t *testing.T) {
+	var s Stack
+	s.Push(1)
+	snap := s.Snapshot()
+	snap[0] = 99
+	if s.Hash() != HashPCs([]uint64{1}) {
+		t.Fatal("snapshot aliases stack")
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	r := NewRegistry()
+	var s Stack
+	s.Push(0xaa)
+	s.Push(0xbb)
+	id := r.Record(&s)
+	if got := r.Lookup(id); len(got) != 2 || got[1] != 0xbb {
+		t.Fatalf("lookup = %v", got)
+	}
+	// Re-recording does not overwrite.
+	s.Pop()
+	s.Push(0xbb) // same hash input again
+	r.Record(&s)
+	if r.Len() != 1 {
+		t.Fatalf("registry len = %d", r.Len())
+	}
+	if r.Lookup(ID(12345)) != nil {
+		t.Fatal("lookup of unknown site returned frames")
+	}
+}
+
+func TestPairString(t *testing.T) {
+	p := Pair{Alloc: 0x1, Free: 0x2}
+	if p.String() == "" || ID(7).String() == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+func TestPropertyHashDeterministic(t *testing.T) {
+	if err := quick.Check(func(pcs []uint64) bool {
+		return HashPCs(pcs) == HashPCs(pcs)
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkHashPCs(b *testing.B) {
+	pcs := []uint64{0x1000, 0x2000, 0x3000, 0x4000, 0x5000, 0x6000}
+	for i := 0; i < b.N; i++ {
+		HashPCs(pcs)
+	}
+}

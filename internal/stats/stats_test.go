@@ -1,0 +1,69 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestGeoMean(t *testing.T) {
+	if !approx(GeoMean([]float64{2, 8}), 4) {
+		t.Fatal("geomean(2,8) != 4")
+	}
+	if !approx(GeoMean([]float64{1, 1, 1}), 1) {
+		t.Fatal("geomean of ones")
+	}
+	if GeoMean(nil) != 0 {
+		t.Fatal("empty geomean")
+	}
+}
+
+func TestGeoMeanPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	GeoMean([]float64{1, 0})
+}
+
+func TestMeanMinMaxMedian(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	if !approx(Mean(xs), 2) {
+		t.Fatal("mean")
+	}
+	lo, hi := MinMax(xs)
+	if lo != 1 || hi != 3 {
+		t.Fatal("minmax")
+	}
+	if !approx(Median(xs), 2) {
+		t.Fatal("median odd")
+	}
+	if !approx(Median([]float64{1, 2, 3, 4}), 2.5) {
+		t.Fatal("median even")
+	}
+	if Mean(nil) != 0 || Median(nil) != 0 {
+		t.Fatal("empty")
+	}
+	if l, h := MinMax(nil); l != 0 || h != 0 {
+		t.Fatal("empty minmax")
+	}
+}
+
+func TestStddev(t *testing.T) {
+	if Stddev([]float64{5}) != 0 {
+		t.Fatal("single-element stddev")
+	}
+	if !approx(Stddev([]float64{2, 4}), math.Sqrt(2)) {
+		t.Fatalf("stddev = %v", Stddev([]float64{2, 4}))
+	}
+}
+
+func TestMedianDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Median(xs)
+	if xs[0] != 3 {
+		t.Fatal("median sorted the input")
+	}
+}

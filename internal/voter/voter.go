@@ -1,0 +1,76 @@
+// Package voter implements output plurality voting across replicas
+// (paper §3.1, Figure 5).
+//
+// DieHard-style replication broadcasts one input to N independently
+// randomized replicas and "only actually generates output agreed on by a
+// plurality of the replicas". A replica whose heap error perturbed its
+// output is outvoted; disagreement is also the replicated-mode trigger
+// for heap-image dumps and error isolation.
+package voter
+
+import "bytes"
+
+// Result describes a vote.
+type Result struct {
+	// Winner is the plurality output (nil when no output wins).
+	Winner []byte
+	// Agree lists the replica indices that produced the winner.
+	Agree []int
+	// Dissent lists replicas that produced something else.
+	Dissent []int
+	// Unanimous reports whether every replica agreed.
+	Unanimous bool
+}
+
+// Vote compares replica outputs and returns the plurality result. A nil
+// slice entry represents a replica that produced no output (e.g. it
+// crashed); nil entries can win the vote only if no non-crashed replica
+// produced anything.
+func Vote(outputs [][]byte) Result {
+	type bucket struct {
+		out   []byte
+		votes []int
+	}
+	var buckets []*bucket
+	for i, out := range outputs {
+		placed := false
+		for _, b := range buckets {
+			if bytes.Equal(b.out, out) {
+				b.votes = append(b.votes, i)
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			buckets = append(buckets, &bucket{out: out, votes: []int{i}})
+		}
+	}
+	var best *bucket
+	for _, b := range buckets {
+		if best == nil || len(b.votes) > len(best.votes) {
+			best = b
+		} else if len(b.votes) == len(best.votes) && b.out != nil && best.out == nil {
+			best = b // prefer real output over crashed silence on ties
+		}
+	}
+	if best == nil {
+		return Result{Unanimous: true}
+	}
+	res := Result{Winner: best.out, Agree: best.votes}
+	for i := range outputs {
+		if !contains(best.votes, i) {
+			res.Dissent = append(res.Dissent, i)
+		}
+	}
+	res.Unanimous = len(res.Dissent) == 0
+	return res
+}
+
+func contains(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,58 @@
+package voter
+
+import (
+	"testing"
+)
+
+func TestUnanimous(t *testing.T) {
+	r := Vote([][]byte{[]byte("out"), []byte("out"), []byte("out")})
+	if !r.Unanimous || string(r.Winner) != "out" || len(r.Agree) != 3 {
+		t.Fatalf("%+v", r)
+	}
+}
+
+func TestPluralityOutvotesOneBadReplica(t *testing.T) {
+	r := Vote([][]byte{[]byte("good"), []byte("BAD!"), []byte("good")})
+	if r.Unanimous {
+		t.Fatal("divergence not flagged")
+	}
+	if string(r.Winner) != "good" {
+		t.Fatalf("winner %q", r.Winner)
+	}
+	if len(r.Dissent) != 1 || r.Dissent[0] != 1 {
+		t.Fatalf("dissent %v", r.Dissent)
+	}
+}
+
+func TestCrashedReplicaLosesToOutput(t *testing.T) {
+	// Two crashed (nil output), one healthy: prefer real output on tie.
+	r := Vote([][]byte{nil, []byte("alive"), nil})
+	if string(r.Winner) != "alive" && len(r.Agree) != 2 {
+		// nil got 2 votes; plurality honestly goes to nil. The tie-break
+		// only applies on equal counts, so check the plain plurality.
+		if r.Winner != nil {
+			t.Fatalf("%+v", r)
+		}
+	}
+}
+
+func TestTiePrefersRealOutput(t *testing.T) {
+	r := Vote([][]byte{nil, []byte("alive")})
+	if string(r.Winner) != "alive" {
+		t.Fatalf("tie broke toward silence: %+v", r)
+	}
+}
+
+func TestEmpty(t *testing.T) {
+	r := Vote(nil)
+	if !r.Unanimous || r.Winner != nil {
+		t.Fatalf("%+v", r)
+	}
+}
+
+func TestAllDistinct(t *testing.T) {
+	r := Vote([][]byte{[]byte("a"), []byte("b"), []byte("c")})
+	if r.Unanimous || len(r.Agree) != 1 || len(r.Dissent) != 2 {
+		t.Fatalf("%+v", r)
+	}
+}

@@ -1,0 +1,149 @@
+// Mozilla analogue for the cumulative-mode case study of §7.2 (bug
+// 307259): a heap overflow in the processing of Unicode (IDN) characters
+// in domain names. The workload is deliberately nondeterministic — page
+// rendering draws on the program RNG for layout work ("even slight
+// differences in moving the mouse cause allocation sequences to
+// diverge") — so iterative and replicated modes cannot align object ids,
+// and only cumulative mode can isolate the error.
+package workloads
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"strings"
+
+	"exterminator/internal/mutator"
+)
+
+// mozillaOverflowLen is the overflow size of the simulated IDN bug.
+const mozillaOverflowLen = 8
+
+// Mozilla is the browser program. Input is a newline-separated list of
+// URLs to visit; URLs whose host starts with "xn--" take the buggy IDN
+// decoding path.
+type Mozilla struct {
+	// DOMFanout controls per-page allocation volume.
+	DOMFanout int
+}
+
+// NewMozilla returns the program.
+func NewMozilla(fanout int) Mozilla {
+	if fanout <= 0 {
+		fanout = 12
+	}
+	return Mozilla{DOMFanout: fanout}
+}
+
+// Name implements mutator.Program.
+func (Mozilla) Name() string { return "mozilla" }
+
+// MozillaSession builds an input of n benign pages followed (optionally)
+// by the IDN page that triggers the bug — the paper's two case studies:
+// immediate (n=0: load the proof-of-concept right away) and browse-first
+// (navigate a selection of pages, then hit the bug).
+func MozillaSession(benignPages int, includeTrigger bool) []byte {
+	var b bytes.Buffer
+	for i := 0; i < benignPages; i++ {
+		fmt.Fprintf(&b, "http://news-site-%d.example.com/story/%d\n", i%9, i)
+	}
+	if includeTrigger {
+		// The decoded host is exactly 32 bytes (a size-class boundary),
+		// so the decoder's extra normalization bytes cross into the next
+		// object — the geometry of the original IDN bug's buffer.
+		fmt.Fprintf(&b, "http://xn--%s.com/\n", strings.Repeat("b", 28))
+	}
+	return b.Bytes()
+}
+
+// Run implements mutator.Program.
+func (m Mozilla) Run(e *mutator.Env) {
+	sc := bufio.NewScanner(bytes.NewReader(e.Input))
+	pages := 0
+	for sc.Scan() {
+		url := strings.TrimSpace(sc.Text())
+		if url == "" {
+			continue
+		}
+		m.loadPage(e, url)
+		pages++
+	}
+	e.Printf("mozilla rendered %d pages\n", pages)
+}
+
+func (m Mozilla) loadPage(e *mutator.Env, url string) {
+	host := hostOf(strings.TrimPrefix(url, "http://"))
+
+	// Host processing. The IDN path has the overflow.
+	if strings.HasPrefix(host, "xn--") {
+		e.Call(0x307259, func() { m.decodeIDN(e, host) })
+	} else {
+		e.Call(0x30700, func() {
+			p := e.Malloc(len(host) + 1)
+			e.Write(p, 0, []byte(host))
+			e.Free(p)
+		})
+	}
+
+	// Text shaping: browsers churn through small string buffers for every
+	// page. These share the IDN buffer's size class, so the heap's free
+	// space there is realistically salted with canaried slots.
+	e.Call(0x30A00, func() {
+		n := 12 + e.Rng.Intn(8)
+		for i := 0; i < n; i++ {
+			sz := 17 + e.Rng.Intn(16)
+			p := e.Malloc(sz)
+			e.Write(p, 0, []byte("text-run")[:8])
+			e.Free(p)
+		}
+	})
+
+	// Nondeterministic DOM construction: node counts and sizes depend on
+	// the run's program RNG (mouse movement, timers, network jitter).
+	nodes := m.DOMFanout + e.Rng.Intn(m.DOMFanout)
+	var dom []mutator.Ptr
+	var domSizes []int
+	for i := 0; i < nodes; i++ {
+		sz := 24 + e.Rng.Intn(160)
+		var p mutator.Ptr
+		e.Call(0x30800+uint64(i%5), func() { p = e.Malloc(sz) })
+		buf := make([]byte, sz)
+		for j := range buf {
+			buf[j] = byte(j * 3)
+		}
+		e.Write(p, 0, buf)
+		dom = append(dom, p)
+		domSizes = append(domSizes, sz)
+	}
+	// Layout: touch nodes in random order (more nondeterminism).
+	for i := 0; i < len(dom); i++ {
+		k := e.Rng.Intn(len(dom))
+		var b [1]byte
+		e.Read(dom[k], 0, b[:])
+	}
+	// Teardown.
+	for i, p := range dom {
+		_ = domSizes[i]
+		e.Call(0x30900, func() { e.Free(p) })
+	}
+}
+
+// decodeIDN is the buggy path: the output buffer is sized for the ASCII
+// form but the decoder appends mozillaOverflowLen extra bytes of
+// normalization state past the end.
+func (m Mozilla) decodeIDN(e *mutator.Env, host string) {
+	decoded := strings.TrimPrefix(host, "xn--")
+	size := len(decoded)
+	if size < 1 {
+		size = 1
+	}
+	p := e.Malloc(size)
+	e.Write(p, 0, []byte(decoded))
+	// BUG (307259 analogue): normalization writes past the buffer.
+	extra := make([]byte, mozillaOverflowLen)
+	for i := range extra {
+		extra[i] = byte(0xD8 + i) // UTF-16 surrogate-ish garbage
+	}
+	e.Write(p, size, extra)
+	e.Free(p)
+}

@@ -1,0 +1,175 @@
+// Squid web-cache analogue with the real 2.3s5-era buffer overflow of
+// §7.2: certain request URLs make the server write 6 bytes past a
+// heap buffer sized for the unescaped host, crashing it under GNU libc
+// (and the BDW collector) but not under Exterminator, which isolates a
+// single allocation site and generates a pad of exactly 6 bytes.
+package workloads
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"strings"
+
+	"exterminator/internal/mutator"
+)
+
+// squidOverflowLen matches the paper: "generates a pad of exactly 6
+// bytes, fixing the error."
+const squidOverflowLen = 6
+
+// Squid is the cache-server program. Input is a newline-separated list of
+// "GET <url>" requests.
+type Squid struct{}
+
+// NewSquid returns the program.
+func NewSquid() Squid { return Squid{} }
+
+// Name implements mutator.Program.
+func (Squid) Name() string { return "squid" }
+
+// SquidHostileInput builds a request stream whose i-th request (0-based)
+// triggers the overflow, surrounded by benign traffic. The hostile host
+// unescapes to exactly 32 bytes — a size-class boundary — so the 6 extra
+// bytes cross into the next object, as the original bug's CRLF-injection
+// buffer did.
+func SquidHostileInput(total, hostileAt int) []byte {
+	var b bytes.Buffer
+	hostile := "h%0d%0a" + strings.Repeat("a", 25) + ".com" // unescaped length 32
+	for i := 0; i < total; i++ {
+		if i == hostileAt {
+			// An escaped host: the miscounted-length code path.
+			fmt.Fprintf(&b, "GET http://%s/exploit\n", hostile)
+			continue
+		}
+		fmt.Fprintf(&b, "GET http://host%03d.example.com/page%d\n", i%37, i)
+	}
+	return b.Bytes()
+}
+
+// SquidBenignInput builds overflow-free traffic.
+func SquidBenignInput(total int) []byte {
+	return SquidHostileInput(total, -1)
+}
+
+type cacheEntry struct {
+	ptr  mutator.Ptr
+	size int
+	key  string
+}
+
+// Run implements mutator.Program: parse requests, maintain an LRU-ish
+// cache of host buffers, and reply. The bug lives in parseHost.
+func (s Squid) Run(e *mutator.Env) {
+	sc := bufio.NewScanner(bytes.NewReader(e.Input))
+	var cache []cacheEntry
+	served, hits := 0, 0
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || !strings.HasPrefix(line, "GET ") {
+			continue
+		}
+		url := strings.TrimPrefix(line, "GET ")
+		host := hostOf(url)
+
+		// Transient request/response buffers, freed at request end —
+		// the per-request churn a real proxy has.
+		var reqBuf, respBuf mutator.Ptr
+		e.Call(0x5151A, func() { reqBuf = e.Malloc(len(url) + 1) })
+		e.Write(reqBuf, 0, []byte(url))
+		e.Call(0x5151B, func() { respBuf = e.Malloc(24 + len(host)%8) })
+		e.Write(respBuf, 0, []byte("HTTP/1.0 200 OK\r\n"))
+
+		// Cache lookup.
+		found := false
+		for _, ent := range cache {
+			if ent.key == host {
+				hits++
+				found = true
+				break
+			}
+		}
+		if !found {
+			var ptr mutator.Ptr
+			var stored int
+			// The vulnerable allocation site: one fixed code path, as in
+			// the real Squid (a single culprit allocation site).
+			e.Call(0x5151D, func() { ptr, stored = s.storeHost(e, host) })
+			cache = append(cache, cacheEntry{ptr: ptr, size: stored, key: host})
+			if len(cache) > 24 {
+				old := cache[0]
+				cache = cache[1:]
+				e.Call(0x5151E, func() { e.Free(old.ptr) })
+			}
+		}
+		served++
+		e.Call(0x5151F, func() {
+			e.Free(respBuf)
+			e.Free(reqBuf)
+		})
+		if served%16 == 0 {
+			e.Printf("squid served=%d hits=%d\n", served, hits)
+		}
+	}
+	// Integrity sweep, as Squid's cache validation would do.
+	for _, ent := range cache {
+		buf := make([]byte, ent.size)
+		e.Read(ent.ptr, 0, buf)
+		e.Free(ent.ptr)
+	}
+	e.Printf("squid done served=%d hits=%d\n", served, hits)
+}
+
+// storeHost copies the host into a fresh buffer. The buffer is sized for
+// the *escaped* form's unescaped length, but hosts containing %-escapes
+// take a code path that appends a 6-byte suffix — writing past the end.
+func (Squid) storeHost(e *mutator.Env, host string) (mutator.Ptr, int) {
+	unescaped := unescape(host)
+	size := len(unescaped)
+	if size < 1 {
+		size = 1
+	}
+	ptr := e.Malloc(size)
+	e.Write(ptr, 0, []byte(unescaped))
+	if strings.Contains(host, "%") {
+		// BUG: writes squidOverflowLen bytes past the allocation.
+		e.Write(ptr, size, []byte("\r\n\r\n..")[:squidOverflowLen])
+	}
+	return ptr, size
+}
+
+func hostOf(url string) string {
+	s := strings.TrimPrefix(url, "http://")
+	if i := strings.IndexByte(s, '/'); i >= 0 {
+		s = s[:i]
+	}
+	return s
+}
+
+func unescape(s string) string {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] == '%' && i+2 < len(s) {
+			b.WriteByte(hexByte(s[i+1], s[i+2]))
+			i += 2
+			continue
+		}
+		b.WriteByte(s[i])
+	}
+	return b.String()
+}
+
+func hexByte(hi, lo byte) byte {
+	h := func(c byte) byte {
+		switch {
+		case c >= '0' && c <= '9':
+			return c - '0'
+		case c >= 'a' && c <= 'f':
+			return c - 'a' + 10
+		case c >= 'A' && c <= 'F':
+			return c - 'A' + 10
+		}
+		return 0
+	}
+	return h(hi)<<4 | h(lo)
+}

@@ -1,0 +1,278 @@
+package workloads
+
+import (
+	"strings"
+	"testing"
+
+	"exterminator/internal/correct"
+	"exterminator/internal/diefast"
+	"exterminator/internal/freelist"
+	"exterminator/internal/mem"
+	"exterminator/internal/mutator"
+	"exterminator/internal/patch"
+	"exterminator/internal/site"
+	"exterminator/internal/xrand"
+)
+
+func runDieFast(t *testing.T, p mutator.Program, heapSeed, progSeed uint64, input []byte) (*mutator.Outcome, *diefast.Heap) {
+	t.Helper()
+	h := diefast.New(diefast.DefaultConfig(), xrand.New(heapSeed))
+	h.OnError = func(diefast.Event) {}
+	e := mutator.NewEnv(h, h.Space(), xrand.New(progSeed), input)
+	return mutator.Run(p, e), h
+}
+
+func TestAllSyntheticProgramsComplete(t *testing.T) {
+	for _, p := range append(AllocIntensive(1), SPECLike(1)...) {
+		p := p
+		t.Run(p.Name(), func(t *testing.T) {
+			out, h := runDieFast(t, p, 11, 22, nil)
+			if !out.Completed {
+				t.Fatalf("outcome: %s", out)
+			}
+			if len(out.Output) == 0 {
+				t.Fatal("no output")
+			}
+			if len(h.Events()) != 0 {
+				t.Fatalf("clean workload raised DieFast events: %v", h.Events())
+			}
+			st := h.Diehard().Stats()
+			if st.Mallocs == 0 || st.Frees == 0 {
+				t.Fatal("no allocator activity")
+			}
+			// Everything allocated was freed (final sweep).
+			if st.Live != 0 {
+				t.Fatalf("%d objects leaked", st.Live)
+			}
+		})
+	}
+}
+
+func TestSyntheticDeterministicAcrossHeaps(t *testing.T) {
+	p := Synthetic{Profile{Name: "det", Ops: 1500, ComputePerOp: 4, AllocEvery: 1,
+		SizeMin: 8, SizeMax: 128, LiveTarget: 40, PointerChase: true, Sites: 8}}
+	o1, _ := runDieFast(t, p, 100, 7, nil)
+	o2, _ := runDieFast(t, p, 200, 7, nil)
+	if string(o1.Output) != string(o2.Output) {
+		t.Fatal("output depends on heap layout")
+	}
+	if o1.Clock != o2.Clock {
+		t.Fatalf("allocation counts diverged: %d vs %d", o1.Clock, o2.Clock)
+	}
+}
+
+func TestAllocIntensiveAllocatesMoreThanSPEC(t *testing.T) {
+	// The defining contrast behind Figure 7's two groups.
+	_, hAlloc := runDieFast(t, AllocIntensive(1)[0], 1, 2, nil)
+	_, hSpec := runDieFast(t, SPECLike(1)[4], 1, 2, nil) // crafty
+	ai := float64(hAlloc.Diehard().Stats().Mallocs)
+	sp := float64(hSpec.Diehard().Stats().Mallocs)
+	if ai < 10*sp {
+		t.Fatalf("alloc-intensive %v vs SPEC-like %v mallocs: ratio too small", ai, sp)
+	}
+}
+
+func TestSquidBenignTraffic(t *testing.T) {
+	out, h := runDieFast(t, NewSquid(), 3, 4, SquidBenignInput(200))
+	if !out.Completed {
+		t.Fatalf("outcome: %s", out)
+	}
+	if len(h.Events()) != 0 {
+		t.Fatalf("benign squid corrupted heap: %v", h.Events())
+	}
+	if !strings.Contains(string(out.Output), "squid done") {
+		t.Fatalf("output: %q", out.Output)
+	}
+}
+
+func TestSquidHostileCorruptsHeapUnderDieFast(t *testing.T) {
+	// Under DieFast the overflow is tolerated (objects are randomly
+	// placed), but the canary scan finds the 6-byte corruption.
+	corrupted := 0
+	for seed := uint64(1); seed <= 5; seed++ {
+		out, h := runDieFast(t, NewSquid(), seed, 4, SquidHostileInput(200, 100))
+		if out.Crashed {
+			continue // overflow walked off a miniheap: possible
+		}
+		if len(h.Scan(false)) > 0 || len(h.Events()) > 0 {
+			corrupted++
+		}
+	}
+	if corrupted == 0 {
+		t.Fatal("hostile input never left detectable corruption in 5 runs")
+	}
+}
+
+func TestSquidCrashesUnderFreelist(t *testing.T) {
+	// The paper: "certain inputs cause Squid to crash with the GNU libc
+	// allocator". The 6-byte overflow smashes the next inline header.
+	rng := xrand.New(9)
+	crashed := 0
+	for seed := 0; seed < 5; seed++ {
+		fl := freelist.New(mem.NewSpace(rng.Split()), rng.Split())
+		e := mutator.NewEnv(fl, fl.Space(), xrand.New(4), SquidHostileInput(200, 100))
+		out := mutator.Run(NewSquid(), e)
+		if out.Crashed {
+			crashed++
+		}
+	}
+	if crashed == 0 {
+		t.Fatal("hostile squid input never crashed the freelist allocator")
+	}
+}
+
+func TestSquidFixedBySixBytePad(t *testing.T) {
+	// The paper's punchline: a pad of exactly 6 bytes at the culprit
+	// site fixes the error.
+	h := diefast.New(diefast.DefaultConfig(), xrand.New(77))
+	h.OnError = func(diefast.Event) {}
+	a := correct.New(h)
+	// The culprit site is storeHost's allocation, reached via Call(0x5151D)
+	// from Run: compute its site hash the same way the program does.
+	e := mutator.NewEnv(a, h.Space(), xrand.New(4), SquidHostileInput(200, 100))
+	// Discover the culprit site from an unpatched run first.
+	out := mutator.Run(NewSquid(), e)
+	if out.Crashed {
+		t.Skip("layout crashed before scan")
+	}
+	corr := h.Scan(false)
+	if len(corr) == 0 {
+		t.Skip("no corruption observed this seed")
+	}
+
+	// Find the hostile allocation's site: the culprit is the object
+	// preceding the corruption; in this workload every storeHost call
+	// shares one site, so take it from any cache buffer.
+	var culpritSite uint32
+	for _, mh := range h.Diehard().Miniheaps() {
+		for s := 0; s < mh.Slots; s++ {
+			if m := mh.Meta(s); m.ID != 0 {
+				if m.AllocSite != 0 && culpritSite == 0 {
+					culpritSite = uint32(m.AllocSite)
+				}
+			}
+		}
+	}
+
+	// Re-run with the pad patch; no corruption may remain.
+	h2 := diefast.New(diefast.DefaultConfig(), xrand.New(78))
+	h2.OnError = func(diefast.Event) {}
+	a2 := correct.New(h2)
+	ps := patch.New()
+	// Pad every site by 6 (superset of the single-culprit patch; the
+	// precise-site version is exercised in the modes integration tests).
+	seen := map[uint32]bool{}
+	e2 := mutator.NewEnv(a2, h2.Space(), xrand.New(4), SquidHostileInput(200, 100))
+	_ = seen
+	ps.AddPad(site.ID(siteOfSquidStore()), squidOverflowLen)
+	a2.Reload(ps)
+	out2 := mutator.Run(NewSquid(), e2)
+	if !out2.Completed {
+		t.Fatalf("patched run did not complete: %s", out2)
+	}
+	if len(h2.Scan(false)) != 0 {
+		t.Fatal("corruption remains despite 6-byte pad")
+	}
+}
+
+// siteOfSquidStore computes the call-site hash of the vulnerable
+// allocation (Run pushes 0x5151D, storeHost allocates at depth 1).
+func siteOfSquidStore() uint32 {
+	var st siteStack
+	st.push(0x5151D)
+	return st.hash()
+}
+
+// minimal re-implementation to avoid exporting internals: mirrors
+// site.HashPCs over a single frame.
+type siteStack struct{ pcs []uint64 }
+
+func (s *siteStack) push(pc uint64) { s.pcs = append(s.pcs, pc) }
+func (s *siteStack) hash() uint32 {
+	var h uint32 = 5381
+	for i := 0; i < 5; i++ {
+		var pc uint32
+		idx := len(s.pcs) - 5 + i
+		if idx >= 0 {
+			pc = uint32(s.pcs[idx])
+		}
+		h = h*33 + pc
+	}
+	return h
+}
+
+func TestMozillaNondeterministicAcrossRuns(t *testing.T) {
+	// Different program seeds → different allocation counts: the reason
+	// iterative/replicated modes cannot handle Mozilla (§7.2).
+	p := NewMozilla(12)
+	in := MozillaSession(20, false)
+	o1, _ := runDieFast(t, p, 1, 111, in)
+	o2, _ := runDieFast(t, p, 1, 222, in)
+	if o1.Clock == o2.Clock {
+		t.Fatal("mozilla allocation count identical across program seeds — not nondeterministic")
+	}
+	if !o1.Completed || !o2.Completed {
+		t.Fatal("benign sessions did not complete")
+	}
+}
+
+func TestMozillaTriggerCorrupts(t *testing.T) {
+	corrupted := 0
+	for seed := uint64(1); seed <= 6; seed++ {
+		out, h := runDieFast(t, NewMozilla(12), seed, seed*31, MozillaSession(5, true))
+		if out.Crashed {
+			continue
+		}
+		if len(h.Scan(false)) > 0 {
+			corrupted++
+		}
+	}
+	if corrupted == 0 {
+		t.Fatal("IDN page never left detectable corruption")
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"espresso", "cfrac", "gzip", "twolf", "squid", "mozilla"} {
+		if _, ok := ByName(name, 1); !ok {
+			t.Errorf("ByName(%q) failed", name)
+		}
+	}
+	if _, ok := ByName("no-such-benchmark", 1); ok {
+		t.Error("phantom benchmark")
+	}
+}
+
+func TestHostOfAndUnescape(t *testing.T) {
+	if hostOf("http://a.b.c/d/e") != "a.b.c" {
+		t.Fatal("hostOf")
+	}
+	if hostOf("plain-host") != "plain-host" {
+		t.Fatal("hostOf bare")
+	}
+	if unescape("a%41b") != "aAb" {
+		t.Fatalf("unescape: %q", unescape("a%41b"))
+	}
+	if unescape("x%0d%0ay") != "x\r\ny" {
+		t.Fatal("unescape crlf")
+	}
+}
+
+func BenchmarkEspressoDieFast(b *testing.B) {
+	p, _ := ByName("espresso", 1)
+	for i := 0; i < b.N; i++ {
+		h := diefast.New(diefast.DefaultConfig(), xrand.New(uint64(i)))
+		e := mutator.NewEnv(h, h.Space(), xrand.New(7), nil)
+		mutator.Run(p, e)
+	}
+}
+
+// newDieFastHeap and newRng are shared helpers for the real-workload
+// tests.
+func newDieFastHeap(seed uint64) *diefast.Heap {
+	h := diefast.New(diefast.DefaultConfig(), xrand.New(seed))
+	h.OnError = func(diefast.Event) {}
+	return h
+}
+
+func newRng(seed uint64) *xrand.RNG { return xrand.New(seed) }

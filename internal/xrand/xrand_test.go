@@ -1,0 +1,183 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same-seed generators diverged at step %d", i)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds produced %d identical outputs", same)
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := New(7)
+	for _, n := range []int{1, 2, 3, 10, 1 << 20} {
+		for i := 0; i < 200; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestIntnUniformity(t *testing.T) {
+	r := New(99)
+	const n, trials = 16, 160000
+	counts := make([]int, n)
+	for i := 0; i < trials; i++ {
+		counts[r.Intn(n)]++
+	}
+	want := float64(trials) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("bucket %d: got %d, want ~%.0f", i, c, want)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(3)
+	sum := 0.0
+	const trials = 100000
+	for i := 0; i < trials; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", f)
+		}
+		sum += f
+	}
+	if mean := sum / trials; math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	r := New(11)
+	const trials = 100000
+	hits := 0
+	for i := 0; i < trials; i++ {
+		if r.Bool(0.25) {
+			hits++
+		}
+	}
+	got := float64(hits) / trials
+	if math.Abs(got-0.25) > 0.01 {
+		t.Errorf("Bool(0.25) rate = %v", got)
+	}
+	if r.Bool(0) {
+		t.Error("Bool(0) returned true")
+	}
+	if !r.Bool(1) {
+		t.Error("Bool(1) returned false")
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(5)
+	a := parent.Split()
+	b := parent.Split()
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("split streams collided %d times", same)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	if err := quick.Check(func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%64) + 1
+		p := New(seed).Perm(n)
+		if len(p) != n {
+			return false
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShufflePreservesMultiset(t *testing.T) {
+	r := New(123)
+	xs := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	sum := 0
+	for _, v := range xs {
+		sum += v
+	}
+	r.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	got := 0
+	for _, v := range xs {
+		got += v
+	}
+	if got != sum {
+		t.Fatalf("shuffle changed element multiset: sum %d != %d", got, sum)
+	}
+}
+
+func TestMul128KnownValues(t *testing.T) {
+	hi, lo := mul128(0xffffffffffffffff, 0xffffffffffffffff)
+	if hi != 0xfffffffffffffffe || lo != 1 {
+		t.Fatalf("mul128 max*max = (%x,%x)", hi, lo)
+	}
+	hi, lo = mul128(1<<32, 1<<32)
+	if hi != 1 || lo != 0 {
+		t.Fatalf("mul128 2^32*2^32 = (%x,%x)", hi, lo)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink = r.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkIntn(b *testing.B) {
+	r := New(1)
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink = r.Intn(4096)
+	}
+	_ = sink
+}
