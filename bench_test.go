@@ -12,16 +12,23 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
 	"testing"
 
 	"exterminator/internal/correct"
+	"exterminator/internal/cumulative"
 	"exterminator/internal/diefast"
 	"exterminator/internal/experiments"
+	"exterminator/internal/fleet"
 	"exterminator/internal/freelist"
 	"exterminator/internal/inject"
 	"exterminator/internal/mem"
 	"exterminator/internal/modes"
 	"exterminator/internal/mutator"
+	"exterminator/internal/site"
 	"exterminator/internal/workloads"
 	"exterminator/internal/xrand"
 )
@@ -307,6 +314,55 @@ func BenchmarkRealFactorizer_Exterminator(b *testing.B) {
 func BenchmarkAblationMSweep(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		experiments.AblationM(3, uint64(i+1))
+	}
+}
+
+// Fleet aggregation: batched observation ingest through the HTTP handler
+// (POST /v1/observations), the hot path of the networked cumulative mode.
+// Inline correction is disabled so the measurement isolates decode +
+// sharded absorb; the Bayesian pass runs on the background loop in
+// deployment.
+func BenchmarkFleetIngest(b *testing.B) {
+	srv := fleet.NewServer(fleet.ServerOptions{CorrectEvery: -1})
+	handler := srv.Handler()
+
+	// A realistic batch: ~30 sites of overflow evidence, a handful of
+	// dangling pairs, hints — a few KB of JSON, like one installation's
+	// session (§3.4: "a few kilobytes per execution").
+	snap := &cumulative.Snapshot{C: 4, P: 0.5, Runs: 5, FailedRuns: 2, CorruptRuns: 2}
+	for i := 0; i < 30; i++ {
+		id := site.ID(0x1000 + uint32(i))
+		snap.Sites = append(snap.Sites, id)
+		snap.Overflow = append(snap.Overflow, cumulative.SiteObservations{
+			Site: id,
+			Obs: []cumulative.Observation{
+				{X: 0.25, Y: i%7 == 0}, {X: 0.5, Y: i%2 == 0}, {X: 0.125, Y: false},
+			},
+		})
+	}
+	for i := 0; i < 6; i++ {
+		snap.Dangling = append(snap.Dangling, cumulative.PairObservations{
+			Alloc: site.ID(0x2000 + uint32(i)), Free: site.ID(0x3000 + uint32(i)),
+			Obs: []cumulative.Observation{{X: 0.5, Y: i%2 == 0}, {X: 0.75, Y: true}},
+		})
+	}
+	snap.PadHints = append(snap.PadHints, cumulative.PadHint{Site: 0x1003, Pad: 24})
+	body, err := json.Marshal(fleet.ObservationBatch{Client: "bench", Snapshot: snap})
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	b.ReportAllocs()
+	b.SetBytes(int64(len(body)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest(http.MethodPost, "/v1/observations", bytes.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		rec := httptest.NewRecorder()
+		handler.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatalf("ingest failed: %s: %s", rec.Result().Status, rec.Body)
+		}
 	}
 }
 

@@ -17,9 +17,11 @@ import (
 
 	"exterminator/internal/core"
 	"exterminator/internal/diefast"
+	"exterminator/internal/fleet"
 	"exterminator/internal/image"
 	"exterminator/internal/inject"
 	"exterminator/internal/mutator"
+	"exterminator/internal/report"
 	"exterminator/internal/trace"
 	"exterminator/internal/workloads"
 	"exterminator/internal/xrand"
@@ -45,8 +47,15 @@ func main() {
 		historyOut = flag.String("save-history", "", "write the cumulative history to this file")
 		breakpoint = flag.Uint64("breakpoint", 0, "with -dump-image: capture at this malloc breakpoint instead of at the first error")
 		faultSeed  = flag.Uint64("fault-seed", 17, "victim-selection seed for the injected fault (keep fixed across replicas: the bug must be the same logical bug)")
+		fleetURL   = flag.String("fleet", "", "fleet aggregation server base URL: download+merge fleet patches before the run; cumulative mode uploads its observations after it")
+		fleetID    = flag.String("fleet-id", "", "installation identifier sent with fleet uploads (default: hostname)")
 	)
 	flag.Parse()
+
+	var fc *fleet.Client
+	if *fleetURL != "" {
+		fc = fleet.NewClient(*fleetURL, installID(*fleetID))
+	}
 
 	prog, ok := workloads.ByName(*workload, 1)
 	if !ok {
@@ -72,6 +81,27 @@ func main() {
 		}
 		opts.Patches = p
 	}
+	var preRunPatches *core.Patches
+	if fc != nil {
+		// Stay current with the fleet before running: fetched patches
+		// merge into whatever -load supplied (maxima, so always safe).
+		fp, version, err := fc.Patches(0)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "exterminate: fleet unreachable, running with local patches only: %v\n", err)
+		} else {
+			if opts.Patches == nil {
+				opts.Patches = core.NewPatches()
+			}
+			opts.Patches.Merge(fp)
+			fmt.Printf("fleet: merged %d patch entr%s at version %d\n", fp.Len(), plural(fp.Len()), version)
+		}
+		if opts.Patches != nil {
+			preRunPatches = opts.Patches.Clone()
+		}
+		if *mode != "cumulative" {
+			fmt.Fprintln(os.Stderr, "exterminate: note: only cumulative mode produces uploadable observations; -fleet will still download patches and report newly derived ones")
+		}
+	}
 	ext := core.New(opts)
 
 	if *dumpImage != "" {
@@ -88,6 +118,7 @@ func main() {
 	}
 
 	var patches *core.Patches
+	var fleetHistory *core.History
 	switch *mode {
 	case "iterative":
 		res := ext.Iterative(prog, input, hookFor)
@@ -128,8 +159,41 @@ func main() {
 			fmt.Println("history written to", *historyOut)
 		}
 		patches = res.Patches
+		fleetHistory = res.History
 	default:
 		fatalf("unknown mode %q", *mode)
+	}
+
+	if fc != nil {
+		if fleetHistory != nil {
+			if *historyIn != "" {
+				fmt.Fprintln(os.Stderr, "exterminate: note: -fleet uploads the whole history, including runs resumed via -resume-history; avoid re-uploading evidence the fleet already has")
+			}
+			reply, err := fc.PushHistory(fleetHistory)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "exterminate: fleet upload failed: %v\n", err)
+			} else {
+				fmt.Printf("fleet: uploaded observations (fleet now at %d runs, %d sites, patch version %d)\n",
+					reply.Runs, reply.Sites, reply.Version)
+			}
+		}
+		// Report only patches this run actually derived: res.Patches
+		// includes everything pre-loaded (including the fleet's own
+		// set), and re-reporting those would spam the fleet with
+		// duplicates on every run.
+		var derived *core.Patches
+		if patches != nil {
+			derived = patches.Diff(preRunPatches)
+		} else {
+			derived = core.NewPatches()
+		}
+		if derived.Len() > 0 {
+			if err := fc.PushReport(report.FromPatches(derived, nil)); err != nil {
+				fmt.Fprintf(os.Stderr, "exterminate: fleet report upload failed: %v\n", err)
+			} else {
+				fmt.Printf("fleet: reported %d newly derived patch entr%s\n", derived.Len(), plural(derived.Len()))
+			}
+		}
 	}
 
 	if patches.Len() > 0 {
@@ -232,6 +296,21 @@ func plural(n int) string {
 		return "y"
 	}
 	return "ies"
+}
+
+// installID derives a stable installation identifier for fleet uploads
+// when the user does not supply one. Stability matters: the server
+// tracks distinct client IDs, so a per-run component (like a PID) would
+// register every invocation as a new installation.
+func installID(explicit string) string {
+	if explicit != "" {
+		return explicit
+	}
+	host, err := os.Hostname()
+	if err != nil {
+		return "unknown"
+	}
+	return host
 }
 
 func fatalf(format string, args ...any) {

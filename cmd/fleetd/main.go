@@ -1,0 +1,120 @@
+// Command fleetd is the fleet aggregation daemon: it pools cumulative-mode
+// observations uploaded by any number of Exterminator installations, reruns
+// the Bayesian hypothesis test (paper §5) as evidence arrives, and serves
+// the derived runtime patches back to the fleet with versioned delta
+// polling — collaborative correction (§6.4) as a network service.
+//
+//	fleetd -addr :7077 -snapshot /var/lib/exterminator/fleet.snap
+//
+// State survives restarts through periodic snapshots of the evidence store
+// (the cumulative persist format); on startup the daemon restores the
+// snapshot and rederives patches before accepting traffic.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"exterminator/internal/cumulative"
+	"exterminator/internal/fleet"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":7077", "listen address")
+		shards       = flag.Int("shards", fleet.DefaultShards, "evidence store stripe count")
+		correctEvery = flag.Int("correct-every", 8, "inline correction pass once more than this many batches are pending (-1: background loop only)")
+		correctInt   = flag.Duration("correct-interval", 2*time.Second, "background correction loop interval")
+		snapshot     = flag.String("snapshot", "", "snapshot file: restored on start, written periodically and on shutdown")
+		snapshotInt  = flag.Duration("snapshot-interval", 30*time.Second, "how often to persist the evidence store (with -snapshot)")
+		priorC       = flag.Float64("c", 4, "Bayesian prior constant c (P(H1) = 1/(cN))")
+		fillP        = flag.Float64("p", 0.5, "canary fill probability p the fleet's heaps use")
+	)
+	flag.Parse()
+
+	srv := fleet.NewServer(fleet.ServerOptions{
+		Shards:       *shards,
+		Config:       cumulative.Config{C: *priorC, P: *fillP},
+		CorrectEvery: *correctEvery,
+	})
+	if *snapshot != "" {
+		if err := srv.LoadSnapshot(*snapshot); err != nil {
+			log.Fatalf("fleetd: %v", err)
+		}
+		st := srv.Store()
+		log.Printf("restored snapshot %s: %d runs, %d sites, %d patch entries",
+			*snapshot, st.Runs(), st.Sites(), srv.PatchLog().Len())
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	go srv.RunCorrectionLoop(ctx, *correctInt)
+	if *snapshot != "" {
+		go snapshotLoop(ctx, srv, *snapshot, *snapshotInt)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("fleetd: %v", err)
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go func() {
+		log.Printf("fleetd: serving on %s", ln.Addr())
+		if err := hs.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("fleetd: %v", err)
+		}
+	}()
+
+	<-ctx.Done()
+	log.Print("fleetd: shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(shutdownCtx); err != nil {
+		log.Printf("fleetd: shutdown: %v", err)
+	}
+	if *snapshot != "" {
+		if err := srv.SaveSnapshot(*snapshot); err != nil {
+			log.Printf("fleetd: final snapshot: %v", err)
+		} else {
+			log.Printf("fleetd: final snapshot written to %s", *snapshot)
+		}
+	}
+	st := srv.Store()
+	fmt.Printf("fleetd: served %d batches from %d client(s): %d runs, %d sites, %d patch entries at version %d\n",
+		st.Batches(), st.Clients(), st.Runs(), st.Sites(), srv.PatchLog().Len(), srv.PatchLog().Version())
+}
+
+// snapshotLoop persists the evidence store every interval. The final
+// snapshot on shutdown is written by main after the HTTP server drains.
+func snapshotLoop(ctx context.Context, srv *fleet.Server, path string, interval time.Duration) {
+	if interval <= 0 {
+		interval = 30 * time.Second
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	var lastBatches int64
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			if n := srv.Store().Batches(); n != lastBatches {
+				if err := srv.SaveSnapshot(path); err != nil {
+					log.Printf("fleetd: snapshot: %v", err)
+					continue
+				}
+				lastBatches = n
+			}
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module exterminator
+
+go 1.24

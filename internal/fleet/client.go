@@ -1,0 +1,157 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"exterminator/internal/cumulative"
+	"exterminator/internal/patch"
+	"exterminator/internal/report"
+)
+
+// Client talks to a fleet aggregation server. It is safe for concurrent
+// use. The zero value is not usable; call NewClient.
+type Client struct {
+	base string
+	id   string
+	hc   *http.Client
+
+	mu        sync.Mutex
+	lastEpoch uint64 // server incarnation seen by the previous poll
+}
+
+// NewClient returns a client for the server at base (e.g.
+// "http://patches.example.com:7077"). id is an opaque installation
+// identifier sent with uploads; empty is fine.
+func NewClient(base, id string) *Client {
+	return &Client{
+		base: strings.TrimRight(base, "/"),
+		id:   id,
+		hc:   &http.Client{Timeout: 15 * time.Second},
+	}
+}
+
+// SetHTTPClient swaps the underlying HTTP client (tests, custom timeouts).
+func (c *Client) SetHTTPClient(hc *http.Client) { c.hc = hc }
+
+// PushSnapshot uploads one batch of observations.
+func (c *Client) PushSnapshot(s *cumulative.Snapshot) (*IngestReply, error) {
+	if s == nil {
+		return nil, fmt.Errorf("fleet: nil snapshot")
+	}
+	var reply IngestReply
+	err := c.postJSON("/v1/observations", ObservationBatch{Client: c.id, Snapshot: s}, &reply)
+	if err != nil {
+		return nil, err
+	}
+	return &reply, nil
+}
+
+// PushHistory uploads a whole local cumulative history as one batch.
+// Upload the *delta* accumulated since the previous push, not the same
+// history repeatedly: the server appends observations (evidence is a
+// multiset, not a lattice).
+func (c *Client) PushHistory(h *cumulative.History) (*IngestReply, error) {
+	if h == nil {
+		return nil, fmt.Errorf("fleet: nil history")
+	}
+	return c.PushSnapshot(h.Snapshot())
+}
+
+// PushReport uploads a human-readable bug report.
+func (c *Client) PushReport(r *report.Report) error {
+	return c.postJSON("/v1/reports", r, nil)
+}
+
+// Patches fetches the patch entries added after version since, returning
+// the delta set and the server's current version. Merging the delta into
+// a local set with Set.Merge is always safe: patches compose by maxima.
+//
+// Versions are only ordered within one server incarnation; if the server
+// restarted since this client's previous poll (its epoch changed), the
+// carried-over since would silently skip rederived patches, so the
+// client transparently resyncs from version 0 instead. Callers that
+// persist since across their *own* restarts should poll once with
+// since=0 after loading it.
+func (c *Client) Patches(since uint64) (*patch.Set, uint64, error) {
+	w, err := c.fetchPatches(since)
+	if err != nil {
+		return nil, 0, err
+	}
+	c.mu.Lock()
+	stale := since > 0 && c.lastEpoch != 0 && w.Epoch != 0 && w.Epoch != c.lastEpoch
+	c.lastEpoch = w.Epoch
+	c.mu.Unlock()
+	if stale {
+		if w, err = c.fetchPatches(0); err != nil {
+			return nil, 0, err
+		}
+	}
+	return w.Set(), w.Version, nil
+}
+
+func (c *Client) fetchPatches(since uint64) (*WirePatchSet, error) {
+	resp, err := c.hc.Get(fmt.Sprintf("%s/v1/patches?since=%d", c.base, since))
+	if err != nil {
+		return nil, fmt.Errorf("fleet: get patches: %w", err)
+	}
+	defer drain(resp)
+	if resp.StatusCode != http.StatusOK {
+		return nil, httpError("get patches", resp)
+	}
+	return decodeWire(resp.Body)
+}
+
+// Status fetches aggregate server statistics.
+func (c *Client) Status() (*StatusReply, error) {
+	resp, err := c.hc.Get(c.base + "/v1/status")
+	if err != nil {
+		return nil, fmt.Errorf("fleet: get status: %w", err)
+	}
+	defer drain(resp)
+	if resp.StatusCode != http.StatusOK {
+		return nil, httpError("get status", resp)
+	}
+	var st StatusReply
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil, fmt.Errorf("fleet: get status: %w", err)
+	}
+	return &st, nil
+}
+
+func (c *Client) postJSON(path string, body, reply any) error {
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(body); err != nil {
+		return fmt.Errorf("fleet: encode %s: %w", path, err)
+	}
+	resp, err := c.hc.Post(c.base+path, "application/json", &buf)
+	if err != nil {
+		return fmt.Errorf("fleet: post %s: %w", path, err)
+	}
+	defer drain(resp)
+	if resp.StatusCode != http.StatusOK {
+		return httpError("post "+path, resp)
+	}
+	if reply != nil {
+		if err := json.NewDecoder(resp.Body).Decode(reply); err != nil {
+			return fmt.Errorf("fleet: decode %s reply: %w", path, err)
+		}
+	}
+	return nil
+}
+
+func httpError(op string, resp *http.Response) error {
+	msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+	return fmt.Errorf("fleet: %s: %s: %s", op, resp.Status, strings.TrimSpace(string(msg)))
+}
+
+func drain(resp *http.Response) {
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+	resp.Body.Close()
+}

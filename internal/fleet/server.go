@@ -1,0 +1,297 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"exterminator/internal/cumulative"
+	"exterminator/internal/report"
+)
+
+// ServerOptions configures an aggregation server.
+type ServerOptions struct {
+	// Shards is the evidence-store stripe count (0 = DefaultShards).
+	Shards int
+	// Config parameterizes the Bayesian classifier (zero = paper defaults).
+	Config cumulative.Config
+	// CorrectEvery triggers a synchronous correction pass once more than
+	// this many ingested batches are pending, in addition to any
+	// background loop. 0 means every batch (evidence is never left
+	// sitting); negative disables inline correction entirely (background
+	// loop only).
+	CorrectEvery int
+	// MaxReports bounds the retained bug-report ring (0 = 128).
+	MaxReports int
+	// MaxBodyBytes bounds request bodies (0 = 16 MiB).
+	MaxBodyBytes int64
+}
+
+// Server is the fleet aggregation service: sharded evidence store,
+// versioned patch log, correction loop, and the HTTP API over them.
+type Server struct {
+	store *Store
+	log   *PatchLog
+
+	correctEvery int
+	maxBody      int64
+	pending      atomic.Int64 // batches since the last correction pass
+	correctMu    sync.Mutex   // serializes correction passes
+	corrections  atomic.Int64
+
+	reportMu   sync.Mutex
+	reports    []*report.Report
+	maxReports int
+	reportSeen atomic.Int64
+
+	start time.Time
+	epoch uint64
+	mux   *http.ServeMux
+}
+
+// NewServer returns a ready-to-serve aggregation server.
+func NewServer(opts ServerOptions) *Server {
+	cfg := opts.Config
+	if cfg.C == 0 && cfg.P == 0 {
+		cfg = cumulative.DefaultConfig()
+	}
+	s := &Server{
+		store:        NewStore(opts.Shards, cfg),
+		log:          NewPatchLog(),
+		correctEvery: opts.CorrectEvery,
+		maxReports:   opts.MaxReports,
+		maxBody:      opts.MaxBodyBytes,
+		start:        time.Now(),
+		epoch:        uint64(time.Now().UnixNano()),
+	}
+	if s.maxReports <= 0 {
+		s.maxReports = 128
+	}
+	if s.maxBody <= 0 {
+		s.maxBody = 16 << 20
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/observations", s.handleObservations)
+	mux.HandleFunc("/v1/reports", s.handleReports)
+	mux.HandleFunc("/v1/patches", s.handlePatches)
+	mux.HandleFunc("/v1/status", s.handleStatus)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	s.mux = mux
+	return s
+}
+
+// Handler returns the server's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Store exposes the evidence store (tests and fleetd snapshots).
+func (s *Server) Store() *Store { return s.store }
+
+// PatchLog exposes the versioned patch log.
+func (s *Server) PatchLog() *PatchLog { return s.log }
+
+// Correct runs one correction pass: merge all shards, rerun the Bayesian
+// test, fold any derived patches into the versioned log. It returns the
+// current version and whether it changed. Passes serialize; ingest is
+// never blocked by a running pass.
+func (s *Server) Correct() (uint64, bool) {
+	s.correctMu.Lock()
+	defer s.correctMu.Unlock()
+	s.pending.Store(0)
+	s.corrections.Add(1)
+	hist := s.store.Combined()
+	findings := hist.Identify()
+	if findings.Empty() {
+		return s.log.Version(), false
+	}
+	return s.log.Fold(findings.Patches())
+}
+
+// RunCorrectionLoop reruns Correct every interval until ctx is done — the
+// background half of "rerun the test as evidence arrives". It only pays
+// for a pass when new batches actually arrived since the last one.
+func (s *Server) RunCorrectionLoop(ctx context.Context, interval time.Duration) {
+	if interval <= 0 {
+		interval = 2 * time.Second
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			if s.pending.Load() > 0 {
+				s.Correct()
+			}
+		}
+	}
+}
+
+func (s *Server) handleObservations(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var batch ObservationBatch
+	if err := decodeJSONBody(w, r, s.maxBody, &batch); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if batch.Snapshot == nil {
+		http.Error(w, "fleet: batch has no snapshot", http.StatusBadRequest)
+		return
+	}
+	s.store.AbsorbSnapshot(batch.Snapshot)
+	s.store.NoteClient(batch.Client)
+	version := s.log.Version()
+	if n := s.pending.Add(1); s.correctEvery >= 0 && n > int64(s.correctEvery) {
+		version, _ = s.Correct()
+	}
+	writeJSON(w, IngestReply{
+		OK:      true,
+		Version: version,
+		Sites:   s.store.Sites(),
+		Runs:    s.store.Runs(),
+	})
+}
+
+func (s *Server) handleReports(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodPost:
+		var rep report.Report
+		if err := decodeJSONBody(w, r, s.maxBody, &rep); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		s.reportSeen.Add(1)
+		s.reportMu.Lock()
+		s.reports = append(s.reports, &rep)
+		if len(s.reports) > s.maxReports {
+			s.reports = append([]*report.Report(nil), s.reports[len(s.reports)-s.maxReports:]...)
+		}
+		s.reportMu.Unlock()
+		writeJSON(w, map[string]any{"ok": true, "retained": s.retainedReports()})
+	case http.MethodGet:
+		s.reportMu.Lock()
+		out := append([]*report.Report{}, s.reports...)
+		s.reportMu.Unlock()
+		writeJSON(w, out)
+	default:
+		http.Error(w, "GET or POST only", http.StatusMethodNotAllowed)
+	}
+}
+
+func (s *Server) retainedReports() int {
+	s.reportMu.Lock()
+	defer s.reportMu.Unlock()
+	return len(s.reports)
+}
+
+func (s *Server) handlePatches(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	var since uint64
+	if q := r.URL.Query().Get("since"); q != "" {
+		v, err := strconv.ParseUint(q, 10, 64)
+		if err != nil {
+			http.Error(w, "fleet: bad since: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		since = v
+	}
+	ps, version := s.log.Since(since)
+	wire := ToWire(ps, version)
+	wire.Epoch = s.epoch
+	writeJSON(w, wire)
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	writeJSON(w, StatusReply{
+		Version:     s.log.Version(),
+		Sites:       s.store.Sites(),
+		Runs:        s.store.Runs(),
+		FailedRuns:  s.store.FailedRuns(),
+		CorruptRuns: s.store.CorruptRuns(),
+		Batches:     s.store.Batches(),
+		Clients:     s.store.Clients(),
+		Reports:     s.reportSeen.Load(),
+		PatchLen:    s.log.Len(),
+		UptimeSec:   int64(time.Since(s.start).Seconds()),
+	})
+}
+
+func decodeJSONBody(w http.ResponseWriter, r *http.Request, limit int64, dst any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, limit))
+	if err := dec.Decode(dst); err != nil {
+		return fmt.Errorf("fleet: decode body: %w", err)
+	}
+	if dec.More() {
+		return fmt.Errorf("fleet: decode body: trailing data")
+	}
+	return nil
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// SaveSnapshot writes the combined evidence store to path in the
+// cumulative persist format (write-to-temp, then rename, so a crash
+// mid-write never corrupts the previous snapshot).
+func (s *Server) SaveSnapshot(path string) error {
+	hist := s.store.Combined()
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".fleet-snap-*")
+	if err != nil {
+		return fmt.Errorf("fleet: snapshot: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if err := hist.Encode(tmp); err != nil {
+		tmp.Close()
+		return fmt.Errorf("fleet: snapshot: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("fleet: snapshot: %w", err)
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// LoadSnapshot restores evidence from a snapshot file written by
+// SaveSnapshot and runs a correction pass so the patch log is warm before
+// the first poll. A missing file is not an error (fresh start).
+func (s *Server) LoadSnapshot(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return fmt.Errorf("fleet: restore: %w", err)
+	}
+	defer f.Close()
+	hist, err := cumulative.DecodeHistory(f)
+	if err != nil {
+		return fmt.Errorf("fleet: restore %s: %w", path, err)
+	}
+	s.store.AbsorbHistory(hist)
+	s.Correct()
+	return nil
+}

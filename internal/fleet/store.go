@@ -1,0 +1,194 @@
+package fleet
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"exterminator/internal/cumulative"
+	"exterminator/internal/site"
+)
+
+// Store is the server-side evidence pool: cumulative-mode histories
+// sharded by call site across mutex-striped partitions. Concurrent
+// ingests touching different shards never contend; ingests touching the
+// same shard serialize on that shard's lock only.
+//
+// Overflow evidence stripes by allocation site; dangling evidence, pad
+// hints and deferral hints stripe by the (allocation-side) site of their
+// key, so every key deterministically lives in exactly one shard and
+// Combined can union the shards without deduplication.
+type Store struct {
+	cfg    cumulative.Config
+	shards []storeShard
+
+	runs        atomic.Int64
+	failedRuns  atomic.Int64
+	corruptRuns atomic.Int64
+	batches     atomic.Int64
+
+	clientMu sync.Mutex
+	clients  map[string]bool
+}
+
+type storeShard struct {
+	mu   sync.Mutex
+	hist *cumulative.History
+}
+
+// DefaultShards is the default stripe count. Call-site hashes are well
+// distributed (DJB2), so modest striping already removes almost all
+// contention.
+const DefaultShards = 16
+
+// NewStore returns an empty store with n shards (n <= 0 means
+// DefaultShards).
+func NewStore(n int, cfg cumulative.Config) *Store {
+	if n <= 0 {
+		n = DefaultShards
+	}
+	st := &Store{
+		cfg:     cfg,
+		shards:  make([]storeShard, n),
+		clients: make(map[string]bool),
+	}
+	for i := range st.shards {
+		st.shards[i].hist = cumulative.NewHistory(cfg)
+	}
+	return st
+}
+
+// shardIndex maps a site ID to its shard. Fibonacci mixing spreads
+// consecutive synthetic site IDs (tests use 0x100, 0x101, ...) as well as
+// real DJB2 hashes.
+func (st *Store) shardIndex(id site.ID) int {
+	return int((uint32(id) * 2654435761) % uint32(len(st.shards)))
+}
+
+// AbsorbSnapshot folds one uploaded snapshot into the store. The snapshot
+// is split into per-shard sub-snapshots; each shard is locked once. Run
+// counters are tracked globally, not per shard.
+func (st *Store) AbsorbSnapshot(s *cumulative.Snapshot) {
+	if s == nil {
+		return
+	}
+	st.runs.Add(int64(s.Runs))
+	st.failedRuns.Add(int64(s.FailedRuns))
+	st.corruptRuns.Add(int64(s.CorruptRuns))
+	st.batches.Add(1)
+
+	parts := make([]*cumulative.Snapshot, len(st.shards))
+	part := func(i int) *cumulative.Snapshot {
+		if parts[i] == nil {
+			parts[i] = &cumulative.Snapshot{C: s.C, P: s.P}
+		}
+		return parts[i]
+	}
+	for _, id := range s.Sites {
+		p := part(st.shardIndex(id))
+		p.Sites = append(p.Sites, id)
+	}
+	for _, so := range s.Overflow {
+		p := part(st.shardIndex(so.Site))
+		p.Overflow = append(p.Overflow, so)
+	}
+	for _, po := range s.Dangling {
+		p := part(st.shardIndex(po.Alloc))
+		p.Dangling = append(p.Dangling, po)
+	}
+	for _, h := range s.PadHints {
+		p := part(st.shardIndex(h.Site))
+		p.PadHints = append(p.PadHints, h)
+	}
+	for _, h := range s.DeferralHints {
+		p := part(st.shardIndex(h.Alloc))
+		p.DeferralHints = append(p.DeferralHints, h)
+	}
+	for i, p := range parts {
+		if p == nil {
+			continue
+		}
+		sh := &st.shards[i]
+		sh.mu.Lock()
+		sh.hist.Absorb(p)
+		sh.mu.Unlock()
+	}
+}
+
+// AbsorbHistory folds a whole history into the store (snapshot restore and
+// in-process aggregation paths).
+func (st *Store) AbsorbHistory(h *cumulative.History) {
+	if h == nil {
+		return
+	}
+	st.AbsorbSnapshot(h.Snapshot())
+}
+
+// maxClients bounds the distinct-installation statistic: IDs are
+// client-chosen, so an unbounded set would let one misbehaving client
+// grow server memory without limit.
+const maxClients = 1 << 16
+
+// NoteClient records an installation identifier for statistics. Beyond
+// maxClients distinct IDs, new ones are counted as existing (the
+// statistic saturates rather than the map growing unboundedly).
+func (st *Store) NoteClient(id string) {
+	if id == "" {
+		return
+	}
+	st.clientMu.Lock()
+	if len(st.clients) < maxClients || st.clients[id] {
+		st.clients[id] = true
+	}
+	st.clientMu.Unlock()
+}
+
+// Clients returns the number of distinct installation identifiers seen.
+func (st *Store) Clients() int {
+	st.clientMu.Lock()
+	defer st.clientMu.Unlock()
+	return len(st.clients)
+}
+
+// Combined merges every shard into one history carrying the global run
+// counters. Shard snapshots are taken under the shard lock one at a time,
+// so Combined never blocks the whole store; the result is canonically
+// ordered (see cumulative.Snapshot), making Identify independent of the
+// order in which evidence arrived.
+func (st *Store) Combined() *cumulative.History {
+	hist := cumulative.NewHistory(st.cfg)
+	for i := range st.shards {
+		sh := &st.shards[i]
+		sh.mu.Lock()
+		snap := sh.hist.Snapshot()
+		sh.mu.Unlock()
+		hist.Absorb(snap)
+	}
+	hist.Runs = int(st.runs.Load())
+	hist.FailedRuns = int(st.failedRuns.Load())
+	hist.CorruptRuns = int(st.corruptRuns.Load())
+	return hist
+}
+
+// Runs returns the fleet-wide run count.
+func (st *Store) Runs() int64 { return st.runs.Load() }
+
+// FailedRuns returns the fleet-wide failed-run count.
+func (st *Store) FailedRuns() int64 { return st.failedRuns.Load() }
+
+// CorruptRuns returns the fleet-wide corrupt-run count.
+func (st *Store) CorruptRuns() int64 { return st.corruptRuns.Load() }
+
+// Batches returns the number of observation batches absorbed.
+func (st *Store) Batches() int64 { return st.batches.Load() }
+
+// Sites returns the fleet-wide number of distinct allocation sites.
+func (st *Store) Sites() int {
+	n := 0
+	for i := range st.shards {
+		sh := &st.shards[i]
+		sh.mu.Lock()
+		n += sh.hist.Sites()
+		sh.mu.Unlock()
+	}
+	return n
+}

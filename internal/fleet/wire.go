@@ -1,0 +1,169 @@
+// Package fleet turns Exterminator's cumulative mode (paper §5) into a
+// networked subsystem: an HTTP aggregation server that pools per-site
+// (X, Y) observations from any number of independent installations, reruns
+// the Bayesian hypothesis test as evidence arrives, and distributes the
+// derived runtime patches back to the fleet with cheap delta polling —
+// the "automatic distribution" deployment the paper's §6.3/§6.4 sketch.
+//
+// Protocol (all JSON over HTTP):
+//
+//	POST /v1/observations   ObservationBatch (a cumulative.Snapshot + client id)
+//	POST /v1/reports        report.Report (human-readable bug reports)
+//	GET  /v1/reports        recently received reports
+//	GET  /v1/patches?since=V WirePatchSet with entries added after version V
+//	GET  /v1/status         aggregate statistics
+//	GET  /healthz           liveness
+//
+// The server shards its evidence store by call site across mutex striped
+// partitions, so concurrent ingest from many clients scales without a
+// global lock; patch distribution is versioned, so clients poll with the
+// last version they saw and usually get an empty delta back.
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"exterminator/internal/cumulative"
+	"exterminator/internal/patch"
+	"exterminator/internal/site"
+)
+
+// ObservationBatch is the POST /v1/observations request body: one
+// installation's accumulated run summaries, in the canonical snapshot
+// form. Client is an opaque installation identifier used only for
+// statistics.
+type ObservationBatch struct {
+	Client   string               `json:"client,omitempty"`
+	Snapshot *cumulative.Snapshot `json:"snapshot"`
+}
+
+// IngestReply is the POST /v1/observations response body.
+type IngestReply struct {
+	OK bool `json:"ok"`
+	// Version is the server's current patch-set version after the ingest
+	// (and any correction pass it triggered), so uploaders can decide to
+	// poll immediately.
+	Version uint64 `json:"version"`
+	// Sites is the fleet-wide number of distinct allocation sites (N in
+	// the §5.1 prior).
+	Sites int `json:"sites"`
+	// Runs is the fleet-wide run count.
+	Runs int64 `json:"runs"`
+}
+
+// PadEntry is one pad-table entry on the wire.
+type PadEntry struct {
+	Site site.ID `json:"site"`
+	Pad  uint32  `json:"pad"`
+}
+
+// DeferralEntry is one deferral-table entry on the wire.
+type DeferralEntry struct {
+	Alloc    site.ID `json:"alloc"`
+	Free     site.ID `json:"free"`
+	Deferral uint64  `json:"deferral"`
+}
+
+// WirePatchSet is a versioned patch.Set in the fleet wire encoding: the
+// GET /v1/patches response body, and also a standalone file format
+// (cmd/patchmerge reads and writes it alongside the binary .xtp format).
+type WirePatchSet struct {
+	Version uint64 `json:"version"`
+	// Epoch identifies the server incarnation that issued Version.
+	// Versions are only ordered within one epoch: after a restart the
+	// server rederives its patch log from the (possibly stale) snapshot
+	// and restarts version numbering, so a client holding a version from
+	// another epoch must resync from 0 instead of delta-polling (the
+	// Client does this transparently). Zero in standalone files.
+	Epoch     uint64          `json:"epoch,omitempty"`
+	Pads      []PadEntry      `json:"pads,omitempty"`
+	FrontPads []PadEntry      `json:"frontPads,omitempty"`
+	Deferrals []DeferralEntry `json:"deferrals,omitempty"`
+}
+
+// ToWire converts a patch set to its wire form, sorted for deterministic
+// encoding.
+func ToWire(ps *patch.Set, version uint64) *WirePatchSet {
+	w := &WirePatchSet{Version: version}
+	for s, pad := range ps.Pads {
+		w.Pads = append(w.Pads, PadEntry{Site: s, Pad: pad})
+	}
+	for s, pad := range ps.FrontPads {
+		w.FrontPads = append(w.FrontPads, PadEntry{Site: s, Pad: pad})
+	}
+	for p, d := range ps.Deferrals {
+		w.Deferrals = append(w.Deferrals, DeferralEntry{Alloc: p.Alloc, Free: p.Free, Deferral: d})
+	}
+	sort.Slice(w.Pads, func(i, j int) bool { return w.Pads[i].Site < w.Pads[j].Site })
+	sort.Slice(w.FrontPads, func(i, j int) bool { return w.FrontPads[i].Site < w.FrontPads[j].Site })
+	sort.Slice(w.Deferrals, func(i, j int) bool {
+		if w.Deferrals[i].Alloc != w.Deferrals[j].Alloc {
+			return w.Deferrals[i].Alloc < w.Deferrals[j].Alloc
+		}
+		return w.Deferrals[i].Free < w.Deferrals[j].Free
+	})
+	return w
+}
+
+// Set converts the wire form back into a patch set.
+func (w *WirePatchSet) Set() *patch.Set {
+	ps := patch.New()
+	for _, e := range w.Pads {
+		ps.AddPad(e.Site, e.Pad)
+	}
+	for _, e := range w.FrontPads {
+		ps.AddFrontPad(e.Site, e.Pad)
+	}
+	for _, e := range w.Deferrals {
+		ps.AddDeferral(site.Pair{Alloc: e.Alloc, Free: e.Free}, e.Deferral)
+	}
+	return ps
+}
+
+// EncodePatchSet writes a patch set in the JSON wire encoding.
+func EncodePatchSet(w io.Writer, ps *patch.Set, version uint64) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(ToWire(ps, version))
+}
+
+// DecodePatchSet reads a patch set in the JSON wire encoding. It rejects
+// trailing garbage so a truncated or concatenated file cannot silently
+// decode into a partial set.
+func DecodePatchSet(r io.Reader) (*patch.Set, uint64, error) {
+	w, err := decodeWire(r)
+	if err != nil {
+		return nil, 0, err
+	}
+	return w.Set(), w.Version, nil
+}
+
+// decodeWire strictly decodes one WirePatchSet document.
+func decodeWire(r io.Reader) (*WirePatchSet, error) {
+	dec := json.NewDecoder(r)
+	var w WirePatchSet
+	if err := dec.Decode(&w); err != nil {
+		return nil, fmt.Errorf("fleet: decode patch set: %w", err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("fleet: decode patch set: trailing data after JSON document")
+	}
+	return &w, nil
+}
+
+// StatusReply is the GET /v1/status response body.
+type StatusReply struct {
+	Version     uint64 `json:"version"`
+	Sites       int    `json:"sites"`
+	Runs        int64  `json:"runs"`
+	FailedRuns  int64  `json:"failedRuns"`
+	CorruptRuns int64  `json:"corruptRuns"`
+	Batches     int64  `json:"batches"`
+	Clients     int    `json:"clients"`
+	Reports     int64  `json:"reports"`
+	PatchLen    int    `json:"patchLen"`
+	UptimeSec   int64  `json:"uptimeSec"`
+}

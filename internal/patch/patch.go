@@ -138,6 +138,33 @@ func (s *Set) Merge(other *Set) bool {
 	return changed
 }
 
+// Diff returns the entries in s that are absent from (or stronger than
+// in) base — the delta that Merge(base, diff) needs to reconstruct s.
+// Like Merge, it compares by the semilattice order: an entry counts only
+// if its value exceeds base's.
+func (s *Set) Diff(base *Set) *Set {
+	out := New()
+	if base == nil {
+		base = out
+	}
+	for k, v := range s.Pads {
+		if v > base.Pad(k) {
+			out.Pads[k] = v
+		}
+	}
+	for k, v := range s.FrontPads {
+		if v > base.FrontPad(k) {
+			out.FrontPads[k] = v
+		}
+	}
+	for k, v := range s.Deferrals {
+		if v > base.Deferral(k) {
+			out.Deferrals[k] = v
+		}
+	}
+	return out
+}
+
 // Equal reports whether two sets contain identical patches.
 func (s *Set) Equal(other *Set) bool {
 	if len(s.Pads) != len(other.Pads) || len(s.FrontPads) != len(other.FrontPads) ||
