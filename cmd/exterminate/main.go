@@ -8,20 +8,31 @@
 //
 // Patches written by one run can be fed back with -load, merged with
 // patchmerge, and inspected with -text.
+//
+// The command is a thin shell over the engine API: it assembles an
+// engine.Session from flags, subscribes a printing observer to the event
+// stream, and routes evidence through sinks (-save-history writes the
+// history file; -fleet downloads fleet patches before the run and
+// uploads observations and newly derived patches after it). Interrupting
+// the process (Ctrl-C) cancels the session context; the partial result
+// is still reported and flushed to the sinks.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"exterminator/internal/core"
 	"exterminator/internal/diefast"
+	"exterminator/internal/engine"
 	"exterminator/internal/fleet"
 	"exterminator/internal/image"
 	"exterminator/internal/inject"
 	"exterminator/internal/mutator"
-	"exterminator/internal/report"
 	"exterminator/internal/trace"
 	"exterminator/internal/workloads"
 	"exterminator/internal/xrand"
@@ -29,33 +40,30 @@ import (
 
 func main() {
 	var (
-		workload   = flag.String("workload", "espresso", "workload name (espresso, cfrac, gzip, ..., squid, mozilla)")
-		mode       = flag.String("mode", "iterative", "iterative | replicated | cumulative")
-		fault      = flag.String("fault", "", "inject a fault: overflow | dangling | double-free | invalid-free")
-		size       = flag.Int("size", 20, "overflow size in bytes")
-		trigger    = flag.Uint64("trigger", 700, "allocation ordinal at which the fault fires")
-		seed       = flag.Uint64("seed", 1, "base heap seed")
-		replicas   = flag.Int("replicas", 3, "replica count (replicated mode)")
-		maxRuns    = flag.Int("maxruns", 60, "run budget (cumulative mode)")
-		hostile    = flag.Bool("hostile", false, "use the workload's hostile input (squid/mozilla)")
-		patchOut   = flag.String("patches", "", "write derived patches to this file")
-		patchIn    = flag.String("load", "", "pre-load patches from this file")
-		text       = flag.Bool("text", false, "also print patches in text form")
-		dumpImage  = flag.String("dump-image", "", "dump one buggy-run heap image to this file")
-		recordTo   = flag.String("record", "", "record the workload's allocation trace to this file")
-		historyIn  = flag.String("resume-history", "", "resume cumulative mode from this history file")
-		historyOut = flag.String("save-history", "", "write the cumulative history to this file")
-		breakpoint = flag.Uint64("breakpoint", 0, "with -dump-image: capture at this malloc breakpoint instead of at the first error")
-		faultSeed  = flag.Uint64("fault-seed", 17, "victim-selection seed for the injected fault (keep fixed across replicas: the bug must be the same logical bug)")
-		fleetURL   = flag.String("fleet", "", "fleet aggregation server base URL: download+merge fleet patches before the run; cumulative mode uploads its observations after it")
-		fleetID    = flag.String("fleet-id", "", "installation identifier sent with fleet uploads (default: hostname)")
+		workload    = flag.String("workload", "espresso", "workload name (espresso, cfrac, gzip, ..., squid, mozilla)")
+		mode        = flag.String("mode", "iterative", "iterative | replicated | cumulative")
+		fault       = flag.String("fault", "", "inject a fault: overflow | dangling | double-free | invalid-free")
+		size        = flag.Int("size", 20, "overflow size in bytes")
+		trigger     = flag.Uint64("trigger", 700, "allocation ordinal at which the fault fires")
+		seed        = flag.Uint64("seed", 1, "base heap seed")
+		replicas    = flag.Int("replicas", 3, "replica count (replicated mode)")
+		maxRuns     = flag.Int("maxruns", 60, "run budget (cumulative mode)")
+		parallelism = flag.Int("parallelism", 1, "concurrent executions (cumulative mode)")
+		hostile     = flag.Bool("hostile", false, "use the workload's hostile input (squid/mozilla)")
+		patchOut    = flag.String("patches", "", "write derived patches to this file")
+		patchIn     = flag.String("load", "", "pre-load patches from this file")
+		text        = flag.Bool("text", false, "also print patches in text form")
+		dumpImage   = flag.String("dump-image", "", "dump one buggy-run heap image to this file")
+		recordTo    = flag.String("record", "", "record the workload's allocation trace to this file")
+		historyIn   = flag.String("resume-history", "", "resume cumulative mode from this history file")
+		historyOut  = flag.String("save-history", "", "write the cumulative history to this file")
+		breakpoint  = flag.Uint64("breakpoint", 0, "with -dump-image: capture at this malloc breakpoint instead of at the first error")
+		faultSeed   = flag.Uint64("fault-seed", 17, "victim-selection seed for the injected fault (keep fixed across replicas: the bug must be the same logical bug)")
+		fleetURL    = flag.String("fleet", "", "fleet aggregation server base URL: download+merge fleet patches before the run; cumulative mode uploads its observations after it")
+		fleetID     = flag.String("fleet-id", "", "installation identifier sent with fleet uploads (default: hostname)")
+		events      = flag.Bool("events", false, "print the session's full event stream")
 	)
 	flag.Parse()
-
-	var fc *fleet.Client
-	if *fleetURL != "" {
-		fc = fleet.NewClient(*fleetURL, installID(*fleetID))
-	}
 
 	prog, ok := workloads.ByName(*workload, 1)
 	if !ok {
@@ -63,7 +71,7 @@ func main() {
 	}
 	input := inputFor(*workload, *hostile)
 
-	var hookFor core.HookFactory
+	var hookFor engine.HookFactory
 	if *fault != "" {
 		kind, ok := faultKind(*fault)
 		if !ok {
@@ -72,37 +80,6 @@ func main() {
 		plan := inject.Plan{Kind: kind, TriggerAlloc: *trigger, Size: *size, Seed: *faultSeed}
 		hookFor = func() mutator.Hook { return inject.New(plan) }
 	}
-
-	opts := core.Options{Seed: *seed, Replicas: *replicas, MaxRuns: *maxRuns}
-	if *patchIn != "" {
-		p, err := core.LoadPatches(*patchIn)
-		if err != nil {
-			fatalf("load patches: %v", err)
-		}
-		opts.Patches = p
-	}
-	var preRunPatches *core.Patches
-	if fc != nil {
-		// Stay current with the fleet before running: fetched patches
-		// merge into whatever -load supplied (maxima, so always safe).
-		fp, version, err := fc.Patches(0)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "exterminate: fleet unreachable, running with local patches only: %v\n", err)
-		} else {
-			if opts.Patches == nil {
-				opts.Patches = core.NewPatches()
-			}
-			opts.Patches.Merge(fp)
-			fmt.Printf("fleet: merged %d patch entr%s at version %d\n", fp.Len(), plural(fp.Len()), version)
-		}
-		if opts.Patches != nil {
-			preRunPatches = opts.Patches.Clone()
-		}
-		if *mode != "cumulative" {
-			fmt.Fprintln(os.Stderr, "exterminate: note: only cumulative mode produces uploadable observations; -fleet will still download patches and report newly derived ones")
-		}
-	}
-	ext := core.New(opts)
 
 	if *dumpImage != "" {
 		if err := dumpOneImage(prog, input, hookFor, *seed, *breakpoint, *dumpImage); err != nil {
@@ -117,98 +94,159 @@ func main() {
 		fmt.Println("allocation trace written to", *recordTo)
 	}
 
-	var patches *core.Patches
-	var fleetHistory *core.History
+	// --- assemble the session from flags -------------------------------
+
+	opts := []engine.Option{
+		engine.WithSeeds(*seed, 0x9106),
+		engine.WithReplicas(*replicas),
+		engine.WithMaxRuns(*maxRuns),
+		engine.WithParallelism(*parallelism),
+		engine.WithHook(hookFor),
+		engine.WithInput(input),
+		engine.WithObserver(engine.ObserverFunc(func(ev engine.Event) {
+			if *events {
+				fmt.Println("  [event]", ev)
+				return
+			}
+			switch ev.(type) {
+			case engine.PatchesFetched, engine.EvidenceCommitted, engine.ErrorDetected, engine.PatchDerived:
+				fmt.Println(ev)
+			}
+		})),
+	}
+
 	switch *mode {
 	case "iterative":
-		res := ext.Iterative(prog, input, hookFor)
-		fmt.Println(res)
-		for i, r := range res.Rounds {
-			fmt.Printf("  round %d: images=%d overflows=%d danglings=%d newPatches=%d\n",
-				i+1, r.Images, r.Overflows, r.Danglings, r.NewPatches)
-		}
-		patches = res.Patches
+		opts = append(opts, engine.WithMode(engine.ModeIterative))
 	case "replicated":
-		res := ext.Replicated(prog, input, hookFor)
-		fmt.Printf("replicated: detected=%v (%s) corrected=%v\n", res.ErrorDetected, res.Detection, res.Corrected)
-		for i, o := range res.Outcomes {
-			fmt.Printf("  replica %d: %s\n", i, o)
-		}
-		patches = res.Patches
+		opts = append(opts, engine.WithMode(engine.ModeReplicated))
 	case "cumulative":
-		var hookForRun func(int) core.Hook
-		if hookFor != nil {
-			hookForRun = func(int) core.Hook { return hookFor() }
-		}
-		inputFn := func(int) []byte { return input }
-		var hist *core.History
+		opts = append(opts, engine.WithMode(engine.ModeCumulative),
+			engine.WithVaryProgSeed(*workload == "mozilla"))
 		if *historyIn != "" {
-			var err error
-			if hist, err = core.LoadHistory(*historyIn); err != nil {
+			hist, err := core.LoadHistory(*historyIn)
+			if err != nil {
 				fatalf("load history: %v", err)
 			}
 			fmt.Printf("resuming from %s\n", hist)
+			opts = append(opts, engine.WithHistory(hist))
 		}
-		res := ext.CumulativeResume(prog, inputFn, hookForRun, hist, *workload == "mozilla")
-		fmt.Printf("cumulative: identified=%v after %d runs (%d failures)\n", res.Identified, res.Runs, res.Failures)
-		fmt.Printf("  %s\n", res.History)
-		if *historyOut != "" {
-			if err := core.SaveHistory(res.History, *historyOut); err != nil {
-				fatalf("save history: %v", err)
-			}
-			fmt.Println("history written to", *historyOut)
-		}
-		patches = res.Patches
-		fleetHistory = res.History
 	default:
 		fatalf("unknown mode %q", *mode)
 	}
 
-	if fc != nil {
-		if fleetHistory != nil {
-			if *historyIn != "" {
-				fmt.Fprintln(os.Stderr, "exterminate: note: -fleet uploads the whole history, including runs resumed via -resume-history; avoid re-uploading evidence the fleet already has")
-			}
-			reply, err := fc.PushHistory(fleetHistory)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "exterminate: fleet upload failed: %v\n", err)
-			} else {
-				fmt.Printf("fleet: uploaded observations (fleet now at %d runs, %d sites, patch version %d)\n",
-					reply.Runs, reply.Sites, reply.Version)
-			}
+	if *patchIn != "" {
+		p, err := core.LoadPatches(*patchIn)
+		if err != nil {
+			fatalf("load patches: %v", err)
 		}
-		// Report only patches this run actually derived: res.Patches
-		// includes everything pre-loaded (including the fleet's own
-		// set), and re-reporting those would spam the fleet with
-		// duplicates on every run.
-		var derived *core.Patches
-		if patches != nil {
-			derived = patches.Diff(preRunPatches)
-		} else {
-			derived = core.NewPatches()
+		opts = append(opts, engine.WithPatches(p))
+	}
+
+	var fleetSink *fleet.Sink
+	// fatalSinks: local file sinks whose failure must fail the process
+	// (an unreachable fleet is a warning; a missing output file is not).
+	fatalSinks := make(map[string]bool)
+	if *fleetURL != "" {
+		fleetSink = fleet.NewSink(fleet.NewClient(*fleetURL, installID(*fleetID)))
+		opts = append(opts, engine.WithSink(fleetSink))
+		if *mode != "cumulative" {
+			fmt.Fprintln(os.Stderr, "exterminate: note: only cumulative mode produces uploadable observations; -fleet will still download patches and report newly derived ones")
 		}
-		if derived.Len() > 0 {
-			if err := fc.PushReport(report.FromPatches(derived, nil)); err != nil {
-				fmt.Fprintf(os.Stderr, "exterminate: fleet report upload failed: %v\n", err)
-			} else {
-				fmt.Printf("fleet: reported %d newly derived patch entr%s\n", derived.Len(), plural(derived.Len()))
-			}
+		if *historyIn != "" {
+			fmt.Fprintln(os.Stderr, "exterminate: note: -fleet uploads the whole history, including runs resumed via -resume-history; avoid re-uploading evidence the fleet already has")
+		}
+	}
+	if *historyOut != "" {
+		s := engine.HistoryFile(*historyOut)
+		fatalSinks[s.SinkName()] = true
+		opts = append(opts, engine.WithSink(s))
+	}
+	if *patchOut != "" {
+		s := engine.PatchFile(*patchOut)
+		fatalSinks[s.SinkName()] = true
+		opts = append(opts, engine.WithSink(s))
+	}
+
+	sess, err := engine.New(engine.Batch(prog), opts...)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	// Ctrl-C cancels the session; the partial result still flushes to
+	// the sinks (history file, fleet) before the process exits.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	res, runErr := sess.Run(ctx)
+	exitCode := 0
+	if runErr != nil {
+		// A canceled run is not a completed run: report the partial
+		// results but exit non-zero so `exterminate ... && use-output`
+		// chains do not treat them as final.
+		fmt.Fprintf(os.Stderr, "exterminate: session canceled (%v); reporting partial results\n", runErr)
+		exitCode = 1
+	}
+	printResult(res)
+	// Failures are keyed per (sink, op): a failed pre-run fleet fetch
+	// must not hide a successful post-run upload, and vice versa.
+	failed := make(map[string]bool)
+	for _, serr := range res.SinkErrors {
+		fmt.Fprintf(os.Stderr, "exterminate: %v\n", serr)
+		failed[serr.Sink+"/"+serr.Op] = true
+		if fatalSinks[serr.Sink] {
+			exitCode = 1
+		}
+	}
+	if fleetSink != nil {
+		if reply := fleetSink.LastIngest(); reply != nil {
+			fmt.Printf("fleet: uploaded observations (fleet now at %d runs, %d sites, patch version %d)\n",
+				reply.Runs, reply.Sites, reply.Version)
+		}
+		if res.Derived.Len() > 0 && !failed[fleetSink.SinkName()+"/commit"] {
+			fmt.Printf("fleet: reported %d newly derived patch entr%s\n", res.Derived.Len(), plural(res.Derived.Len()))
 		}
 	}
 
-	if patches.Len() > 0 {
-		fmt.Printf("derived %d patch entr%s\n", patches.Len(), plural(patches.Len()))
+	if res.Patches.Len() > 0 {
+		fmt.Printf("derived %d patch entr%s (%d new this session)\n",
+			res.Patches.Len(), plural(res.Patches.Len()), res.Derived.Len())
 		if *text {
-			core.WritePatchesText(patches, os.Stdout)
+			core.WritePatchesText(res.Patches, os.Stdout)
 		}
 	} else {
 		fmt.Println("no patches derived")
 	}
-	if *patchOut != "" {
-		if err := core.SavePatches(patches, *patchOut); err != nil {
-			fatalf("save patches: %v", err)
-		}
+	if *patchOut != "" && !failed[engine.PatchFile(*patchOut).SinkName()+"/commit"] {
 		fmt.Println("patches written to", *patchOut)
+	}
+	if *historyOut != "" && res.Cumulative != nil && !failed[engine.HistoryFile(*historyOut).SinkName()+"/commit"] {
+		fmt.Println("history written to", *historyOut)
+	}
+	if exitCode != 0 {
+		os.Exit(exitCode)
+	}
+}
+
+// printResult renders the unified result header plus the mode detail.
+func printResult(res *engine.Result) {
+	fmt.Println(res)
+	switch {
+	case res.Iterative != nil:
+		for i, r := range res.Iterative.Rounds {
+			fmt.Printf("  round %d: images=%d overflows=%d danglings=%d newPatches=%d\n",
+				i+1, r.Images, r.Overflows, r.Danglings, r.NewPatches)
+		}
+	case res.Replicated != nil:
+		fmt.Printf("  detected=%v (%s) corrected=%v\n",
+			res.Replicated.ErrorDetected, res.Replicated.Detection, res.Replicated.Corrected)
+		for i, o := range res.Replicated.Outcomes {
+			fmt.Printf("  replica %d: %s\n", i, o)
+		}
+	case res.Cumulative != nil:
+		fmt.Printf("  identified=%v after %d runs (%d failures)\n",
+			res.Cumulative.Identified, res.Cumulative.Runs, res.Cumulative.Failures)
+		fmt.Printf("  %s\n", res.Cumulative.History)
 	}
 }
 
@@ -247,7 +285,7 @@ func faultKind(name string) (inject.Kind, bool) {
 // first error signal (or at the malloc breakpoint when given) — images
 // taken at exit carry stale evidence. It prints the image's clock so
 // further replicas can be dumped at the same breakpoint.
-func dumpOneImage(prog mutator.Program, input []byte, hookFor core.HookFactory, seed, breakpoint uint64, path string) error {
+func dumpOneImage(prog mutator.Program, input []byte, hookFor engine.HookFactory, seed, breakpoint uint64, path string) error {
 	h := diefast.New(diefast.DefaultConfig(), xrand.New(seed))
 	if breakpoint == 0 {
 		// Stop at the first DieFast signal, as the paper's initial

@@ -3,21 +3,29 @@
 // locally; merging the patch files yields one set that fixes every
 // observed error for everyone.
 //
+// Each user's session runs through the engine API and writes its patch
+// file through an evidence sink — the same plumbing a fleet deployment
+// uses, pointed at local files.
+//
 //	go run ./examples/collaborative
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
 	"path/filepath"
 
 	"exterminator/internal/core"
+	"exterminator/internal/engine"
 	"exterminator/internal/inject"
+	"exterminator/internal/mutator"
 	"exterminator/internal/workloads"
 )
 
 func main() {
+	ctx := context.Background()
 	dir, err := os.MkdirTemp("", "exterminator-collab")
 	if err != nil {
 		log.Fatal(err)
@@ -39,23 +47,35 @@ func main() {
 		plan := plan
 		fmt.Printf("=== user %d: bug = %v overflow of %d bytes at alloc #%d ===\n",
 			u+1, plan.Kind, plan.Size, plan.TriggerAlloc)
-		var patches *core.Patches
+		path := filepath.Join(dir, fmt.Sprintf("user%d.xtp", u+1))
+		var corrected *engine.Result
 		for seed := uint64(1); seed <= 6; seed++ {
-			ext := core.New(core.Options{Seed: uint64(u+1)*1000 + seed*77})
-			res := ext.Iterative(prog, nil, func() core.Hook { return inject.New(plan) })
+			sess, err := engine.New(engine.Batch(prog),
+				engine.WithMode(engine.ModeIterative),
+				engine.WithSeeds(uint64(u+1)*1000+seed*77, 0x9106),
+				engine.WithHook(func() mutator.Hook { return inject.New(plan) }),
+				engine.WithSink(engine.PatchFile(path)),
+			)
+			if err != nil {
+				log.Fatal(err)
+			}
+			res, err := sess.Run(ctx)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if len(res.SinkErrors) > 0 {
+				log.Fatal(res.SinkErrors[0])
+			}
 			if res.Corrected {
-				patches = res.Patches
+				corrected = res
 				break
 			}
 		}
-		if patches == nil {
+		if corrected == nil {
 			log.Fatalf("user %d: bug never corrected", u+1)
 		}
-		path := filepath.Join(dir, fmt.Sprintf("user%d.xtp", u+1))
-		if err := core.SavePatches(patches, path); err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("  -> %d patch entr%s written to %s\n", patches.Len(), plural(patches.Len()), filepath.Base(path))
+		fmt.Printf("  -> %d patch entr%s written to %s\n",
+			corrected.Patches.Len(), plural(corrected.Patches.Len()), filepath.Base(path))
 		files = append(files, path)
 	}
 
@@ -74,8 +94,7 @@ func main() {
 	fmt.Println("\n=== every user's bug is fixed by the merged set ===")
 	for u, plan := range bugs {
 		plan := plan
-		ext := core.New(core.Options{Seed: 0xC0FFEE + uint64(u)})
-		out, clean := ext.Verify(prog, nil, inject.New(plan), merged)
+		out, clean := engine.Verify(prog, nil, inject.New(plan), merged, 0xC0FFEE+uint64(u), 0x9106)
 		fmt.Printf("  user %d rerun: %s | heap clean: %v\n", u+1, out, clean)
 		if !clean {
 			log.Fatalf("user %d's bug not covered by merged patches", u+1)

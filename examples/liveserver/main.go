@@ -5,19 +5,26 @@
 // synchronized live heap images, and the patch is reloaded into the
 // running replicas — the service never stops answering.
 //
+// The service is driven through an engine session in serve mode; the
+// observer watches incidents arrive on the event stream as they happen,
+// which is how a production controller would monitor a live fleet.
+//
 //	go run ./examples/liveserver
 package main
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"log"
 
-	"exterminator/internal/core"
+	"exterminator/internal/engine"
 	"exterminator/internal/workloads"
 )
 
 func main() {
+	ctx := context.Background()
+
 	// A request stream with three exploit waves.
 	var raw bytes.Buffer
 	raw.Write(workloads.SquidHostileInput(60, 30))
@@ -26,21 +33,37 @@ func main() {
 	chunks := workloads.SquidRequestStream(raw.Bytes())
 	fmt.Printf("request stream: %d requests, 3 of them hostile\n\n", len(chunks))
 
-	var res *core.ServeResult
+	var res *engine.Result
 	for seed := uint64(1); seed <= 6; seed++ {
-		ext := core.New(core.Options{Seed: seed * 99991, Replicas: 4})
-		res = ext.Serve(workloads.NewSquidStream(), chunks, nil)
-		if len(res.Incidents) > 0 {
+		sess, err := engine.New(engine.Stream(workloads.NewSquidStream()),
+			engine.WithMode(engine.ModeServe),
+			engine.WithSeeds(seed*99991, 0x9106),
+			engine.WithReplicas(4),
+			engine.WithChunks(chunks),
+			engine.WithObserver(engine.ObserverFunc(func(ev engine.Event) {
+				if det, ok := ev.(engine.ErrorDetected); ok {
+					fmt.Printf("  * live: %s\n", det)
+				}
+			})),
+		)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if res, err = sess.Run(ctx); err != nil {
+			log.Fatal(err)
+		}
+		if len(res.Serve.Incidents) > 0 {
 			break
 		}
 		fmt.Printf("(layout %d hid the overflow — like a lucky production day; retrying)\n", seed)
 	}
 
-	fmt.Printf("service summary: %s\n\n", res)
-	if res.Chunks != len(chunks) {
+	srv := res.Serve
+	fmt.Printf("\nservice summary: %s\n\n", srv)
+	if srv.Chunks != len(chunks) {
 		log.Fatal("liveserver: service stopped early")
 	}
-	for _, inc := range res.Incidents {
+	for _, inc := range srv.Incidents {
 		fmt.Printf("incident at request %d: %s -> %d new patch entr%s",
 			inc.Chunk, inc.Detection, inc.NewPatches, plural(inc.NewPatches))
 		if len(inc.Restarted) > 0 {
@@ -48,12 +71,12 @@ func main() {
 		}
 		fmt.Println()
 	}
-	if len(res.Incidents) == 0 {
+	if len(srv.Incidents) == 0 {
 		fmt.Println("no incidents this run — the exploit missed every canary")
 		return
 	}
 	fmt.Println("\nfinal runtime patches (applied without ever stopping the service):")
-	core.WritePatchesText(res.Patches, indent{})
+	res.Patches.EncodeText(indent{})
 	fmt.Println("\nEvery request — including the exploits — was answered; the voted")
 	fmt.Println("output stream never carried corrupted data (Figure 5's promise).")
 }

@@ -1,15 +1,17 @@
 // Quickstart: inject a buffer overflow into a small program, let
 // Exterminator isolate and correct it, and verify the patched program
-// runs clean.
+// runs clean — all through the engine API, with the session's event
+// stream narrating each step.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"exterminator/internal/core"
+	"exterminator/internal/engine"
 	"exterminator/internal/inject"
 	"exterminator/internal/mutator"
 )
@@ -21,7 +23,7 @@ type listBuilder struct{}
 
 func (listBuilder) Name() string { return "quickstart" }
 
-func (listBuilder) Run(e *core.Env) {
+func (listBuilder) Run(e *mutator.Env) {
 	const records = 400
 	var bufs []mutator.Ptr
 	for i := 0; i < records; i++ {
@@ -46,46 +48,58 @@ func (listBuilder) Run(e *core.Env) {
 }
 
 func main() {
+	ctx := context.Background()
 	prog := listBuilder{}
 
 	// The "bug": at allocation #123, 20 bytes are written past the end of
 	// a live object (a deterministic overflow, planted by the fault
 	// injector so this example is self-contained).
-	bug := func() core.Hook {
+	bug := func() mutator.Hook {
 		return inject.New(inject.Plan{Kind: inject.Overflow, TriggerAlloc: 123, Size: 20, Seed: 7})
 	}
 
-	ext := core.New(core.Options{Seed: 2026})
 	fmt.Println("=== 1. Run the buggy program under plain verification ===")
-	out, clean := ext.Verify(prog, nil, bug(), nil)
+	out, clean := engine.Verify(prog, nil, bug(), nil, 2026, 0x9106)
 	fmt.Printf("outcome: %s\nheap clean: %v\n\n", out, clean)
 
 	fmt.Println("=== 2. Iterative mode: detect, isolate, patch ===")
 	// Whether a single run exposes the overflow depends on where the
 	// randomized heap put the victim's neighbours; in production the
 	// error simply surfaces on a later execution, so retry seeds here.
-	var res *core.IterativeResult
+	// The observer prints the engine's own narration of each step.
+	var res *engine.Result
 	for seed := uint64(1); seed <= 8; seed++ {
-		ext = core.New(core.Options{Seed: 2026 + seed*7919})
-		res = ext.Iterative(prog, nil, bug)
+		sess, err := engine.New(engine.Batch(prog),
+			engine.WithMode(engine.ModeIterative),
+			engine.WithSeeds(2026+seed*7919, 0x9106),
+			engine.WithHook(bug),
+			engine.WithObserver(engine.ObserverFunc(func(ev engine.Event) {
+				switch ev.(type) {
+				case engine.ErrorDetected, engine.IsolationRound, engine.PatchDerived, engine.VerifyOutcome:
+					fmt.Println("  *", ev)
+				}
+			})),
+		)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if res, err = sess.Run(ctx); err != nil {
+			log.Fatal(err)
+		}
 		if res.Corrected {
 			break
 		}
 		fmt.Printf("(seed %d: overflow not exposed in this layout, retrying)\n", seed)
 	}
 	fmt.Println(res)
-	for i, r := range res.Rounds {
-		fmt.Printf("round %d: %d heap images -> %d overflow finding(s), %d new patch(es)\n",
-			i+1, r.Images, r.Overflows, r.NewPatches)
-	}
 	if !res.Corrected {
 		log.Fatal("quickstart: bug was not corrected")
 	}
 	fmt.Println("\nderived runtime patches:")
-	core.WritePatchesText(res.Patches, logWriter{})
+	res.Patches.EncodeText(logWriter{})
 
 	fmt.Println("\n=== 3. Re-run the (still buggy) program with patches ===")
-	out2, clean2 := ext.Verify(prog, nil, bug(), res.Patches)
+	out2, clean2 := engine.Verify(prog, nil, bug(), res.Patches, 0xF1E1D, 0x9106)
 	fmt.Printf("outcome: %s\nheap clean: %v\n", out2, clean2)
 	if !clean2 {
 		log.Fatal("quickstart: patched run not clean")

@@ -1,5 +1,5 @@
-// Package core is Exterminator's public facade: the one-stop API a
-// downstream user programs against.
+// Package core is Exterminator's classic facade: a small, stable API a
+// downstream user programs against without touching functional options.
 //
 // Exterminator (Novark, Berger & Zorn, PLDI 2007) automatically detects,
 // isolates and *corrects* heap memory errors — buffer overflows and
@@ -23,9 +23,15 @@
 //
 // Patches compose: users merge patch files with core.MergePatches
 // (collaborative correction, §6.4).
+//
+// Every method here drives internal/engine under a background context.
+// Callers needing cancellation, deadlines, the typed event stream,
+// evidence sinks, or the cumulative worker pool should build an
+// engine.Session directly — see the engine package documentation.
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -33,7 +39,7 @@ import (
 	"exterminator/internal/correct"
 	"exterminator/internal/cumulative"
 	"exterminator/internal/diefast"
-	"exterminator/internal/modes"
+	"exterminator/internal/engine"
 	"exterminator/internal/mutator"
 	"exterminator/internal/patch"
 	"exterminator/internal/xrand"
@@ -58,7 +64,8 @@ type Patches = patch.Set
 // Options configures an Exterminator instance.
 type Options struct {
 	// Seed drives all heap randomization. Zero means a fixed default;
-	// callers wanting independent instances pass distinct seeds.
+	// callers wanting independent instances pass distinct seeds, and
+	// callers needing a genuinely zero seed use engine.WithSeeds.
 	Seed uint64
 	// ProgSeed seeds program-level randomness.
 	ProgSeed uint64
@@ -84,40 +91,73 @@ func New(opts Options) *Exterminator {
 	return &Exterminator{opts: opts}
 }
 
-func (x *Exterminator) modeOptions() modes.Options {
-	return modes.Options{
-		HeapSeed: x.opts.Seed,
-		ProgSeed: x.opts.ProgSeed,
-		Images:   x.opts.Images,
-		Replicas: x.opts.Replicas,
-		MaxRuns:  x.opts.MaxRuns,
-		FillProb: x.opts.FillProb,
-		Patches:  x.opts.Patches,
+// engineOpts translates the facade options, preserving the legacy
+// semantics: zero seeds mean the fixed defaults, and non-positive
+// counts fall back to the engine defaults (the engine itself rejects
+// negative values, where this facade historically remapped them).
+func (x *Exterminator) engineOpts(mode engine.Mode) []engine.Option {
+	return []engine.Option{
+		engine.WithMode(mode),
+		engine.WithSeeds(orDefault(x.opts.Seed, 0x5eed), orDefault(x.opts.ProgSeed, 0x9106)),
+		engine.WithImages(nonNeg(x.opts.Images)),
+		engine.WithReplicas(nonNeg(x.opts.Replicas)),
+		engine.WithMaxRuns(nonNeg(x.opts.MaxRuns)),
+		engine.WithPatches(x.opts.Patches),
 	}
 }
 
+// nonNeg clamps legacy negative option values to "unset".
+func nonNeg(v int) int {
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+func (x *Exterminator) engineOptsFill(mode engine.Mode) []engine.Option {
+	eo := x.engineOpts(mode)
+	if x.opts.FillProb > 0 && x.opts.FillProb < 1 {
+		eo = append(eo, engine.WithFillProb(x.opts.FillProb))
+	}
+	return eo
+}
+
+// run drives a configured session to completion.
+func run(w engine.Workload, eo []engine.Option) *engine.Result {
+	sess, err := engine.New(w, eo...)
+	if err != nil {
+		panic("core: " + err.Error()) // facade passes validated options
+	}
+	res, _ := sess.Run(context.Background())
+	return res
+}
+
 // IterativeResult re-exports the iterative-mode outcome.
-type IterativeResult = modes.IterativeResult
+type IterativeResult = engine.IterativeResult
 
 // ReplicatedResult re-exports the replicated-mode outcome.
-type ReplicatedResult = modes.ReplicatedResult
+type ReplicatedResult = engine.ReplicatedResult
 
 // CumulativeResult re-exports the cumulative-mode outcome.
-type CumulativeResult = modes.CumulativeResult
+type CumulativeResult = engine.CumulativeResult
 
 // HookFactory builds a fresh hook per execution.
-type HookFactory = modes.HookFactory
+type HookFactory = engine.HookFactory
 
 // Iterative detects, isolates and corrects errors by re-running prog over
 // the same input with fresh heap randomization (§3.4 iterative mode).
 func (x *Exterminator) Iterative(prog Program, input []byte, hookFor HookFactory) *IterativeResult {
-	return modes.Iterative(prog, input, hookFor, x.modeOptions())
+	eo := append(x.engineOptsFill(engine.ModeIterative),
+		engine.WithInput(input), engine.WithHook(hookFor))
+	return run(engine.Batch(prog), eo).Iterative
 }
 
 // Replicated runs prog across differently randomized replicas with output
 // voting, correcting on any error indication (§3.4 replicated mode).
 func (x *Exterminator) Replicated(prog Program, input []byte, hookFor HookFactory) *ReplicatedResult {
-	return modes.Replicated(prog, input, hookFor, x.modeOptions())
+	eo := append(x.engineOptsFill(engine.ModeReplicated),
+		engine.WithInput(input), engine.WithHook(hookFor))
+	return run(engine.Batch(prog), eo).Replicated
 }
 
 // Cumulative isolates errors across many (possibly nondeterministic) runs
@@ -126,9 +166,7 @@ func (x *Exterminator) Replicated(prog Program, input []byte, hookFor HookFactor
 // run different program-level randomness (for nondeterministic
 // applications).
 func (x *Exterminator) Cumulative(prog Program, inputFor func(run int) []byte, hookFor func(run int) Hook, varyProgSeed bool) *CumulativeResult {
-	o := x.modeOptions()
-	o.VaryProgSeed = varyProgSeed
-	return modes.Cumulative(prog, inputFor, hookFor, o)
+	return x.CumulativeResume(prog, inputFor, hookFor, nil, varyProgSeed)
 }
 
 // History is the cumulative-mode per-site summary store.
@@ -138,9 +176,12 @@ type History = cumulative.History
 // history (the §3.4 deployment story: summaries, not heap images, carry
 // across process restarts).
 func (x *Exterminator) CumulativeResume(prog Program, inputFor func(run int) []byte, hookFor func(run int) Hook, hist *History, varyProgSeed bool) *CumulativeResult {
-	o := x.modeOptions()
-	o.VaryProgSeed = varyProgSeed
-	return modes.CumulativeResume(prog, inputFor, hookFor, hist, o)
+	eo := append(x.engineOptsFill(engine.ModeCumulative),
+		engine.WithInputFunc(inputFor),
+		engine.WithRunHook(hookFor),
+		engine.WithHistory(hist),
+		engine.WithVaryProgSeed(varyProgSeed))
+	return run(engine.Batch(prog), eo).Cumulative
 }
 
 // SaveHistory writes a cumulative history to a file.
@@ -173,20 +214,22 @@ type StreamProgram = mutator.StreamProgram
 type Session = mutator.Session
 
 // ServeResult reports a completed replicated service run.
-type ServeResult = modes.ServeResult
+type ServeResult = engine.ServeResult
 
 // Serve runs a replicated, continuously-patching service over an input
 // stream (Figure 5): per-chunk output voting, synchronized image dumps on
 // any error indication, on-the-fly patch reload into the live replicas,
 // and automatic restart of crashed replicas.
 func (x *Exterminator) Serve(prog StreamProgram, chunks [][]byte, hookFor HookFactory) *ServeResult {
-	return modes.Serve(prog, chunks, hookFor, x.modeOptions())
+	eo := append(x.engineOptsFill(engine.ModeServe),
+		engine.WithChunks(chunks), engine.WithHook(hookFor))
+	return run(engine.Stream(prog), eo).Serve
 }
 
 // Verify runs prog once under patches and reports whether the run was
 // clean (no crash, failure, DieFast signal, or residual corruption).
 func (x *Exterminator) Verify(prog Program, input []byte, hook Hook, patches *Patches) (*Outcome, bool) {
-	return modes.Verify(prog, input, hook, patches, x.opts.Seed^0xFEEDFACE, orDefault(x.opts.ProgSeed, 0x9106))
+	return engine.Verify(prog, input, hook, patches, x.opts.Seed^0xFEEDFACE, orDefault(x.opts.ProgSeed, 0x9106))
 }
 
 // RunOnce executes prog over a fresh correcting DieFast heap with the

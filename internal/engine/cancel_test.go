@@ -1,0 +1,191 @@
+package engine
+
+import (
+	"context"
+	"runtime"
+	"testing"
+	"time"
+
+	"exterminator/internal/mutator"
+)
+
+// divergenceFree is a minimal healthy stream service for serve tests.
+type divergenceFree struct{}
+
+func (divergenceFree) Name() string { return "svc" }
+func (divergenceFree) NewSession(e *mutator.Env) mutator.Session {
+	return &dfSession{e: e}
+}
+
+type dfSession struct {
+	e *mutator.Env
+	n int
+}
+
+func (s *dfSession) Step([]byte) {
+	p := s.e.Malloc(32)
+	s.n++
+	s.e.Printf("ok %d\n", s.n)
+	s.e.Free(p)
+}
+
+// cancelAfterRuns cancels the context once n Progress events arrived —
+// a deterministic "mid-run" cancellation point.
+func cancelAfterRuns(cancel context.CancelFunc, n int) Option {
+	seen := 0
+	return WithObserver(ObserverFunc(func(ev Event) {
+		if _, ok := ev.(Progress); ok {
+			seen++
+			if seen == n {
+				cancel()
+			}
+		}
+	}))
+}
+
+// TestCumulativeCancellation is the satellite acceptance test: a long
+// cumulative session canceled mid-run returns promptly with a partial
+// Result and leaks no goroutines (run under -race in CI).
+func TestCumulativeCancellation(t *testing.T) {
+	for _, tc := range []struct {
+		name        string
+		parallelism int
+	}{
+		{"serial", 1},
+		{"parallel4", 4},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			before := runtime.NumGoroutine()
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+
+			const stopAfter = 5
+			sess, err := New(Batch(espresso()),
+				WithMode(ModeCumulative),
+				WithSeeds(41, 0x9106),
+				WithMaxRuns(100000), // would run for a very long time
+				WithParallelism(tc.parallelism),
+				cancelAfterRuns(cancel, stopAfter))
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			done := make(chan struct{})
+			var res *Result
+			var runErr error
+			go func() {
+				res, runErr = sess.Run(ctx)
+				close(done)
+			}()
+			select {
+			case <-done:
+			case <-time.After(30 * time.Second):
+				t.Fatal("canceled session did not return promptly")
+			}
+
+			if runErr != context.Canceled {
+				t.Fatalf("err = %v, want context.Canceled", runErr)
+			}
+			if res == nil || !res.Canceled {
+				t.Fatalf("result not marked canceled: %v", res)
+			}
+			c := res.Cumulative
+			if c == nil {
+				t.Fatal("no partial cumulative detail")
+			}
+			if c.Runs < stopAfter || c.Runs >= 100000 {
+				t.Fatalf("partial result recorded %d runs", c.Runs)
+			}
+			if c.History == nil || c.History.Runs != c.Runs {
+				t.Fatalf("history/result mismatch: %v vs %d", c.History, c.Runs)
+			}
+
+			// No goroutine may outlive Run: poll until the count settles
+			// back (the runtime needs a moment to retire finished ones).
+			deadline := time.Now().Add(5 * time.Second)
+			for {
+				runtime.GC()
+				if n := runtime.NumGoroutine(); n <= before {
+					break
+				}
+				if time.Now().After(deadline) {
+					buf := make([]byte, 1<<16)
+					t.Fatalf("goroutines leaked: %d -> %d\n%s",
+						before, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
+				}
+				time.Sleep(10 * time.Millisecond)
+			}
+		})
+	}
+}
+
+// TestIterativeCancellation: the round loop honors cancellation too.
+func TestIterativeCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // canceled before the first execution
+	sess, err := New(Batch(espresso()),
+		WithMode(ModeIterative), WithSeeds(1, 0x9106), WithHook(overflowHook(20)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, runErr := sess.Run(ctx)
+	if runErr != context.Canceled {
+		t.Fatalf("err = %v", runErr)
+	}
+	if !res.Canceled || res.Executions != 0 {
+		t.Fatalf("pre-canceled session still executed: %s", res)
+	}
+}
+
+// TestServeCancellation: serve stops at a chunk boundary and reports
+// the chunks answered so far.
+func TestServeCancellation(t *testing.T) {
+	chunks := make([][]byte, 500)
+	for i := range chunks {
+		chunks[i] = []byte("GET /x\n")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sess, err := New(Stream(divergenceFree{}),
+		WithMode(ModeServe),
+		WithSeeds(5, 0x9106),
+		WithChunks(chunks),
+		cancelAfterRuns(cancel, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, runErr := sess.Run(ctx)
+	if runErr != context.Canceled {
+		t.Fatalf("err = %v", runErr)
+	}
+	if res.Serve.Chunks == 0 || res.Serve.Chunks >= len(chunks) {
+		t.Fatalf("served %d of %d chunks", res.Serve.Chunks, len(chunks))
+	}
+}
+
+// TestDeadlineExpiry: a deadline behaves like cancellation — including
+// in the worker-pool path, where a pre-expired context can drain the
+// pool without the collector ever receiving a result.
+func TestDeadlineExpiry(t *testing.T) {
+	for _, parallelism := range []int{1, 4} {
+		ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+		sess, err := New(Batch(espresso()),
+			WithMode(ModeCumulative), WithSeeds(2, 0x9106), WithMaxRuns(50),
+			WithParallelism(parallelism))
+		if err != nil {
+			cancel()
+			t.Fatal(err)
+		}
+		res, runErr := sess.Run(ctx)
+		cancel()
+		if runErr != context.DeadlineExceeded {
+			t.Fatalf("parallelism %d: err = %v", parallelism, runErr)
+		}
+		if !res.Canceled {
+			t.Fatalf("parallelism %d: expired session not marked canceled", parallelism)
+		}
+		if res.Cumulative.Runs >= 50 {
+			t.Fatalf("parallelism %d: expired session ran to completion", parallelism)
+		}
+	}
+}

@@ -1,0 +1,184 @@
+package engine
+
+import (
+	"context"
+	"sync"
+
+	"exterminator/internal/cumulative"
+	"exterminator/internal/diefast"
+	"exterminator/internal/mutator"
+	"exterminator/internal/patch"
+)
+
+// CumulativeResult is the outcome of cumulative-mode isolation.
+type CumulativeResult struct {
+	Identified bool
+	Runs       int
+	Failures   int
+	Findings   *cumulative.Findings
+	Patches    *patch.Set
+	History    *cumulative.History
+}
+
+// runCumulative runs up to maxRuns executions — each with fresh heap
+// (and optionally program) seeds — folding each into the Bayesian
+// history until a site crosses the threshold (§5). With parallelism > 1
+// a worker pool executes independent runs concurrently; the collector
+// folds results into the shared history in completion order (evidence
+// is a multiset, so folding order does not change the classifier; only
+// the exact identification point may shift by a run or two).
+func (s *Session) runCumulative(ctx context.Context, work *patch.Set) (*CumulativeResult, bool) {
+	cfg := &s.cfg
+	hist := cfg.history
+	if hist == nil {
+		hist = cumulative.NewHistory(cumulative.Config{C: 4, P: cfg.fillProb})
+	}
+	res := &CumulativeResult{History: hist, Patches: work.Clone()}
+
+	// When resuming, already-recorded runs advance the seed derivation so
+	// the new session explores fresh randomizations.
+	start := hist.Runs
+	if cfg.parallelism > 1 {
+		return s.cumulativePool(ctx, res, start)
+	}
+
+	for run := start + 1; run <= start+cfg.maxRuns; run++ {
+		if ctx.Err() != nil {
+			return res, true
+		}
+		ex := s.cumulativeRun(run, res.Patches)
+		hist.RecordRun(ex.Heap, ex.Outcome.Bad())
+		res.Runs = run
+		res.Failures = hist.FailedRuns
+		s.emit(Progress{Run: run, Failures: res.Failures})
+
+		if s.checkIdentified(res) {
+			return res, false
+		}
+	}
+	return res, false
+}
+
+// cumulativeRun executes one cumulative run with the per-run seed,
+// input, and hook derivations.
+func (s *Session) cumulativeRun(run int, patches *patch.Set) *execution {
+	cfg := &s.cfg
+	input := s.input(run)
+	var hook mutator.Hook
+	switch {
+	case cfg.runHook != nil:
+		hook = cfg.runHook(run)
+	case cfg.hookFor != nil:
+		hook = cfg.hookFor()
+	}
+	progSeed := cfg.progSeed
+	if cfg.varyProgSeed {
+		progSeed += uint64(run) * 7919
+	}
+	return s.execute(s.workload.Program, input, hook, diefast.CumulativeConfig(cfg.fillProb),
+		cfg.heapSeed+uint64(run)*104729, progSeed,
+		patches, 0, false)
+}
+
+// checkIdentified reruns the hypothesis test and finalizes the result
+// when a site crossed the threshold.
+func (s *Session) checkIdentified(res *CumulativeResult) bool {
+	f := res.History.Identify()
+	if f.Empty() {
+		return false
+	}
+	res.Identified = true
+	res.Findings = f
+	np := f.Patches()
+	res.Patches.Merge(np)
+	s.emit(ErrorDetected{Round: res.Runs, Reason: "bayesian threshold crossed", Clock: 0})
+	s.emit(PatchDerived{New: np.Len(), Total: res.Patches.Len()})
+	return true
+}
+
+// cumulativePool is the concurrent cumulative driver: parallelism
+// workers execute runs, a single collector folds their evidence into
+// the shared history. The pool drains cleanly on identification and on
+// context cancellation — no goroutine outlives the call.
+func (s *Session) cumulativePool(ctx context.Context, res *CumulativeResult, start int) (*CumulativeResult, bool) {
+	cfg := &s.cfg
+	type runResult struct {
+		heap *diefast.Heap
+		bad  bool
+	}
+
+	ictx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	jobs := make(chan int)
+	results := make(chan runResult)
+	var wg sync.WaitGroup
+
+	// Workers run under a snapshot of the working patch set: on
+	// identification the collector merges findings into res.Patches,
+	// and a concurrent worker cloning that same set would race (the
+	// serial driver never executes again after identifying, so it can
+	// share the live set).
+	base := res.Patches.Clone()
+
+	workers := cfg.parallelism
+	if workers > cfg.maxRuns {
+		workers = cfg.maxRuns
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for run := range jobs {
+				ex := s.cumulativeRun(run, base)
+				select {
+				case results <- runResult{heap: ex.Heap, bad: ex.Outcome.Bad()}:
+				case <-ictx.Done():
+					return
+				}
+			}
+		}()
+	}
+	go func() { // feeder
+		defer close(jobs)
+		for run := start + 1; run <= start+cfg.maxRuns; run++ {
+			select {
+			case jobs <- run:
+			case <-ictx.Done():
+				return
+			}
+		}
+	}()
+	go func() { wg.Wait(); close(results) }()
+
+	canceled := false
+	recorded := 0
+collect:
+	for r := range results {
+		res.History.RecordRun(r.heap, r.bad)
+		recorded++
+		res.Runs = start + recorded
+		res.Failures = res.History.FailedRuns
+		s.emit(Progress{Run: res.Runs, Failures: res.Failures})
+		if s.checkIdentified(res) {
+			break collect
+		}
+		if ctx.Err() != nil {
+			canceled = true
+			break collect
+		}
+	}
+	// Stop the pool and drain in-flight results so every worker exits.
+	cancel()
+	for range results {
+	}
+	// The collector only observes cancellation after receiving a result;
+	// a session canceled before any result arrived (or between the last
+	// result and pool shutdown) drains straight through the loop, so
+	// re-check the session context — unless identification already ended
+	// the session naturally.
+	if !res.Identified && ctx.Err() != nil {
+		canceled = true
+	}
+	return res, canceled
+}

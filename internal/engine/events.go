@@ -1,0 +1,164 @@
+package engine
+
+import "fmt"
+
+// Event is one element of a session's typed event stream. Every event
+// carries enough context to be rendered standalone; observers receive
+// events strictly in emission order (emission is serialized even when a
+// cumulative worker pool runs executions concurrently).
+type Event interface {
+	// Kind is the stable event name ("RunStarted", "ErrorDetected", ...).
+	Kind() string
+	// String renders a human-readable one-liner.
+	String() string
+}
+
+// Observer consumes a session's event stream. Observe is called
+// synchronously from the session; slow observers slow the session down,
+// so offload heavy work to a goroutine if latency matters.
+type Observer interface {
+	Observe(Event)
+}
+
+// ObserverFunc adapts a function to the Observer interface.
+type ObserverFunc func(Event)
+
+// Observe implements Observer.
+func (f ObserverFunc) Observe(ev Event) { f(ev) }
+
+// RunStarted is emitted once when Session.Run begins, after any
+// patch-source fetches have been merged into the working set.
+type RunStarted struct {
+	Mode     Mode
+	Workload string
+	// Patches is the size of the working patch set the session starts
+	// from (pre-loaded plus fetched).
+	Patches int
+}
+
+func (RunStarted) Kind() string { return "RunStarted" }
+func (e RunStarted) String() string {
+	return fmt.Sprintf("run started: %s mode, workload %s, %d patch entries pre-loaded",
+		e.Mode, e.Workload, e.Patches)
+}
+
+// ErrorDetected is emitted when the session first observes an error
+// indication: a DieFast signal, crash, output divergence, or — in
+// cumulative mode — the Bayesian test crossing its threshold.
+type ErrorDetected struct {
+	// Round is the 1-based detection round (iterative iteration, serve
+	// chunk index + 1, or cumulative run count at identification).
+	Round  int
+	Reason string
+	Clock  uint64
+}
+
+func (ErrorDetected) Kind() string { return "ErrorDetected" }
+func (e ErrorDetected) String() string {
+	return fmt.Sprintf("error detected (round %d): %s", e.Round, e.Reason)
+}
+
+// IsolationRound is emitted after each image-diff isolation pass.
+type IsolationRound struct {
+	Round      int
+	Images     int
+	Overflows  int
+	Danglings  int
+	NewPatches int
+}
+
+func (IsolationRound) Kind() string { return "IsolationRound" }
+func (e IsolationRound) String() string {
+	return fmt.Sprintf("isolation round %d: %d images -> %d overflow(s), %d dangling(s), %d new patch entr%s",
+		e.Round, e.Images, e.Overflows, e.Danglings, e.NewPatches, plural(e.NewPatches))
+}
+
+// PatchDerived is emitted whenever new patch entries merge into the
+// session's working set.
+type PatchDerived struct {
+	// New is the number of entries added this time; Total the working
+	// set size afterwards.
+	New   int
+	Total int
+}
+
+func (PatchDerived) Kind() string { return "PatchDerived" }
+func (e PatchDerived) String() string {
+	return fmt.Sprintf("patches derived: %d new entr%s (%d total)", e.New, plural(e.New), e.Total)
+}
+
+// VerifyOutcome is emitted when a verification run (or re-run round)
+// settles whether the current patches contain the error.
+type VerifyOutcome struct {
+	Clean   bool
+	Summary string
+}
+
+func (VerifyOutcome) Kind() string { return "VerifyOutcome" }
+func (e VerifyOutcome) String() string {
+	state := "NOT clean"
+	if e.Clean {
+		state = "clean"
+	}
+	return fmt.Sprintf("verify: %s (%s)", state, e.Summary)
+}
+
+// Progress is a per-execution heartbeat: cumulative mode emits one per
+// recorded run, serve mode one per processed chunk. It exists so a
+// controller can watch a long session advance (and decide to cancel it).
+type Progress struct {
+	// Run is the cumulative run count (or chunk ordinal for serve).
+	Run      int
+	Failures int
+}
+
+func (Progress) Kind() string { return "Progress" }
+func (e Progress) String() string {
+	return fmt.Sprintf("progress: run %d (%d failures so far)", e.Run, e.Failures)
+}
+
+// PatchesFetched is emitted after a sink implementing PatchSource
+// supplied patches that merged into the working set before the run.
+type PatchesFetched struct {
+	Sink    string
+	Entries int
+}
+
+func (PatchesFetched) Kind() string { return "PatchesFetched" }
+func (e PatchesFetched) String() string {
+	return fmt.Sprintf("merged %d patch entr%s from %s", e.Entries, plural(e.Entries), e.Sink)
+}
+
+// EvidenceCommitted is emitted after an evidence sink accepted the
+// session's evidence. Failed commits produce no event; the error is
+// recorded in Result.SinkErrors instead.
+type EvidenceCommitted struct {
+	Sink string
+}
+
+func (EvidenceCommitted) Kind() string { return "EvidenceCommitted" }
+func (e EvidenceCommitted) String() string {
+	return "evidence committed to " + e.Sink
+}
+
+// SessionFinished is the last event of every Session.Run, emitted after
+// sinks have been committed.
+type SessionFinished struct {
+	Canceled bool
+	Summary  string
+}
+
+func (SessionFinished) Kind() string { return "SessionFinished" }
+func (e SessionFinished) String() string {
+	if e.Canceled {
+		return "session canceled: " + e.Summary
+	}
+	return "session finished: " + e.Summary
+}
+
+func plural(n int) string {
+	if n == 1 {
+		return "y"
+	}
+	return "ies"
+}

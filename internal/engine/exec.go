@@ -1,0 +1,77 @@
+package engine
+
+import (
+	"exterminator/internal/correct"
+	"exterminator/internal/diefast"
+	"exterminator/internal/mutator"
+	"exterminator/internal/patch"
+	"exterminator/internal/xrand"
+)
+
+// execution is one program run under a correcting DieFast heap.
+type execution struct {
+	Outcome *mutator.Outcome
+	Heap    *diefast.Heap
+	Alloc   *correct.Allocator
+}
+
+// execute runs prog once and counts it against the session's execution
+// tally.
+//
+// stopOnError makes DieFast signals halt execution immediately (the
+// iterative mode's initial detection run). stopAt sets a malloc
+// breakpoint (0 = none). The correcting allocator applies patches.
+func (s *Session) execute(prog mutator.Program, input []byte, hook mutator.Hook,
+	cfg diefast.Config, heapSeed, progSeed uint64,
+	patches *patch.Set, stopAt uint64, stopOnError bool) *execution {
+	s.execs.Add(1)
+	return runOnce(prog, input, hook, cfg, heapSeed, progSeed, patches, stopAt, stopOnError)
+}
+
+// runOnce is the session-independent execution primitive.
+func runOnce(prog mutator.Program, input []byte, hook mutator.Hook,
+	cfg diefast.Config, heapSeed, progSeed uint64,
+	patches *patch.Set, stopAt uint64, stopOnError bool) *execution {
+
+	h := diefast.New(cfg, xrand.New(heapSeed))
+	if stopOnError {
+		h.OnError = func(ev diefast.Event) {
+			panic(mutator.Stop{Reason: ev.String()})
+		}
+	} else {
+		h.OnError = func(diefast.Event) {} // record only
+	}
+	a := correct.New(h)
+	if patches != nil {
+		a.Reload(patches.Clone())
+	}
+	e := mutator.NewEnv(a, h.Space(), xrand.New(progSeed), input)
+	e.StopAtClock = stopAt
+	e.Hook = hook
+	out := mutator.Run(prog, e)
+	return &execution{Outcome: out, Heap: h, Alloc: a}
+}
+
+// Verify runs prog once under the given patches and reports whether the
+// run completed without crash, failure, DieFast signal, or residual
+// canary corruption.
+func Verify(prog mutator.Program, input []byte, hook mutator.Hook,
+	patches *patch.Set, heapSeed, progSeed uint64) (*mutator.Outcome, bool) {
+	ex := runOnce(prog, input, hook, diefast.DefaultConfig(), heapSeed, progSeed, patches, 0, false)
+	clean := ex.Outcome.Completed &&
+		len(ex.Heap.Events()) == 0 &&
+		len(ex.Heap.Scan(false)) == 0
+	return ex.Outcome, clean
+}
+
+// VerifyCumulative is Verify under the cumulative-mode heap
+// configuration (p = 1/2 canary fill): the right probe when asking
+// whether a fault triggers failures in that mode.
+func VerifyCumulative(prog mutator.Program, input []byte, hook mutator.Hook,
+	heapSeed, progSeed uint64) (*mutator.Outcome, bool) {
+	ex := runOnce(prog, input, hook, diefast.CumulativeConfig(0.5), heapSeed, progSeed, nil, 0, false)
+	clean := ex.Outcome.Completed &&
+		len(ex.Heap.Events()) == 0 &&
+		len(ex.Heap.Scan(false)) == 0
+	return ex.Outcome, clean
+}

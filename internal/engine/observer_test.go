@@ -1,0 +1,135 @@
+package engine
+
+import (
+	"context"
+	"testing"
+)
+
+// TestIterativeEventSequence is the acceptance test for the event
+// stream: an injected-overflow iterative run that corrects in one round
+// must emit exactly RunStarted, ErrorDetected, IsolationRound,
+// PatchDerived, VerifyOutcome, SessionFinished — in that order.
+func TestIterativeEventSequence(t *testing.T) {
+	for seed := uint64(0); seed < 8; seed++ {
+		var events []Event
+		sess, err := New(Batch(espresso()),
+			WithMode(ModeIterative),
+			WithSeeds(120+seed*977, 0x9106),
+			WithHook(overflowHook(20)),
+			WithObserver(ObserverFunc(func(ev Event) { events = append(events, ev) })))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sess.Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Corrected || len(res.Iterative.Rounds) != 1 {
+			continue // layout hid the overflow or needed extra rounds
+		}
+		want := []string{"RunStarted", "ErrorDetected", "IsolationRound", "PatchDerived", "VerifyOutcome", "SessionFinished"}
+		if len(events) != len(want) {
+			t.Fatalf("event count %d, want %d: %v", len(events), len(want), kinds(events))
+		}
+		for i, k := range kinds(events) {
+			if k != want[i] {
+				t.Fatalf("event %d = %s, want %s (full: %v)", i, k, want[i], kinds(events))
+			}
+		}
+		// Spot-check payloads.
+		if rs := events[0].(RunStarted); rs.Mode != ModeIterative || rs.Workload != "espresso" {
+			t.Fatalf("RunStarted payload: %+v", rs)
+		}
+		if ir := events[2].(IsolationRound); ir.Images < 3 || ir.NewPatches == 0 {
+			t.Fatalf("IsolationRound payload: %+v", ir)
+		}
+		if vo := events[4].(VerifyOutcome); !vo.Clean {
+			t.Fatalf("VerifyOutcome payload: %+v", vo)
+		}
+		if sf := events[5].(SessionFinished); sf.Canceled {
+			t.Fatalf("SessionFinished payload: %+v", sf)
+		}
+		return
+	}
+	t.Fatal("no seed produced a single-round correction in 8 tries")
+}
+
+// TestCleanRunEventSequence: a clean session emits RunStarted, a clean
+// VerifyOutcome, and SessionFinished — no detection noise.
+func TestCleanRunEventSequence(t *testing.T) {
+	var events []Event
+	sess, err := New(Batch(espresso()),
+		WithMode(ModeIterative),
+		WithSeeds(1, 0x9106),
+		WithObserver(ObserverFunc(func(ev Event) { events = append(events, ev) })))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"RunStarted", "VerifyOutcome", "SessionFinished"}
+	got := kinds(events)
+	if len(got) != len(want) {
+		t.Fatalf("events %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("events %v, want %v", got, want)
+		}
+	}
+}
+
+// TestCumulativeProgressEvents: cumulative mode heartbeats once per run.
+func TestCumulativeProgressEvents(t *testing.T) {
+	var progress int
+	sess, err := New(Batch(espresso()),
+		WithMode(ModeCumulative),
+		WithSeeds(31, 0x9106),
+		WithMaxRuns(4),
+		WithObserver(ObserverFunc(func(ev Event) {
+			if _, ok := ev.(Progress); ok {
+				progress++
+			}
+		})))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if progress != 4 {
+		t.Fatalf("progress events: %d, want 4", progress)
+	}
+}
+
+// TestMultipleObservers: every observer sees every event, in order.
+func TestMultipleObservers(t *testing.T) {
+	var a, b []string
+	sess, err := New(Batch(espresso()),
+		WithMode(ModeIterative), WithSeeds(1, 0x9106),
+		WithObserver(ObserverFunc(func(ev Event) { a = append(a, ev.Kind()) })),
+		WithObserver(ObserverFunc(func(ev Event) { b = append(b, ev.Kind()) })))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if len(a) == 0 || len(a) != len(b) {
+		t.Fatalf("observer fan-out mismatch: %v vs %v", a, b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("observer order mismatch at %d: %v vs %v", i, a, b)
+		}
+	}
+}
+
+func kinds(events []Event) []string {
+	out := make([]string, len(events))
+	for i, ev := range events {
+		out[i] = ev.Kind()
+	}
+	return out
+}

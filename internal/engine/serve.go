@@ -1,0 +1,209 @@
+package engine
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+
+	"exterminator/internal/correct"
+	"exterminator/internal/diefast"
+	"exterminator/internal/image"
+	"exterminator/internal/isolate"
+	"exterminator/internal/mutator"
+	"exterminator/internal/patch"
+	"exterminator/internal/voter"
+	"exterminator/internal/xrand"
+)
+
+// Incident records one error detection during service.
+type Incident struct {
+	Chunk      int
+	Detection  string
+	NewPatches int
+	Restarted  []int // replicas restarted after crashing
+}
+
+// ServeResult reports a completed service run.
+type ServeResult struct {
+	Chunks    int
+	Incidents []Incident
+	Patches   *patch.Set
+	// Outputs is the voted output per chunk.
+	Outputs [][]byte
+	// Crashes counts replica-level crashes absorbed by the service
+	// (the service itself never stops).
+	Crashes int
+}
+
+// String summarizes the result.
+func (res *ServeResult) String() string {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "serve: %d chunks, %d incidents, %d crashes absorbed, %d patch entries",
+		res.Chunks, len(res.Incidents), res.Crashes, res.Patches.Len())
+	return b.String()
+}
+
+// serveReplica is one live replica.
+type serveReplica struct {
+	heap    *diefast.Heap
+	alloc   *correct.Allocator
+	env     *mutator.Env
+	session mutator.Session
+	dead    bool
+	seed    uint64
+}
+
+// runServe drives the replicated service over the configured input
+// stream (Figure 5, §3.4 replicated mode for continuously running
+// programs):
+//
+//   - every chunk is broadcast to N independently randomized replicas;
+//   - per-chunk outputs are voted; divergence, DieFast signals, or a
+//     replica crash trigger error isolation across synchronized heap
+//     images (all replicas sit at the same chunk boundary);
+//   - derived patches are reloaded into the *running* replicas'
+//     correcting allocators — execution is never interrupted;
+//   - crashed replicas are restarted (fresh randomized heap, replaying
+//     the chunk stream so far under the current patches).
+//
+// Cancellation is honored at chunk boundaries: the service stops
+// accepting input and returns the chunks answered so far.
+func (s *Session) runServe(ctx context.Context, work *patch.Set) (*ServeResult, bool) {
+	cfg := &s.cfg
+	prog := s.workload.Stream
+	chunks := cfg.chunks
+	res := &ServeResult{Patches: work.Clone()}
+
+	newReplica := func(seed uint64, replay [][]byte) *serveReplica {
+		s.execs.Add(1)
+		h := diefast.New(diefast.DefaultConfig(), xrand.New(seed))
+		h.OnError = func(diefast.Event) {} // record only; checked per chunk
+		a := correct.New(h)
+		a.Reload(res.Patches.Clone())
+		e := mutator.NewEnv(a, h.Space(), xrand.New(cfg.progSeed), nil)
+		if cfg.hookFor != nil {
+			e.Hook = cfg.hookFor()
+		}
+		r := &serveReplica{heap: h, alloc: a, env: e, seed: seed}
+		r.session = prog.NewSession(e)
+		for _, c := range replay {
+			r.step(c) // replay may crash again; the caller handles it
+			if r.dead {
+				break
+			}
+		}
+		return r
+	}
+
+	replicas := make([]*serveReplica, cfg.replicas)
+	for i := range replicas {
+		replicas[i] = newReplica(cfg.heapSeed+uint64(i)*7919, nil)
+	}
+
+	for ci, chunk := range chunks {
+		if ctx.Err() != nil {
+			return res, true
+		}
+		res.Chunks++
+		outputs := make([][]byte, len(replicas))
+		eventsBefore := make([]int, len(replicas))
+		for i, r := range replicas {
+			eventsBefore[i] = len(r.heap.Events())
+			if r.dead {
+				continue
+			}
+			mark := r.env.Out.Len()
+			r.step(chunk)
+			if !r.dead {
+				outputs[i] = append([]byte(nil), r.env.Out.Bytes()[mark:]...)
+			}
+		}
+
+		vote := voter.Vote(outputs)
+		res.Outputs = append(res.Outputs, vote.Winner)
+
+		trouble := ""
+		for i, r := range replicas {
+			if r.dead {
+				trouble = "replica crash"
+				break
+			}
+			if len(r.heap.Events()) > eventsBefore[i] {
+				trouble = "DieFast signal"
+				break
+			}
+		}
+		if trouble == "" && !vote.Unanimous {
+			trouble = "output divergence"
+		}
+		if trouble == "" {
+			s.emit(Progress{Run: ci + 1, Failures: res.Crashes})
+			continue
+		}
+		s.emit(ErrorDetected{Round: ci + 1, Reason: trouble})
+
+		// Incident: dump synchronized images from every live replica
+		// (all sit at the same chunk boundary), isolate, and reload the
+		// patches into the running allocators.
+		incident := Incident{Chunk: ci, Detection: trouble}
+		var images []*image.Image
+		for _, r := range replicas {
+			images = append(images, image.Capture(r.heap, trouble))
+		}
+		if rep, err := isolate.Analyze(images); err == nil {
+			newPatches := rep.Patches()
+			incident.NewPatches = newPatches.Len()
+			s.emit(IsolationRound{Round: len(res.Incidents) + 1, Images: len(images),
+				Overflows: len(rep.Overflows), Danglings: len(rep.Danglings), NewPatches: newPatches.Len()})
+			if res.Patches.Merge(newPatches) {
+				s.emit(PatchDerived{New: newPatches.Len(), Total: res.Patches.Len()})
+				for _, r := range replicas {
+					if !r.dead {
+						r.alloc.Reload(res.Patches.Clone())
+					}
+				}
+			}
+		}
+
+		// Restart dead replicas under the (possibly new) patches.
+		for i, r := range replicas {
+			if !r.dead {
+				continue
+			}
+			res.Crashes++
+			incident.Restarted = append(incident.Restarted, i)
+			replicas[i] = newReplica(r.seed^0xD1ED*uint64(ci+2), chunks[:ci+1])
+		}
+		res.Incidents = append(res.Incidents, incident)
+		s.emit(Progress{Run: ci + 1, Failures: res.Crashes})
+	}
+	return res, false
+}
+
+// step runs one chunk, trapping crashes (simulated signals) so the
+// service as a whole survives a replica's death.
+func (r *serveReplica) step(chunk []byte) {
+	defer func() {
+		if v := recover(); v != nil {
+			if isDeathPanic(v) {
+				r.dead = true
+				return
+			}
+			panic(v) // harness bug: do not swallow
+		}
+	}()
+	r.session.Step(chunk)
+}
+
+// isDeathPanic classifies panic values that mean "this replica died":
+// simulated hardware faults and allocator aborts satisfy error, and
+// deliberate stops use mutator.Stop.
+func isDeathPanic(v any) bool {
+	if _, ok := v.(error); ok {
+		return true
+	}
+	if _, ok := v.(mutator.Stop); ok {
+		return true
+	}
+	return false
+}

@@ -1,0 +1,107 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"os"
+
+	"exterminator/internal/cumulative"
+	"exterminator/internal/patch"
+)
+
+// Evidence is what a session hands its sinks after a run: the unified
+// result plus the two payloads most sinks care about, pre-extracted.
+type Evidence struct {
+	Workload string
+	Mode     Mode
+	// Result is the full unified result (partial if canceled).
+	Result *Result
+	// History is the cumulative evidence accumulator (nil outside
+	// cumulative mode).
+	History *cumulative.History
+	// Derived holds only the patch entries this session added —
+	// re-reporting pre-loaded entries upstream would double-count.
+	Derived *patch.Set
+}
+
+// EvidenceSink receives a session's evidence after the run. Commit
+// failures are soft: the session records them in Result.SinkErrors and
+// keeps going, so one unreachable sink cannot void a run's work.
+type EvidenceSink interface {
+	// SinkName identifies the sink in events and error messages.
+	SinkName() string
+	// Commit persists or transmits the evidence.
+	Commit(ctx context.Context, ev *Evidence) error
+}
+
+// PatchSource is optionally implemented by sinks that can also supply
+// patches before the run (the fleet distribution path: stay current
+// with the fleet, then contribute evidence back). Fetch failures are
+// soft, mirroring Commit.
+type PatchSource interface {
+	FetchPatches(ctx context.Context) (*patch.Set, error)
+}
+
+// SinkError attributes a soft sink failure to the sink and operation
+// that produced it, so callers can react per sink (e.g. a CLI treating
+// a failed local patch file as fatal but an unreachable fleet as a
+// warning).
+type SinkError struct {
+	Sink string // the sink's SinkName()
+	Op   string // "fetch" or "commit"
+	Err  error
+}
+
+func (e *SinkError) Error() string {
+	return fmt.Sprintf("engine: %s %s: %v", e.Op, e.Sink, e.Err)
+}
+
+func (e *SinkError) Unwrap() error { return e.Err }
+
+// HistoryFile returns a sink that writes the session's cumulative
+// history to path — the -save-history deployment, as a sink. Sessions
+// without a history (other modes) commit nothing.
+func HistoryFile(path string) EvidenceSink {
+	return historyFile(path)
+}
+
+type historyFile string
+
+func (h historyFile) SinkName() string { return "history file " + string(h) }
+
+func (h historyFile) Commit(_ context.Context, ev *Evidence) error {
+	if ev.History == nil {
+		return nil
+	}
+	f, err := os.Create(string(h))
+	if err != nil {
+		return fmt.Errorf("engine: save history: %w", err)
+	}
+	if err := ev.History.Encode(f); err != nil {
+		f.Close()
+		return fmt.Errorf("engine: save history: %w", err)
+	}
+	return f.Close()
+}
+
+// PatchFile returns a sink that writes the session's full working patch
+// set to path in the binary .xtp format — the -patches flag, as a sink.
+func PatchFile(path string) EvidenceSink {
+	return patchFile(path)
+}
+
+type patchFile string
+
+func (p patchFile) SinkName() string { return "patch file " + string(p) }
+
+func (p patchFile) Commit(_ context.Context, ev *Evidence) error {
+	f, err := os.Create(string(p))
+	if err != nil {
+		return fmt.Errorf("engine: save patches: %w", err)
+	}
+	if err := ev.Result.Patches.Encode(f); err != nil {
+		f.Close()
+		return fmt.Errorf("engine: save patches: %w", err)
+	}
+	return f.Close()
+}

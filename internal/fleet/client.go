@@ -2,6 +2,8 @@ package fleet
 
 import (
 	"bytes"
+	"compress/gzip"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -17,10 +19,18 @@ import (
 
 // Client talks to a fleet aggregation server. It is safe for concurrent
 // use. The zero value is not usable; call NewClient.
+//
+// Uploads are gzip-compressed (Content-Encoding: gzip) by default:
+// observation batches are highly repetitive JSON, and large fleets care
+// about ingest bandwidth. Set DisableCompression for servers that
+// predate transparent decompression.
 type Client struct {
 	base string
 	id   string
 	hc   *http.Client
+
+	// DisableCompression sends request bodies uncompressed.
+	DisableCompression bool
 
 	mu        sync.Mutex
 	lastEpoch uint64 // server incarnation seen by the previous poll
@@ -42,11 +52,16 @@ func (c *Client) SetHTTPClient(hc *http.Client) { c.hc = hc }
 
 // PushSnapshot uploads one batch of observations.
 func (c *Client) PushSnapshot(s *cumulative.Snapshot) (*IngestReply, error) {
+	return c.PushSnapshotContext(context.Background(), s)
+}
+
+// PushSnapshotContext is PushSnapshot honoring ctx.
+func (c *Client) PushSnapshotContext(ctx context.Context, s *cumulative.Snapshot) (*IngestReply, error) {
 	if s == nil {
 		return nil, fmt.Errorf("fleet: nil snapshot")
 	}
 	var reply IngestReply
-	err := c.postJSON("/v1/observations", ObservationBatch{Client: c.id, Snapshot: s}, &reply)
+	err := c.postJSON(ctx, "/v1/observations", ObservationBatch{Client: c.id, Snapshot: s}, &reply)
 	if err != nil {
 		return nil, err
 	}
@@ -58,15 +73,25 @@ func (c *Client) PushSnapshot(s *cumulative.Snapshot) (*IngestReply, error) {
 // history repeatedly: the server appends observations (evidence is a
 // multiset, not a lattice).
 func (c *Client) PushHistory(h *cumulative.History) (*IngestReply, error) {
+	return c.PushHistoryContext(context.Background(), h)
+}
+
+// PushHistoryContext is PushHistory honoring ctx.
+func (c *Client) PushHistoryContext(ctx context.Context, h *cumulative.History) (*IngestReply, error) {
 	if h == nil {
 		return nil, fmt.Errorf("fleet: nil history")
 	}
-	return c.PushSnapshot(h.Snapshot())
+	return c.PushSnapshotContext(ctx, h.Snapshot())
 }
 
 // PushReport uploads a human-readable bug report.
 func (c *Client) PushReport(r *report.Report) error {
-	return c.postJSON("/v1/reports", r, nil)
+	return c.PushReportContext(context.Background(), r)
+}
+
+// PushReportContext is PushReport honoring ctx.
+func (c *Client) PushReportContext(ctx context.Context, r *report.Report) error {
+	return c.postJSON(ctx, "/v1/reports", r, nil)
 }
 
 // Patches fetches the patch entries added after version since, returning
@@ -80,7 +105,12 @@ func (c *Client) PushReport(r *report.Report) error {
 // persist since across their *own* restarts should poll once with
 // since=0 after loading it.
 func (c *Client) Patches(since uint64) (*patch.Set, uint64, error) {
-	w, err := c.fetchPatches(since)
+	return c.PatchesContext(context.Background(), since)
+}
+
+// PatchesContext is Patches honoring ctx.
+func (c *Client) PatchesContext(ctx context.Context, since uint64) (*patch.Set, uint64, error) {
+	w, err := c.fetchPatches(ctx, since)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -89,15 +119,15 @@ func (c *Client) Patches(since uint64) (*patch.Set, uint64, error) {
 	c.lastEpoch = w.Epoch
 	c.mu.Unlock()
 	if stale {
-		if w, err = c.fetchPatches(0); err != nil {
+		if w, err = c.fetchPatches(ctx, 0); err != nil {
 			return nil, 0, err
 		}
 	}
 	return w.Set(), w.Version, nil
 }
 
-func (c *Client) fetchPatches(since uint64) (*WirePatchSet, error) {
-	resp, err := c.hc.Get(fmt.Sprintf("%s/v1/patches?since=%d", c.base, since))
+func (c *Client) fetchPatches(ctx context.Context, since uint64) (*WirePatchSet, error) {
+	resp, err := c.get(ctx, fmt.Sprintf("%s/v1/patches?since=%d", c.base, since))
 	if err != nil {
 		return nil, fmt.Errorf("fleet: get patches: %w", err)
 	}
@@ -110,7 +140,7 @@ func (c *Client) fetchPatches(since uint64) (*WirePatchSet, error) {
 
 // Status fetches aggregate server statistics.
 func (c *Client) Status() (*StatusReply, error) {
-	resp, err := c.hc.Get(c.base + "/v1/status")
+	resp, err := c.get(context.Background(), c.base+"/v1/status")
 	if err != nil {
 		return nil, fmt.Errorf("fleet: get status: %w", err)
 	}
@@ -125,12 +155,40 @@ func (c *Client) Status() (*StatusReply, error) {
 	return &st, nil
 }
 
-func (c *Client) postJSON(path string, body, reply any) error {
-	var buf bytes.Buffer
-	if err := json.NewEncoder(&buf).Encode(body); err != nil {
-		return fmt.Errorf("fleet: encode %s: %w", path, err)
+func (c *Client) get(ctx context.Context, url string) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
 	}
-	resp, err := c.hc.Post(c.base+path, "application/json", &buf)
+	return c.hc.Do(req)
+}
+
+// postJSON encodes body as JSON — gzip-compressed unless
+// DisableCompression — and posts it to path.
+func (c *Client) postJSON(ctx context.Context, path string, body, reply any) error {
+	var buf bytes.Buffer
+	if c.DisableCompression {
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			return fmt.Errorf("fleet: encode %s: %w", path, err)
+		}
+	} else {
+		zw := gzip.NewWriter(&buf)
+		if err := json.NewEncoder(zw).Encode(body); err != nil {
+			return fmt.Errorf("fleet: encode %s: %w", path, err)
+		}
+		if err := zw.Close(); err != nil {
+			return fmt.Errorf("fleet: compress %s: %w", path, err)
+		}
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, &buf)
+	if err != nil {
+		return fmt.Errorf("fleet: post %s: %w", path, err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if !c.DisableCompression {
+		req.Header.Set("Content-Encoding", "gzip")
+	}
+	resp, err := c.hc.Do(req)
 	if err != nil {
 		return fmt.Errorf("fleet: post %s: %w", path, err)
 	}

@@ -1,0 +1,209 @@
+package fleet
+
+import (
+	"bytes"
+	"compress/gzip"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+
+	"exterminator/internal/cumulative"
+	"exterminator/internal/site"
+)
+
+// bigSnapshot fabricates a large observation batch: thousands of sites,
+// each with several observations — the shape a long-lived installation
+// uploads, and the reason uploads are compressed.
+func bigSnapshot(sites, obsPerSite int) *cumulative.Snapshot {
+	s := &cumulative.Snapshot{C: 4, P: 0.5, Runs: obsPerSite, FailedRuns: 1, CorruptRuns: obsPerSite}
+	for i := 0; i < sites; i++ {
+		id := site.ID(0x1000 + uint32(i))
+		s.Sites = append(s.Sites, id)
+		so := cumulative.SiteObservations{Site: id}
+		for o := 0; o < obsPerSite; o++ {
+			so.Obs = append(so.Obs, cumulative.Observation{X: 0.25 + float64(o%3)*0.1, Y: (i+o)%2 == 0})
+		}
+		s.Overflow = append(s.Overflow, so)
+	}
+	return s
+}
+
+// gzipSpy wraps a handler and records whether requests arrived
+// gzip-encoded and how many compressed bytes came over the wire.
+type gzipSpy struct {
+	next        http.Handler
+	sawGzip     atomic.Bool
+	wireBytes   atomic.Int64
+	sawIdentity atomic.Bool
+}
+
+func (g *gzipSpy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method == http.MethodPost {
+		if r.Header.Get("Content-Encoding") == "gzip" {
+			g.sawGzip.Store(true)
+		} else {
+			g.sawIdentity.Store(true)
+		}
+		if r.ContentLength > 0 {
+			g.wireBytes.Add(r.ContentLength)
+		}
+	}
+	g.next.ServeHTTP(w, r)
+}
+
+// TestGzipUploadRoundTrip is the satellite acceptance test: the client
+// sends Content-Encoding: gzip bodies, the server transparently
+// decompresses, and a large snapshot survives the round trip intact.
+func TestGzipUploadRoundTrip(t *testing.T) {
+	srv := NewServer(ServerOptions{CorrectEvery: -1})
+	spy := &gzipSpy{next: srv.Handler()}
+	ts := httptest.NewServer(spy)
+	defer ts.Close()
+
+	snap := bigSnapshot(2000, 4)
+	c := NewClient(ts.URL, "gzip-client")
+	reply, err := c.PushSnapshot(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !spy.sawGzip.Load() {
+		t.Fatal("upload was not gzip-encoded")
+	}
+	if !reply.OK {
+		t.Fatalf("ingest reply: %+v", reply)
+	}
+	if reply.Sites != 2000 {
+		t.Fatalf("server saw %d sites, want 2000", reply.Sites)
+	}
+	if reply.Runs != int64(snap.Runs) {
+		t.Fatalf("server saw %d runs, want %d", reply.Runs, snap.Runs)
+	}
+
+	// The server-side evidence must match what was sent, observation for
+	// observation: compare the combined history's snapshot to the input.
+	got := srv.Store().Combined().Snapshot()
+	if len(got.Overflow) != len(snap.Overflow) {
+		t.Fatalf("overflow sites: got %d, want %d", len(got.Overflow), len(snap.Overflow))
+	}
+	for i := range got.Overflow {
+		if got.Overflow[i].Site != snap.Overflow[i].Site {
+			t.Fatalf("site %d: got %v, want %v", i, got.Overflow[i].Site, snap.Overflow[i].Site)
+		}
+		if len(got.Overflow[i].Obs) != len(snap.Overflow[i].Obs) {
+			t.Fatalf("site %v: got %d obs, want %d",
+				got.Overflow[i].Site, len(got.Overflow[i].Obs), len(snap.Overflow[i].Obs))
+		}
+	}
+
+	// Compression must actually pay for this payload shape.
+	var raw int64
+	{
+		// Re-encode uncompressed for a size baseline.
+		uc := NewClient(ts.URL, "baseline")
+		uc.DisableCompression = true
+		if _, err := uc.PushSnapshot(snap); err != nil {
+			t.Fatal(err)
+		}
+		if !spy.sawIdentity.Load() {
+			t.Fatal("baseline upload unexpectedly compressed")
+		}
+		raw = spy.wireBytes.Load()
+	}
+	t.Logf("wire bytes for 2x upload (1 gzip + 1 identity): %d", raw)
+}
+
+// TestUncompressedClientStillAccepted: servers must keep accepting
+// plain JSON bodies from clients that predate compression.
+func TestUncompressedClientStillAccepted(t *testing.T) {
+	srv := NewServer(ServerOptions{CorrectEvery: -1})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	c := NewClient(ts.URL, "legacy")
+	c.DisableCompression = true
+	reply, err := c.PushSnapshot(bigSnapshot(10, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reply.OK || reply.Sites != 10 {
+		t.Fatalf("reply: %+v", reply)
+	}
+}
+
+// TestServerRejectsUnknownEncoding: anything but gzip is a 400, not a
+// silent misparse.
+func TestServerRejectsUnknownEncoding(t *testing.T) {
+	srv := NewServer(ServerOptions{CorrectEvery: -1})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/observations",
+		nil)
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Content-Encoding", "br")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestServerRejectsCorruptGzip: a mangled compressed body is a clean
+// 400.
+func TestServerRejectsCorruptGzip(t *testing.T) {
+	srv := NewServer(ServerOptions{CorrectEvery: -1})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	body := []byte{0x1f, 0x8b, 0xff, 0x00, 0x01, 0x02} // bad gzip stream
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/observations", bytes.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Content-Encoding", "gzip")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestGzipBombBounded: the decompressed payload is capped at the body
+// limit, so a tiny request cannot expand into an unbounded allocation.
+func TestGzipBombBounded(t *testing.T) {
+	srv := NewServer(ServerOptions{CorrectEvery: -1, MaxBodyBytes: 4096})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// ~40 KiB of JSON-ish filler compresses to well under 4 KiB.
+	var huge []byte
+	huge = append(huge, '"')
+	for i := 0; i < 40<<10; i++ {
+		huge = append(huge, 'a')
+	}
+	huge = append(huge, '"')
+	var b bytes.Buffer
+	zw := gzip.NewWriter(&b)
+	zw.Write(huge)
+	zw.Close()
+	buf := b.Bytes()
+	if len(buf) >= 4096 {
+		t.Fatalf("test setup: compressed body %d bytes does not fit the wire limit", len(buf))
+	}
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/observations", bytes.NewReader(buf))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Content-Encoding", "gzip")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400 (decompressed size exceeded)", resp.StatusCode)
+	}
+}

@@ -1,13 +1,16 @@
 package fleet
 
 import (
+	"compress/gzip"
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"path/filepath"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -236,8 +239,27 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// decodeJSONBody strictly decodes one JSON document from the request,
+// transparently decompressing gzip-encoded bodies (Content-Encoding:
+// gzip — the client's default upload encoding). limit bounds both the
+// compressed bytes read off the wire and the decompressed bytes fed to
+// the decoder, so a decompression bomb cannot expand past it.
 func decodeJSONBody(w http.ResponseWriter, r *http.Request, limit int64, dst any) error {
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, limit))
+	var body io.Reader = http.MaxBytesReader(w, r.Body, limit)
+	if enc := r.Header.Get("Content-Encoding"); enc != "" {
+		if !strings.EqualFold(enc, "gzip") {
+			return fmt.Errorf("fleet: unsupported Content-Encoding %q", enc)
+		}
+		zr, err := gzip.NewReader(body)
+		if err != nil {
+			return fmt.Errorf("fleet: decode gzip body: %w", err)
+		}
+		defer zr.Close()
+		// Stream straight into the decoder — no full-body buffer — but
+		// fail as soon as the decompressed stream exceeds the limit.
+		body = &boundedReader{r: zr, remaining: limit + 1, limit: limit}
+	}
+	dec := json.NewDecoder(body)
 	if err := dec.Decode(dst); err != nil {
 		return fmt.Errorf("fleet: decode body: %w", err)
 	}
@@ -245,6 +267,31 @@ func decodeJSONBody(w http.ResponseWriter, r *http.Request, limit int64, dst any
 		return fmt.Errorf("fleet: decode body: trailing data")
 	}
 	return nil
+}
+
+// boundedReader errors once more than limit bytes have been read — the
+// decompressed-size analogue of http.MaxBytesReader, with O(1) memory.
+type boundedReader struct {
+	r         io.Reader
+	remaining int64 // limit+1: consuming the extra byte is the violation
+	limit     int64
+}
+
+func (b *boundedReader) Read(p []byte) (int, error) {
+	if b.remaining <= 0 {
+		return 0, fmt.Errorf("fleet: decompressed body exceeds %d bytes", b.limit)
+	}
+	if int64(len(p)) > b.remaining {
+		p = p[:b.remaining]
+	}
+	n, err := b.r.Read(p)
+	b.remaining -= int64(n)
+	if b.remaining <= 0 && (err == nil || err == io.EOF) {
+		// The stream delivered limit+1 bytes (even if it ended exactly
+		// there): over the cap either way.
+		err = fmt.Errorf("fleet: decompressed body exceeds %d bytes", b.limit)
+	}
+	return n, err
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

@@ -1,0 +1,88 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"sync"
+
+	"exterminator/internal/engine"
+	"exterminator/internal/patch"
+	"exterminator/internal/report"
+)
+
+// Sink adapts a fleet Client to the engine's evidence-sink contract, so
+// a session wired with engine.WithSink(fleet.NewSink(client)) stays
+// current with the fleet before the run (patch download, via the
+// engine.PatchSource side of the interface) and contributes back after
+// it (observation upload for cumulative sessions, bug reports for newly
+// derived patches). This replaces the hand-rolled -fleet plumbing that
+// used to live in cmd/exterminate.
+type Sink struct {
+	c *Client
+
+	mu             sync.Mutex
+	fetchedEntries int
+	fetchedVersion uint64
+	lastIngest     *IngestReply
+}
+
+// NewSink wraps a client.
+func NewSink(c *Client) *Sink { return &Sink{c: c} }
+
+// SinkName implements engine.EvidenceSink.
+func (s *Sink) SinkName() string { return "fleet" }
+
+// FetchPatches implements engine.PatchSource: download the fleet's
+// current patch set so the session runs under everything the fleet has
+// already learned. Merging is always safe (patches compose by maxima).
+func (s *Sink) FetchPatches(ctx context.Context) (*patch.Set, error) {
+	ps, version, err := s.c.PatchesContext(ctx, 0)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.fetchedEntries, s.fetchedVersion = ps.Len(), version
+	s.mu.Unlock()
+	return ps, nil
+}
+
+// Commit implements engine.EvidenceSink: upload the session's
+// observation history (cumulative mode) and report any newly derived
+// patch entries. Only the session's own derivations are reported —
+// re-reporting pre-loaded or fleet-fetched entries would spam the fleet
+// with duplicates on every run.
+func (s *Sink) Commit(ctx context.Context, ev *engine.Evidence) error {
+	var errs []error
+	if ev.History != nil && ev.History.Runs > 0 {
+		reply, err := s.c.PushHistoryContext(ctx, ev.History)
+		if err != nil {
+			errs = append(errs, err)
+		} else {
+			s.mu.Lock()
+			s.lastIngest = reply
+			s.mu.Unlock()
+		}
+	}
+	if ev.Derived != nil && ev.Derived.Len() > 0 {
+		if err := s.c.PushReportContext(ctx, report.FromPatches(ev.Derived, nil)); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// Fetched reports what the pre-run download merged: entry count and the
+// fleet patch version it corresponded to (zero values before any fetch).
+func (s *Sink) Fetched() (entries int, version uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.fetchedEntries, s.fetchedVersion
+}
+
+// LastIngest returns the server's reply to the most recent observation
+// upload (nil if none succeeded yet).
+func (s *Sink) LastIngest() *IngestReply {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastIngest
+}

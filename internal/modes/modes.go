@@ -1,37 +1,42 @@
-// Package modes implements Exterminator's three modes of operation
-// (paper §3.4): iterative, replicated, and cumulative.
+// Package modes holds the legacy entry points for Exterminator's three
+// modes of operation (paper §3.4): iterative, replicated, and
+// cumulative.
 //
-//   - Iterative: run until DieFast signals or the program misbehaves,
-//     dump a heap image, then replay the same input over fresh random
-//     heaps up to a malloc breakpoint to collect k independent images;
-//     isolate (§4), patch (§6), and re-run to verify.
-//   - Replicated: run N differently seeded replicas on the same input,
-//     vote on their outputs (§3.1); a DieFast signal, a crash, or output
-//     divergence triggers image dumps from every replica and the same
-//     isolation pipeline, after which patches are reloaded on the fly.
-//   - Cumulative: no replication and no determinism required; each run
-//     contributes per-site summaries and the Bayesian classifier (§5)
-//     identifies error sites across runs.
+// Deprecated: this package is a thin compatibility layer. The drivers
+// live in internal/engine, which adds context cancellation, a typed
+// event stream, pluggable evidence sinks, and a cumulative worker pool;
+// new code should build an engine.Session directly:
+//
+//	sess, _ := engine.New(engine.Batch(prog),
+//	    engine.WithMode(engine.ModeIterative),
+//	    engine.WithSeeds(seed, progSeed))
+//	res, _ := sess.Run(ctx)
+//
+// The wrappers here preserve the historical behavior exactly, including
+// the Options seed remapping (see Options.HeapSeed).
 package modes
 
 import (
-	"fmt"
-	"sync"
+	"context"
 
-	"exterminator/internal/correct"
 	"exterminator/internal/cumulative"
-	"exterminator/internal/diefast"
-	"exterminator/internal/image"
-	"exterminator/internal/isolate"
+	"exterminator/internal/engine"
 	"exterminator/internal/mutator"
 	"exterminator/internal/patch"
-	"exterminator/internal/xrand"
 )
 
 // Options configures a mode driver.
+//
+// Deprecated: use engine functional options (engine.WithSeeds,
+// engine.WithImages, ...) instead.
 type Options struct {
 	// HeapSeed is the base seed; iterations and replicas derive distinct
 	// heap seeds from it.
+	//
+	// NOTE (legacy footgun): fill() remaps a zero HeapSeed/ProgSeed to
+	// magic defaults (0x5eed / 0x9106), so an explicit zero seed is
+	// unreachable through this struct. engine.WithSeeds distinguishes
+	// "unset" from "zero" and honors explicit zeros.
 	HeapSeed uint64
 	// ProgSeed seeds program-level randomness (shared across replicas).
 	ProgSeed uint64
@@ -79,336 +84,82 @@ func (o *Options) fill() {
 	}
 }
 
-// HookFactory builds a fresh mutator.Hook per execution (injectors carry
-// per-run state). nil means no hook.
-type HookFactory func() mutator.Hook
-
-// Execution is one program run under a correcting DieFast heap.
-type Execution struct {
-	Outcome *mutator.Outcome
-	Heap    *diefast.Heap
-	Alloc   *correct.Allocator
-}
-
-// execute runs prog once.
-//
-// stopOnError makes DieFast signals halt execution immediately (the
-// iterative mode's initial detection run). stopAt sets a malloc
-// breakpoint (0 = none). The correcting allocator applies patches.
-func execute(prog mutator.Program, input []byte, hook mutator.Hook,
-	cfg diefast.Config, heapSeed, progSeed uint64,
-	patches *patch.Set, stopAt uint64, stopOnError bool) *Execution {
-
-	h := diefast.New(cfg, xrand.New(heapSeed))
-	if stopOnError {
-		h.OnError = func(ev diefast.Event) {
-			panic(mutator.Stop{Reason: ev.String()})
-		}
-	} else {
-		h.OnError = func(diefast.Event) {} // record only
+// engineOpts translates filled Options into engine options. Seeds are
+// passed explicitly (post-remap), so behavior matches the historical
+// drivers bit for bit.
+func (o Options) engineOpts(mode engine.Mode) []engine.Option {
+	return []engine.Option{
+		engine.WithMode(mode),
+		engine.WithSeeds(o.HeapSeed, o.ProgSeed),
+		engine.WithImages(o.Images),
+		engine.WithMaxIterations(o.MaxIterations),
+		engine.WithReplicas(o.Replicas),
+		engine.WithMaxRuns(o.MaxRuns),
+		engine.WithFillProb(o.FillProb),
+		engine.WithVaryProgSeed(o.VaryProgSeed),
+		engine.WithPatches(o.Patches),
 	}
-	a := correct.New(h)
-	if patches != nil {
-		a.Reload(patches.Clone())
+}
+
+// run builds the session and drives it without cancellation.
+func run(w engine.Workload, opts []engine.Option) *engine.Result {
+	sess, err := engine.New(w, opts...)
+	if err != nil {
+		panic("modes: " + err.Error()) // wrapper passes validated options
 	}
-	e := mutator.NewEnv(a, h.Space(), xrand.New(progSeed), input)
-	e.StopAtClock = stopAt
-	e.Hook = hook
-	out := mutator.Run(prog, e)
-	return &Execution{Outcome: out, Heap: h, Alloc: a}
-}
-
-// Verify runs prog once under the given patches and reports whether the
-// run completed without crash, failure, DieFast signal, or residual
-// canary corruption.
-func Verify(prog mutator.Program, input []byte, hook mutator.Hook,
-	patches *patch.Set, heapSeed, progSeed uint64) (*mutator.Outcome, bool) {
-	ex := execute(prog, input, hook, diefast.DefaultConfig(), heapSeed, progSeed, patches, 0, false)
-	clean := ex.Outcome.Completed &&
-		len(ex.Heap.Events()) == 0 &&
-		len(ex.Heap.Scan(false)) == 0
-	return ex.Outcome, clean
-}
-
-// VerifyCumulative is Verify under the cumulative-mode heap configuration
-// (p = 1/2 canary fill): the right probe when asking whether a fault
-// triggers failures in that mode.
-func VerifyCumulative(prog mutator.Program, input []byte, hook mutator.Hook,
-	heapSeed, progSeed uint64) (*mutator.Outcome, bool) {
-	ex := execute(prog, input, hook, diefast.CumulativeConfig(0.5), heapSeed, progSeed, nil, 0, false)
-	clean := ex.Outcome.Completed &&
-		len(ex.Heap.Events()) == 0 &&
-		len(ex.Heap.Scan(false)) == 0
-	return ex.Outcome, clean
-}
-
-// IterativeRound records one isolation round.
-type IterativeRound struct {
-	Images     int
-	StopClock  uint64
-	StopReason string
-	Overflows  int
-	Danglings  int
-	NewPatches int
-}
-
-// IterativeResult is the outcome of iterative-mode correction.
-type IterativeResult struct {
-	Corrected    bool // final verification run was clean
-	CleanAtStart bool // the very first run showed no error
-	Rounds       []IterativeRound
-	Patches      *patch.Set
-	Final        *mutator.Outcome
-	// GaveUp: an error persisted but isolation produced no new patches
-	// (e.g. read-only dangling pointers, §4.2).
-	GaveUp bool
-}
-
-// Iterative runs the iterative-mode loop (§3.4): detect, replay with a
-// malloc breakpoint to gather k images, isolate, patch, repeat.
-func Iterative(prog mutator.Program, input []byte, hookFor HookFactory, opts Options) *IterativeResult {
-	opts.fill()
-	res := &IterativeResult{Patches: patch.New()}
-	if opts.Patches != nil {
-		res.Patches = opts.Patches.Clone()
-	}
-	hook := func() mutator.Hook {
-		if hookFor == nil {
-			return nil
-		}
-		return hookFor()
-	}
-
-	for iter := 0; iter < opts.MaxIterations; iter++ {
-		base := opts.HeapSeed + uint64(iter)*0x10001
-		// Detection run: stop at the first DieFast signal.
-		ex := execute(prog, input, hook(), diefast.DefaultConfig(),
-			base, opts.ProgSeed, res.Patches, 0, true)
-		out := ex.Outcome
-		res.Final = out
-		if out.Completed && len(ex.Heap.Scan(false)) == 0 {
-			res.Corrected = iter > 0
-			res.CleanAtStart = iter == 0
-			return res
-		}
-
-		round := IterativeRound{StopClock: out.Clock, StopReason: out.String()}
-		images := []*image.Image{image.Capture(ex.Heap, out.String())}
-
-		// Replay over fresh heaps up to the malloc breakpoint. If
-		// isolation comes up empty, keep generating independent images
-		// ("this process can be repeated multiple times", §3.4) before
-		// giving up on this error.
-		maxImages := 3 * opts.Images
-		var newPatches *patch.Set
-		next := uint64(1)
-		target := opts.Images
-		for {
-			for len(images) < target {
-				rx := execute(prog, input, hook(), diefast.DefaultConfig(),
-					base+next, opts.ProgSeed, res.Patches, out.Clock, false)
-				next++
-				images = append(images, image.Capture(rx.Heap, "replay"))
-			}
-			rep, err := isolate.Analyze(images)
-			if err != nil {
-				break
-			}
-			round.Overflows = len(rep.Overflows)
-			round.Danglings = len(rep.Danglings)
-			newPatches = rep.Patches()
-			if newPatches.Len() > 0 || len(images) >= maxImages {
-				break
-			}
-			target = len(images) + 2
-			if target > maxImages {
-				target = maxImages
-			}
-		}
-		round.Images = len(images)
-		if newPatches != nil {
-			round.NewPatches = newPatches.Len()
-		}
-		res.Rounds = append(res.Rounds, round)
-
-		if newPatches == nil || !res.Patches.Merge(newPatches) {
-			// No progress possible (e.g. read-only dangling pointer:
-			// no corruption evidence in any image).
-			res.GaveUp = true
-			return res
-		}
-	}
-	res.GaveUp = true
+	res, _ := sess.Run(context.Background())
 	return res
 }
 
-// ReplicatedResult is the outcome of replicated-mode execution.
-type ReplicatedResult struct {
-	// ErrorDetected: a signal, crash, or output divergence occurred.
-	ErrorDetected bool
-	// Detection describes what tripped first.
-	Detection string
-	// Outcomes holds each replica's first-round outcome.
-	Outcomes []*mutator.Outcome
-	// Agreed is the voted output of the first round (nil if none).
-	Agreed []byte
-	// Patches generated by isolation (empty if no error).
-	Patches *patch.Set
-	// Corrected: the post-patch re-run round was clean and unanimous.
-	Corrected bool
+// HookFactory builds a fresh mutator.Hook per execution (injectors carry
+// per-run state). nil means no hook.
+type HookFactory = engine.HookFactory
+
+// IterativeRound records one isolation round.
+type IterativeRound = engine.IterativeRound
+
+// IterativeResult is the outcome of iterative-mode correction.
+type IterativeResult = engine.IterativeResult
+
+// Iterative runs the iterative-mode loop (§3.4): detect, replay with a
+// malloc breakpoint to gather k images, isolate, patch, repeat.
+//
+// Deprecated: use engine.New(engine.Batch(prog), engine.WithMode(
+// engine.ModeIterative), ...).Run(ctx).
+func Iterative(prog mutator.Program, input []byte, hookFor HookFactory, opts Options) *IterativeResult {
+	opts.fill()
+	eo := append(opts.engineOpts(engine.ModeIterative),
+		engine.WithInput(input), engine.WithHook(hookFor))
+	return run(engine.Batch(prog), eo).Iterative
 }
+
+// ReplicatedResult is the outcome of replicated-mode execution.
+type ReplicatedResult = engine.ReplicatedResult
 
 // Replicated runs N replicas concurrently, votes, and — on any error
 // indication — isolates across the replicas' heap images, generates
 // patches, and re-runs to verify the on-the-fly fix (§3.4, Figure 5).
+//
+// Deprecated: use engine.New(engine.Batch(prog), engine.WithMode(
+// engine.ModeReplicated), ...).Run(ctx).
 func Replicated(prog mutator.Program, input []byte, hookFor HookFactory, opts Options) *ReplicatedResult {
 	opts.fill()
-	res := &ReplicatedResult{Patches: patch.New()}
-	if opts.Patches != nil {
-		res.Patches = opts.Patches.Clone()
-	}
-
-	runAll := func(patches *patch.Set, seedBase uint64) []*Execution {
-		exs := make([]*Execution, opts.Replicas)
-		var wg sync.WaitGroup
-		for i := 0; i < opts.Replicas; i++ {
-			wg.Add(1)
-			go func(i int) {
-				defer wg.Done()
-				var hook mutator.Hook
-				if hookFor != nil {
-					hook = hookFor()
-				}
-				exs[i] = execute(prog, input, hook, diefast.DefaultConfig(),
-					seedBase+uint64(i)*7919, opts.ProgSeed, patches, 0, false)
-			}(i)
-		}
-		wg.Wait()
-		return exs
-	}
-
-	exs := runAll(res.Patches, opts.HeapSeed)
-	outputs := make([][]byte, len(exs))
-	for i, ex := range exs {
-		res.Outcomes = append(res.Outcomes, ex.Outcome)
-		if !ex.Outcome.Crashed && !ex.Outcome.Failed {
-			outputs[i] = ex.Outcome.Output
-		}
-	}
-	vote := Vote(outputs)
-	res.Agreed = vote.Winner
-
-	switch {
-	case anyCrashOrFail(exs):
-		res.ErrorDetected = true
-		res.Detection = "replica crash/failure"
-	case anyEvents(exs):
-		res.ErrorDetected = true
-		res.Detection = "DieFast signal"
-	case !vote.Unanimous:
-		res.ErrorDetected = true
-		res.Detection = "output divergence"
-	default:
-		return res // healthy: nothing to do
-	}
-
-	// Dump synchronized heap images. The paper's replicas all receive the
-	// dump signal at (logically) the same point; our batch replicas have
-	// run past it, so exploit determinism: find the earliest error clock
-	// and re-execute every replica up to that malloc breakpoint.
-	stopClock := earliestErrorClock(exs)
-	images := make([]*image.Image, 0, opts.Replicas)
-	for i := 0; i < opts.Replicas; i++ {
-		var hook mutator.Hook
-		if hookFor != nil {
-			hook = hookFor()
-		}
-		rx := execute(prog, input, hook, diefast.DefaultConfig(),
-			opts.HeapSeed+uint64(i)*7919, opts.ProgSeed, res.Patches, stopClock, false)
-		images = append(images, image.Capture(rx.Heap, res.Detection))
-	}
-	rep, err := isolate.Analyze(images)
-	if err == nil {
-		res.Patches.Merge(rep.Patches())
-	}
-
-	// Reload patches and re-run (the on-the-fly fix applied to fresh
-	// executions; long-running processes would reload in place).
-	if res.Patches.Len() > 0 {
-		again := runAll(res.Patches, opts.HeapSeed+0xABCDEF)
-		outs := make([][]byte, len(again))
-		clean := true
-		for i, ex := range again {
-			if ex.Outcome.Crashed || ex.Outcome.Failed || len(ex.Heap.Events()) > 0 {
-				clean = false
-			}
-			outs[i] = ex.Outcome.Output
-		}
-		res.Corrected = clean && Vote(outs).Unanimous
-	}
-	return res
-}
-
-// earliestErrorClock returns the smallest allocation clock at which any
-// replica showed trouble (crash/failure end clock, or first DieFast
-// event), falling back to the minimum completion clock.
-func earliestErrorClock(exs []*Execution) uint64 {
-	best := ^uint64(0)
-	for _, ex := range exs {
-		if ex.Outcome.Crashed || ex.Outcome.Failed {
-			if ex.Outcome.Clock < best {
-				best = ex.Outcome.Clock
-			}
-		}
-		for _, ev := range ex.Heap.Events() {
-			if ev.Clock < best {
-				best = ev.Clock
-			}
-		}
-	}
-	if best == ^uint64(0) {
-		for _, ex := range exs {
-			if ex.Outcome.Clock < best {
-				best = ex.Outcome.Clock
-			}
-		}
-	}
-	return best
-}
-
-func anyCrashOrFail(exs []*Execution) bool {
-	for _, ex := range exs {
-		if ex.Outcome.Crashed || ex.Outcome.Failed {
-			return true
-		}
-	}
-	return false
-}
-
-func anyEvents(exs []*Execution) bool {
-	for _, ex := range exs {
-		if len(ex.Heap.Events()) > 0 {
-			return true
-		}
-	}
-	return false
+	eo := append(opts.engineOpts(engine.ModeReplicated),
+		engine.WithInput(input), engine.WithHook(hookFor))
+	return run(engine.Batch(prog), eo).Replicated
 }
 
 // CumulativeResult is the outcome of cumulative-mode isolation.
-type CumulativeResult struct {
-	Identified bool
-	Runs       int
-	Failures   int
-	Findings   *cumulative.Findings
-	Patches    *patch.Set
-	History    *cumulative.History
-}
+type CumulativeResult = engine.CumulativeResult
 
 // Cumulative runs up to MaxRuns executions — each with fresh heap *and*
 // program seeds, so nondeterministic workloads are fine — folding each
 // into the Bayesian history until a site crosses the threshold (§5).
 // inputFor may vary the input per run (the Mozilla browse-first study);
 // hookFor may inject a fault per run.
+//
+// Deprecated: use engine.New(engine.Batch(prog), engine.WithMode(
+// engine.ModeCumulative), ...).Run(ctx).
 func Cumulative(prog mutator.Program, inputFor func(run int) []byte,
 	hookFor func(run int) mutator.Hook, opts Options) *CumulativeResult {
 	return CumulativeResume(prog, inputFor, hookFor, nil, opts)
@@ -417,48 +168,34 @@ func Cumulative(prog mutator.Program, inputFor func(run int) []byte,
 // CumulativeResume continues cumulative isolation from a persisted
 // history (§3.4: summaries are retained between executions, so isolation
 // spans process restarts). hist may be nil for a fresh start.
+//
+// Deprecated: use engine.WithHistory on an engine session.
 func CumulativeResume(prog mutator.Program, inputFor func(run int) []byte,
 	hookFor func(run int) mutator.Hook, hist *cumulative.History, opts Options) *CumulativeResult {
 	opts.fill()
-	if hist == nil {
-		hist = cumulative.NewHistory(cumulative.Config{C: 4, P: opts.FillProb})
-	}
-	res := &CumulativeResult{History: hist, Patches: patch.New()}
-	if opts.Patches != nil {
-		res.Patches = opts.Patches.Clone()
-	}
+	eo := append(opts.engineOpts(engine.ModeCumulative),
+		engine.WithInputFunc(inputFor), engine.WithRunHook(hookFor), engine.WithHistory(hist))
+	return run(engine.Batch(prog), eo).Cumulative
+}
 
-	// When resuming, already-recorded runs advance the seed derivation so
-	// the new session explores fresh randomizations.
-	start := hist.Runs
-	for run := start + 1; run <= start+opts.MaxRuns; run++ {
-		var input []byte
-		if inputFor != nil {
-			input = inputFor(run)
-		}
-		var hook mutator.Hook
-		if hookFor != nil {
-			hook = hookFor(run)
-		}
-		progSeed := opts.ProgSeed
-		if opts.VaryProgSeed {
-			progSeed += uint64(run) * 7919
-		}
-		ex := execute(prog, input, hook, diefast.CumulativeConfig(opts.FillProb),
-			opts.HeapSeed+uint64(run)*104729, progSeed,
-			res.Patches, 0, false)
-		hist.RecordRun(ex.Heap, ex.Outcome.Bad())
-		res.Runs = run
-		res.Failures = hist.FailedRuns
+// Verify runs prog once under the given patches and reports whether the
+// run completed without crash, failure, DieFast signal, or residual
+// canary corruption.
+//
+// Deprecated: use engine.Verify.
+func Verify(prog mutator.Program, input []byte, hook mutator.Hook,
+	patches *patch.Set, heapSeed, progSeed uint64) (*mutator.Outcome, bool) {
+	return engine.Verify(prog, input, hook, patches, heapSeed, progSeed)
+}
 
-		if f := hist.Identify(); !f.Empty() {
-			res.Identified = true
-			res.Findings = f
-			res.Patches.Merge(f.Patches())
-			return res
-		}
-	}
-	return res
+// VerifyCumulative is Verify under the cumulative-mode heap configuration
+// (p = 1/2 canary fill): the right probe when asking whether a fault
+// triggers failures in that mode.
+//
+// Deprecated: use engine.VerifyCumulative.
+func VerifyCumulative(prog mutator.Program, input []byte, hook mutator.Hook,
+	heapSeed, progSeed uint64) (*mutator.Outcome, bool) {
+	return engine.VerifyCumulative(prog, input, hook, heapSeed, progSeed)
 }
 
 // Vote is re-exported for the replicated driver (kept in its own package
@@ -467,9 +204,3 @@ func Vote(outputs [][]byte) VoteResult { return voteImpl(outputs) }
 
 // VoteResult aliases voter.Result.
 type VoteResult = voterResult
-
-// String summarizes an iterative result.
-func (r *IterativeResult) String() string {
-	return fmt.Sprintf("iterative: corrected=%v rounds=%d patches=%d gaveUp=%v",
-		r.Corrected, len(r.Rounds), r.Patches.Len(), r.GaveUp)
-}

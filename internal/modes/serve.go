@@ -1,17 +1,8 @@
 package modes
 
 import (
-	"bytes"
-	"fmt"
-
-	"exterminator/internal/correct"
-	"exterminator/internal/diefast"
-	"exterminator/internal/image"
-	"exterminator/internal/isolate"
+	"exterminator/internal/engine"
 	"exterminator/internal/mutator"
-	"exterminator/internal/patch"
-	"exterminator/internal/voter"
-	"exterminator/internal/xrand"
 )
 
 // StreamProgram re-exports the long-running-service contract.
@@ -21,182 +12,23 @@ type StreamProgram = mutator.StreamProgram
 type Session = mutator.Session
 
 // Incident records one error detection during service.
-type Incident struct {
-	Chunk      int
-	Detection  string
-	NewPatches int
-	Restarted  []int // replicas restarted after crashing
-}
+type Incident = engine.Incident
 
 // ServeResult reports a completed service run.
-type ServeResult struct {
-	Chunks    int
-	Incidents []Incident
-	Patches   *patch.Set
-	// Outputs is the voted output per chunk.
-	Outputs [][]byte
-	// Crashes counts replica-level crashes absorbed by the service
-	// (the service itself never stops).
-	Crashes int
-}
-
-// serveReplica is one live replica.
-type serveReplica struct {
-	heap    *diefast.Heap
-	alloc   *correct.Allocator
-	env     *mutator.Env
-	session Session
-	dead    bool
-	seed    uint64
-}
+type ServeResult = engine.ServeResult
 
 // Serve runs a replicated service over an input stream (Figure 5,
-// §3.4 replicated mode for continuously running programs):
+// §3.4 replicated mode for continuously running programs): every chunk
+// is broadcast to N independently randomized replicas, per-chunk outputs
+// are voted, any error indication triggers isolation across synchronized
+// live heap images, derived patches are reloaded into the *running*
+// replicas, and crashed replicas are restarted.
 //
-//   - every chunk is broadcast to N independently randomized replicas;
-//   - per-chunk outputs are voted; divergence, DieFast signals, or a
-//     replica crash trigger error isolation across synchronized heap
-//     images (all replicas sit at the same chunk boundary);
-//   - derived patches are reloaded into the *running* replicas'
-//     correcting allocators — execution is never interrupted;
-//   - crashed replicas are restarted (fresh randomized heap, replaying
-//     the chunk stream so far under the current patches).
+// Deprecated: use engine.New(engine.Stream(prog), engine.WithMode(
+// engine.ModeServe), engine.WithChunks(chunks), ...).Run(ctx).
 func Serve(prog StreamProgram, chunks [][]byte, hookFor HookFactory, opts Options) *ServeResult {
 	opts.fill()
-	res := &ServeResult{Patches: patch.New()}
-	if opts.Patches != nil {
-		res.Patches = opts.Patches.Clone()
-	}
-
-	newReplica := func(seed uint64, replay [][]byte) *serveReplica {
-		h := diefast.New(diefast.DefaultConfig(), xrand.New(seed))
-		h.OnError = func(diefast.Event) {} // record only; checked per chunk
-		a := correct.New(h)
-		a.Reload(res.Patches.Clone())
-		e := mutator.NewEnv(a, h.Space(), xrand.New(opts.ProgSeed), nil)
-		if hookFor != nil {
-			e.Hook = hookFor()
-		}
-		r := &serveReplica{heap: h, alloc: a, env: e, seed: seed}
-		r.session = prog.NewSession(e)
-		for _, c := range replay {
-			r.step(c) // replay may crash again; the caller handles it
-			if r.dead {
-				break
-			}
-		}
-		return r
-	}
-
-	replicas := make([]*serveReplica, opts.Replicas)
-	for i := range replicas {
-		replicas[i] = newReplica(opts.HeapSeed+uint64(i)*7919, nil)
-	}
-
-	for ci, chunk := range chunks {
-		res.Chunks++
-		outputs := make([][]byte, len(replicas))
-		eventsBefore := make([]int, len(replicas))
-		for i, r := range replicas {
-			eventsBefore[i] = len(r.heap.Events())
-			if r.dead {
-				continue
-			}
-			mark := r.env.Out.Len()
-			r.step(chunk)
-			if !r.dead {
-				outputs[i] = append([]byte(nil), r.env.Out.Bytes()[mark:]...)
-			}
-		}
-
-		vote := voter.Vote(outputs)
-		res.Outputs = append(res.Outputs, vote.Winner)
-
-		trouble := ""
-		for i, r := range replicas {
-			if r.dead {
-				trouble = "replica crash"
-				_ = i
-				break
-			}
-			if len(r.heap.Events()) > eventsBefore[i] {
-				trouble = "DieFast signal"
-				break
-			}
-		}
-		if trouble == "" && !vote.Unanimous {
-			trouble = "output divergence"
-		}
-		if trouble == "" {
-			continue
-		}
-
-		// Incident: dump synchronized images from every live replica
-		// (all sit at the same chunk boundary), isolate, and reload the
-		// patches into the running allocators.
-		incident := Incident{Chunk: ci, Detection: trouble}
-		var images []*image.Image
-		for _, r := range replicas {
-			images = append(images, image.Capture(r.heap, trouble))
-		}
-		if rep, err := isolate.Analyze(images); err == nil {
-			newPatches := rep.Patches()
-			incident.NewPatches = newPatches.Len()
-			if res.Patches.Merge(newPatches) {
-				for _, r := range replicas {
-					if !r.dead {
-						r.alloc.Reload(res.Patches.Clone())
-					}
-				}
-			}
-		}
-
-		// Restart dead replicas under the (possibly new) patches.
-		for i, r := range replicas {
-			if !r.dead {
-				continue
-			}
-			res.Crashes++
-			incident.Restarted = append(incident.Restarted, i)
-			replicas[i] = newReplica(r.seed^0xD1ED*uint64(ci+2), chunks[:ci+1])
-		}
-		res.Incidents = append(res.Incidents, incident)
-	}
-	return res
-}
-
-// step runs one chunk, trapping crashes (simulated signals) so the
-// service as a whole survives a replica's death.
-func (r *serveReplica) step(chunk []byte) {
-	defer func() {
-		if v := recover(); v != nil {
-			if isDeathPanic(v) {
-				r.dead = true
-				return
-			}
-			panic(v) // harness bug: do not swallow
-		}
-	}()
-	r.session.Step(chunk)
-}
-
-// isDeathPanic classifies panic values that mean "this replica died":
-// simulated hardware faults and allocator aborts satisfy error, and
-// deliberate stops use mutator.Stop.
-func isDeathPanic(v any) bool {
-	if _, ok := v.(error); ok {
-		return true
-	}
-	if _, ok := v.(mutator.Stop); ok {
-		return true
-	}
-	return false
-}
-
-// String summarizes the result.
-func (res *ServeResult) String() string {
-	var b bytes.Buffer
-	fmt.Fprintf(&b, "serve: %d chunks, %d incidents, %d crashes absorbed, %d patch entries",
-		res.Chunks, len(res.Incidents), res.Crashes, res.Patches.Len())
-	return b.String()
+	eo := append(opts.engineOpts(engine.ModeServe),
+		engine.WithChunks(chunks), engine.WithHook(hookFor))
+	return run(engine.Stream(prog), eo).Serve
 }
