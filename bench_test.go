@@ -20,6 +20,7 @@ import (
 	"testing"
 	"time"
 
+	"exterminator/internal/cluster"
 	"exterminator/internal/correct"
 	"exterminator/internal/cumulative"
 	"exterminator/internal/diefast"
@@ -365,6 +366,92 @@ func BenchmarkFleetIngest(b *testing.B) {
 		handler.ServeHTTP(rec, req)
 		if rec.Code != http.StatusOK {
 			b.Fatalf("ingest failed: %s: %s", rec.Result().Status, rec.Body)
+		}
+	}
+}
+
+// Incremental Bayesian recompute: Identify on a large, mostly-clean
+// history. Each iteration dirties ONE site with a new observation and
+// rescores. The incremental path recomputes only that site's Bayes
+// factor (cached factors cover the other ~2000), while the full-rescore
+// reference re-integrates every key — the O(sites) per correction pass
+// the cluster tier's hot path eliminates:
+//
+//	go test -bench BenchmarkIncrementalIdentify -benchtime 20x
+func BenchmarkIncrementalIdentify(b *testing.B) {
+	const nSites = 2000
+	build := func() *cumulative.History {
+		hist := cumulative.NewHistory(cumulative.DefaultConfig())
+		snap := &cumulative.Snapshot{C: 4, P: 0.5, Runs: 500, CorruptRuns: 100}
+		for i := 0; i < nSites; i++ {
+			id := site.ID(0x10000 + uint32(i))
+			snap.Sites = append(snap.Sites, id)
+			so := cumulative.SiteObservations{Site: id}
+			for j := 0; j < 16; j++ {
+				x := 0.05 + float64((i*31+j*17)%90)/100
+				so.Obs = append(so.Obs, cumulative.Observation{X: x, Y: (i*7+j*13)%97 < int(100*x)})
+			}
+			snap.Overflow = append(snap.Overflow, so)
+		}
+		hist.Absorb(snap)
+		hist.Identify() // warm the factor cache
+		return hist
+	}
+	touch := func(hist *cumulative.History, i int) {
+		hist.Absorb(&cumulative.Snapshot{C: 4, P: 0.5, Overflow: []cumulative.SiteObservations{{
+			Site: site.ID(0x10000 + uint32(i%nSites)),
+			Obs:  []cumulative.Observation{{X: 0.5, Y: i%2 == 0}},
+		}}})
+	}
+	b.Run("incremental", func(b *testing.B) {
+		hist := build()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			touch(hist, i)
+			hist.Identify()
+		}
+	})
+	b.Run("full", func(b *testing.B) {
+		hist := build()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			touch(hist, i)
+			hist.IdentifyFull()
+		}
+	})
+}
+
+// Cluster routing: splitting one realistic observation batch across an
+// 8-partition consistent-hash ring — the per-upload CPU cost the
+// cluster-aware client adds over a single-server push.
+func BenchmarkClusterRoute(b *testing.B) {
+	ring := cluster.NewRing(0,
+		"http://p1:7077", "http://p2:7077", "http://p3:7077", "http://p4:7077",
+		"http://p5:7077", "http://p6:7077", "http://p7:7077", "http://p8:7077")
+	snap := &cumulative.Snapshot{C: 4, P: 0.5, Runs: 5, FailedRuns: 2, CorruptRuns: 2}
+	for i := 0; i < 60; i++ {
+		id := site.ID(0x1000 + uint32(i)*2654435761)
+		snap.Sites = append(snap.Sites, id)
+		snap.Overflow = append(snap.Overflow, cumulative.SiteObservations{
+			Site: id,
+			Obs:  []cumulative.Observation{{X: 0.25, Y: i%7 == 0}, {X: 0.5, Y: i%2 == 0}},
+		})
+	}
+	for i := 0; i < 12; i++ {
+		snap.Dangling = append(snap.Dangling, cumulative.PairObservations{
+			Alloc: site.ID(0x2000 + uint32(i)), Free: site.ID(0x3000 + uint32(i)),
+			Obs: []cumulative.Observation{{X: 0.5, Y: i%2 == 0}},
+		})
+	}
+	snap.PadHints = append(snap.PadHints, cumulative.PadHint{Site: snap.Sites[3], Pad: 24})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		parts := cluster.SplitSnapshot(ring, snap)
+		if len(parts) < 2 {
+			b.Fatal("batch not split")
 		}
 	}
 }

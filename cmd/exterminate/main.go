@@ -61,6 +61,7 @@ func main() {
 		faultSeed   = flag.Uint64("fault-seed", 17, "victim-selection seed for the injected fault (keep fixed across replicas: the bug must be the same logical bug)")
 		fleetURL    = flag.String("fleet", "", "fleet aggregation server base URL: download+merge fleet patches before the run; cumulative mode uploads its observations after it")
 		fleetID     = flag.String("fleet-id", "", "installation identifier sent with fleet uploads (default: hostname)")
+		fleetToken  = flag.String("fleet-token", "", "shared ingest token for fleet servers started with -token")
 		events      = flag.Bool("events", false, "print the session's full event stream")
 	)
 	flag.Parse()
@@ -148,14 +149,18 @@ func main() {
 	// (an unreachable fleet is a warning; a missing output file is not).
 	fatalSinks := make(map[string]bool)
 	if *fleetURL != "" {
-		fleetSink = fleet.NewSink(fleet.NewClient(*fleetURL, installID(*fleetID)))
+		fc := fleet.NewClient(*fleetURL, installID(*fleetID))
+		if *fleetToken != "" {
+			fc.SetToken(*fleetToken)
+		}
+		fleetSink = fleet.NewSink(fc)
 		opts = append(opts, engine.WithSink(fleetSink))
 		if *mode != "cumulative" {
 			fmt.Fprintln(os.Stderr, "exterminate: note: only cumulative mode produces uploadable observations; -fleet will still download patches and report newly derived ones")
 		}
-		if *historyIn != "" {
-			fmt.Fprintln(os.Stderr, "exterminate: note: -fleet uploads the whole history, including runs resumed via -resume-history; avoid re-uploading evidence the fleet already has")
-		}
+		// -resume-history + -fleet is safe: uploads are watermarked, so
+		// only evidence the fleet has not acknowledged yet is sent (the
+		// watermark persists inside the history file).
 	}
 	if *historyOut != "" {
 		s := engine.HistoryFile(*historyOut)

@@ -9,6 +9,22 @@
 // State survives restarts through periodic snapshots of the evidence store
 // (the cumulative persist format); on startup the daemon restores the
 // snapshot and rederives patches before accepting traffic.
+//
+// Cluster deployment (internal/cluster): run N fleetd instances with
+// -partition (evidence store + journal, no local patch derivation —
+// a partition's local site count would understate the Bayesian prior's
+// N), optionally hardened with -token and -rate, and one more in
+// coordinator mode to merge them:
+//
+//	fleetd -addr :7101 -partition   (× N)
+//	fleetd -addr :7077 -coordinator http://p1:7101,http://p2:7101,http://p3:7101
+//
+// The coordinator mirrors each partition's evidence journal (GET
+// /v1/deltas), reruns the hypothesis test incrementally over the merged
+// pool, and serves the fleet-wide patch log. Installations upload
+// through a cluster.Router and poll patches from the *coordinator* with
+// an unmodified fleet client; patches must never be polled from a
+// partition (in -partition mode there are none to poll).
 package main
 
 import (
@@ -21,9 +37,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"exterminator/internal/cluster"
 	"exterminator/internal/cumulative"
 	"exterminator/internal/fleet"
 )
@@ -38,13 +56,53 @@ func main() {
 		snapshotInt  = flag.Duration("snapshot-interval", 30*time.Second, "how often to persist the evidence store (with -snapshot)")
 		priorC       = flag.Float64("c", 4, "Bayesian prior constant c (P(H1) = 1/(cN))")
 		fillP        = flag.Float64("p", 0.5, "canary fill probability p the fleet's heaps use")
+		token        = flag.String("token", "", "shared ingest token: require Authorization: Bearer <token> on write endpoints")
+		rate         = flag.Float64("rate", 0, "per-client observation uploads per second (0: unlimited)")
+		burst        = flag.Int("burst", 0, "rate-limit burst (0: 2x rate)")
+		journalLen   = flag.Int("journal", 0, "evidence journal window in batches for GET /v1/deltas (0: 1024)")
+		partition    = flag.Bool("partition", false, "run as a cluster partition: store and journal evidence but derive no patches (the coordinator runs the fleet-wide hypothesis test)")
+		coordinator  = flag.String("coordinator", "", "run as cluster coordinator over these comma-separated partition base URLs instead of an evidence store")
+		pollInt      = flag.Duration("poll-interval", 1*time.Second, "coordinator: partition journal poll interval")
 	)
 	flag.Parse()
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if *coordinator != "" {
+		if *partition {
+			log.Fatal("fleetd: -partition and -coordinator are mutually exclusive: a node is either an evidence store or the merge tier")
+		}
+		// The coordinator has no evidence store of its own; surface any
+		// store-only flags instead of silently ignoring them.
+		if *snapshot != "" {
+			log.Print("fleetd: warning: -snapshot is ignored in coordinator mode (the merged history rebuilds from partition journals)")
+		}
+		if *rate != 0 || *burst != 0 {
+			log.Print("fleetd: warning: -rate/-burst are ignored in coordinator mode (rate-limit the partitions)")
+		}
+		if *shards != fleet.DefaultShards || *journalLen != 0 || *correctEvery != 8 {
+			log.Print("fleetd: warning: -shards/-journal/-correct-every are ignored in coordinator mode")
+		}
+		runCoordinator(ctx, *addr, *coordinator, *token, cumulative.Config{C: *priorC, P: *fillP}, *pollInt)
+		return
+	}
+
+	if *partition {
+		log.Print("fleetd: partition mode: evidence store + journal only; patch derivation is the coordinator's job")
+	}
 	srv := fleet.NewServer(fleet.ServerOptions{
 		Shards:       *shards,
 		Config:       cumulative.Config{C: *priorC, P: *fillP},
 		CorrectEvery: *correctEvery,
+		Token:        *token,
+		RatePerSec:   *rate,
+		RateBurst:    *burst,
+		JournalLen:   *journalLen,
+		// See ServerOptions.DisableCorrection: a partition's local N
+		// would understate the Bayesian prior, so the server itself
+		// refuses to derive patches in this mode.
+		DisableCorrection: *partition,
 	})
 	if *snapshot != "" {
 		if err := srv.LoadSnapshot(*snapshot); err != nil {
@@ -55,33 +113,15 @@ func main() {
 			*snapshot, st.Runs(), st.Sites(), srv.PatchLog().Len())
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
-
-	go srv.RunCorrectionLoop(ctx, *correctInt)
+	if !*partition {
+		go srv.RunCorrectionLoop(ctx, *correctInt)
+	}
 	if *snapshot != "" {
 		go snapshotLoop(ctx, srv, *snapshot, *snapshotInt)
 	}
 
-	ln, err := net.Listen("tcp", *addr)
-	if err != nil {
-		log.Fatalf("fleetd: %v", err)
-	}
-	hs := &http.Server{Handler: srv.Handler()}
-	go func() {
-		log.Printf("fleetd: serving on %s", ln.Addr())
-		if err := hs.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
-			log.Fatalf("fleetd: %v", err)
-		}
-	}()
+	serve(ctx, *addr, srv.Handler(), "fleetd")
 
-	<-ctx.Done()
-	log.Print("fleetd: shutting down")
-	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
-	defer cancel()
-	if err := hs.Shutdown(shutdownCtx); err != nil {
-		log.Printf("fleetd: shutdown: %v", err)
-	}
 	if *snapshot != "" {
 		if err := srv.SaveSnapshot(*snapshot); err != nil {
 			log.Printf("fleetd: final snapshot: %v", err)
@@ -92,6 +132,54 @@ func main() {
 	st := srv.Store()
 	fmt.Printf("fleetd: served %d batches from %d client(s): %d runs, %d sites, %d patch entries at version %d\n",
 		st.Batches(), st.Clients(), st.Runs(), st.Sites(), srv.PatchLog().Len(), srv.PatchLog().Version())
+}
+
+// runCoordinator runs the cluster merge tier until ctx is done.
+func runCoordinator(ctx context.Context, addr, partitions, token string, cfg cumulative.Config, pollInt time.Duration) {
+	var parts []string
+	for _, p := range strings.Split(partitions, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			parts = append(parts, p)
+		}
+	}
+	coord, err := cluster.NewCoordinator(cluster.CoordinatorOptions{
+		Partitions: parts,
+		Config:     cfg,
+		Token:      token,
+	})
+	if err != nil {
+		log.Fatalf("fleetd: %v", err)
+	}
+	log.Printf("fleetd: coordinator over %d partition(s): %s", len(parts), strings.Join(parts, ", "))
+	go coord.Run(ctx, pollInt)
+
+	serve(ctx, addr, coord.Handler(), "fleetd (coordinator)")
+
+	st := coord.Status()
+	fmt.Printf("fleetd (coordinator): %d poll round(s), %d resync(s): %d runs, %d sites, %d patch entries at version %d\n",
+		st.Polls, st.Resyncs, st.Runs, st.Sites, st.PatchLen, st.Version)
+}
+
+// serve runs an HTTP server for handler until ctx is done, then drains.
+func serve(ctx context.Context, addr string, handler http.Handler, name string) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		log.Fatalf("%s: %v", name, err)
+	}
+	hs := &http.Server{Handler: handler}
+	go func() {
+		log.Printf("%s: serving on %s", name, ln.Addr())
+		if err := hs.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("%s: %v", name, err)
+		}
+	}()
+	<-ctx.Done()
+	log.Printf("%s: shutting down", name)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(shutdownCtx); err != nil {
+		log.Printf("%s: shutdown: %v", name, err)
+	}
 }
 
 // snapshotLoop persists the evidence store every interval. The final

@@ -1,0 +1,196 @@
+// Sharded fleet cluster demo: the aggregation tier scaled horizontally.
+//
+// Three partition fleetd servers start on loopback ports, each owning a
+// slice of the call-site key space under a consistent-hash ring, plus a
+// coordinator that mirrors the partitions' evidence journals, merges
+// them, reruns the Bayesian hypothesis test incrementally, and publishes
+// the fleet-wide patch log. N simulated installations run a buggy
+// program concurrently: each uploads its per-run (X, Y) summaries
+// through a cluster.Router (which splits every batch along the ring) and
+// polls patches from the coordinator with an unmodified fleet.Client —
+// no installation ever knows how many partitions exist.
+//
+//	go run ./examples/cluster
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"exterminator/internal/cluster"
+	"exterminator/internal/cumulative"
+	"exterminator/internal/diefast"
+	"exterminator/internal/fleet"
+	"exterminator/internal/mem"
+	"exterminator/internal/patch"
+	"exterminator/internal/site"
+	"exterminator/internal/xrand"
+)
+
+const (
+	nPartitions  = 3
+	nClients     = 4
+	runsPerBatch = 2
+	maxRounds    = 30
+
+	overflowSite = site.ID(0xBAD)
+	overflowLen  = 8
+)
+
+func main() {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	// --- partition tier: N ordinary fleetd evidence stores -------------
+	var partURLs []string
+	var partServers []*fleet.Server
+	for i := 0; i < nPartitions; i++ {
+		srv := fleet.NewServer(fleet.ServerOptions{Shards: 8, CorrectEvery: -1})
+		url := serveLoopback(srv.Handler())
+		partServers = append(partServers, srv)
+		partURLs = append(partURLs, url)
+		fmt.Printf("partition %d listening on %s\n", i+1, url)
+	}
+
+	// --- merge tier: the coordinator -----------------------------------
+	coord, err := cluster.NewCoordinator(cluster.CoordinatorOptions{Partitions: partURLs})
+	if err != nil {
+		log.Fatal(err)
+	}
+	coordURL := serveLoopback(coord.Handler())
+	go coord.Run(ctx, 100*time.Millisecond)
+	fmt.Printf("coordinator listening on %s, polling %d partitions\n\n", coordURL, nPartitions)
+
+	// --- client side: N concurrent installations ------------------------
+	var wg sync.WaitGroup
+	results := make([]clientResult, nClients)
+	for c := 0; c < nClients; c++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			results[id] = runClient(ctx, id, coordURL, partURLs)
+		}(c)
+	}
+	wg.Wait()
+
+	fmt.Println()
+	for i, r := range results {
+		if r.err != nil {
+			log.Fatalf("client %d: FAILED: %v", i+1, r.err)
+		}
+		fmt.Printf("client %d: ran %d local runs, saw the fleet patch at version %d after %d round(s)\n",
+			i+1, r.runs, r.version, r.rounds)
+	}
+
+	st := coord.Status()
+	fmt.Printf("\ncoordinator totals: %d runs, %d sites, %d patch entr%s at version %d (%d polls, %d corrections)\n",
+		st.Runs, st.Sites, st.PatchLen, plural(st.PatchLen), st.Version, st.Polls, st.Corrections)
+	for i, p := range st.Partitions {
+		fmt.Printf("  partition %d: %d sites, %d runs mirrored at journal seq %d\n", i+1, p.Sites, p.Runs, p.Seq)
+	}
+	for i, srv := range partServers {
+		if srv.Store().Sites() == 0 {
+			log.Fatalf("partition %d never received evidence — the ring is not splitting uploads", i+1)
+		}
+	}
+	fmt.Println("\nEvery partition owns a disjoint slice of the site key space; only the")
+	fmt.Println("coordinator ever merges them, and it rescores only dirty sites per pass.")
+}
+
+type clientResult struct {
+	runs    int
+	rounds  int
+	version uint64
+	err     error
+}
+
+// runClient simulates one installation: run the buggy program, route the
+// batch's observations across the partitions, poll the coordinator for
+// the fleet-wide patch, repeat until the bug is covered.
+func runClient(ctx context.Context, id int, coordURL string, partURLs []string) clientResult {
+	router, err := cluster.NewRouter(fmt.Sprintf("install-%d", id+1), partURLs...)
+	if err != nil {
+		return clientResult{err: err}
+	}
+	poller := fleet.NewClient(coordURL, fmt.Sprintf("install-%d", id+1))
+	fleetPatches := patch.New()
+	var since uint64
+	runs := 0
+
+	for round := 1; round <= maxRounds; round++ {
+		hist := cumulative.NewHistory(cumulative.DefaultConfig())
+		for r := 0; r < runsPerBatch; r++ {
+			runs++
+			seed := uint64(id+1)*1_000_003 + uint64(runs)*2654435761
+			h := buggyOverflowRun(seed)
+			hist.RecordRun(h, len(h.Scan(false)) > 0)
+		}
+		delta := hist.UploadDelta()
+		if _, err := router.PushSnapshot(ctx, delta); err != nil {
+			return clientResult{err: fmt.Errorf("routed upload: %w", err)}
+		}
+		hist.MarkUploaded(delta)
+
+		dp, version, err := poller.Patches(since)
+		if err != nil {
+			return clientResult{err: fmt.Errorf("poll coordinator: %w", err)}
+		}
+		since = version
+		fleetPatches.Merge(dp)
+		if fleetPatches.Pad(overflowSite) >= overflowLen {
+			return clientResult{runs: runs, rounds: round, version: version}
+		}
+		time.Sleep(60 * time.Millisecond) // let the coordinator's poll loop catch up
+	}
+	return clientResult{err: fmt.Errorf("no covering patch after %d rounds (%d runs)", maxRounds, runs)}
+}
+
+// buggyOverflowRun simulates one execution of a program whose allocation
+// site overflowSite writes overflowLen bytes past its objects.
+func buggyOverflowRun(seed uint64) *diefast.Heap {
+	h := diefast.New(diefast.CumulativeConfig(0.5), xrand.New(seed))
+	rng := xrand.New(seed ^ 0xabcdef)
+	var live []mem.Addr
+	for i := 0; i < 400; i++ {
+		p, _ := h.Malloc(32, site.ID(0x100+uint32(i%10)))
+		live = append(live, p)
+		if len(live) > 40 {
+			k := rng.Intn(len(live))
+			h.Free(live[k], site.ID(0x200+uint32(k%4)))
+			live[k] = live[len(live)-1]
+			live = live[:len(live)-1]
+		}
+		if i == 350 {
+			bad, _ := h.Malloc(32, overflowSite)
+			over := make([]byte, overflowLen)
+			for j := range over {
+				over[j] = 0xE7
+			}
+			h.Space().Write(bad+32, over)
+		}
+	}
+	return h
+}
+
+// serveLoopback serves handler on an ephemeral loopback port and returns
+// its base URL.
+func serveLoopback(handler http.Handler) string {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go (&http.Server{Handler: handler}).Serve(ln)
+	return "http://" + ln.Addr().String()
+}
+
+func plural(n int) string {
+	if n == 1 {
+		return "y"
+	}
+	return "ies"
+}

@@ -1,0 +1,371 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"exterminator/internal/cumulative"
+	"exterminator/internal/fleet"
+	"exterminator/internal/report"
+)
+
+// CoordinatorOptions configures a cluster coordinator.
+type CoordinatorOptions struct {
+	// Partitions are the base URLs of the partition fleetd instances to
+	// mirror.
+	Partitions []string
+	// Config parameterizes the Bayesian classifier (zero = paper
+	// defaults). It must match the partitions'.
+	Config cumulative.Config
+	// Token authenticates report uploads to this coordinator (optional).
+	Token string
+	// MaxReports bounds the retained bug-report ring (0 = 128).
+	MaxReports int
+}
+
+// Coordinator is the cluster's merge tier. It mirrors every partition's
+// evidence journal through GET /v1/deltas, maintains one merged history,
+// reruns the hypothesis test incrementally (only sites whose evidence
+// moved since the last pass are rescored), and serves the fleet-wide
+// patch log over the standard fleet wire protocol — fleet.Client and
+// fleet.Sink poll a coordinator exactly as they would a single fleetd.
+type Coordinator struct {
+	cfg   cumulative.Config
+	parts []*partition
+
+	pollMu  sync.Mutex // serializes PollOnce (Run loop vs manual Sync)
+	mu      sync.Mutex
+	merged  *cumulative.History
+	rebuild bool // a partition resynced; merged must be rebuilt from mirrors
+
+	log         *fleet.PatchLog
+	epoch       uint64
+	start       time.Time
+	polls       atomic.Int64
+	resyncs     atomic.Int64
+	corrections atomic.Int64
+
+	token      string
+	reportMu   sync.Mutex
+	reports    []*report.Report
+	maxReports int
+	reportSeen atomic.Int64
+
+	mux *http.ServeMux
+}
+
+// partition is the coordinator's view of one fleetd instance: a local
+// mirror of its evidence plus the journal cursor and epoch the mirror is
+// valid for. Mirror state is guarded by the coordinator's mu.
+type partition struct {
+	base   string
+	client *fleet.Client
+
+	mirror  *cumulative.History
+	seq     uint64
+	epoch   uint64
+	errs    atomic.Int64
+	lastErr atomic.Value // string
+}
+
+// NewCoordinator returns a coordinator mirroring the given partitions.
+func NewCoordinator(opts CoordinatorOptions) (*Coordinator, error) {
+	if len(opts.Partitions) == 0 {
+		return nil, fmt.Errorf("cluster: coordinator needs at least one partition")
+	}
+	cfg := opts.Config
+	if cfg.C == 0 && cfg.P == 0 {
+		cfg = cumulative.DefaultConfig()
+	}
+	c := &Coordinator{
+		cfg:        cfg,
+		merged:     cumulative.NewHistory(cfg),
+		log:        fleet.NewPatchLog(),
+		epoch:      uint64(time.Now().UnixNano()),
+		start:      time.Now(),
+		token:      opts.Token,
+		maxReports: opts.MaxReports,
+	}
+	if c.maxReports <= 0 {
+		c.maxReports = 128
+	}
+	for _, base := range opts.Partitions {
+		c.parts = append(c.parts, &partition{
+			base:   base,
+			client: fleet.NewClient(base, "coordinator"),
+			mirror: cumulative.NewHistory(cfg),
+		})
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/patches", c.handlePatches)
+	mux.HandleFunc("/v1/reports", c.handleReports)
+	mux.HandleFunc("/v1/status", c.handleStatus)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	c.mux = mux
+	return c, nil
+}
+
+// Handler returns the coordinator's HTTP handler (the client-facing
+// subset of the fleet protocol: patches, reports, status, health).
+func (c *Coordinator) Handler() http.Handler { return c.mux }
+
+// PatchLog exposes the fleet-wide patch log.
+func (c *Coordinator) PatchLog() *fleet.PatchLog { return c.log }
+
+// PollOnce polls every partition's journal concurrently and applies the
+// deltas. It reports whether any new evidence arrived (a correction pass
+// is worthwhile) and joins per-partition errors; one unreachable
+// partition delays only its own evidence, never the others'.
+func (c *Coordinator) PollOnce(ctx context.Context) (changed bool, err error) {
+	c.pollMu.Lock()
+	defer c.pollMu.Unlock()
+	c.polls.Add(1)
+	type result struct {
+		p     *partition
+		delta *fleet.SnapshotDelta
+		err   error
+	}
+	results := make([]result, len(c.parts))
+	var wg sync.WaitGroup
+	for i, p := range c.parts {
+		wg.Add(1)
+		go func(i int, p *partition, since, epoch uint64) {
+			defer wg.Done()
+			d, derr := p.client.Deltas(ctx, since)
+			if derr == nil && !d.Full && epoch != 0 && d.Epoch != epoch {
+				// The partition restarted under us and has already
+				// re-accumulated past our cursor, so the reply is a delta
+				// of the *new* incarnation's journal — useless against our
+				// mirror of the old one. Refetch with a cursor no journal
+				// can satisfy, forcing a Full store snapshot (a plain
+				// since=0 delta could miss snapshot-restored evidence that
+				// never went through the journal).
+				d, derr = p.client.Deltas(ctx, ^uint64(0))
+			}
+			results[i] = result{p: p, delta: d, err: derr}
+		}(i, p, p.seq, p.epoch)
+	}
+	wg.Wait()
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var errs []error
+	for _, res := range results {
+		if res.err != nil {
+			res.p.errs.Add(1)
+			res.p.lastErr.Store(res.err.Error())
+			errs = append(errs, fmt.Errorf("cluster: poll %s: %w", res.p.base, res.err))
+			continue
+		}
+		d := res.delta
+		switch {
+		case d.Full || (res.p.epoch != 0 && d.Epoch != res.p.epoch):
+			// The partition restarted or we fell off its journal window:
+			// replace the mirror wholesale. Replacing — never absorbing a
+			// full snapshot into an existing mirror — is what makes
+			// re-polls and restarts idempotent: evidence is a multiset,
+			// so only replacement avoids double counting. (A cross-epoch
+			// non-Full reply is the since=0 refetch above: the complete
+			// evidence of the new incarnation.)
+			mirror := cumulative.NewHistory(c.cfg)
+			mirror.Absorb(d.Snapshot)
+			res.p.mirror = mirror
+			c.rebuild = true
+			c.resyncs.Add(1)
+			changed = true
+		case d.Snapshot != nil:
+			res.p.mirror.Absorb(d.Snapshot)
+			if !c.rebuild {
+				// Fast path: fold the delta straight into the merged
+				// history; only these keys become dirty for the next
+				// incremental identify pass.
+				c.merged.Absorb(d.Snapshot)
+			}
+			changed = true
+		}
+		res.p.seq, res.p.epoch = d.Seq, d.Epoch
+	}
+	return changed, errors.Join(errs...)
+}
+
+// Correct runs one correction pass over the merged evidence and folds
+// newly derived patches into the fleet-wide log. After a partition
+// resync the merged history is rebuilt from the mirrors first (the rare
+// slow path); otherwise the pass rescores only dirty sites.
+func (c *Coordinator) Correct() (uint64, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.corrections.Add(1)
+	if c.rebuild {
+		merged := cumulative.NewHistory(c.cfg)
+		for _, p := range c.parts {
+			merged.Absorb(p.mirror.Snapshot())
+		}
+		c.merged = merged
+		c.rebuild = false
+	}
+	findings := c.merged.Identify()
+	if findings.Empty() {
+		return c.log.Version(), false
+	}
+	return c.log.Fold(findings.Patches())
+}
+
+// Run polls and corrects every interval until ctx is done.
+func (c *Coordinator) Run(ctx context.Context, interval time.Duration) {
+	if interval <= 0 {
+		interval = 2 * time.Second
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			if changed, _ := c.PollOnce(ctx); changed {
+				c.Correct()
+			}
+		}
+	}
+}
+
+// Sync is PollOnce + Correct, for callers that want to drive the loop
+// themselves (tests, demos).
+func (c *Coordinator) Sync(ctx context.Context) (uint64, error) {
+	changed, err := c.PollOnce(ctx)
+	if changed {
+		v, _ := c.Correct()
+		return v, err
+	}
+	return c.log.Version(), err
+}
+
+func (c *Coordinator) handlePatches(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	var since uint64
+	if q := r.URL.Query().Get("since"); q != "" {
+		v, err := strconv.ParseUint(q, 10, 64)
+		if err != nil {
+			http.Error(w, "cluster: bad since: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		since = v
+	}
+	ps, version := c.log.Since(since)
+	wire := fleet.ToWire(ps, version)
+	wire.Epoch = c.epoch
+	fleet.WriteJSON(w, wire)
+}
+
+func (c *Coordinator) handleReports(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodPost:
+		if c.token != "" && !fleet.BearerAuthorized(r, c.token) {
+			w.Header().Set("WWW-Authenticate", `Bearer realm="fleet"`)
+			http.Error(w, "cluster: missing or invalid ingest token", http.StatusUnauthorized)
+			return
+		}
+		var rep report.Report
+		// fleet.DecodeJSONBody, not a plain json.Decoder: fleet.Client
+		// gzips request bodies by default, and the coordinator must accept
+		// exactly what any fleetd accepts.
+		if err := fleet.DecodeJSONBody(w, r, 16<<20, &rep); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		c.reportSeen.Add(1)
+		c.reportMu.Lock()
+		c.reports = append(c.reports, &rep)
+		if len(c.reports) > c.maxReports {
+			c.reports = append([]*report.Report(nil), c.reports[len(c.reports)-c.maxReports:]...)
+		}
+		c.reportMu.Unlock()
+		fleet.WriteJSON(w, map[string]any{"ok": true})
+	case http.MethodGet:
+		c.reportMu.Lock()
+		out := append([]*report.Report{}, c.reports...)
+		c.reportMu.Unlock()
+		fleet.WriteJSON(w, out)
+	default:
+		http.Error(w, "GET or POST only", http.StatusMethodNotAllowed)
+	}
+}
+
+// ClusterStatus is the coordinator's GET /v1/status body: the standard
+// fleet status (so generic tooling keeps working) plus per-partition
+// mirror state.
+type ClusterStatus struct {
+	fleet.StatusReply
+	Polls      int64             `json:"polls"`
+	Resyncs    int64             `json:"resyncs"`
+	Partitions []PartitionStatus `json:"partitions"`
+}
+
+// PartitionStatus is one partition's mirror state in ClusterStatus.
+type PartitionStatus struct {
+	Base      string `json:"base"`
+	Seq       uint64 `json:"seq"`
+	Epoch     uint64 `json:"epoch"`
+	Sites     int    `json:"sites"`
+	Runs      int    `json:"runs"`
+	Errors    int64  `json:"errors"`
+	LastError string `json:"lastError,omitempty"`
+}
+
+func (c *Coordinator) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	fleet.WriteJSON(w, c.Status())
+}
+
+// Status assembles the coordinator's status reply.
+func (c *Coordinator) Status() *ClusterStatus {
+	c.mu.Lock()
+	st := &ClusterStatus{
+		StatusReply: fleet.StatusReply{
+			Version:     c.log.Version(),
+			Sites:       c.merged.Sites(),
+			Runs:        int64(c.merged.Runs),
+			FailedRuns:  int64(c.merged.FailedRuns),
+			CorruptRuns: int64(c.merged.CorruptRuns),
+			Reports:     c.reportSeen.Load(),
+			PatchLen:    c.log.Len(),
+			UptimeSec:   int64(time.Since(c.start).Seconds()),
+			Corrections: c.corrections.Load(),
+			DirtyKeys:   c.merged.DirtyKeys(),
+		},
+		Polls:   c.polls.Load(),
+		Resyncs: c.resyncs.Load(),
+	}
+	for _, p := range c.parts {
+		ps := PartitionStatus{
+			Base:   p.base,
+			Seq:    p.seq,
+			Epoch:  p.epoch,
+			Sites:  p.mirror.Sites(),
+			Runs:   p.mirror.Runs,
+			Errors: p.errs.Load(),
+		}
+		if v, ok := p.lastErr.Load().(string); ok {
+			ps.LastError = v
+		}
+		st.Partitions = append(st.Partitions, ps)
+	}
+	c.mu.Unlock()
+	return st
+}

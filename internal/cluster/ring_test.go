@@ -1,0 +1,131 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+
+	"exterminator/internal/site"
+)
+
+func ringKeys(n int, seed int64) []site.ID {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]site.ID, n)
+	for i := range out {
+		out[i] = site.ID(rng.Uint32())
+	}
+	return out
+}
+
+func owners(r *Ring, keys []site.ID) map[site.ID]string {
+	m := make(map[site.ID]string, len(keys))
+	for _, k := range keys {
+		m[k] = r.Owner(k)
+	}
+	return m
+}
+
+// TestRingAddMovesKeysOnlyToNewNode pins the consistent-hashing
+// invariant: adding a node may move keys only *to* that node, and the
+// moved fraction is bounded near 1/(n+1).
+func TestRingAddMovesKeysOnlyToNewNode(t *testing.T) {
+	keys := ringKeys(20000, 1)
+	r := NewRing(0, "a", "b", "c", "d", "e")
+	before := owners(r, keys)
+
+	r.Add("f")
+	moved := 0
+	for _, k := range keys {
+		now := r.Owner(k)
+		if now != before[k] {
+			if now != "f" {
+				t.Fatalf("key %v moved between pre-existing nodes: %s -> %s", k, before[k], now)
+			}
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatal("new node owns nothing")
+	}
+	// Expected share is 1/6 of the keys; allow wide slack for vnode
+	// placement variance but fail on gross imbalance.
+	frac := float64(moved) / float64(len(keys))
+	if frac > 2.0/6 {
+		t.Fatalf("adding one node to five moved %.1f%% of keys, want ~16%%", 100*frac)
+	}
+}
+
+// TestRingRemoveMovesOnlyOrphanedKeys pins the reverse invariant:
+// removing a node moves only the keys it owned.
+func TestRingRemoveMovesOnlyOrphanedKeys(t *testing.T) {
+	keys := ringKeys(20000, 2)
+	r := NewRing(0, "a", "b", "c", "d")
+	before := owners(r, keys)
+
+	r.Remove("c")
+	for _, k := range keys {
+		now := r.Owner(k)
+		if before[k] == "c" {
+			if now == "c" {
+				t.Fatalf("key %v still owned by removed node", k)
+			}
+		} else if now != before[k] {
+			t.Fatalf("key %v not owned by removed node moved: %s -> %s", k, before[k], now)
+		}
+	}
+}
+
+// TestRingMembershipRoundTrip: removing a node and re-adding it restores
+// the exact prior ownership (point hashes depend only on names), and two
+// rings built from the same membership in different orders agree on
+// every key.
+func TestRingMembershipRoundTrip(t *testing.T) {
+	keys := ringKeys(5000, 3)
+	r := NewRing(0, "a", "b", "c")
+	before := owners(r, keys)
+
+	r.Remove("b")
+	r.Add("b")
+	for _, k := range keys {
+		if r.Owner(k) != before[k] {
+			t.Fatalf("remove+add changed ownership of %v", k)
+		}
+	}
+
+	other := NewRing(0, "c", "a", "b")
+	for _, k := range keys {
+		if other.Owner(k) != before[k] {
+			t.Fatalf("construction order changed ownership of %v", k)
+		}
+	}
+}
+
+// TestRingBalance: with enough virtual nodes no member owns a grossly
+// disproportionate share.
+func TestRingBalance(t *testing.T) {
+	keys := ringKeys(30000, 4)
+	nodes := []string{"n1", "n2", "n3", "n4", "n5"}
+	r := NewRing(0, nodes...)
+	counts := make(map[string]int)
+	for _, k := range keys {
+		counts[r.Owner(k)]++
+	}
+	for _, n := range nodes {
+		frac := float64(counts[n]) / float64(len(keys))
+		if frac < 0.05 || frac > 0.45 {
+			t.Fatalf("node %s owns %.1f%% of keys (want roughly 20%%): %v", n, 100*frac, counts)
+		}
+	}
+}
+
+func TestRingEmptyAndSingle(t *testing.T) {
+	r := NewRing(0)
+	if got := r.Owner(42); got != "" {
+		t.Fatalf("empty ring owner = %q", got)
+	}
+	r.Add("only")
+	for _, k := range ringKeys(100, 5) {
+		if r.Owner(k) != "only" {
+			t.Fatal("single-node ring must own every key")
+		}
+	}
+}

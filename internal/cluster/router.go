@@ -1,0 +1,201 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"exterminator/internal/cumulative"
+	"exterminator/internal/fleet"
+	"exterminator/internal/site"
+)
+
+// Router is the cluster-aware upload client: it splits every observation
+// batch along the ring and pushes each piece to the partition that owns
+// those keys. Node names are partition base URLs. Safe for concurrent
+// use.
+type Router struct {
+	ring    *Ring
+	id      string
+	mu      sync.Mutex
+	clients map[string]*fleet.Client
+	token   string
+}
+
+// NewRouter returns a router over the given partition base URLs. id is
+// the installation identifier forwarded with every upload.
+func NewRouter(id string, partitions ...string) (*Router, error) {
+	if len(partitions) == 0 {
+		return nil, errors.New("cluster: router needs at least one partition")
+	}
+	return &Router{
+		ring:    NewRing(0, partitions...),
+		id:      id,
+		clients: make(map[string]*fleet.Client),
+	}, nil
+}
+
+// Ring exposes the router's ring (membership changes, diagnostics).
+func (rt *Router) Ring() *Ring { return rt.ring }
+
+// SetToken attaches a shared ingest token to every partition client.
+func (rt *Router) SetToken(token string) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	rt.token = token
+	for _, c := range rt.clients {
+		c.SetToken(token)
+	}
+}
+
+// client returns (creating lazily) the fleet client for a partition.
+func (rt *Router) client(node string) *fleet.Client {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	c := rt.clients[node]
+	if c == nil {
+		c = fleet.NewClient(node, rt.id)
+		if rt.token != "" {
+			c.SetToken(rt.token)
+		}
+		rt.clients[node] = c
+	}
+	return c
+}
+
+// PushSnapshot splits one batch along the ring and uploads the pieces to
+// their partitions concurrently. It returns per-partition ingest replies
+// for the pieces that succeeded; any failures are joined into the
+// returned error. A partial failure means the successful pieces stay
+// absorbed — callers that retry must re-send only the failed pieces
+// (PushSplit exposes which pieces were delivered; cluster.Sink advances
+// its upload watermark per delivered piece for exactly this reason —
+// blindly re-sending the whole batch would double-count the evidence
+// the healthy partitions already absorbed).
+func (rt *Router) PushSnapshot(ctx context.Context, s *cumulative.Snapshot) (map[string]*fleet.IngestReply, error) {
+	replies, _, err := rt.PushSplit(ctx, s)
+	return replies, err
+}
+
+// PushSplit is PushSnapshot exposing the delivered pieces: the
+// per-partition sub-snapshots that were actually absorbed. Watermarking
+// callers advance their cursor by exactly these, so a retry after a
+// partial failure re-sends only what is missing.
+func (rt *Router) PushSplit(ctx context.Context, s *cumulative.Snapshot) (replies map[string]*fleet.IngestReply, delivered []*cumulative.Snapshot, err error) {
+	if s == nil {
+		return nil, nil, errors.New("cluster: nil snapshot")
+	}
+	parts := SplitSnapshot(rt.ring, s)
+	replies = make(map[string]*fleet.IngestReply, len(parts))
+	var (
+		wg   sync.WaitGroup
+		rmu  sync.Mutex
+		errs []error
+	)
+	for node, part := range parts {
+		wg.Add(1)
+		go func(node string, part *cumulative.Snapshot) {
+			defer wg.Done()
+			reply, err := rt.client(node).PushSnapshotContext(ctx, part)
+			rmu.Lock()
+			defer rmu.Unlock()
+			if err != nil {
+				errs = append(errs, fmt.Errorf("cluster: push to %s: %w", node, err))
+				return
+			}
+			replies[node] = reply
+			delivered = append(delivered, part)
+		}(node, part)
+	}
+	wg.Wait()
+	return replies, delivered, errors.Join(errs...)
+}
+
+// PushHistory uploads a whole local history as one routed batch.
+func (rt *Router) PushHistory(ctx context.Context, h *cumulative.History) (map[string]*fleet.IngestReply, error) {
+	if h == nil {
+		return nil, errors.New("cluster: nil history")
+	}
+	return rt.PushSnapshot(ctx, h.Snapshot())
+}
+
+// SplitSnapshot partitions one snapshot by ring ownership: overflow
+// evidence, pad hints and the site set split by allocation site;
+// dangling evidence and deferral hints by their allocation side — the
+// same striping fleet.Store uses, so each key lands on exactly one
+// partition. Run counters ride with a single deterministic piece (the
+// owner of the batch's lowest key) so the cluster-wide totals the
+// coordinator sums count every run exactly once.
+func SplitSnapshot(r *Ring, s *cumulative.Snapshot) map[string]*cumulative.Snapshot {
+	parts := make(map[string]*cumulative.Snapshot)
+	part := func(node string) *cumulative.Snapshot {
+		p := parts[node]
+		if p == nil {
+			p = &cumulative.Snapshot{C: s.C, P: s.P}
+			parts[node] = p
+		}
+		return p
+	}
+	for _, id := range s.Sites {
+		p := part(r.Owner(id))
+		p.Sites = append(p.Sites, id)
+	}
+	for _, so := range s.Overflow {
+		p := part(r.Owner(so.Site))
+		p.Overflow = append(p.Overflow, so)
+	}
+	for _, po := range s.Dangling {
+		p := part(r.Owner(po.Alloc))
+		p.Dangling = append(p.Dangling, po)
+	}
+	for _, h := range s.PadHints {
+		p := part(r.Owner(h.Site))
+		p.PadHints = append(p.PadHints, h)
+	}
+	for _, h := range s.DeferralHints {
+		p := part(r.Owner(h.Alloc))
+		p.DeferralHints = append(p.DeferralHints, h)
+	}
+	counterNode := counterOwner(r, s)
+	if counterNode != "" {
+		p := part(counterNode)
+		p.Runs, p.FailedRuns, p.CorruptRuns = s.Runs, s.FailedRuns, s.CorruptRuns
+	}
+	return parts
+}
+
+// counterOwner picks the partition that carries a batch's run counters:
+// the owner of the batch's lowest evidence key, falling back to the
+// first ring member for batches with counters but no evidence.
+func counterOwner(r *Ring, s *cumulative.Snapshot) string {
+	best := site.ID(0)
+	have := false
+	consider := func(id site.ID) {
+		if !have || id < best {
+			best, have = id, true
+		}
+	}
+	for _, id := range s.Sites {
+		consider(id)
+	}
+	for _, so := range s.Overflow {
+		consider(so.Site)
+	}
+	for _, po := range s.Dangling {
+		consider(po.Alloc)
+	}
+	for _, h := range s.PadHints {
+		consider(h.Site)
+	}
+	for _, h := range s.DeferralHints {
+		consider(h.Alloc)
+	}
+	if have {
+		return r.Owner(best)
+	}
+	if nodes := r.Nodes(); len(nodes) > 0 {
+		return nodes[0]
+	}
+	return ""
+}

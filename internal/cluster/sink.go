@@ -1,0 +1,100 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"sync"
+
+	"exterminator/internal/cumulative"
+	"exterminator/internal/engine"
+	"exterminator/internal/fleet"
+	"exterminator/internal/patch"
+	"exterminator/internal/report"
+)
+
+// Sink is the cluster-aware engine.EvidenceSink: patches download from
+// the coordinator (the merge tier's fleet-wide log), observations upload
+// through the ring-partitioned router, and bug reports go to the
+// coordinator. Like fleet.Sink, uploads are watermarked so resumed
+// histories never double-count.
+type Sink struct {
+	coord  *fleet.Client
+	router *Router
+
+	mu             sync.Mutex
+	fetchedEntries int
+	fetchedVersion uint64
+}
+
+// NewSink returns a sink for a cluster: coordinatorURL serves patches
+// and receives reports; the router spreads observation uploads across
+// the partitions.
+func NewSink(coordinatorURL, id string, partitions ...string) (*Sink, error) {
+	rt, err := NewRouter(id, partitions...)
+	if err != nil {
+		return nil, err
+	}
+	return &Sink{coord: fleet.NewClient(coordinatorURL, id), router: rt}, nil
+}
+
+// SetToken attaches a shared ingest token to the router and coordinator
+// clients.
+func (s *Sink) SetToken(token string) {
+	s.coord.SetToken(token)
+	s.router.SetToken(token)
+}
+
+// Router exposes the underlying router (membership changes).
+func (s *Sink) Router() *Router { return s.router }
+
+// SinkName implements engine.EvidenceSink.
+func (s *Sink) SinkName() string { return "cluster" }
+
+// FetchPatches implements engine.PatchSource: download the fleet-wide
+// patch set from the coordinator.
+func (s *Sink) FetchPatches(ctx context.Context) (*patch.Set, error) {
+	ps, version, err := s.coord.PatchesContext(ctx, 0)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.fetchedEntries, s.fetchedVersion = ps.Len(), version
+	s.mu.Unlock()
+	return ps, nil
+}
+
+// Commit implements engine.EvidenceSink: route the history's upload
+// delta across the partitions and report newly derived patch entries to
+// the coordinator. The watermark advances per *delivered piece*, not per
+// batch: if one partition is down, the pieces the healthy partitions
+// absorbed are marked uploaded immediately, and a later retry re-sends
+// only the failed partition's piece — never re-counting evidence a
+// partition already holds.
+func (s *Sink) Commit(ctx context.Context, ev *engine.Evidence) error {
+	var errs []error
+	if ev.History != nil && ev.History.Runs > 0 {
+		delta := ev.History.UploadDelta()
+		if !cumulative.DeltaEmpty(delta) {
+			_, delivered, err := s.router.PushSplit(ctx, delta)
+			if err != nil {
+				errs = append(errs, err)
+			}
+			for _, piece := range delivered {
+				ev.History.MarkUploaded(piece)
+			}
+		}
+	}
+	if ev.Derived != nil && ev.Derived.Len() > 0 {
+		if err := s.coord.PushReportContext(ctx, report.FromPatches(ev.Derived, nil)); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// Fetched reports what the pre-run download merged.
+func (s *Sink) Fetched() (entries int, version uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.fetchedEntries, s.fetchedVersion
+}

@@ -70,6 +70,20 @@ type History struct {
 	dferHint map[site.Pair]uint64
 	sites    map[site.ID]bool // all allocation sites ever seen (N)
 
+	// Incremental-identify state: Bayes factors are cached per key and
+	// recomputed only for keys whose observation list changed since the
+	// last pass ("dirty"). Factors are always computed over the canonical
+	// (X, Y)-sorted order, so a cached value is exactly what a fresh
+	// recompute would produce regardless of ingest order.
+	bfOverflow map[site.ID]float64
+	bfDangling map[site.Pair]float64
+	dirtyOvf   map[site.ID]bool
+	dirtyDan   map[site.Pair]bool
+
+	// Upload watermark: how much of this history has already been
+	// uploaded to a fleet (see watermark.go).
+	uploaded uploadMark
+
 	Runs        int
 	FailedRuns  int
 	CorruptRuns int
@@ -84,14 +98,36 @@ func NewHistory(cfg Config) *History {
 		cfg.P = 0.5
 	}
 	return &History{
-		cfg:      cfg,
-		overflow: make(map[site.ID][]Observation),
-		dangling: make(map[site.Pair][]Observation),
-		padHint:  make(map[site.ID]uint32),
-		dferHint: make(map[site.Pair]uint64),
-		sites:    make(map[site.ID]bool),
+		cfg:        cfg,
+		overflow:   make(map[site.ID][]Observation),
+		dangling:   make(map[site.Pair][]Observation),
+		padHint:    make(map[site.ID]uint32),
+		dferHint:   make(map[site.Pair]uint64),
+		sites:      make(map[site.ID]bool),
+		bfOverflow: make(map[site.ID]float64),
+		bfDangling: make(map[site.Pair]float64),
+		dirtyOvf:   make(map[site.ID]bool),
+		dirtyDan:   make(map[site.Pair]bool),
 	}
 }
+
+// touchOverflow marks a site's overflow evidence as changed since the
+// last identify pass.
+func (hist *History) touchOverflow(s site.ID) { hist.dirtyOvf[s] = true }
+
+// touchDangling marks a pair's dangling evidence as changed.
+func (hist *History) touchDangling(p site.Pair) { hist.dirtyDan[p] = true }
+
+// DirtyKeys returns the number of overflow sites and dangling pairs whose
+// evidence changed since the last identify pass — the work the next
+// incremental pass will do.
+func (hist *History) DirtyKeys() int { return len(hist.dirtyOvf) + len(hist.dirtyDan) }
+
+// OverflowKeys returns the number of tracked overflow sites.
+func (hist *History) OverflowKeys() int { return len(hist.overflow) }
+
+// DanglingKeys returns the number of tracked dangling pairs.
+func (hist *History) DanglingKeys() int { return len(hist.dangling) }
 
 // Sites returns N, the number of distinct allocation sites observed.
 func (hist *History) Sites() int { return len(hist.sites) }
@@ -162,6 +198,7 @@ func (hist *History) recordOverflow(h *diefast.Heap, corr diefast.Corruption) {
 	}
 	for s, ns := range noSat {
 		hist.overflow[s] = append(hist.overflow[s], Observation{X: 1 - ns, Y: satisf[s]})
+		hist.touchOverflow(s)
 	}
 
 	// Pad hint (§5.1): search backwards from the corruption for the
@@ -217,6 +254,7 @@ func (hist *History) recordDangling(h *diefast.Heap) {
 	for p, a := range pairs {
 		x := 1 - math.Pow(1-hist.cfg.P, float64(a.m))
 		hist.dangling[p] = append(hist.dangling[p], Observation{X: x, Y: a.canaried})
+		hist.touchDangling(p)
 		if a.canaried {
 			ext := 2 * (T - a.oldest)
 			if ext == 0 {
@@ -268,17 +306,29 @@ func (f *Findings) Empty() bool {
 	return len(f.Overflows) == 0 && len(f.Danglings) == 0
 }
 
-// Identify runs the hypothesis test over everything recorded so far.
+// Identify runs the hypothesis test over everything recorded so far. It
+// is incremental: Bayes factors are recomputed only for keys whose
+// evidence changed since the last pass; every other key reuses its cached
+// factor (identical to a recompute — factors are deterministic functions
+// of the canonically ordered observation list). The threshold comparison
+// itself reruns for every key because N, and hence the prior, moves.
 func (hist *History) Identify() *Findings {
+	return hist.IdentifyWithSites(len(hist.sites))
+}
+
+// IdentifyWithSites is Identify with the prior's N supplied externally.
+// A sharded evidence store holds disjoint slices of one logical history;
+// each shard must test its keys against the *global* site count, not its
+// own subset, to decide exactly as an unsharded store would.
+func (hist *History) IdentifyWithSites(n int) *Findings {
 	f := &Findings{}
-	n := len(hist.sites)
 	if n == 0 {
 		return f
 	}
 	threshold := hist.cfg.C*float64(n) - 1
 
 	for s, obs := range hist.overflow {
-		ratio := BayesFactor(obs)
+		ratio := hist.overflowFactor(s, obs)
 		if ratio > threshold {
 			pad := hist.padHint[s]
 			if pad == 0 {
@@ -288,7 +338,7 @@ func (hist *History) Identify() *Findings {
 		}
 	}
 	for p, obs := range hist.dangling {
-		ratio := BayesFactor(obs)
+		ratio := hist.danglingFactor(p, obs)
 		if ratio > threshold {
 			d := hist.dferHint[p]
 			if d == 0 {
@@ -297,9 +347,76 @@ func (hist *History) Identify() *Findings {
 			f.Danglings = append(f.Danglings, DanglingPair{Pair: p, Deferral: d, Bayes: ratio, Runs: len(obs)})
 		}
 	}
-	sort.Slice(f.Overflows, func(i, j int) bool { return f.Overflows[i].Bayes > f.Overflows[j].Bayes })
-	sort.Slice(f.Danglings, func(i, j int) bool { return f.Danglings[i].Bayes > f.Danglings[j].Bayes })
+	sortFindings(f)
 	return f
+}
+
+// IdentifyFull drops every cached factor and rescores all keys from
+// scratch — the O(keys × observations) pass Identify used to be. It
+// exists as the reference for equivalence tests and benchmarks; results
+// are identical to Identify by construction.
+func (hist *History) IdentifyFull() *Findings {
+	hist.bfOverflow = make(map[site.ID]float64, len(hist.overflow))
+	hist.bfDangling = make(map[site.Pair]float64, len(hist.dangling))
+	for s := range hist.overflow {
+		hist.touchOverflow(s)
+	}
+	for p := range hist.dangling {
+		hist.touchDangling(p)
+	}
+	return hist.Identify()
+}
+
+// overflowFactor returns the (possibly cached) Bayes factor for one site.
+// Recomputation scores a canonically sorted copy of the observations, so
+// the factor — and therefore every identify decision — is independent of
+// the order evidence arrived in.
+func (hist *History) overflowFactor(s site.ID, obs []Observation) float64 {
+	if v, ok := hist.bfOverflow[s]; ok && !hist.dirtyOvf[s] {
+		return v
+	}
+	v := canonicalBayesFactor(obs)
+	hist.bfOverflow[s] = v
+	delete(hist.dirtyOvf, s)
+	return v
+}
+
+// danglingFactor is overflowFactor for pair keys.
+func (hist *History) danglingFactor(p site.Pair, obs []Observation) float64 {
+	if v, ok := hist.bfDangling[p]; ok && !hist.dirtyDan[p] {
+		return v
+	}
+	v := canonicalBayesFactor(obs)
+	hist.bfDangling[p] = v
+	delete(hist.dirtyDan, p)
+	return v
+}
+
+// canonicalBayesFactor scores a sorted copy of obs, fixing the
+// floating-point evaluation order without mutating the history.
+func canonicalBayesFactor(obs []Observation) float64 {
+	c := append([]Observation(nil), obs...)
+	sortObs(c)
+	return BayesFactor(c)
+}
+
+func sortFindings(f *Findings) {
+	sort.Slice(f.Overflows, func(i, j int) bool {
+		if f.Overflows[i].Bayes != f.Overflows[j].Bayes {
+			return f.Overflows[i].Bayes > f.Overflows[j].Bayes
+		}
+		return f.Overflows[i].Site < f.Overflows[j].Site
+	})
+	sort.Slice(f.Danglings, func(i, j int) bool {
+		if f.Danglings[i].Bayes != f.Danglings[j].Bayes {
+			return f.Danglings[i].Bayes > f.Danglings[j].Bayes
+		}
+		pi, pj := f.Danglings[i].Pair, f.Danglings[j].Pair
+		if pi.Alloc != pj.Alloc {
+			return pi.Alloc < pj.Alloc
+		}
+		return pi.Free < pj.Free
+	})
 }
 
 // BayesFactor computes P(X̄,Ȳ|H1) / P(X̄,Ȳ|H0) for a site's observations
@@ -378,7 +495,7 @@ type Candidate struct {
 func (hist *History) OverflowCandidates() []Candidate {
 	var out []Candidate
 	for s, obs := range hist.overflow {
-		out = append(out, Candidate{Site: s, Bayes: BayesFactor(obs), Obs: len(obs), YRate: yRate(obs)})
+		out = append(out, Candidate{Site: s, Bayes: hist.overflowFactor(s, obs), Obs: len(obs), YRate: yRate(obs)})
 	}
 	sortCandidates(out)
 	return out
@@ -389,7 +506,7 @@ func (hist *History) OverflowCandidates() []Candidate {
 func (hist *History) DanglingCandidates() []Candidate {
 	var out []Candidate
 	for p, obs := range hist.dangling {
-		out = append(out, Candidate{Pair: p, Bayes: BayesFactor(obs), Obs: len(obs), YRate: yRate(obs)})
+		out = append(out, Candidate{Pair: p, Bayes: hist.danglingFactor(p, obs), Obs: len(obs), YRate: yRate(obs)})
 	}
 	sortCandidates(out)
 	return out

@@ -20,8 +20,11 @@ import (
 // format.
 
 const (
-	persistMagic   = 0x48435458 // "XTCH"
-	persistVersion = 1
+	persistMagic = 0x48435458 // "XTCH"
+	// Version 2 appends the fleet upload watermark (watermark.go) after
+	// the version-1 payload; version-1 files still decode (with an empty
+	// watermark, i.e. "nothing uploaded yet").
+	persistVersion = 2
 )
 
 // Encode writes the history.
@@ -41,13 +44,13 @@ func (hist *History) Encode(w io.Writer) error {
 
 	// Sites.
 	u32(uint32(len(hist.sites)))
-	for _, s := range sortedSiteSet(hist.sites) {
+	for _, s := range sortedIDKeys(hist.sites) {
 		u32(uint32(s))
 	}
 
 	// Overflow observations.
 	u32(uint32(len(hist.overflow)))
-	for _, s := range sortedObsSites(hist.overflow) {
+	for _, s := range sortedIDKeys(hist.overflow) {
 		obs := hist.overflow[s]
 		u32(uint32(s))
 		u32(uint32(len(obs)))
@@ -63,7 +66,7 @@ func (hist *History) Encode(w io.Writer) error {
 
 	// Dangling observations.
 	u32(uint32(len(hist.dangling)))
-	for _, p := range sortedObsPairs(hist.dangling) {
+	for _, p := range sortedPairKeys(hist.dangling) {
 		obs := hist.dangling[p]
 		u32(uint32(p.Alloc))
 		u32(uint32(p.Free))
@@ -80,15 +83,47 @@ func (hist *History) Encode(w io.Writer) error {
 
 	// Hints.
 	u32(uint32(len(hist.padHint)))
-	for _, s := range sortedHintSites(hist.padHint) {
+	for _, s := range sortedIDKeys(hist.padHint) {
 		u32(uint32(s))
 		u32(hist.padHint[s])
 	}
 	u32(uint32(len(hist.dferHint)))
-	for _, p := range sortedHintPairs(hist.dferHint) {
+	for _, p := range sortedPairKeys(hist.dferHint) {
 		u32(uint32(p.Alloc))
 		u32(uint32(p.Free))
 		u64(hist.dferHint[p])
+	}
+
+	// Upload watermark (version 2).
+	m := &hist.uploaded
+	u32(uint32(m.runs))
+	u32(uint32(m.failed))
+	u32(uint32(m.corrupt))
+	u32(uint32(len(m.sites)))
+	for _, s := range sortedIDKeys(m.sites) {
+		u32(uint32(s))
+	}
+	u32(uint32(len(m.overflow)))
+	for _, s := range sortedIDKeys(m.overflow) {
+		u32(uint32(s))
+		u32(uint32(m.overflow[s]))
+	}
+	u32(uint32(len(m.dangling)))
+	for _, p := range sortedPairKeys(m.dangling) {
+		u32(uint32(p.Alloc))
+		u32(uint32(p.Free))
+		u32(uint32(m.dangling[p]))
+	}
+	u32(uint32(len(m.pad)))
+	for _, s := range sortedIDKeys(m.pad) {
+		u32(uint32(s))
+		u32(m.pad[s])
+	}
+	u32(uint32(len(m.dfer)))
+	for _, p := range sortedPairKeys(m.dfer) {
+		u32(uint32(p.Alloc))
+		u32(uint32(p.Free))
+		u64(m.dfer[p])
 	}
 	return bw.Flush()
 }
@@ -119,9 +154,10 @@ func DecodeHistory(r io.Reader) (*History, error) {
 		}
 		return nil, fmt.Errorf("cumulative: %w", err)
 	}
-	if v := u32(); err != nil || v != persistVersion {
+	version := u32()
+	if err != nil || version < 1 || version > persistVersion {
 		if err == nil {
-			err = fmt.Errorf("unsupported version %d", v)
+			err = fmt.Errorf("unsupported version %d", version)
 		}
 		return nil, fmt.Errorf("cumulative: %w", err)
 	}
@@ -157,6 +193,7 @@ func DecodeHistory(r io.Reader) (*History, error) {
 			obs = append(obs, Observation{X: x, Y: y})
 		}
 		hist.overflow[s] = obs
+		hist.touchOverflow(s)
 	}
 
 	nDan := u32()
@@ -176,6 +213,7 @@ func DecodeHistory(r io.Reader) (*History, error) {
 			obs = append(obs, Observation{X: x, Y: y})
 		}
 		hist.dangling[p] = obs
+		hist.touchDangling(p)
 	}
 
 	nPadH := u32()
@@ -193,6 +231,57 @@ func DecodeHistory(r io.Reader) (*History, error) {
 	for i := uint32(0); i < nDefH; i++ {
 		p := site.Pair{Alloc: site.ID(u32()), Free: site.ID(u32())}
 		hist.dferHint[p] = u64()
+	}
+
+	if version >= 2 {
+		hist.uploaded.init()
+		m := &hist.uploaded
+		m.runs = int(u32())
+		m.failed = int(u32())
+		m.corrupt = int(u32())
+		nUpSites := u32()
+		if err != nil || nUpSites > maxEntries {
+			return nil, fmt.Errorf("cumulative: watermark sites: %w", orImplausible(err))
+		}
+		for i := uint32(0); i < nUpSites; i++ {
+			m.sites[site.ID(u32())] = true
+		}
+		nUpOvf := u32()
+		if err != nil || nUpOvf > maxEntries {
+			return nil, fmt.Errorf("cumulative: watermark overflow: %w", orImplausible(err))
+		}
+		for i := uint32(0); i < nUpOvf; i++ {
+			s := site.ID(u32())
+			m.overflow[s] = int(u32())
+		}
+		nUpDan := u32()
+		if err != nil || nUpDan > maxEntries {
+			return nil, fmt.Errorf("cumulative: watermark dangling: %w", orImplausible(err))
+		}
+		for i := uint32(0); i < nUpDan; i++ {
+			p := site.Pair{Alloc: site.ID(u32()), Free: site.ID(u32())}
+			m.dangling[p] = int(u32())
+		}
+		nUpPad := u32()
+		if err != nil || nUpPad > maxEntries {
+			return nil, fmt.Errorf("cumulative: watermark pads: %w", orImplausible(err))
+		}
+		for i := uint32(0); i < nUpPad; i++ {
+			s := site.ID(u32())
+			m.pad[s] = u32()
+		}
+		nUpDfer := u32()
+		if err != nil || nUpDfer > maxEntries {
+			return nil, fmt.Errorf("cumulative: watermark deferrals: %w", orImplausible(err))
+		}
+		for i := uint32(0); i < nUpDfer; i++ {
+			p := site.Pair{Alloc: site.ID(u32()), Free: site.ID(u32())}
+			m.dfer[p] = u64()
+		}
+		// A corrupt file could carry a watermark ahead of the evidence it
+		// claims was uploaded; clamping keeps upload deltas non-negative
+		// and guarantees evidence can never be silently un-uploadable.
+		hist.clampWatermark()
 	}
 	if err != nil {
 		return nil, fmt.Errorf("cumulative: %w", err)
@@ -259,7 +348,10 @@ func sameObs(a, b []Observation) bool {
 	return true
 }
 
-func sortedSiteSet(m map[site.ID]bool) []site.ID {
+// sortedIDKeys returns a map's site.ID keys in ascending order — the
+// single canonical key order every encoder and snapshot in this package
+// shares.
+func sortedIDKeys[V any](m map[site.ID]V) []site.ID {
 	out := make([]site.ID, 0, len(m))
 	for k := range m {
 		out = append(out, k)
@@ -268,39 +360,8 @@ func sortedSiteSet(m map[site.ID]bool) []site.ID {
 	return out
 }
 
-func sortedObsSites(m map[site.ID][]Observation) []site.ID {
-	out := make([]site.ID, 0, len(m))
-	for k := range m {
-		out = append(out, k)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
-}
-
-func sortedObsPairs(m map[site.Pair][]Observation) []site.Pair {
-	out := make([]site.Pair, 0, len(m))
-	for k := range m {
-		out = append(out, k)
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Alloc != out[j].Alloc {
-			return out[i].Alloc < out[j].Alloc
-		}
-		return out[i].Free < out[j].Free
-	})
-	return out
-}
-
-func sortedHintSites(m map[site.ID]uint32) []site.ID {
-	out := make([]site.ID, 0, len(m))
-	for k := range m {
-		out = append(out, k)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
-}
-
-func sortedHintPairs(m map[site.Pair]uint64) []site.Pair {
+// sortedPairKeys returns a map's site.Pair keys ordered by (Alloc, Free).
+func sortedPairKeys[V any](m map[site.Pair]V) []site.Pair {
 	out := make([]site.Pair, 0, len(m))
 	for k := range m {
 		out = append(out, k)

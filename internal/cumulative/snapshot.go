@@ -79,21 +79,21 @@ func (hist *History) Snapshot() *Snapshot {
 		FailedRuns:  hist.FailedRuns,
 		CorruptRuns: hist.CorruptRuns,
 	}
-	s.Sites = sortedSiteSet(hist.sites)
-	for _, id := range sortedObsSites(hist.overflow) {
+	s.Sites = sortedIDKeys(hist.sites)
+	for _, id := range sortedIDKeys(hist.overflow) {
 		obs := append([]Observation(nil), hist.overflow[id]...)
 		sortObs(obs)
 		s.Overflow = append(s.Overflow, SiteObservations{Site: id, Obs: obs})
 	}
-	for _, p := range sortedObsPairs(hist.dangling) {
+	for _, p := range sortedPairKeys(hist.dangling) {
 		obs := append([]Observation(nil), hist.dangling[p]...)
 		sortObs(obs)
 		s.Dangling = append(s.Dangling, PairObservations{Alloc: p.Alloc, Free: p.Free, Obs: obs})
 	}
-	for _, id := range sortedHintSites(hist.padHint) {
+	for _, id := range sortedIDKeys(hist.padHint) {
 		s.PadHints = append(s.PadHints, PadHint{Site: id, Pad: hist.padHint[id]})
 	}
-	for _, p := range sortedHintPairs(hist.dferHint) {
+	for _, p := range sortedPairKeys(hist.dferHint) {
 		s.DeferralHints = append(s.DeferralHints, DeferralHint{Alloc: p.Alloc, Free: p.Free, Deferral: hist.dferHint[p]})
 	}
 	return s
@@ -114,12 +114,19 @@ func (hist *History) Absorb(s *Snapshot) {
 		hist.sites[id] = true
 	}
 	for _, so := range s.Overflow {
-		hist.overflow[so.Site] = append(hist.overflow[so.Site], so.Obs...)
+		if len(so.Obs) > 0 {
+			hist.overflow[so.Site] = append(hist.overflow[so.Site], so.Obs...)
+			hist.touchOverflow(so.Site)
+		}
 		hist.sites[so.Site] = true
 	}
 	for _, po := range s.Dangling {
+		if len(po.Obs) == 0 {
+			continue
+		}
 		p := site.Pair{Alloc: po.Alloc, Free: po.Free}
 		hist.dangling[p] = append(hist.dangling[p], po.Obs...)
+		hist.touchDangling(p)
 	}
 	for _, h := range s.PadHints {
 		if h.Pad > hist.padHint[h.Site] {
@@ -143,14 +150,21 @@ func (hist *History) Merge(other *History) {
 }
 
 // Canonicalize re-sorts every observation list into the canonical (X, Y)
-// order, making subsequent Identify results independent of ingest order.
+// order in place. Identify already scores a canonically ordered copy of
+// each list, so this is no longer needed for order-independent results;
+// it remains for tools that want the stored lists themselves canonical.
+// Reordering destroys the upload watermark's append-only prefix, so the
+// watermark resets (a subsequent fleet upload re-sends everything).
 func (hist *History) Canonicalize() {
-	for _, obs := range hist.overflow {
+	for s, obs := range hist.overflow {
 		sortObs(obs)
+		hist.touchOverflow(s)
 	}
-	for _, obs := range hist.dangling {
+	for p, obs := range hist.dangling {
 		sortObs(obs)
+		hist.touchDangling(p)
 	}
+	hist.uploaded = uploadMark{}
 }
 
 // Config returns the history's classifier configuration.

@@ -25,9 +25,10 @@ import (
 // about ingest bandwidth. Set DisableCompression for servers that
 // predate transparent decompression.
 type Client struct {
-	base string
-	id   string
-	hc   *http.Client
+	base  string
+	id    string
+	token string
+	hc    *http.Client
 
 	// DisableCompression sends request bodies uncompressed.
 	DisableCompression bool
@@ -49,6 +50,11 @@ func NewClient(base, id string) *Client {
 
 // SetHTTPClient swaps the underlying HTTP client (tests, custom timeouts).
 func (c *Client) SetHTTPClient(hc *http.Client) { c.hc = hc }
+
+// SetToken attaches a shared ingest token, sent as `Authorization:
+// Bearer <token>` with every request (servers started with -token reject
+// unauthenticated writes).
+func (c *Client) SetToken(token string) { c.token = token }
 
 // PushSnapshot uploads one batch of observations.
 func (c *Client) PushSnapshot(s *cumulative.Snapshot) (*IngestReply, error) {
@@ -155,10 +161,34 @@ func (c *Client) Status() (*StatusReply, error) {
 	return &st, nil
 }
 
+// Deltas polls the server's evidence journal: everything absorbed after
+// journal sequence number since, merged into one snapshot. This is the
+// feed cluster coordinators (internal/cluster) mirror partitions with;
+// ordinary installations never need it.
+func (c *Client) Deltas(ctx context.Context, since uint64) (*SnapshotDelta, error) {
+	resp, err := c.get(ctx, fmt.Sprintf("%s/v1/deltas?since=%d", c.base, since))
+	if err != nil {
+		return nil, fmt.Errorf("fleet: get deltas: %w", err)
+	}
+	defer drain(resp)
+	if resp.StatusCode != http.StatusOK {
+		return nil, httpError("get deltas", resp)
+	}
+	var d SnapshotDelta
+	dec := json.NewDecoder(resp.Body)
+	if err := dec.Decode(&d); err != nil {
+		return nil, fmt.Errorf("fleet: decode deltas: %w", err)
+	}
+	return &d, nil
+}
+
 func (c *Client) get(ctx context.Context, url string) (*http.Response, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
 	if err != nil {
 		return nil, err
+	}
+	if c.token != "" {
+		req.Header.Set("Authorization", "Bearer "+c.token)
 	}
 	return c.hc.Do(req)
 }
@@ -185,6 +215,9 @@ func (c *Client) postJSON(ctx context.Context, path string, body, reply any) err
 		return fmt.Errorf("fleet: post %s: %w", path, err)
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if c.token != "" {
+		req.Header.Set("Authorization", "Bearer "+c.token)
+	}
 	if !c.DisableCompression {
 		req.Header.Set("Content-Encoding", "gzip")
 	}

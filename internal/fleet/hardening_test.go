@@ -1,0 +1,385 @@
+package fleet
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"exterminator/internal/cumulative"
+	"exterminator/internal/engine"
+	"exterminator/internal/site"
+)
+
+func evidenceBatch(id site.ID) *cumulative.Snapshot {
+	return &cumulative.Snapshot{C: 4, P: 0.5, Runs: 2, CorruptRuns: 1,
+		Sites: []site.ID{id},
+		Overflow: []cumulative.SiteObservations{
+			{Site: id, Obs: []cumulative.Observation{{X: 0.2, Y: true}}},
+		},
+		PadHints: []cumulative.PadHint{{Site: id, Pad: 8}},
+	}
+}
+
+func TestIngestTokenAuth(t *testing.T) {
+	srv := NewServer(ServerOptions{Token: "sekrit", CorrectEvery: -1})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// No token: writes rejected, reads still open.
+	anon := NewClient(ts.URL, "anon")
+	if _, err := anon.PushSnapshot(evidenceBatch(0x1)); err == nil {
+		t.Fatal("unauthenticated push accepted")
+	}
+	if _, _, err := anon.Patches(0); err != nil {
+		t.Fatalf("unauthenticated patch poll rejected: %v", err)
+	}
+
+	// Wrong token.
+	wrong := NewClient(ts.URL, "wrong")
+	wrong.SetToken("not-it")
+	if _, err := wrong.PushSnapshot(evidenceBatch(0x1)); err == nil {
+		t.Fatal("wrong token accepted")
+	}
+
+	// Right token.
+	ok := NewClient(ts.URL, "ok")
+	ok.SetToken("sekrit")
+	if _, err := ok.PushSnapshot(evidenceBatch(0x1)); err != nil {
+		t.Fatalf("authenticated push rejected: %v", err)
+	}
+	if srv.Store().Runs() != 2 {
+		t.Fatalf("store runs = %d, want 2", srv.Store().Runs())
+	}
+}
+
+func TestIngestRateLimit(t *testing.T) {
+	srv := NewServer(ServerOptions{RatePerSec: 1, RateBurst: 2, CorrectEvery: -1})
+	handler := srv.Handler()
+
+	post := func() *httptest.ResponseRecorder {
+		body := `{"client":"rl","snapshot":{"c":4,"p":0.5,"runs":1}}`
+		req := httptest.NewRequest(http.MethodPost, "/v1/observations", strings.NewReader(body))
+		req.RemoteAddr = "10.0.0.9:4242"
+		req.Header.Set("Content-Type", "application/json")
+		rec := httptest.NewRecorder()
+		handler.ServeHTTP(rec, req)
+		return rec
+	}
+
+	if rec := post(); rec.Code != http.StatusOK {
+		t.Fatalf("first request: %d %s", rec.Code, rec.Body)
+	}
+	if rec := post(); rec.Code != http.StatusOK {
+		t.Fatalf("second request (burst): %d %s", rec.Code, rec.Body)
+	}
+	rec := post()
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("third request = %d, want 429", rec.Code)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+
+	// A different client is not throttled by the first one's bucket.
+	req := httptest.NewRequest(http.MethodPost, "/v1/observations", strings.NewReader(`{"client":"other","snapshot":{"c":4,"p":0.5,"runs":1}}`))
+	req.RemoteAddr = "10.0.0.10:4242"
+	req.Header.Set("Content-Type", "application/json")
+	other := httptest.NewRecorder()
+	handler.ServeHTTP(other, req)
+	if other.Code != http.StatusOK {
+		t.Fatalf("independent client throttled: %d", other.Code)
+	}
+}
+
+func TestRateLimiterRefills(t *testing.T) {
+	l := newRateLimiter(10, 1)
+	now := time.Unix(100, 0)
+	if ok, _ := l.allow("h", now); !ok {
+		t.Fatal("first token denied")
+	}
+	ok, wait := l.allow("h", now)
+	if ok {
+		t.Fatal("empty bucket allowed")
+	}
+	if wait <= 0 || wait > time.Second {
+		t.Fatalf("wait = %v", wait)
+	}
+	if ok, _ := l.allow("h", now.Add(200*time.Millisecond)); !ok {
+		t.Fatal("bucket did not refill")
+	}
+}
+
+func TestDeltasEndpoint(t *testing.T) {
+	srv := NewServer(ServerOptions{CorrectEvery: -1})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	c := NewClient(ts.URL, "d")
+	ctx := context.Background()
+
+	// Empty server: empty delta at seq 0.
+	d, err := c.Deltas(ctx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Seq != 0 || d.Full || d.Snapshot != nil {
+		t.Fatalf("empty server delta: %+v", d)
+	}
+
+	if _, err := c.PushSnapshot(evidenceBatch(0x10)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.PushSnapshot(evidenceBatch(0x20)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Delta from 0 carries both batches.
+	d, err = c.Deltas(ctx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Seq != 2 || d.Full || d.Snapshot == nil {
+		t.Fatalf("delta since 0: %+v", d)
+	}
+	if d.Snapshot.Runs != 4 || len(d.Snapshot.Overflow) != 2 {
+		t.Fatalf("delta content: runs=%d overflow=%d", d.Snapshot.Runs, len(d.Snapshot.Overflow))
+	}
+
+	// Caught-up cursor: empty delta.
+	d, err = c.Deltas(ctx, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Seq != 2 || d.Snapshot != nil {
+		t.Fatalf("caught-up delta: %+v", d)
+	}
+
+	// Cursor from another incarnation (ahead of seq): full resync.
+	d, err = c.Deltas(ctx, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Full || d.Seq != 2 || d.Snapshot == nil || d.Snapshot.Runs != 4 {
+		t.Fatalf("stale-cursor delta: %+v", d)
+	}
+}
+
+func TestDeltasJournalWindowFallsBackToFull(t *testing.T) {
+	srv := NewServer(ServerOptions{CorrectEvery: -1, JournalLen: 4})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	c := NewClient(ts.URL, "w")
+	ctx := context.Background()
+
+	for i := 0; i < 10; i++ {
+		if _, err := c.PushSnapshot(evidenceBatch(site.ID(0x100 + uint32(i)))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d, err := c.Deltas(ctx, 1) // long fallen off the 4-batch window
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Full || d.Seq != 10 {
+		t.Fatalf("want full resync at seq 10, got %+v", d)
+	}
+	if d.Snapshot.Runs != 20 {
+		t.Fatalf("full resync runs = %d, want 20", d.Snapshot.Runs)
+	}
+}
+
+// TestDeltasSeeSnapshotRestoredEvidence: evidence restored from a
+// snapshot never went through the journal, so delta polls — including
+// since=0 from a brand-new poller — must be answered with a Full store
+// snapshot, not a journal-only delta that silently misses it.
+func TestDeltasSeeSnapshotRestoredEvidence(t *testing.T) {
+	old := NewServer(ServerOptions{CorrectEvery: -1})
+	oldTS := httptest.NewServer(old.Handler())
+	c := NewClient(oldTS.URL, "r")
+	ctx := context.Background()
+	if _, err := c.PushSnapshot(evidenceBatch(0x77)); err != nil {
+		t.Fatal(err)
+	}
+	snap := t.TempDir() + "/restore.snap"
+	if err := old.SaveSnapshot(snap); err != nil {
+		t.Fatal(err)
+	}
+	oldTS.Close()
+
+	srv := NewServer(ServerOptions{CorrectEvery: -1})
+	if err := srv.LoadSnapshot(snap); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	c = NewClient(ts.URL, "r2")
+
+	// Post-restore batches land in the new journal.
+	if _, err := c.PushSnapshot(evidenceBatch(0x78)); err != nil {
+		t.Fatal(err)
+	}
+
+	d, err := c.Deltas(ctx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Full {
+		t.Fatalf("since=0 after a restore must be a full resync, got %+v", d)
+	}
+	if d.Snapshot.Runs != 4 {
+		t.Fatalf("full resync runs = %d, want 4 (restored 2 + new 2)", d.Snapshot.Runs)
+	}
+
+	// The returned cursor delta-polls cleanly from here on.
+	if _, err := c.PushSnapshot(evidenceBatch(0x79)); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := c.Deltas(ctx, d.Seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.Full || d2.Snapshot == nil || d2.Snapshot.Runs != 2 {
+		t.Fatalf("incremental poll after restore resync: %+v", d2)
+	}
+}
+
+func TestStatusReportsDirtyAndShardCounts(t *testing.T) {
+	srv := NewServer(ServerOptions{Shards: 4, CorrectEvery: -1})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	c := NewClient(ts.URL, "s")
+
+	for i := 0; i < 8; i++ {
+		if _, err := c.PushSnapshot(evidenceBatch(site.ID(0x900 + uint32(i)*17))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := c.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.DirtyKeys == 0 {
+		t.Fatal("status shows no dirty keys after ingest")
+	}
+	if len(st.Shards) != 4 {
+		t.Fatalf("status shards = %d, want 4", len(st.Shards))
+	}
+	sites, dirty := 0, 0
+	for _, sh := range st.Shards {
+		sites += sh.Sites
+		dirty += sh.DirtyKeys
+	}
+	if sites != st.Sites {
+		t.Fatalf("shard sites sum %d != total %d", sites, st.Sites)
+	}
+	if dirty != st.DirtyKeys {
+		t.Fatalf("shard dirty sum %d != total %d", dirty, st.DirtyKeys)
+	}
+	if st.Seq != 8 {
+		t.Fatalf("status seq = %d, want 8", st.Seq)
+	}
+
+	srv.Correct()
+	st, err = c.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.DirtyKeys != 0 {
+		t.Fatalf("dirty keys after correction = %d, want 0", st.DirtyKeys)
+	}
+	if st.Corrections == 0 {
+		t.Fatal("corrections counter not reported")
+	}
+}
+
+// TestDisableCorrectionSuppressesEveryDerivationPath: a cluster
+// partition (DisableCorrection) must never publish patches — not from
+// inline correction, not from an explicit Correct call, and not from the
+// snapshot-restore pass — because its partition-local site count would
+// understate the Bayesian prior's N.
+func TestDisableCorrectionSuppressesEveryDerivationPath(t *testing.T) {
+	srv := NewServer(ServerOptions{CorrectEvery: 0, DisableCorrection: true})
+	ts := httptest.NewServer(srv.Handler())
+	c := NewClient(ts.URL, "part")
+
+	// Overwhelming single-site evidence: any correcting server would patch.
+	snap := evidenceBatch(0x1)
+	snap.Overflow[0].Obs = []cumulative.Observation{
+		{X: 0.01, Y: true}, {X: 0.01, Y: true}, {X: 0.01, Y: true},
+	}
+	if _, err := c.PushSnapshot(snap); err != nil {
+		t.Fatal(err)
+	}
+	if v, changed := srv.Correct(); v != 0 || changed {
+		t.Fatalf("partition derived patches: version %d changed %v", v, changed)
+	}
+	if srv.PatchLog().Len() != 0 {
+		t.Fatalf("partition patch log has %d entries", srv.PatchLog().Len())
+	}
+
+	// Restart through the snapshot path: LoadSnapshot's correction pass
+	// must also be suppressed.
+	snapPath := t.TempDir() + "/part.snap"
+	if err := srv.SaveSnapshot(snapPath); err != nil {
+		t.Fatal(err)
+	}
+	ts.Close()
+	srv2 := NewServer(ServerOptions{CorrectEvery: 0, DisableCorrection: true})
+	if err := srv2.LoadSnapshot(snapPath); err != nil {
+		t.Fatal(err)
+	}
+	if srv2.PatchLog().Len() != 0 {
+		t.Fatalf("restored partition derived %d patch entries", srv2.PatchLog().Len())
+	}
+
+	// Sanity: the same evidence DOES patch on a correcting server.
+	ref := NewServer(ServerOptions{CorrectEvery: 0})
+	ref.Store().AbsorbSnapshot(snap)
+	ref.Correct()
+	if ref.PatchLog().Len() == 0 {
+		t.Fatal("reference server did not patch — evidence too weak for this test")
+	}
+}
+
+// TestSinkUploadsDeltaOnly is the -resume-history + -fleet dedup test at
+// the sink level: committing the same history twice must not double the
+// server's evidence.
+func TestSinkUploadsDeltaOnly(t *testing.T) {
+	srv := NewServer(ServerOptions{CorrectEvery: -1})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	hist := cumulative.NewHistory(cumulative.DefaultConfig())
+	hist.Absorb(evidenceBatch(0x42))
+
+	sink := NewSink(NewClient(ts.URL, "dedup"))
+	ev := &engine.Evidence{History: hist}
+	if err := sink.Commit(context.Background(), ev); err != nil {
+		t.Fatal(err)
+	}
+	if got := srv.Store().Runs(); got != 2 {
+		t.Fatalf("first commit: runs = %d, want 2", got)
+	}
+
+	// Second commit with nothing new: nothing uploaded.
+	if err := sink.Commit(context.Background(), ev); err != nil {
+		t.Fatal(err)
+	}
+	if got := srv.Store().Runs(); got != 2 {
+		t.Fatalf("re-commit double-counted: runs = %d, want 2", got)
+	}
+	if got := srv.Store().Batches(); got != 1 {
+		t.Fatalf("re-commit sent a batch: %d", got)
+	}
+
+	// New evidence: only the delta goes up.
+	hist.Absorb(evidenceBatch(0x43))
+	if err := sink.Commit(context.Background(), ev); err != nil {
+		t.Fatal(err)
+	}
+	if got := srv.Store().Runs(); got != 4 {
+		t.Fatalf("delta commit: runs = %d, want 4", got)
+	}
+}

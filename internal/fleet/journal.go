@@ -1,0 +1,92 @@
+package fleet
+
+import (
+	"sync"
+
+	"exterminator/internal/cumulative"
+)
+
+// journal is the bounded evidence journal behind GET /v1/deltas: every
+// absorbed observation batch is appended with a monotonic sequence
+// number, so a coordinator can poll "what arrived after seq S" and
+// receive just that. Pollers whose cursor predates the retained window
+// (or comes from another server incarnation) get a full resync instead.
+type journal struct {
+	mu      sync.Mutex
+	max     int
+	base    uint64 // entries[0] carries seq base+1
+	seq     uint64
+	entries []*cumulative.Snapshot
+}
+
+// defaultJournalLen is the retained batch window. Batches are a few KB
+// each (§3.4), so the default costs a few MB and covers minutes of
+// coordinator downtime at high ingest rates. Single-node deployments
+// that nothing ever delta-polls can disable retention entirely
+// (ServerOptions.JournalLen < 0): sequence numbers still advance, and
+// any poll is answered with a full resync.
+const defaultJournalLen = 1024
+
+func newJournal(max int) *journal {
+	if max == 0 {
+		max = defaultJournalLen
+	}
+	if max < 0 {
+		max = -1 // retention disabled: append trims immediately
+	}
+	return &journal{max: max}
+}
+
+// append records one absorbed batch and returns its sequence number.
+// The snapshot must not be mutated afterwards (the journal keeps the
+// reference).
+func (j *journal) append(s *cumulative.Snapshot) uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.seq++
+	if j.max < 0 {
+		// Retention disabled: keep no references, only the sequence.
+		j.base = j.seq
+		return j.seq
+	}
+	j.entries = append(j.entries, s)
+	if len(j.entries) > j.max {
+		drop := len(j.entries) - j.max/2
+		j.entries = append([]*cumulative.Snapshot(nil), j.entries[drop:]...)
+		j.base += uint64(drop)
+	}
+	return j.seq
+}
+
+// since returns the batches absorbed after sequence number from, plus
+// the current sequence. ok is false when from lies outside the retained
+// window (too old, or from a previous incarnation ahead of seq) — the
+// caller must answer with a full resync.
+func (j *journal) since(from uint64) (entries []*cumulative.Snapshot, seq uint64, ok bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if from > j.seq || from < j.base {
+		return nil, j.seq, false
+	}
+	return append([]*cumulative.Snapshot(nil), j.entries[from-j.base:]...), j.seq, true
+}
+
+// seqNow returns the current sequence number.
+func (j *journal) seqNow() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.seq
+}
+
+// invalidate declares every cursor at or below the current sequence
+// stale: the store now holds evidence that never went through the
+// journal (a snapshot restore), so a delta reconstructed from journal
+// entries alone would silently miss it. Advancing base past seq forces
+// the next poll from any such cursor onto the full-resync path.
+func (j *journal) invalidate() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.seq++
+	j.base = j.seq
+	j.entries = j.entries[:0]
+}

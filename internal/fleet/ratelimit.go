@@ -1,0 +1,91 @@
+package fleet
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+// rateLimiter is a per-key token-bucket limiter for the ingest path: one
+// hostile or misconfigured client must not be able to monopolize
+// /v1/observations. Keys are remote hosts (not the client-chosen
+// installation id, which an abuser would simply randomize).
+type rateLimiter struct {
+	rate  float64 // tokens added per second
+	burst float64 // bucket capacity
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// maxBuckets bounds limiter memory; when full, stale (fully refilled)
+// buckets are swept, and as a last resort new keys share one overflow
+// bucket rather than growing the map without limit.
+const maxBuckets = 1 << 14
+
+const overflowKey = "\x00overflow"
+
+func newRateLimiter(rate float64, burst int) *rateLimiter {
+	if rate <= 0 {
+		return nil
+	}
+	if burst <= 0 {
+		burst = 1
+	}
+	return &rateLimiter{rate: rate, burst: float64(burst), buckets: make(map[string]*bucket)}
+}
+
+// allow consumes one token from key's bucket. When the bucket is empty it
+// returns false and how long until the next token accrues (the
+// Retry-After value).
+func (l *rateLimiter) allow(key string, now time.Time) (bool, time.Duration) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b := l.buckets[key]
+	if b == nil {
+		if len(l.buckets) >= maxBuckets {
+			l.sweep(now)
+		}
+		if len(l.buckets) >= maxBuckets {
+			key = overflowKey
+		}
+		if b = l.buckets[key]; b == nil {
+			b = &bucket{tokens: l.burst, last: now}
+			l.buckets[key] = b
+		}
+	}
+	b.tokens += now.Sub(b.last).Seconds() * l.rate
+	if b.tokens > l.burst {
+		b.tokens = l.burst
+	}
+	b.last = now
+	if b.tokens < 1 {
+		wait := time.Duration((1 - b.tokens) / l.rate * float64(time.Second))
+		return false, wait
+	}
+	b.tokens--
+	return true, 0
+}
+
+// sweep drops buckets that have fully refilled — their owners have been
+// quiet long enough that forgetting them changes nothing.
+func (l *rateLimiter) sweep(now time.Time) {
+	for k, b := range l.buckets {
+		if b.tokens+now.Sub(b.last).Seconds()*l.rate >= l.burst {
+			delete(l.buckets, k)
+		}
+	}
+}
+
+// limiterKey extracts the remote host from a RemoteAddr.
+func limiterKey(remoteAddr string) string {
+	if host, _, err := net.SplitHostPort(remoteAddr); err == nil {
+		return host
+	}
+	return remoteAddr
+}

@@ -3,6 +3,7 @@ package fleet
 import (
 	"compress/gzip"
 	"context"
+	"crypto/subtle"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -35,6 +36,30 @@ type ServerOptions struct {
 	MaxReports int
 	// MaxBodyBytes bounds request bodies (0 = 16 MiB).
 	MaxBodyBytes int64
+	// Token, when non-empty, is required as `Authorization: Bearer
+	// <token>` on the write endpoints (/v1/observations, /v1/reports).
+	// Reads stay open.
+	Token string
+	// RatePerSec enables a per-remote-host token-bucket limit on
+	// /v1/observations (0 disables). Over-limit requests get 429 with a
+	// Retry-After header.
+	RatePerSec float64
+	// RateBurst is the token-bucket capacity (0 = 2×RatePerSec, min 1).
+	RateBurst int
+	// JournalLen bounds the evidence journal behind GET /v1/deltas
+	// (0 = 1024 batches; negative disables retention — single-node
+	// deployments that nothing delta-polls then hold no snapshot
+	// references, and any poll is answered with a full resync).
+	// Coordinators that fall further behind than the window receive a
+	// full resync.
+	JournalLen int
+	// DisableCorrection turns Correct into a no-op (cluster partition
+	// mode): the server stores and journals evidence but never derives
+	// patches. A partition holds only its ring slice of the sites, so
+	// its local N would understate the Bayesian prior — only the
+	// coordinator, which sees the merged pool and the true N, may run
+	// the hypothesis test.
+	DisableCorrection bool
 }
 
 // Server is the fleet aggregation service: sharded evidence store,
@@ -44,10 +69,23 @@ type Server struct {
 	log   *PatchLog
 
 	correctEvery int
+	noCorrect    bool
 	maxBody      int64
 	pending      atomic.Int64 // batches since the last correction pass
 	correctMu    sync.Mutex   // serializes correction passes
 	corrections  atomic.Int64
+
+	token   string
+	limiter *rateLimiter
+	limited atomic.Int64 // requests rejected with 429
+
+	// journal records absorbed batches for GET /v1/deltas. deltaMu makes
+	// (absorb into store + append to journal) atomic with respect to a
+	// full-resync read: ingest holds it shared (absorbs stay concurrent
+	// across shards), a full snapshot holds it exclusively, so the
+	// snapshot it takes corresponds exactly to a journal position.
+	journal *journal
+	deltaMu sync.RWMutex
 
 	reportMu   sync.Mutex
 	reports    []*report.Report
@@ -65,12 +103,20 @@ func NewServer(opts ServerOptions) *Server {
 	if cfg.C == 0 && cfg.P == 0 {
 		cfg = cumulative.DefaultConfig()
 	}
+	burst := opts.RateBurst
+	if burst <= 0 {
+		burst = int(2 * opts.RatePerSec)
+	}
 	s := &Server{
 		store:        NewStore(opts.Shards, cfg),
 		log:          NewPatchLog(),
 		correctEvery: opts.CorrectEvery,
+		noCorrect:    opts.DisableCorrection,
 		maxReports:   opts.MaxReports,
 		maxBody:      opts.MaxBodyBytes,
+		token:        opts.Token,
+		limiter:      newRateLimiter(opts.RatePerSec, burst),
+		journal:      newJournal(opts.JournalLen),
 		start:        time.Now(),
 		epoch:        uint64(time.Now().UnixNano()),
 	}
@@ -84,6 +130,7 @@ func NewServer(opts ServerOptions) *Server {
 	mux.HandleFunc("/v1/observations", s.handleObservations)
 	mux.HandleFunc("/v1/reports", s.handleReports)
 	mux.HandleFunc("/v1/patches", s.handlePatches)
+	mux.HandleFunc("/v1/deltas", s.handleDeltas)
 	mux.HandleFunc("/v1/status", s.handleStatus)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
@@ -102,17 +149,24 @@ func (s *Server) Store() *Store { return s.store }
 // PatchLog exposes the versioned patch log.
 func (s *Server) PatchLog() *PatchLog { return s.log }
 
-// Correct runs one correction pass: merge all shards, rerun the Bayesian
-// test, fold any derived patches into the versioned log. It returns the
-// current version and whether it changed. Passes serialize; ingest is
-// never blocked by a running pass.
+// Correct runs one correction pass: rerun the Bayesian test over the
+// sharded store and fold any derived patches into the versioned log. It
+// returns the current version and whether it changed. Passes are
+// incremental — only sites whose evidence changed since the previous
+// pass are rescored (Store.Identify) — and serialize; ingest is never
+// blocked by a running pass.
 func (s *Server) Correct() (uint64, bool) {
+	if s.noCorrect {
+		// Partition mode: every derivation path — inline, background
+		// loop, snapshot restore — is suppressed here, at the server, so
+		// no caller can accidentally publish partition-local patches.
+		return s.log.Version(), false
+	}
 	s.correctMu.Lock()
 	defer s.correctMu.Unlock()
 	s.pending.Store(0)
 	s.corrections.Add(1)
-	hist := s.store.Combined()
-	findings := hist.Identify()
+	findings := s.store.Identify()
 	if findings.Empty() {
 		return s.log.Version(), false
 	}
@@ -140,13 +194,53 @@ func (s *Server) RunCorrectionLoop(ctx context.Context, interval time.Duration) 
 	}
 }
 
+// BearerAuthorized reports whether the request carries `Authorization:
+// Bearer <token>`, compared in constant time. Exported so other fleet
+// tiers (the cluster coordinator) enforce exactly the same check.
+func BearerAuthorized(r *http.Request, token string) bool {
+	auth := r.Header.Get("Authorization")
+	const prefix = "Bearer "
+	return len(auth) > len(prefix) && strings.EqualFold(auth[:len(prefix)], prefix) &&
+		subtle.ConstantTimeCompare([]byte(auth[len(prefix):]), []byte(token)) == 1
+}
+
+// authorize enforces the shared ingest token on write endpoints. With no
+// token configured it always passes.
+func (s *Server) authorize(w http.ResponseWriter, r *http.Request) bool {
+	if s.token == "" || BearerAuthorized(r, s.token) {
+		return true
+	}
+	w.Header().Set("WWW-Authenticate", `Bearer realm="fleet"`)
+	http.Error(w, "fleet: missing or invalid ingest token", http.StatusUnauthorized)
+	return false
+}
+
+// throttle applies the per-remote-host token bucket to the ingest path.
+func (s *Server) throttle(w http.ResponseWriter, r *http.Request) bool {
+	if s.limiter == nil {
+		return true
+	}
+	ok, wait := s.limiter.allow(limiterKey(r.RemoteAddr), time.Now())
+	if ok {
+		return true
+	}
+	s.limited.Add(1)
+	secs := int64(wait/time.Second) + 1
+	w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	http.Error(w, "fleet: ingest rate limit exceeded", http.StatusTooManyRequests)
+	return false
+}
+
 func (s *Server) handleObservations(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "POST only", http.StatusMethodNotAllowed)
 		return
 	}
+	if !s.authorize(w, r) || !s.throttle(w, r) {
+		return
+	}
 	var batch ObservationBatch
-	if err := decodeJSONBody(w, r, s.maxBody, &batch); err != nil {
+	if err := DecodeJSONBody(w, r, s.maxBody, &batch); err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
@@ -154,13 +248,19 @@ func (s *Server) handleObservations(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "fleet: batch has no snapshot", http.StatusBadRequest)
 		return
 	}
+	// Shared deltaMu: absorbs from many clients stay concurrent, but a
+	// full-resync read (which takes it exclusively) sees store and
+	// journal at one consistent point.
+	s.deltaMu.RLock()
 	s.store.AbsorbSnapshot(batch.Snapshot)
+	s.journal.append(batch.Snapshot)
+	s.deltaMu.RUnlock()
 	s.store.NoteClient(batch.Client)
 	version := s.log.Version()
 	if n := s.pending.Add(1); s.correctEvery >= 0 && n > int64(s.correctEvery) {
 		version, _ = s.Correct()
 	}
-	writeJSON(w, IngestReply{
+	WriteJSON(w, IngestReply{
 		OK:      true,
 		Version: version,
 		Sites:   s.store.Sites(),
@@ -171,8 +271,11 @@ func (s *Server) handleObservations(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleReports(w http.ResponseWriter, r *http.Request) {
 	switch r.Method {
 	case http.MethodPost:
+		if !s.authorize(w, r) {
+			return
+		}
 		var rep report.Report
-		if err := decodeJSONBody(w, r, s.maxBody, &rep); err != nil {
+		if err := DecodeJSONBody(w, r, s.maxBody, &rep); err != nil {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
@@ -183,12 +286,12 @@ func (s *Server) handleReports(w http.ResponseWriter, r *http.Request) {
 			s.reports = append([]*report.Report(nil), s.reports[len(s.reports)-s.maxReports:]...)
 		}
 		s.reportMu.Unlock()
-		writeJSON(w, map[string]any{"ok": true, "retained": s.retainedReports()})
+		WriteJSON(w, map[string]any{"ok": true, "retained": s.retainedReports()})
 	case http.MethodGet:
 		s.reportMu.Lock()
 		out := append([]*report.Report{}, s.reports...)
 		s.reportMu.Unlock()
-		writeJSON(w, out)
+		WriteJSON(w, out)
 	default:
 		http.Error(w, "GET or POST only", http.StatusMethodNotAllowed)
 	}
@@ -217,7 +320,48 @@ func (s *Server) handlePatches(w http.ResponseWriter, r *http.Request) {
 	ps, version := s.log.Since(since)
 	wire := ToWire(ps, version)
 	wire.Epoch = s.epoch
-	writeJSON(w, wire)
+	WriteJSON(w, wire)
+}
+
+// handleDeltas serves the partition→coordinator evidence feed: the
+// batches absorbed after journal position ?since=S, merged into one
+// canonical snapshot. Cursors outside the retained window (or from a
+// previous incarnation) are answered with a Full resync taken at a
+// consistent journal position.
+func (s *Server) handleDeltas(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	var since uint64
+	if q := r.URL.Query().Get("since"); q != "" {
+		v, err := strconv.ParseUint(q, 10, 64)
+		if err != nil {
+			http.Error(w, "fleet: bad since: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		since = v
+	}
+	entries, seq, ok := s.journal.since(since)
+	if !ok {
+		// Full resync: exclude in-flight ingest so the snapshot matches
+		// the sequence number exactly.
+		s.deltaMu.Lock()
+		seq = s.journal.seqNow()
+		hist := s.store.Combined()
+		s.deltaMu.Unlock()
+		WriteJSON(w, SnapshotDelta{Epoch: s.epoch, Seq: seq, Full: true, Snapshot: hist.Snapshot()})
+		return
+	}
+	reply := SnapshotDelta{Epoch: s.epoch, Seq: seq}
+	if len(entries) > 0 {
+		merged := cumulative.NewHistory(s.store.cfg)
+		for _, e := range entries {
+			merged.Absorb(e)
+		}
+		reply.Snapshot = merged.Snapshot()
+	}
+	WriteJSON(w, reply)
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
@@ -225,7 +369,7 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "GET only", http.StatusMethodNotAllowed)
 		return
 	}
-	writeJSON(w, StatusReply{
+	WriteJSON(w, StatusReply{
 		Version:     s.log.Version(),
 		Sites:       s.store.Sites(),
 		Runs:        s.store.Runs(),
@@ -236,15 +380,22 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		Reports:     s.reportSeen.Load(),
 		PatchLen:    s.log.Len(),
 		UptimeSec:   int64(time.Since(s.start).Seconds()),
+		Corrections: s.corrections.Load(),
+		RateLimited: s.limited.Load(),
+		DirtyKeys:   s.store.DirtyKeys(),
+		Seq:         s.journal.seqNow(),
+		Shards:      s.store.ShardStats(),
 	})
 }
 
-// decodeJSONBody strictly decodes one JSON document from the request,
+// DecodeJSONBody strictly decodes one JSON document from the request,
 // transparently decompressing gzip-encoded bodies (Content-Encoding:
 // gzip — the client's default upload encoding). limit bounds both the
 // compressed bytes read off the wire and the decompressed bytes fed to
-// the decoder, so a decompression bomb cannot expand past it.
-func decodeJSONBody(w http.ResponseWriter, r *http.Request, limit int64, dst any) error {
+// the decoder, so a decompression bomb cannot expand past it. Exported
+// so every fleet tier (the cluster coordinator included) accepts
+// exactly the request bodies fleet.Client sends.
+func DecodeJSONBody(w http.ResponseWriter, r *http.Request, limit int64, dst any) error {
 	var body io.Reader = http.MaxBytesReader(w, r.Body, limit)
 	if enc := r.Header.Get("Content-Encoding"); enc != "" {
 		if !strings.EqualFold(enc, "gzip") {
@@ -294,7 +445,9 @@ func (b *boundedReader) Read(p []byte) (int, error) {
 	return n, err
 }
 
-func writeJSON(w http.ResponseWriter, v any) {
+// WriteJSON encodes v as the response body with the JSON content type —
+// the response-side twin of DecodeJSONBody, shared by every fleet tier.
+func WriteJSON(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	if err := json.NewEncoder(w).Encode(v); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
@@ -338,7 +491,14 @@ func (s *Server) LoadSnapshot(path string) error {
 	if err != nil {
 		return fmt.Errorf("fleet: restore %s: %w", path, err)
 	}
+	// Restored evidence enters the store without a journal entry, so any
+	// journal cursor issued before this point (including 0) can no longer
+	// reconstruct the store from deltas — invalidate them all, forcing
+	// pollers onto the full-resync path.
+	s.deltaMu.Lock()
 	s.store.AbsorbHistory(hist)
+	s.journal.invalidate()
+	s.deltaMu.Unlock()
 	s.Correct()
 	return nil
 }

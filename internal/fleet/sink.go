@@ -5,6 +5,7 @@ import (
 	"errors"
 	"sync"
 
+	"exterminator/internal/cumulative"
 	"exterminator/internal/engine"
 	"exterminator/internal/patch"
 	"exterminator/internal/report"
@@ -51,16 +52,26 @@ func (s *Sink) FetchPatches(ctx context.Context) (*patch.Set, error) {
 // patch entries. Only the session's own derivations are reported —
 // re-reporting pre-loaded or fleet-fetched entries would spam the fleet
 // with duplicates on every run.
+//
+// Uploads are watermarked: only the history delta not yet acknowledged
+// by a fleet is sent, and the watermark advances only on success. A
+// session resumed with -resume-history therefore cannot double-count
+// evidence an earlier session already uploaded — the watermark rides
+// along in the persisted history file.
 func (s *Sink) Commit(ctx context.Context, ev *engine.Evidence) error {
 	var errs []error
 	if ev.History != nil && ev.History.Runs > 0 {
-		reply, err := s.c.PushHistoryContext(ctx, ev.History)
-		if err != nil {
-			errs = append(errs, err)
-		} else {
-			s.mu.Lock()
-			s.lastIngest = reply
-			s.mu.Unlock()
+		delta := ev.History.UploadDelta()
+		if !cumulative.DeltaEmpty(delta) {
+			reply, err := s.c.PushSnapshotContext(ctx, delta)
+			if err != nil {
+				errs = append(errs, err)
+			} else {
+				ev.History.MarkUploaded(delta)
+				s.mu.Lock()
+				s.lastIngest = reply
+				s.mu.Unlock()
+			}
 		}
 	}
 	if ev.Derived != nil && ev.Derived.Len() > 0 {

@@ -169,6 +169,63 @@ func (st *Store) Combined() *cumulative.History {
 	return hist
 }
 
+// Identify runs the Bayesian hypothesis test shard by shard without ever
+// materializing a merged history: each shard holds a disjoint slice of
+// the logical evidence pool (keys stripe deterministically), so testing
+// its keys against the *global* site count N decides exactly as an
+// unsharded store would. Passes are incremental — each shard's History
+// caches Bayes factors and rescores only keys whose evidence changed
+// since the last pass — which is what keeps correction O(dirty sites),
+// not O(all sites), as the fleet grows.
+func (st *Store) Identify() *cumulative.Findings {
+	n := st.Sites()
+	f := &cumulative.Findings{}
+	if n == 0 {
+		return f
+	}
+	for i := range st.shards {
+		sh := &st.shards[i]
+		sh.mu.Lock()
+		sf := sh.hist.IdentifyWithSites(n)
+		sh.mu.Unlock()
+		f.Overflows = append(f.Overflows, sf.Overflows...)
+		f.Danglings = append(f.Danglings, sf.Danglings...)
+	}
+	return f
+}
+
+// DirtyKeys returns the number of evidence keys (overflow sites plus
+// dangling pairs) changed since the last correction pass — the work the
+// next pass will do.
+func (st *Store) DirtyKeys() int {
+	n := 0
+	for i := range st.shards {
+		sh := &st.shards[i]
+		sh.mu.Lock()
+		n += sh.hist.DirtyKeys()
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// ShardStats returns per-shard evidence counts for operator visibility
+// (GET /v1/status): rebalance skew and recompute backlog show up here.
+func (st *Store) ShardStats() []ShardStatus {
+	out := make([]ShardStatus, len(st.shards))
+	for i := range st.shards {
+		sh := &st.shards[i]
+		sh.mu.Lock()
+		out[i] = ShardStatus{
+			Sites:        sh.hist.Sites(),
+			OverflowKeys: sh.hist.OverflowKeys(),
+			DanglingKeys: sh.hist.DanglingKeys(),
+			DirtyKeys:    sh.hist.DirtyKeys(),
+		}
+		sh.mu.Unlock()
+	}
+	return out
+}
+
 // Runs returns the fleet-wide run count.
 func (st *Store) Runs() int64 { return st.runs.Load() }
 

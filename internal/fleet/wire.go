@@ -11,8 +11,14 @@
 //	POST /v1/reports        report.Report (human-readable bug reports)
 //	GET  /v1/reports        recently received reports
 //	GET  /v1/patches?since=V WirePatchSet with entries added after version V
+//	GET  /v1/deltas?since=S  SnapshotDelta with evidence absorbed after journal seq S
 //	GET  /v1/status         aggregate statistics
 //	GET  /healthz           liveness
+//
+// Write endpoints optionally require a shared bearer token and are rate
+// limited per remote host (ServerOptions.Token / RatePerSec); GET
+// /v1/deltas is the partition→coordinator feed the cluster tier
+// (internal/cluster) builds on.
 //
 // The server shards its evidence store by call site across mutex striped
 // partitions, so concurrent ingest from many clients scales without a
@@ -166,4 +172,47 @@ type StatusReply struct {
 	Reports     int64  `json:"reports"`
 	PatchLen    int    `json:"patchLen"`
 	UptimeSec   int64  `json:"uptimeSec"`
+	// Corrections counts completed correction passes.
+	Corrections int64 `json:"corrections"`
+	// RateLimited counts uploads rejected with 429 — visible rate-limit
+	// pressure.
+	RateLimited int64 `json:"rateLimited"`
+	// DirtyKeys is the evidence-key backlog the next correction pass will
+	// rescore (0 means the patch log fully reflects the evidence).
+	DirtyKeys int `json:"dirtyKeys"`
+	// Seq is the evidence journal's current sequence number (the cursor
+	// coordinators poll GET /v1/deltas with).
+	Seq uint64 `json:"seq,omitempty"`
+	// Shards breaks the evidence store down per stripe, so operators can
+	// see rebalance skew and per-shard recompute health at a glance.
+	Shards []ShardStatus `json:"shards,omitempty"`
+}
+
+// ShardStatus is one evidence-store stripe's counters in StatusReply.
+type ShardStatus struct {
+	Sites        int `json:"sites"`
+	OverflowKeys int `json:"overflowKeys"`
+	DanglingKeys int `json:"danglingKeys"`
+	DirtyKeys    int `json:"dirtyKeys"`
+}
+
+// SnapshotDelta is the GET /v1/deltas response body: the evidence
+// absorbed after journal sequence number `since`, merged into one
+// canonical snapshot. It is the partition→coordinator half of the
+// cluster protocol (internal/cluster): coordinators poll each partition
+// with the last Seq they applied and absorb only what is new.
+type SnapshotDelta struct {
+	// Epoch identifies the server incarnation that issued Seq. Sequence
+	// numbers are only ordered within one epoch; a poller holding a Seq
+	// from another epoch receives a Full resync.
+	Epoch uint64 `json:"epoch"`
+	// Seq is the journal position the delta runs up to; poll with it
+	// next time.
+	Seq uint64 `json:"seq"`
+	// Full marks a resync: Snapshot is the server's entire evidence
+	// store, not a delta, and must *replace* (not augment) whatever the
+	// poller previously mirrored from this server.
+	Full bool `json:"full,omitempty"`
+	// Snapshot is the merged evidence (nil when nothing changed).
+	Snapshot *cumulative.Snapshot `json:"snapshot,omitempty"`
 }
