@@ -62,6 +62,8 @@ func main() {
 		fleetURL    = flag.String("fleet", "", "fleet aggregation server base URL: download+merge fleet patches before the run; cumulative mode uploads its observations after it")
 		fleetID     = flag.String("fleet-id", "", "installation identifier sent with fleet uploads (default: hostname)")
 		fleetToken  = flag.String("fleet-token", "", "shared ingest token for fleet servers started with -token")
+		flushInt    = flag.Duration("flush-interval", 0, "stream evidence to the sinks (fleet, history file) every interval while a cumulative session is still running (0: only at session end)")
+		flushEvery  = flag.Int("flush-every", 0, "stream evidence to the sinks after every N cumulative runs (0: only at session end)")
 		events      = flag.Bool("events", false, "print the session's full event stream")
 	)
 	flag.Parse()
@@ -123,7 +125,9 @@ func main() {
 		opts = append(opts, engine.WithMode(engine.ModeReplicated))
 	case "cumulative":
 		opts = append(opts, engine.WithMode(engine.ModeCumulative),
-			engine.WithVaryProgSeed(*workload == "mozilla"))
+			engine.WithVaryProgSeed(*workload == "mozilla"),
+			engine.WithFlushInterval(*flushInt),
+			engine.WithFlushEvery(*flushEvery))
 		if *historyIn != "" {
 			hist, err := core.LoadHistory(*historyIn)
 			if err != nil {

@@ -6,9 +6,14 @@
 //
 //	fleetd -addr :7077 -snapshot /var/lib/exterminator/fleet.snap
 //
-// State survives restarts through periodic snapshots of the evidence store
-// (the cumulative persist format); on startup the daemon restores the
-// snapshot and rederives patches before accepting traffic.
+// State survives restarts through periodic snapshots of the evidence
+// store plus the exactly-once ingest dedup window; on startup the daemon
+// restores the snapshot and rederives patches before accepting traffic.
+// Ingest is exactly-once for batch-ID-stamped uploads: a retried batch
+// whose ack was lost is acknowledged as a duplicate, never re-absorbed
+// (-dedup sizes the window). In coordinator mode -snapshot persists the
+// partition mirrors and journal cursors instead, so a restarted
+// coordinator resumes with cheap deltas rather than full resyncs.
 //
 // Cluster deployment (internal/cluster): run N fleetd instances with
 // -partition (evidence store + journal, no local patch derivation —
@@ -60,6 +65,7 @@ func main() {
 		rate         = flag.Float64("rate", 0, "per-client observation uploads per second (0: unlimited)")
 		burst        = flag.Int("burst", 0, "rate-limit burst (0: 2x rate)")
 		journalLen   = flag.Int("journal", 0, "evidence journal window in batches for GET /v1/deltas (0: 1024)")
+		dedupLen     = flag.Int("dedup", 0, "exactly-once ingest window: recently absorbed batch IDs retained (0: 4096, negative: disable dedup)")
 		partition    = flag.Bool("partition", false, "run as a cluster partition: store and journal evidence but derive no patches (the coordinator runs the fleet-wide hypothesis test)")
 		coordinator  = flag.String("coordinator", "", "run as cluster coordinator over these comma-separated partition base URLs instead of an evidence store")
 		pollInt      = flag.Duration("poll-interval", 1*time.Second, "coordinator: partition journal poll interval")
@@ -75,16 +81,14 @@ func main() {
 		}
 		// The coordinator has no evidence store of its own; surface any
 		// store-only flags instead of silently ignoring them.
-		if *snapshot != "" {
-			log.Print("fleetd: warning: -snapshot is ignored in coordinator mode (the merged history rebuilds from partition journals)")
-		}
 		if *rate != 0 || *burst != 0 {
 			log.Print("fleetd: warning: -rate/-burst are ignored in coordinator mode (rate-limit the partitions)")
 		}
-		if *shards != fleet.DefaultShards || *journalLen != 0 || *correctEvery != 8 {
-			log.Print("fleetd: warning: -shards/-journal/-correct-every are ignored in coordinator mode")
+		if *shards != fleet.DefaultShards || *journalLen != 0 || *correctEvery != 8 || *dedupLen != 0 {
+			log.Print("fleetd: warning: -shards/-journal/-correct-every/-dedup are ignored in coordinator mode")
 		}
-		runCoordinator(ctx, *addr, *coordinator, *token, cumulative.Config{C: *priorC, P: *fillP}, *pollInt)
+		runCoordinator(ctx, *addr, *coordinator, *token, cumulative.Config{C: *priorC, P: *fillP},
+			*pollInt, *snapshot, *snapshotInt)
 		return
 	}
 
@@ -99,6 +103,7 @@ func main() {
 		RatePerSec:   *rate,
 		RateBurst:    *burst,
 		JournalLen:   *journalLen,
+		DedupWindow:  *dedupLen,
 		// See ServerOptions.DisableCorrection: a partition's local N
 		// would understate the Bayesian prior, so the server itself
 		// refuses to derive patches in this mode.
@@ -134,8 +139,13 @@ func main() {
 		st.Batches(), st.Clients(), st.Runs(), st.Sites(), srv.PatchLog().Len(), srv.PatchLog().Version())
 }
 
-// runCoordinator runs the cluster merge tier until ctx is done.
-func runCoordinator(ctx context.Context, addr, partitions, token string, cfg cumulative.Config, pollInt time.Duration) {
+// runCoordinator runs the cluster merge tier until ctx is done. With a
+// snapshot path, the coordinator restores its partition mirrors and
+// journal cursors on start (so surviving partitions answer with cheap
+// deltas instead of full resyncs), persists them periodically, and
+// writes a final snapshot on graceful shutdown.
+func runCoordinator(ctx context.Context, addr, partitions, token string, cfg cumulative.Config,
+	pollInt time.Duration, snapshot string, snapshotInt time.Duration) {
 	var parts []string
 	for _, p := range strings.Split(partitions, ",") {
 		if p = strings.TrimSpace(p); p != "" {
@@ -150,14 +160,57 @@ func runCoordinator(ctx context.Context, addr, partitions, token string, cfg cum
 	if err != nil {
 		log.Fatalf("fleetd: %v", err)
 	}
+	if snapshot != "" {
+		if err := coord.LoadSnapshot(snapshot); err != nil {
+			log.Fatalf("fleetd: %v", err)
+		}
+		st := coord.Status()
+		log.Printf("restored coordinator snapshot %s: %d runs, %d sites, %d patch entries",
+			snapshot, st.Runs, st.Sites, st.PatchLen)
+	}
 	log.Printf("fleetd: coordinator over %d partition(s): %s", len(parts), strings.Join(parts, ", "))
 	go coord.Run(ctx, pollInt)
+	if snapshot != "" {
+		go coordinatorSnapshotLoop(ctx, coord, snapshot, snapshotInt)
+	}
 
 	serve(ctx, addr, coord.Handler(), "fleetd (coordinator)")
 
+	if snapshot != "" {
+		if err := coord.SaveSnapshot(snapshot); err != nil {
+			log.Printf("fleetd: final coordinator snapshot: %v", err)
+		} else {
+			log.Printf("fleetd: final coordinator snapshot written to %s", snapshot)
+		}
+	}
 	st := coord.Status()
 	fmt.Printf("fleetd (coordinator): %d poll round(s), %d resync(s): %d runs, %d sites, %d patch entries at version %d\n",
 		st.Polls, st.Resyncs, st.Runs, st.Sites, st.PatchLen, st.Version)
+}
+
+// coordinatorSnapshotLoop persists the coordinator's mirrors every
+// interval while new poll rounds have landed.
+func coordinatorSnapshotLoop(ctx context.Context, coord *cluster.Coordinator, path string, interval time.Duration) {
+	if interval <= 0 {
+		interval = 30 * time.Second
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	var lastPolls int64
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			if n := coord.Status().Polls; n != lastPolls {
+				if err := coord.SaveSnapshot(path); err != nil {
+					log.Printf("fleetd: coordinator snapshot: %v", err)
+					continue
+				}
+				lastPolls = n
+			}
+		}
+	}
 }
 
 // serve runs an HTTP server for handler until ctx is done, then drains.

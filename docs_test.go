@@ -1,0 +1,132 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestDocsLinksResolve walks every markdown file in the repo and checks
+// that relative links point at files that exist and that fragment links
+// (#anchors) match a real heading in the target document — the docs tree
+// cross-references heavily, and a renamed heading or moved file should
+// fail CI, not a reader.
+func TestDocsLinksResolve(t *testing.T) {
+	mdFiles, err := findMarkdown(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mdFiles) < 4 {
+		t.Fatalf("found only %d markdown files — walk broken?", len(mdFiles))
+	}
+
+	// anchors[path] = set of GitHub-style heading slugs in that file.
+	anchors := make(map[string]map[string]bool)
+	for _, f := range mdFiles {
+		a, err := headingAnchors(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		anchors[f] = a
+	}
+
+	linkRe := regexp.MustCompile(`\]\(([^)\s]+)\)`)
+	for _, f := range mdFiles {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range linkRe.FindAllStringSubmatch(string(data), -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
+				continue // external; not checked offline
+			}
+			path, frag, _ := strings.Cut(target, "#")
+			resolved := f
+			if path != "" {
+				resolved = filepath.Join(filepath.Dir(f), path)
+				if _, err := os.Stat(resolved); err != nil {
+					t.Errorf("%s: broken link %q: %v", f, target, err)
+					continue
+				}
+			}
+			if frag == "" {
+				continue
+			}
+			set, ok := anchors[resolved]
+			if !ok {
+				continue // fragment into a non-markdown file (or unwalked dir)
+			}
+			if !set[frag] {
+				t.Errorf("%s: link %q: no heading with anchor #%s in %s", f, target, frag, resolved)
+			}
+		}
+	}
+}
+
+// findMarkdown returns the repo's markdown files, skipping hidden
+// directories and the related-repos reference area.
+func findMarkdown(root string) ([]string, error) {
+	var out []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != "." && (strings.HasPrefix(name, ".") || name == "related") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.EqualFold(filepath.Ext(path), ".md") {
+			out = append(out, path)
+		}
+		return nil
+	})
+	return out, err
+}
+
+// headingAnchors extracts GitHub-style anchor slugs for every ATX
+// heading in a markdown file (fenced code blocks excluded).
+func headingAnchors(path string) (map[string]bool, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]bool)
+	inFence := false
+	for _, line := range strings.Split(string(data), "\n") {
+		trimmed := strings.TrimSpace(line)
+		if strings.HasPrefix(trimmed, "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence || !strings.HasPrefix(trimmed, "#") {
+			continue
+		}
+		text := strings.TrimLeft(trimmed, "#")
+		if text == trimmed { // no leading #
+			continue
+		}
+		out[githubSlug(strings.TrimSpace(text))] = true
+	}
+	return out, nil
+}
+
+// githubSlug approximates GitHub's heading-to-anchor rule: lowercase,
+// drop everything but letters/digits/spaces/hyphens, spaces to hyphens.
+func githubSlug(heading string) string {
+	var b strings.Builder
+	for _, r := range strings.ToLower(heading) {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '-':
+			b.WriteRune(r)
+		case r == ' ':
+			b.WriteRune('-')
+		}
+	}
+	return b.String()
+}

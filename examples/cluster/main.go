@@ -122,8 +122,12 @@ func runClient(ctx context.Context, id int, coordURL string, partURLs []string) 
 	var since uint64
 	runs := 0
 
+	// One history for the whole client lifetime; its upload watermark cuts
+	// a delta per round, split along the ring into pieces stamped with
+	// content-addressed batch IDs — the exactly-once upload path (a retry
+	// after a lost ack would be deduped by the partition, not re-counted).
+	hist := cumulative.NewHistory(cumulative.DefaultConfig())
 	for round := 1; round <= maxRounds; round++ {
-		hist := cumulative.NewHistory(cumulative.DefaultConfig())
 		for r := 0; r < runsPerBatch; r++ {
 			runs++
 			seed := uint64(id+1)*1_000_003 + uint64(runs)*2654435761
@@ -131,10 +135,13 @@ func runClient(ctx context.Context, id int, coordURL string, partURLs []string) 
 			hist.RecordRun(h, len(h.Scan(false)) > 0)
 		}
 		delta := hist.UploadDelta()
-		if _, err := router.PushSnapshot(ctx, delta); err != nil {
-			return clientResult{err: fmt.Errorf("routed upload: %w", err)}
+		wmRuns, wmObs := hist.UploadedCounts()
+		for _, piece := range router.SplitBatch(wmRuns, wmObs, delta) {
+			if _, err := router.PushPiece(ctx, piece); err != nil {
+				return clientResult{err: fmt.Errorf("routed upload: %w", err)}
+			}
+			hist.MarkUploaded(piece.Batch.Snapshot)
 		}
-		hist.MarkUploaded(delta)
 
 		dp, version, err := poller.Patches(since)
 		if err != nil {

@@ -104,8 +104,11 @@ type clientResult struct {
 }
 
 // runClient simulates one installation: run the buggy program a few times,
-// upload the batch's observations, delta-poll for patches, repeat until
-// the fleet-derived patch for this installation's bug arrives.
+// stream the accumulated evidence's *delta* to the server, delta-poll for
+// patches, repeat until the fleet-derived patch for this installation's
+// bug arrives. Uploads use the exactly-once path: one long-lived history
+// whose upload watermark cuts each delta, stamped with a content-addressed
+// batch ID so a retried upload could never double-count.
 func runClient(id int, base string) clientResult {
 	c := fleet.NewClient(base, fmt.Sprintf("install-%d", id+1))
 	fleetPatches := patch.New()
@@ -116,10 +119,11 @@ func runClient(id int, base string) clientResult {
 	// ones a dangling pointer — the fleet pools evidence for both bugs.
 	overflowBug := id%2 == 0
 
+	// One history for the whole client lifetime: the watermark tracks how
+	// much of it the fleet has acknowledged, so every push carries exactly
+	// the evidence recorded since the previous acknowledged one.
+	hist := cumulative.NewHistory(cumulative.DefaultConfig())
 	for round := 1; round <= maxRounds; round++ {
-		// Fresh local history per batch: each upload carries only new
-		// evidence (the server appends observations).
-		hist := cumulative.NewHistory(cumulative.DefaultConfig())
 		for r := 0; r < runsPerBatch; r++ {
 			runs++
 			seed := uint64(id+1)*1_000_003 + uint64(runs)*2654435761
@@ -131,9 +135,16 @@ func runClient(id int, base string) clientResult {
 				hist.RecordRun(h, failed)
 			}
 		}
-		if _, err := c.PushHistory(hist); err != nil {
+		up := hist.UploadDelta()
+		wmRuns, wmObs := hist.UploadedCounts()
+		batch := &fleet.ObservationBatch{
+			Snapshot: up,
+			BatchID:  cumulative.BatchID(c.ID(), wmRuns, wmObs, up),
+		}
+		if _, err := c.PushBatchContext(context.Background(), batch); err != nil {
 			return clientResult{err: fmt.Errorf("upload: %w", err)}
 		}
+		hist.MarkUploaded(up)
 		delta, version, err := c.Patches(since)
 		if err != nil {
 			return clientResult{err: fmt.Errorf("poll: %w", err)}

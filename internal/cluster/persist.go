@@ -1,0 +1,190 @@
+package cluster
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"exterminator/internal/cumulative"
+)
+
+// Coordinator snapshot persistence: the merge tier's state is exactly
+// its per-partition mirrors plus the journal cursor (seq, epoch) each
+// mirror is valid at — the merged history and the patch log are pure
+// functions of the mirrors, so persisting mirrors+cursors is enough to
+// restart a coordinator without re-pulling (or worse, double-absorbing)
+// every partition's full evidence. On restore the merged history is
+// rebuilt from the mirrors and a correction pass re-derives the patch
+// log; polling then resumes from the persisted cursors, so partitions
+// that kept running answer with cheap deltas instead of full resyncs.
+// This closes the ROADMAP "coordinator snapshot persistence" item.
+
+const (
+	coordSnapMagic   = 0x4E534358 // "XCSN" little-endian
+	coordSnapVersion = 1
+	maxSnapParts     = 1 << 12
+	maxMirrorBytes   = 1 << 30
+)
+
+// SaveSnapshot writes the coordinator's mirrors and cursors to path
+// (write-to-temp, then rename — a crash mid-write never corrupts the
+// previous snapshot).
+func (c *Coordinator) SaveSnapshot(path string) error {
+	c.mu.Lock()
+	type entry struct {
+		base       string
+		seq, epoch uint64
+		mirror     []byte
+	}
+	entries := make([]entry, 0, len(c.parts))
+	var err error
+	for _, p := range c.parts {
+		var buf bytes.Buffer
+		if err = p.mirror.Encode(&buf); err != nil {
+			break
+		}
+		entries = append(entries, entry{base: p.base, seq: p.seq, epoch: p.epoch, mirror: buf.Bytes()})
+	}
+	c.mu.Unlock()
+	if err != nil {
+		return fmt.Errorf("cluster: snapshot: %w", err)
+	}
+
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".coord-snap-*")
+	if err != nil {
+		return fmt.Errorf("cluster: snapshot: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	bw := bufio.NewWriter(tmp)
+	u32 := func(v uint32) { binary.Write(bw, binary.LittleEndian, v) }
+	u64 := func(v uint64) { binary.Write(bw, binary.LittleEndian, v) }
+	u32(coordSnapMagic)
+	u32(coordSnapVersion)
+	u32(uint32(len(entries)))
+	for _, e := range entries {
+		u32(uint32(len(e.base)))
+		bw.WriteString(e.base)
+		u64(e.seq)
+		u64(e.epoch)
+		u64(uint64(len(e.mirror)))
+		bw.Write(e.mirror)
+	}
+	if err := bw.Flush(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("cluster: snapshot: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("cluster: snapshot: %w", err)
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// LoadSnapshot restores mirrors and cursors from a snapshot written by
+// SaveSnapshot, rebuilds the merged history, and runs a correction pass
+// so the patch log is warm before the first client poll. Mirrors are
+// matched to the configured partitions by base URL: partitions added
+// since the snapshot start empty (their first poll full-resyncs), and
+// snapshot entries for partitions no longer configured are dropped. A
+// missing file is not an error (fresh start).
+func (c *Coordinator) LoadSnapshot(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return fmt.Errorf("cluster: restore: %w", err)
+	}
+	defer f.Close()
+
+	br := bufio.NewReader(f)
+	var readErr error
+	u32 := func() uint32 {
+		var v uint32
+		if readErr == nil {
+			readErr = binary.Read(br, binary.LittleEndian, &v)
+		}
+		return v
+	}
+	u64 := func() uint64 {
+		var v uint64
+		if readErr == nil {
+			readErr = binary.Read(br, binary.LittleEndian, &v)
+		}
+		return v
+	}
+	if m := u32(); readErr != nil || m != coordSnapMagic {
+		if readErr == nil {
+			readErr = errors.New("bad magic")
+		}
+		return fmt.Errorf("cluster: restore %s: %w", path, readErr)
+	}
+	if v := u32(); readErr != nil || v < 1 || v > coordSnapVersion {
+		if readErr == nil {
+			readErr = fmt.Errorf("unsupported version %d", v)
+		}
+		return fmt.Errorf("cluster: restore %s: %w", path, readErr)
+	}
+	n := u32()
+	if readErr != nil || n > maxSnapParts {
+		return fmt.Errorf("cluster: restore %s: %w", path, orImplausible(readErr))
+	}
+	type entry struct {
+		seq, epoch uint64
+		mirror     *cumulative.History
+	}
+	restored := make(map[string]entry, n)
+	for i := uint32(0); i < n; i++ {
+		bl := u32()
+		if readErr != nil || bl > 4096 {
+			return fmt.Errorf("cluster: restore %s: %w", path, orImplausible(readErr))
+		}
+		base := make([]byte, bl)
+		if _, err := io.ReadFull(br, base); err != nil {
+			return fmt.Errorf("cluster: restore %s: %w", path, err)
+		}
+		seq, epoch := u64(), u64()
+		ml := u64()
+		if readErr != nil || ml > maxMirrorBytes {
+			return fmt.Errorf("cluster: restore %s: %w", path, orImplausible(readErr))
+		}
+		// Mirrors are length-prefixed because the history decoder reads
+		// through its own buffer: handing it the rest of the stream would
+		// swallow the next entry's bytes.
+		mb := make([]byte, ml)
+		if _, err := io.ReadFull(br, mb); err != nil {
+			return fmt.Errorf("cluster: restore %s: %w", path, err)
+		}
+		mirror, err := cumulative.DecodeHistory(bytes.NewReader(mb))
+		if err != nil {
+			return fmt.Errorf("cluster: restore %s: %w", path, err)
+		}
+		restored[string(base)] = entry{seq: seq, epoch: epoch, mirror: mirror}
+	}
+
+	c.mu.Lock()
+	for _, p := range c.parts {
+		e, ok := restored[p.base]
+		if !ok {
+			continue
+		}
+		p.mirror = e.mirror
+		p.seq, p.epoch = e.seq, e.epoch
+	}
+	c.rebuild = true
+	c.mu.Unlock()
+	c.Correct()
+	return nil
+}
+
+func orImplausible(err error) error {
+	if err != nil {
+		return err
+	}
+	return errors.New("implausible entry count")
+}

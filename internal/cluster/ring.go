@@ -16,6 +16,14 @@
 // so the coordinator can union partition evidence without deduplication.
 // Membership changes move only the keys owned by the added or removed
 // node — the consistent-hash property the ring tests pin down.
+//
+// Uploads are exactly-once end to end: Router.SplitBatch stamps every
+// per-partition piece with its own content-addressed batch ID, Sink
+// retries unacknowledged pieces verbatim (and streams mid-run as an
+// engine.StreamingSink), and each partition's dedup window absorbs a
+// piece at most once. The Coordinator persists its partition mirrors
+// and journal cursors (SaveSnapshot/LoadSnapshot), so a restarted merge
+// tier resumes with cheap deltas instead of full resyncs.
 package cluster
 
 import (

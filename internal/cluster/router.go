@@ -69,10 +69,11 @@ func (rt *Router) client(node string) *fleet.Client {
 // for the pieces that succeeded; any failures are joined into the
 // returned error. A partial failure means the successful pieces stay
 // absorbed — callers that retry must re-send only the failed pieces
-// (PushSplit exposes which pieces were delivered; cluster.Sink advances
-// its upload watermark per delivered piece for exactly this reason —
-// blindly re-sending the whole batch would double-count the evidence
-// the healthy partitions already absorbed).
+// (PushSplit exposes which pieces were delivered), because blindly
+// re-sending the whole batch would double-count the evidence the
+// healthy partitions already absorbed. These pieces carry no batch IDs,
+// so delivery is at-least-once; exactly-once callers use SplitBatch +
+// PushPiece instead, as cluster.Sink does.
 func (rt *Router) PushSnapshot(ctx context.Context, s *cumulative.Snapshot) (map[string]*fleet.IngestReply, error) {
 	replies, _, err := rt.PushSplit(ctx, s)
 	return replies, err
@@ -118,6 +119,50 @@ func (rt *Router) PushHistory(ctx context.Context, h *cumulative.History) (map[s
 		return nil, errors.New("cluster: nil history")
 	}
 	return rt.PushSnapshot(ctx, h.Snapshot())
+}
+
+// Piece is one ring-partitioned share of an upload batch, stamped with
+// its own content-addressed batch ID so partition retries stay
+// idempotent: re-pushing a piece after a lost ack is recognized by that
+// partition's dedup window and acknowledged without re-absorbing.
+type Piece struct {
+	// Node is the partition base URL that owns the piece's keys.
+	Node string
+	// Batch is the stamped upload body.
+	Batch *fleet.ObservationBatch
+}
+
+// SplitBatch splits delta along the ring (SplitSnapshot) and stamps each
+// piece with cumulative.BatchID derived from the client id, the upload
+// watermark position the delta was cut at (wmRuns, wmObs — see
+// History.UploadedCounts), and the piece's canonical content. Retrying a
+// stored piece verbatim therefore reproduces its ID exactly, while any
+// newly cut delta gets fresh IDs. Pieces are returned in ring-node map
+// order; callers push them with PushPiece and advance their watermark
+// per acknowledged piece.
+func (rt *Router) SplitBatch(wmRuns, wmObs int, delta *cumulative.Snapshot) []Piece {
+	parts := SplitSnapshot(rt.ring, delta)
+	pieces := make([]Piece, 0, len(parts))
+	for node, part := range parts {
+		pieces = append(pieces, Piece{
+			Node: node,
+			Batch: &fleet.ObservationBatch{
+				Client:   rt.id,
+				Snapshot: part,
+				BatchID:  cumulative.BatchID(rt.id, wmRuns, wmObs, part),
+			},
+		})
+	}
+	return pieces
+}
+
+// PushPiece uploads one stamped piece to its partition.
+func (rt *Router) PushPiece(ctx context.Context, p Piece) (*fleet.IngestReply, error) {
+	reply, err := rt.client(p.Node).PushBatchContext(ctx, p.Batch)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: push to %s: %w", p.Node, err)
+	}
+	return reply, nil
 }
 
 // SplitSnapshot partitions one snapshot by ring ownership: overflow

@@ -24,6 +24,12 @@ type Sink struct {
 	mu             sync.Mutex
 	fetchedEntries int
 	fetchedVersion uint64
+	// pending holds, per partition, a piece that was sent but never
+	// acknowledged. Each is retried verbatim — same content, same batch
+	// ID — before any new delta is cut for that partition, so the
+	// partition's dedup window recognizes a delivery whose ack was lost
+	// and the evidence is absorbed exactly once.
+	pending map[string]Piece
 }
 
 // NewSink returns a sink for a cluster: coordinatorURL serves patches
@@ -34,7 +40,11 @@ func NewSink(coordinatorURL, id string, partitions ...string) (*Sink, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Sink{coord: fleet.NewClient(coordinatorURL, id), router: rt}, nil
+	return &Sink{
+		coord:   fleet.NewClient(coordinatorURL, id),
+		router:  rt,
+		pending: make(map[string]Piece),
+	}, nil
 }
 
 // SetToken attaches a shared ingest token to the router and coordinator
@@ -69,19 +79,14 @@ func (s *Sink) FetchPatches(ctx context.Context) (*patch.Set, error) {
 // batch: if one partition is down, the pieces the healthy partitions
 // absorbed are marked uploaded immediately, and a later retry re-sends
 // only the failed partition's piece — never re-counting evidence a
-// partition already holds.
+// partition already holds. Pieces carry content-addressed batch IDs and
+// unacknowledged pieces are retried verbatim, so ingest is exactly-once
+// against partitions keeping a dedup window even when acks are lost.
 func (s *Sink) Commit(ctx context.Context, ev *engine.Evidence) error {
 	var errs []error
 	if ev.History != nil && ev.History.Runs > 0 {
-		delta := ev.History.UploadDelta()
-		if !cumulative.DeltaEmpty(delta) {
-			_, delivered, err := s.router.PushSplit(ctx, delta)
-			if err != nil {
-				errs = append(errs, err)
-			}
-			for _, piece := range delivered {
-				ev.History.MarkUploaded(piece)
-			}
+		if err := s.stream(ctx, ev.History); err != nil {
+			errs = append(errs, err)
 		}
 	}
 	if ev.Derived != nil && ev.Derived.Len() > 0 {
@@ -90,6 +95,119 @@ func (s *Sink) Commit(ctx context.Context, ev *engine.Evidence) error {
 		}
 	}
 	return errors.Join(errs...)
+}
+
+// FlushEvidence implements engine.StreamingSink: route the history's
+// unacknowledged delta across the partitions mid-run, so a long
+// cumulative session feeds the cluster continuously instead of in one
+// post-run batch.
+func (s *Sink) FlushEvidence(ctx context.Context, ev *engine.Evidence) error {
+	if ev.History == nil {
+		return nil
+	}
+	return s.stream(ctx, ev.History)
+}
+
+// stream is the shared routed-upload path: (1) retry every pending piece
+// verbatim, advancing the watermark for each one acknowledged; (2) cut
+// the next watermark delta, split it along the ring with per-piece batch
+// IDs, and push each piece, skipping partitions that still hold an
+// unacknowledged piece (overlapping deltas to one partition would defeat
+// the content-addressed retry); (3) advance the watermark per delivered
+// piece, parking failures as that partition's pending piece. Pushes
+// within each phase run concurrently (one slow partition costs one
+// timeout, not one per partition); the watermark is only touched after
+// the phase's pushes have all returned, since the caller serializes
+// history access.
+func (s *Sink) stream(ctx context.Context, hist *cumulative.History) error {
+	var errs []error
+	blocked := make(map[string]bool)
+
+	s.mu.Lock()
+	retries := make([]Piece, 0, len(s.pending))
+	for _, p := range s.pending {
+		retries = append(retries, p)
+	}
+	s.mu.Unlock()
+	delivered, failed := s.pushAll(ctx, retries, &errs)
+	for _, p := range delivered {
+		hist.MarkUploaded(p.Batch.Snapshot)
+		s.mu.Lock()
+		delete(s.pending, p.Node)
+		s.mu.Unlock()
+	}
+	// Counter movement riding a still-unacknowledged piece must not be
+	// re-cut into the new delta: the new delta's counters would land on
+	// whichever node owns its lowest key — possibly a *healthy* one —
+	// and be absorbed there while the pending piece later delivers the
+	// overlapping range a second time. Strip counters from the new cut
+	// while any pending piece carries them; they stream once it clears.
+	pendingCounters := false
+	for _, p := range failed {
+		blocked[p.Node] = true
+		sn := p.Batch.Snapshot
+		if sn.Runs != 0 || sn.FailedRuns != 0 || sn.CorruptRuns != 0 {
+			pendingCounters = true
+		}
+	}
+
+	delta := hist.UploadDelta()
+	if pendingCounters {
+		delta.Runs, delta.FailedRuns, delta.CorruptRuns = 0, 0, 0
+	}
+	if !cumulative.DeltaEmpty(delta) {
+		wmRuns, wmObs := hist.UploadedCounts()
+		var fresh []Piece
+		for _, p := range s.router.SplitBatch(wmRuns, wmObs, delta) {
+			if blocked[p.Node] {
+				// This partition's unacknowledged piece is a subset of the
+				// piece just cut for it. Nothing is marked uploaded, so the
+				// evidence stays beyond the watermark and is re-cut into a
+				// future delta once the retry clears.
+				continue
+			}
+			fresh = append(fresh, p)
+		}
+		delivered, failed = s.pushAll(ctx, fresh, &errs)
+		for _, p := range delivered {
+			hist.MarkUploaded(p.Batch.Snapshot)
+		}
+		s.mu.Lock()
+		for _, p := range failed {
+			s.pending[p.Node] = p
+		}
+		s.mu.Unlock()
+	}
+	return errors.Join(errs...)
+}
+
+// pushAll uploads pieces to their partitions concurrently, partitioning
+// them into delivered and failed; push errors are appended to errs.
+func (s *Sink) pushAll(ctx context.Context, pieces []Piece, errs *[]error) (delivered, failed []Piece) {
+	if len(pieces) == 0 {
+		return nil, nil
+	}
+	var (
+		wg  sync.WaitGroup
+		rmu sync.Mutex
+	)
+	for _, p := range pieces {
+		wg.Add(1)
+		go func(p Piece) {
+			defer wg.Done()
+			_, err := s.router.PushPiece(ctx, p)
+			rmu.Lock()
+			defer rmu.Unlock()
+			if err != nil {
+				*errs = append(*errs, err)
+				failed = append(failed, p)
+				return
+			}
+			delivered = append(delivered, p)
+		}(p)
+	}
+	wg.Wait()
+	return delivered, failed
 }
 
 // Fetched reports what the pre-run download merged.

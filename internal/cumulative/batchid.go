@@ -1,0 +1,37 @@
+package cumulative
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+)
+
+// Content-addressed batch identity: the fleet tier (internal/fleet)
+// stamps every observation upload with an ID derived from WHAT is being
+// sent (the canonicalized snapshot), WHO is sending it (the client id)
+// and WHERE in the client's history the delta starts (the upload
+// watermark position). A retry of the same batch — the lost-ack case,
+// where the server absorbed the evidence but the client never saw the
+// reply — reproduces the identical ID, so a bounded server-side dedup
+// window can acknowledge it without absorbing twice. A *new* delta from
+// the same client necessarily differs in content or watermark position
+// and gets a fresh ID.
+
+// BatchID returns the content-addressed identifier for one upload batch:
+// a hex digest over the client id, the watermark position the delta was
+// cut at (wmRuns, wmObs — see History.UploadedCounts) and the snapshot's
+// canonical JSON encoding. The snapshot must be in canonical order
+// (UploadDelta and Snapshot always produce one); hashing an unsorted
+// hand-built snapshot still dedups exact retries, but two semantically
+// equal batches with different orderings would get different IDs.
+func BatchID(client string, wmRuns, wmObs int, s *Snapshot) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%s\x00%d\x00%d\x00", client, wmRuns, wmObs)
+	// Snapshot's JSON encoding is canonical by construction: every list
+	// is emitted in sorted key order with (X, Y)-sorted observations.
+	json.NewEncoder(h).Encode(s)
+	// 128 bits keeps IDs short on the wire; collision probability is
+	// negligible at any realistic dedup-window size.
+	return hex.EncodeToString(h.Sum(nil)[:16])
+}

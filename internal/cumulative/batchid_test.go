@@ -1,0 +1,74 @@
+package cumulative
+
+import (
+	"testing"
+
+	"exterminator/internal/site"
+)
+
+// TestBatchIDStableAndDiscriminating: the ID is a pure function of
+// (client, watermark position, content) — identical for a verbatim retry,
+// different for any other batch.
+func TestBatchIDStableAndDiscriminating(t *testing.T) {
+	snap := func() *Snapshot {
+		return &Snapshot{
+			C: 4, P: 0.5, Runs: 3,
+			Sites: []site.ID{0x10, 0x20},
+			Overflow: []SiteObservations{
+				{Site: 0x10, Obs: []Observation{{X: 0.25, Y: true}}},
+			},
+		}
+	}
+	base := BatchID("client-a", 5, 17, snap())
+	if base == "" {
+		t.Fatal("empty batch ID")
+	}
+	if got := BatchID("client-a", 5, 17, snap()); got != base {
+		t.Fatalf("retry of an identical batch changed ID: %s vs %s", got, base)
+	}
+	if got := BatchID("client-b", 5, 17, snap()); got == base {
+		t.Fatal("different client, same ID")
+	}
+	if got := BatchID("client-a", 6, 17, snap()); got == base {
+		t.Fatal("different watermark run position, same ID")
+	}
+	if got := BatchID("client-a", 5, 18, snap()); got == base {
+		t.Fatal("different watermark observation position, same ID")
+	}
+	changed := snap()
+	changed.Runs++
+	if got := BatchID("client-a", 5, 17, changed); got == base {
+		t.Fatal("different content, same ID")
+	}
+}
+
+// TestUploadedCountsTracksWatermark: UploadedCounts moves exactly with
+// MarkUploaded, so two deltas cut at the same unacknowledged position
+// place identically (retry stability) and any acknowledged progress
+// moves the position (fresh IDs for fresh deltas).
+func TestUploadedCountsTracksWatermark(t *testing.T) {
+	hist := NewHistory(DefaultConfig())
+	if r, o := hist.UploadedCounts(); r != 0 || o != 0 {
+		t.Fatalf("fresh history watermark at (%d, %d), want (0, 0)", r, o)
+	}
+	hist.Absorb(&Snapshot{
+		Runs: 2, FailedRuns: 1,
+		Sites: []site.ID{1},
+		Overflow: []SiteObservations{
+			{Site: 1, Obs: []Observation{{X: 0.5, Y: true}, {X: 0.5, Y: false}}},
+		},
+		Dangling: []PairObservations{
+			{Alloc: 1, Free: 2, Obs: []Observation{{X: 0.5, Y: true}}},
+		},
+	})
+	delta := hist.UploadDelta()
+	if r, o := hist.UploadedCounts(); r != 0 || o != 0 {
+		t.Fatalf("cutting a delta moved the watermark to (%d, %d)", r, o)
+	}
+	hist.MarkUploaded(delta)
+	// Runs position counts runs + failed; observation position counts
+	// every overflow and dangling observation.
+	if r, o := hist.UploadedCounts(); r != 3 || o != 3 {
+		t.Fatalf("watermark position (%d, %d) after ack, want (3, 3)", r, o)
+	}
+}

@@ -27,6 +27,14 @@
 //
 // with prior P(H1) = 1/(cN) (c = 4, N = number of sites), a uniform prior
 // on θ_A, and the H1 likelihood integrated numerically over θ.
+//
+// Beyond the classifier, the package provides the machinery that lets
+// evidence travel: binary persistence (Encode/DecodeHistory), canonical
+// Snapshot exchange (Snapshot/Absorb/Merge), the upload watermark
+// (UploadDelta/MarkUploaded — what keeps fleet uploads from
+// double-counting across flushes, retries and process restarts), and
+// content-addressed batch identity (BatchID — what lets servers dedup a
+// retried upload whose ack was lost).
 package cumulative
 
 import (

@@ -157,6 +157,25 @@ func (hist *History) MarkUploaded(delta *Snapshot) {
 // watermark (diagnostics).
 func (hist *History) UploadedRuns() int { return hist.uploaded.runs }
 
+// UploadedCounts summarizes the watermark position as two scalars: the
+// total run-counter movement covered (runs + failed + corrupt) and the
+// total number of observations covered across every key. Together with
+// the delta's content they uniquely place an upload batch in the
+// history's append-only structure, which is what makes BatchID stable
+// across retries (the watermark only advances on a confirmed ack, so a
+// re-cut of an unacknowledged delta starts at the same position).
+func (hist *History) UploadedCounts() (wmRuns, wmObs int) {
+	m := &hist.uploaded
+	wmRuns = m.runs + m.failed + m.corrupt
+	for _, n := range m.overflow {
+		wmObs += n
+	}
+	for _, n := range m.dangling {
+		wmObs += n
+	}
+	return wmRuns, wmObs
+}
+
 // DeltaEmpty reports whether a snapshot carries no evidence and no
 // counter movement at all — uploading it would be a no-op.
 func DeltaEmpty(s *Snapshot) bool {

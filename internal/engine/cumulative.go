@@ -35,6 +35,13 @@ func (s *Session) runCumulative(ctx context.Context, work *patch.Set) (*Cumulati
 	}
 	res := &CumulativeResult{History: hist, Patches: work.Clone()}
 
+	// Mid-run evidence streaming: the interval flusher runs for the whole
+	// cumulative drive (serial or pooled) and is stopped — waiting out any
+	// in-flight flush — before the driver returns, so the post-run sink
+	// commit never races a flush.
+	stopFlusher := s.startFlusher(ctx, hist)
+	defer stopFlusher()
+
 	// When resuming, already-recorded runs advance the seed derivation so
 	// the new session explores fresh randomizations.
 	start := hist.Runs
@@ -47,14 +54,18 @@ func (s *Session) runCumulative(ctx context.Context, work *patch.Set) (*Cumulati
 			return res, true
 		}
 		ex := s.cumulativeRun(run, res.Patches)
+		s.histMu.Lock()
 		hist.RecordRun(ex.Heap, ex.Outcome.Bad())
 		res.Runs = run
 		res.Failures = hist.FailedRuns
 		s.emit(Progress{Run: run, Failures: res.Failures})
+		identified := s.checkIdentified(res)
+		s.histMu.Unlock()
 
-		if s.checkIdentified(res) {
+		if identified {
 			return res, false
 		}
+		s.maybeFlushEvery(ctx, hist, run-start)
 	}
 	return res, false
 }
@@ -155,18 +166,22 @@ func (s *Session) cumulativePool(ctx context.Context, res *CumulativeResult, sta
 	recorded := 0
 collect:
 	for r := range results {
+		s.histMu.Lock()
 		res.History.RecordRun(r.heap, r.bad)
 		recorded++
 		res.Runs = start + recorded
 		res.Failures = res.History.FailedRuns
 		s.emit(Progress{Run: res.Runs, Failures: res.Failures})
-		if s.checkIdentified(res) {
+		identified := s.checkIdentified(res)
+		s.histMu.Unlock()
+		if identified {
 			break collect
 		}
 		if ctx.Err() != nil {
 			canceled = true
 			break collect
 		}
+		s.maybeFlushEvery(ctx, res.History, recorded)
 	}
 	// Stop the pool and drain in-flight results so every worker exits.
 	cancel()

@@ -24,6 +24,13 @@
 // interface. Sinks that also implement PatchSource contribute patches to
 // the working set before the run (the fleet distribution path).
 //
+// Long cumulative sessions can stream instead of batch-committing:
+// WithFlushInterval(d) and WithFlushEvery(n) hand the history's
+// unacknowledged evidence delta to every sink implementing
+// StreamingSink while runs are still executing (emitting EvidenceFlushed
+// per accepted flush), so a live fleet sees the evidence before the
+// session exits and a crash loses at most one flush interval.
+//
 // The legacy entry points in internal/modes are thin deprecated wrappers
 // over this package.
 package engine
@@ -106,6 +113,13 @@ type Session struct {
 
 	emitMu sync.Mutex
 	execs  atomic.Int64 // program executions this Run
+
+	// histMu serializes the cumulative history between the run loop
+	// (folding finished runs) and mid-run evidence flushes. Lock order:
+	// histMu before emitMu; emit never acquires histMu.
+	histMu        sync.Mutex
+	lastFlushRuns int          // history run count at the previous flush
+	flushErrs     []*SinkError // soft mid-run flush failures (under histMu)
 }
 
 // New builds a session. It validates the options eagerly so a
@@ -189,6 +203,8 @@ func (r *Result) String() string {
 // session context is already dead.
 func (s *Session) Run(ctx context.Context) (*Result, error) {
 	s.execs.Store(0)
+	s.lastFlushRuns = -1 // first flush trigger always streams
+	s.flushErrs = nil
 	res := &Result{
 		Mode:     s.cfg.mode,
 		Workload: s.workload.Name(),
@@ -245,6 +261,9 @@ func (s *Session) Run(ctx context.Context) (*Result, error) {
 	res.Canceled = canceled
 	res.Executions = int(s.execs.Load())
 	res.Derived = res.Patches.Diff(preRun)
+	// The mode driver has returned, so the flusher (stopped inside it) is
+	// quiet: its soft failures fold into the result before the commit.
+	res.SinkErrors = append(res.SinkErrors, s.flushErrs...)
 
 	s.commitSinks(ctx, res)
 

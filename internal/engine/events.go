@@ -129,6 +129,21 @@ func (e PatchesFetched) String() string {
 	return fmt.Sprintf("merged %d patch entr%s from %s", e.Entries, plural(e.Entries), e.Sink)
 }
 
+// EvidenceFlushed is emitted after a streaming sink accepted a mid-run
+// evidence flush (WithFlushInterval / WithFlushEvery). Failed flushes
+// produce no event; the error is recorded in Result.SinkErrors and the
+// evidence rides the next flush or the final commit.
+type EvidenceFlushed struct {
+	Sink string
+	// Run is the cumulative run count at the time of the flush.
+	Run int
+}
+
+func (EvidenceFlushed) Kind() string { return "EvidenceFlushed" }
+func (e EvidenceFlushed) String() string {
+	return fmt.Sprintf("evidence flushed to %s (run %d)", e.Sink, e.Run)
+}
+
 // EvidenceCommitted is emitted after an evidence sink accepted the
 // session's evidence. Failed commits produce no event; the error is
 // recorded in Result.SinkErrors instead.

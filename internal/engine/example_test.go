@@ -1,0 +1,63 @@
+package engine_test
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"exterminator/internal/engine"
+	"exterminator/internal/workloads"
+)
+
+// A session is built from a workload plus functional options and driven
+// under a context; the result carries a common header plus exactly one
+// mode-specific detail.
+func ExampleNew() {
+	prog, _ := workloads.ByName("espresso", 1)
+	sess, err := engine.New(engine.Batch(prog),
+		engine.WithMode(engine.ModeCumulative),
+		engine.WithSeeds(1, 0x9106),
+		engine.WithMaxRuns(3))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	res, _ := sess.Run(context.Background())
+	fmt.Println("mode:", res.Mode)
+	fmt.Println("detected:", res.Detected)
+	fmt.Println("runs:", res.Cumulative.Runs)
+	// Output:
+	// mode: cumulative
+	// detected: false
+	// runs: 3
+}
+
+// WithFlushEvery streams the session's evidence to its sinks mid-run:
+// here the history file is rewritten (atomically) after every second
+// run, so a crash would lose at most that interval.
+func ExampleWithFlushEvery() {
+	dir, _ := os.MkdirTemp("", "engine-example")
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "history.xth")
+
+	prog, _ := workloads.ByName("espresso", 1)
+	flushes := 0
+	sess, _ := engine.New(engine.Batch(prog),
+		engine.WithMode(engine.ModeCumulative),
+		engine.WithSeeds(1, 0x9106),
+		engine.WithMaxRuns(4),
+		engine.WithFlushEvery(2),
+		engine.WithSink(engine.HistoryFile(path)),
+		engine.WithObserver(engine.ObserverFunc(func(ev engine.Event) {
+			if _, ok := ev.(engine.EvidenceFlushed); ok {
+				flushes++
+			}
+		})))
+	res, _ := sess.Run(context.Background())
+	fmt.Println("runs:", res.Cumulative.Runs)
+	fmt.Println("mid-run flushes:", flushes)
+	// Output:
+	// runs: 4
+	// mid-run flushes: 2
+}

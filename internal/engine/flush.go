@@ -1,0 +1,98 @@
+package engine
+
+import (
+	"context"
+	"time"
+
+	"exterminator/internal/cumulative"
+)
+
+// Mid-run evidence streaming (WithFlushInterval / WithFlushEvery): very
+// long cumulative sessions should not hold their evidence hostage until
+// they exit. A flusher — a ticker goroutine for the interval trigger,
+// an inline check in the run loop for the every-N trigger — hands the
+// live history to every StreamingSink while runs keep executing. The
+// history is guarded by the session's histMu: the run loop (serial) or
+// the collector (worker pool) folds evidence in under it, and a flush
+// holds it for the duration of the sink calls, so sinks always see a
+// quiesced accumulator. Executions themselves never block on a flush —
+// only the folding of finished runs does, briefly.
+
+// streamingSinks returns the configured sinks that accept mid-run
+// flushes.
+func (s *Session) streamingSinks() []StreamingSink {
+	var out []StreamingSink
+	for _, sink := range s.cfg.sinks {
+		if ss, ok := sink.(StreamingSink); ok {
+			out = append(out, ss)
+		}
+	}
+	return out
+}
+
+// startFlusher launches the interval flusher when configured. The
+// returned stop function halts it and waits for any in-flight flush to
+// finish; callers must stop the flusher before committing sinks so the
+// post-run Commit never races a flush over the same watermark.
+func (s *Session) startFlusher(ctx context.Context, hist *cumulative.History) (stop func()) {
+	if s.cfg.flushInterval <= 0 || hist == nil || len(s.streamingSinks()) == 0 {
+		return func() {}
+	}
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		t := time.NewTicker(s.cfg.flushInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-ctx.Done():
+				return
+			case <-t.C:
+				s.flushEvidence(ctx, hist)
+			}
+		}
+	}()
+	return func() { close(done); <-finished }
+}
+
+// maybeFlushEvery fires the run-count trigger: recorded is the number of
+// runs this session folded in so far.
+func (s *Session) maybeFlushEvery(ctx context.Context, hist *cumulative.History, recorded int) {
+	if n := s.cfg.flushEvery; n > 0 && recorded > 0 && recorded%n == 0 {
+		s.flushEvidence(ctx, hist)
+	}
+}
+
+// flushEvidence streams the current evidence through every streaming
+// sink, serialized against the run loop by histMu. A flush with no new
+// runs since the previous one is skipped (nothing to stream; retries of
+// a failed upload wait for the next trigger that has news, or the final
+// commit). Failures are soft: recorded as SinkErrors, evidence kept for
+// the next flush.
+func (s *Session) flushEvidence(ctx context.Context, hist *cumulative.History) {
+	sinks := s.streamingSinks()
+	if len(sinks) == 0 || hist == nil {
+		return
+	}
+	s.histMu.Lock()
+	defer s.histMu.Unlock()
+	// Nothing recorded yet, or nothing new since the last flush: skip.
+	// (A session resumed from a persisted history has Runs > 0 from the
+	// start, so its possibly-unuploaded backlog streams on the first
+	// trigger.)
+	if hist.Runs == 0 || hist.Runs == s.lastFlushRuns {
+		return
+	}
+	s.lastFlushRuns = hist.Runs
+	ev := &Evidence{Workload: s.workload.Name(), Mode: s.cfg.mode, History: hist}
+	for _, sink := range sinks {
+		if err := sink.FlushEvidence(ctx, ev); err != nil {
+			s.flushErrs = append(s.flushErrs, &SinkError{Sink: sink.SinkName(), Op: "flush", Err: err})
+			continue
+		}
+		s.emit(EvidenceFlushed{Sink: sink.SinkName(), Run: hist.Runs})
+	}
+}

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"time"
 
 	"exterminator/internal/cumulative"
 	"exterminator/internal/mutator"
@@ -31,6 +32,9 @@ type config struct {
 	fillProb      float64
 	varyProgSeed  bool
 	parallelism   int
+
+	flushInterval time.Duration
+	flushEvery    int
 
 	patches *patch.Set
 	history *cumulative.History
@@ -174,6 +178,39 @@ func WithParallelism(n int) Option {
 			return fmt.Errorf("engine: negative parallelism %d", n)
 		}
 		c.parallelism = n
+		return nil
+	}
+}
+
+// WithFlushInterval streams evidence to the session's sinks every d of
+// wall-clock time while a cumulative run is still executing: a flusher
+// goroutine periodically hands the history's unacknowledged delta to
+// every sink implementing StreamingSink (and emits EvidenceFlushed).
+// Long-running sessions then contribute to a live fleet — observable in
+// the fleet's /v1/status — long before they exit, and a crash loses at
+// most one interval of evidence. d <= 0 disables interval flushing (the
+// default). Modes without a history ignore it.
+func WithFlushInterval(d time.Duration) Option {
+	return func(c *config) error {
+		if d < 0 {
+			return fmt.Errorf("engine: negative flush interval %v", d)
+		}
+		c.flushInterval = d
+		return nil
+	}
+}
+
+// WithFlushEvery streams evidence to the session's StreamingSinks after
+// every n recorded cumulative runs — the run-count twin of
+// WithFlushInterval (both may be set; each trigger flushes whatever is
+// unacknowledged, and an empty delta is skipped). n <= 0 disables
+// (the default).
+func WithFlushEvery(n int) Option {
+	return func(c *config) error {
+		if n < 0 {
+			return fmt.Errorf("engine: negative flush run count %d", n)
+		}
+		c.flushEvery = n
 		return nil
 	}
 }

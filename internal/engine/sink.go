@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"exterminator/internal/cumulative"
 	"exterminator/internal/patch"
@@ -11,10 +12,13 @@ import (
 
 // Evidence is what a session hands its sinks after a run: the unified
 // result plus the two payloads most sinks care about, pre-extracted.
+// Mid-run flushes (StreamingSink) receive a partial Evidence: History is
+// live, Result and Derived are nil because the run has not finished.
 type Evidence struct {
 	Workload string
 	Mode     Mode
-	// Result is the full unified result (partial if canceled).
+	// Result is the full unified result (partial if canceled, nil for a
+	// mid-run flush).
 	Result *Result
 	// History is the cumulative evidence accumulator (nil outside
 	// cumulative mode).
@@ -42,6 +46,31 @@ type PatchSource interface {
 	FetchPatches(ctx context.Context) (*patch.Set, error)
 }
 
+// StreamingSink is optionally implemented by sinks that can absorb
+// evidence *mid-run*. Cumulative sessions configured with
+// WithFlushInterval or WithFlushEvery call FlushEvidence periodically
+// while runs are still executing, so a long-running session contributes
+// to its sinks (a live fleet, a history file) long before it exits.
+//
+// FlushEvidence is called with the session's evidence accumulator
+// quiesced: no run is folding into ev.History concurrently, so
+// implementations may read it freely and use its upload-watermark pair
+// (UploadDelta / MarkUploaded) to cut and acknowledge deltas — that is
+// how fleet.Sink and cluster.Sink upload incrementally, and why a
+// mid-run flush can never double-count against the post-run Commit
+// (Commit sees only what no flush acknowledged). Flush failures are
+// soft, mirroring Commit: the error lands in Result.SinkErrors and the
+// unflushed evidence rides the next flush or the final Commit.
+//
+// The history's upload watermark is a single cursor: sinks that advance
+// it share it, so configure at most one watermark-advancing streaming
+// sink (fleet or cluster) per session. Sinks that only read the history
+// (engine.HistoryFile) compose freely.
+type StreamingSink interface {
+	EvidenceSink
+	FlushEvidence(ctx context.Context, ev *Evidence) error
+}
+
 // SinkError attributes a soft sink failure to the sink and operation
 // that produced it, so callers can react per sink (e.g. a CLI treating
 // a failed local patch file as fatal but an unreachable fleet as a
@@ -61,6 +90,11 @@ func (e *SinkError) Unwrap() error { return e.Err }
 // HistoryFile returns a sink that writes the session's cumulative
 // history to path — the -save-history deployment, as a sink. Sessions
 // without a history (other modes) commit nothing.
+//
+// The sink is streaming: under WithFlushInterval / WithFlushEvery it
+// rewrites the file at every flush, so a crash mid-session loses at most
+// one flush interval of evidence. Writes are atomic (write-to-temp, then
+// rename): the file on disk is always a complete, decodable history.
 func HistoryFile(path string) EvidenceSink {
 	return historyFile(path)
 }
@@ -73,15 +107,36 @@ func (h historyFile) Commit(_ context.Context, ev *Evidence) error {
 	if ev.History == nil {
 		return nil
 	}
-	f, err := os.Create(string(h))
+	return h.write(ev)
+}
+
+// FlushEvidence implements StreamingSink: persist the current history
+// mid-run. The watermark is untouched — this sink only reads.
+func (h historyFile) FlushEvidence(_ context.Context, ev *Evidence) error {
+	if ev.History == nil {
+		return nil
+	}
+	return h.write(ev)
+}
+
+func (h historyFile) write(ev *Evidence) error {
+	dir := filepath.Dir(string(h))
+	tmp, err := os.CreateTemp(dir, ".history-*")
 	if err != nil {
 		return fmt.Errorf("engine: save history: %w", err)
 	}
-	if err := ev.History.Encode(f); err != nil {
-		f.Close()
+	defer os.Remove(tmp.Name())
+	if err := ev.History.Encode(tmp); err != nil {
+		tmp.Close()
 		return fmt.Errorf("engine: save history: %w", err)
 	}
-	return f.Close()
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("engine: save history: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), string(h)); err != nil {
+		return fmt.Errorf("engine: save history: %w", err)
+	}
+	return nil
 }
 
 // PatchFile returns a sink that writes the session's full working patch

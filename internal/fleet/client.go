@@ -61,18 +61,37 @@ func (c *Client) PushSnapshot(s *cumulative.Snapshot) (*IngestReply, error) {
 	return c.PushSnapshotContext(context.Background(), s)
 }
 
-// PushSnapshotContext is PushSnapshot honoring ctx.
+// PushSnapshotContext is PushSnapshot honoring ctx. The batch carries no
+// batch ID, so delivery is at-least-once: a retry after a lost ack is
+// absorbed again. Exactly-once callers stamp their batches with
+// cumulative.BatchID and use PushBatchContext (fleet.Sink does this).
 func (c *Client) PushSnapshotContext(ctx context.Context, s *cumulative.Snapshot) (*IngestReply, error) {
 	if s == nil {
 		return nil, fmt.Errorf("fleet: nil snapshot")
 	}
+	return c.PushBatchContext(ctx, &ObservationBatch{Client: c.id, Snapshot: s})
+}
+
+// PushBatchContext uploads a prepared ObservationBatch verbatim —
+// including its BatchID, which is what makes retries of the same batch
+// idempotent against servers keeping a dedup window. The batch's Client
+// field is filled from the client's id when empty.
+func (c *Client) PushBatchContext(ctx context.Context, b *ObservationBatch) (*IngestReply, error) {
+	if b == nil || b.Snapshot == nil {
+		return nil, fmt.Errorf("fleet: nil batch")
+	}
+	if b.Client == "" {
+		b.Client = c.id
+	}
 	var reply IngestReply
-	err := c.postJSON(ctx, "/v1/observations", ObservationBatch{Client: c.id, Snapshot: s}, &reply)
-	if err != nil {
+	if err := c.postJSON(ctx, "/v1/observations", b, &reply); err != nil {
 		return nil, err
 	}
 	return &reply, nil
 }
+
+// ID returns the installation identifier uploads are attributed to.
+func (c *Client) ID() string { return c.id }
 
 // PushHistory uploads a whole local cumulative history as one batch.
 // Upload the *delta* accumulated since the previous push, not the same

@@ -1,10 +1,13 @@
 package fleet
 
 import (
+	"bufio"
 	"compress/gzip"
 	"context"
 	"crypto/subtle"
+	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -60,6 +63,13 @@ type ServerOptions struct {
 	// coordinator, which sees the merged pool and the true N, may run
 	// the hypothesis test.
 	DisableCorrection bool
+	// DedupWindow bounds the exactly-once ingest window: the number of
+	// recently absorbed batch IDs retained (0 = 4096; negative disables
+	// dedup entirely). An upload stamped with a batch ID already in the
+	// window is acknowledged without being re-absorbed, so a client
+	// retrying after a lost ack cannot double-count evidence. The window
+	// is persisted in snapshots, so the guarantee survives restarts.
+	DedupWindow int
 }
 
 // Server is the fleet aggregation service: sharded evidence store,
@@ -78,6 +88,12 @@ type Server struct {
 	token   string
 	limiter *rateLimiter
 	limited atomic.Int64 // requests rejected with 429
+
+	// dedup is the exactly-once ingest window (nil when disabled). IDs
+	// are admitted *before* the absorb, so a concurrent duplicate is
+	// acked while the first delivery is still folding in.
+	dedup   *dedupWindow
+	deduped atomic.Int64 // batches acked as duplicates without absorbing
 
 	// journal records absorbed batches for GET /v1/deltas. deltaMu makes
 	// (absorb into store + append to journal) atomic with respect to a
@@ -116,6 +132,7 @@ func NewServer(opts ServerOptions) *Server {
 		maxBody:      opts.MaxBodyBytes,
 		token:        opts.Token,
 		limiter:      newRateLimiter(opts.RatePerSec, burst),
+		dedup:        newDedupWindow(opts.DedupWindow),
 		journal:      newJournal(opts.JournalLen),
 		start:        time.Now(),
 		epoch:        uint64(time.Now().UnixNano()),
@@ -246,6 +263,22 @@ func (s *Server) handleObservations(w http.ResponseWriter, r *http.Request) {
 	}
 	if batch.Snapshot == nil {
 		http.Error(w, "fleet: batch has no snapshot", http.StatusBadRequest)
+		return
+	}
+	// Exactly-once ingest: a batch whose content-addressed ID is already
+	// in the dedup window was absorbed by an earlier delivery whose ack
+	// was lost — acknowledge it (Duplicate set) without re-absorbing.
+	// Unstamped batches (legacy clients) skip the window and stay
+	// at-least-once.
+	if batch.BatchID != "" && s.dedup != nil && !s.dedup.admit(batch.BatchID) {
+		s.deduped.Add(1)
+		WriteJSON(w, IngestReply{
+			OK:        true,
+			Duplicate: true,
+			Version:   s.log.Version(),
+			Sites:     s.store.Sites(),
+			Runs:      s.store.Runs(),
+		})
 		return
 	}
 	// Shared deltaMu: absorbs from many clients stay concurrent, but a
@@ -383,6 +416,7 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		Corrections: s.corrections.Load(),
 		RateLimited: s.limited.Load(),
 		DirtyKeys:   s.store.DirtyKeys(),
+		Deduped:     s.deduped.Load(),
 		Seq:         s.journal.seqNow(),
 		Shards:      s.store.ShardStats(),
 	})
@@ -454,18 +488,42 @@ func WriteJSON(w http.ResponseWriter, v any) {
 	}
 }
 
-// SaveSnapshot writes the combined evidence store to path in the
-// cumulative persist format (write-to-temp, then rename, so a crash
-// mid-write never corrupts the previous snapshot).
+// Fleet snapshot container (version 1): the dedup window followed by the
+// evidence store in the cumulative persist format. Persisting the window
+// alongside the evidence is what carries exactly-once ingest across
+// restarts: a batch absorbed before the snapshot and retried after the
+// restore is still recognized as a duplicate. Plain cumulative history
+// files (what SaveSnapshot wrote before the container existed) still
+// load, with an empty window.
+const (
+	fleetSnapMagic   = 0x4E534658 // "XFSN" little-endian
+	fleetSnapVersion = 1
+	// maxSnapIDs bounds decoded dedup IDs against corrupt files.
+	maxSnapIDs = 1 << 20
+)
+
+// SaveSnapshot writes the combined evidence store plus the dedup window
+// to path (write-to-temp, then rename, so a crash mid-write never
+// corrupts the previous snapshot). The evidence is captured before the
+// dedup IDs: ingest admits a batch's ID before absorbing it, so every
+// batch whose evidence made the snapshot has its ID in the window by
+// the time the IDs are read. A batch racing the snapshot is then at
+// worst dropped on restore-and-retry (its ID in the snapshot, its
+// evidence not), never double-counted — the opposite capture order
+// would invert that into a double count.
 func (s *Server) SaveSnapshot(path string) error {
 	hist := s.store.Combined()
+	var ids []string
+	if s.dedup != nil {
+		ids = s.dedup.ids()
+	}
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, ".fleet-snap-*")
 	if err != nil {
 		return fmt.Errorf("fleet: snapshot: %w", err)
 	}
 	defer os.Remove(tmp.Name())
-	if err := hist.Encode(tmp); err != nil {
+	if err := writeFleetSnapshot(tmp, ids, hist); err != nil {
 		tmp.Close()
 		return fmt.Errorf("fleet: snapshot: %w", err)
 	}
@@ -475,9 +533,11 @@ func (s *Server) SaveSnapshot(path string) error {
 	return os.Rename(tmp.Name(), path)
 }
 
-// LoadSnapshot restores evidence from a snapshot file written by
-// SaveSnapshot and runs a correction pass so the patch log is warm before
-// the first poll. A missing file is not an error (fresh start).
+// LoadSnapshot restores evidence (and the dedup window) from a snapshot
+// file written by SaveSnapshot and runs a correction pass so the patch
+// log is warm before the first poll. A missing file is not an error
+// (fresh start); a pre-container file (bare cumulative history) restores
+// with an empty dedup window.
 func (s *Server) LoadSnapshot(path string) error {
 	f, err := os.Open(path)
 	if err != nil {
@@ -487,9 +547,12 @@ func (s *Server) LoadSnapshot(path string) error {
 		return fmt.Errorf("fleet: restore: %w", err)
 	}
 	defer f.Close()
-	hist, err := cumulative.DecodeHistory(f)
+	ids, hist, err := readFleetSnapshot(f)
 	if err != nil {
 		return fmt.Errorf("fleet: restore %s: %w", path, err)
+	}
+	if s.dedup != nil {
+		s.dedup.restore(ids)
 	}
 	// Restored evidence enters the store without a journal entry, so any
 	// journal cursor issued before this point (including 0) can no longer
@@ -501,4 +564,72 @@ func (s *Server) LoadSnapshot(path string) error {
 	s.deltaMu.Unlock()
 	s.Correct()
 	return nil
+}
+
+// writeFleetSnapshot emits the container: magic, version, dedup IDs,
+// then the history in the cumulative persist format.
+func writeFleetSnapshot(w io.Writer, ids []string, hist *cumulative.History) error {
+	bw := bufio.NewWriter(w)
+	u32 := func(v uint32) { binary.Write(bw, binary.LittleEndian, v) }
+	u32(fleetSnapMagic)
+	u32(fleetSnapVersion)
+	u32(uint32(len(ids)))
+	for _, id := range ids {
+		u32(uint32(len(id)))
+		bw.WriteString(id)
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	return hist.Encode(w)
+}
+
+// readFleetSnapshot decodes a container written by writeFleetSnapshot,
+// or a legacy bare cumulative history file (empty ID set).
+func readFleetSnapshot(r io.Reader) ([]string, *cumulative.History, error) {
+	br := bufio.NewReader(r)
+	head, err := br.Peek(4)
+	if err != nil {
+		return nil, nil, err
+	}
+	if binary.LittleEndian.Uint32(head) != fleetSnapMagic {
+		hist, err := cumulative.DecodeHistory(br)
+		return nil, hist, err
+	}
+	var magic, version, n uint32
+	read := func(v *uint32) {
+		if err == nil {
+			err = binary.Read(br, binary.LittleEndian, v)
+		}
+	}
+	read(&magic)
+	read(&version)
+	read(&n)
+	if err != nil {
+		return nil, nil, err
+	}
+	if version < 1 || version > fleetSnapVersion {
+		return nil, nil, fmt.Errorf("unsupported fleet snapshot version %d", version)
+	}
+	if n > maxSnapIDs {
+		return nil, nil, fmt.Errorf("implausible dedup id count %d", n)
+	}
+	ids := make([]string, 0, n)
+	for i := uint32(0); i < n; i++ {
+		var l uint32
+		read(&l)
+		if err != nil || l > 1024 {
+			if err == nil {
+				err = errors.New("implausible dedup id length")
+			}
+			return nil, nil, fmt.Errorf("fleet snapshot dedup id: %w", err)
+		}
+		buf := make([]byte, l)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, nil, err
+		}
+		ids = append(ids, string(buf))
+	}
+	hist, err := cumulative.DecodeHistory(br)
+	return ids, hist, err
 }

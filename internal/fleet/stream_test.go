@@ -1,0 +1,105 @@
+package fleet
+
+import (
+	"context"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"exterminator/internal/engine"
+	"exterminator/internal/mutator"
+)
+
+// pacedProg is a trivial clean workload that sleeps per run, so the
+// wall-clock flusher fires several times during a short session.
+type pacedProg struct{ d time.Duration }
+
+func (p pacedProg) Name() string { return "paced" }
+func (p pacedProg) Run(e *mutator.Env) {
+	ptr := e.Malloc(16)
+	time.Sleep(p.d)
+	e.Free(ptr)
+}
+
+// TestSessionStreamsToLiveFleetMidRun is the live-streaming acceptance
+// test: a cumulative session with a flush trigger contributes evidence
+// to a running fleetd while it is still executing — observable through
+// /v1/status before the session exits — and the post-run commit adds
+// exactly the remainder, never double-counting what was flushed.
+func TestSessionStreamsToLiveFleetMidRun(t *testing.T) {
+	srv := NewServer(ServerOptions{CorrectEvery: -1})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	client := NewClient(ts.URL, "live")
+	sink := NewSink(client)
+
+	// The observer probes the server the moment a flush is acknowledged:
+	// the session is mid-run (SessionFinished has not fired), yet the
+	// fleet already holds evidence.
+	var (
+		mu          sync.Mutex
+		midRunRuns  int64
+		midRunSeen  bool
+		finishedYet bool
+	)
+	obs := engine.ObserverFunc(func(ev engine.Event) {
+		switch ev.(type) {
+		case engine.EvidenceFlushed:
+			mu.Lock()
+			defer mu.Unlock()
+			if midRunSeen || finishedYet {
+				return
+			}
+			st, err := client.Status()
+			if err != nil {
+				t.Errorf("status during flush: %v", err)
+				return
+			}
+			midRunRuns, midRunSeen = st.Runs, true
+		case engine.SessionFinished:
+			mu.Lock()
+			finishedYet = true
+			mu.Unlock()
+		}
+	})
+
+	sess, err := engine.New(engine.Batch(pacedProg{d: 10 * time.Millisecond}),
+		engine.WithMode(engine.ModeCumulative),
+		engine.WithSeeds(1, 0x9106),
+		engine.WithMaxRuns(10),
+		engine.WithFlushInterval(2*time.Millisecond),
+		engine.WithSink(sink),
+		engine.WithObserver(obs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sess.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, se := range res.SinkErrors {
+		t.Fatalf("sink error: %v", se)
+	}
+
+	if !midRunSeen {
+		t.Fatal("no mid-run flush reached the fleet")
+	}
+	if midRunRuns == 0 {
+		t.Fatal("fleet showed no evidence at the first mid-run flush")
+	}
+	total := int64(res.Cumulative.History.Runs)
+	if midRunRuns >= total {
+		t.Fatalf("first flush already showed all %d runs — nothing was streamed mid-run", total)
+	}
+	// No double count at session end: the fleet's total equals the
+	// session's, even though evidence arrived across many deltas plus a
+	// final commit.
+	if got := srv.Store().Runs(); got != total {
+		t.Fatalf("fleet holds %d runs after session end, session recorded %d", got, total)
+	}
+	if sink.Flushes() == 0 {
+		t.Fatal("sink recorded no flushes")
+	}
+}

@@ -20,10 +20,24 @@
 // /v1/deltas is the partition→coordinator feed the cluster tier
 // (internal/cluster) builds on.
 //
+// Ingest is exactly-once for stamped uploads: batches carry a
+// content-addressed identity (cumulative.BatchID over the client id,
+// upload-watermark position and canonical snapshot), and the server
+// keeps a bounded, snapshot-persisted window of recently absorbed IDs —
+// a retry after a lost ack is acknowledged as a duplicate without being
+// re-absorbed. Unstamped batches from legacy clients stay
+// at-least-once. Sink streams evidence both mid-run (as an
+// engine.StreamingSink under WithFlushInterval/WithFlushEvery) and at
+// session end, retrying unacknowledged batches verbatim so the
+// guarantee holds end to end.
+//
 // The server shards its evidence store by call site across mutex striped
 // partitions, so concurrent ingest from many clients scales without a
 // global lock; patch distribution is versioned, so clients poll with the
 // last version they saw and usually get an empty delta back.
+//
+// The normative wire specification lives in docs/PROTOCOL.md; the
+// operator's runbook in docs/OPERATIONS.md.
 package fleet
 
 import (
@@ -44,11 +58,25 @@ import (
 type ObservationBatch struct {
 	Client   string               `json:"client,omitempty"`
 	Snapshot *cumulative.Snapshot `json:"snapshot"`
+	// BatchID is the batch's content-addressed identity
+	// (cumulative.BatchID): a digest of the client id, the upload
+	// watermark position the delta was cut at, and the canonical
+	// snapshot. Servers keep a bounded window of recently absorbed IDs
+	// and acknowledge a duplicate without re-absorbing it, which makes
+	// ingest exactly-once under retried uploads (lost acks). Empty means
+	// "no identity": the batch is absorbed unconditionally (legacy
+	// at-least-once clients).
+	BatchID string `json:"batchId,omitempty"`
 }
 
 // IngestReply is the POST /v1/observations response body.
 type IngestReply struct {
 	OK bool `json:"ok"`
+	// Duplicate reports that the batch's ID was already in the server's
+	// dedup window: the evidence was absorbed by an earlier delivery and
+	// was NOT absorbed again. Clients advance their upload watermark on
+	// a duplicate ack exactly as on a first ack.
+	Duplicate bool `json:"duplicate,omitempty"`
 	// Version is the server's current patch-set version after the ingest
 	// (and any correction pass it triggered), so uploaders can decide to
 	// poll immediately.
@@ -180,6 +208,9 @@ type StatusReply struct {
 	// DirtyKeys is the evidence-key backlog the next correction pass will
 	// rescore (0 means the patch log fully reflects the evidence).
 	DirtyKeys int `json:"dirtyKeys"`
+	// Deduped counts uploads acknowledged as duplicates without being
+	// absorbed (exactly-once ingest catching retried batches).
+	Deduped int64 `json:"deduped,omitempty"`
 	// Seq is the evidence journal's current sequence number (the cursor
 	// coordinators poll GET /v1/deltas with).
 	Seq uint64 `json:"seq,omitempty"`
