@@ -17,6 +17,7 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"path/filepath"
 	"testing"
 	"time"
 
@@ -454,6 +455,75 @@ func BenchmarkClusterRoute(b *testing.B) {
 			b.Fatal("batch not split")
 		}
 	}
+}
+
+// Live ring rebalancing: moved-keys throughput of a 3→4 node resize
+// (drain over POST /v1/evict, backfill through the exactly-once batch
+// path, mirrors caught up) followed by the 4→3 shrink that drains the
+// node back out — one full grow/shrink cycle per iteration:
+//
+//	go test -bench BenchmarkRebalance -benchtime 5x
+func BenchmarkRebalance(b *testing.B) {
+	ctx := context.Background()
+	cfg := cumulative.DefaultConfig()
+	var partURLs []string
+	for i := 0; i < 4; i++ {
+		srv := fleet.NewServer(fleet.ServerOptions{Config: cfg, CorrectEvery: -1, DisableCorrection: true})
+		ts := httptest.NewServer(srv.Handler())
+		defer ts.Close()
+		partURLs = append(partURLs, ts.URL)
+	}
+	base, spare := partURLs[:3], partURLs[3]
+	coord, err := cluster.NewCoordinator(cluster.CoordinatorOptions{
+		Partitions:       base,
+		Config:           cfg,
+		RebalanceJournal: filepath.Join(b.TempDir(), "rebalance.journal"),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	router, err := cluster.NewRouter("bench", base...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Seed a realistic evidence pool: a few hundred keys spread across
+	// the ring.
+	for batch := 0; batch < 20; batch++ {
+		snap := &cumulative.Snapshot{C: 4, P: 0.5, Runs: 3, FailedRuns: 1, CorruptRuns: 1}
+		for i := 0; i < 40; i++ {
+			id := site.ID(0x1000 + uint32(batch*40+i)*2654435761)
+			snap.Sites = append(snap.Sites, id)
+			snap.Overflow = append(snap.Overflow, cumulative.SiteObservations{
+				Site: id,
+				Obs:  []cumulative.Observation{{X: 0.25, Y: i%5 == 0}, {X: 0.5, Y: i%2 == 0}},
+			})
+		}
+		if _, err := router.PushSnapshot(ctx, snap); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if _, err := coord.Sync(ctx); err != nil {
+		b.Fatal(err)
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	moved := 0
+	for i := 0; i < b.N; i++ {
+		grow, err := coord.AddNode(ctx, spare)
+		if err != nil {
+			b.Fatal(err)
+		}
+		shrink, err := coord.RemoveNode(ctx, spare)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if grow.MovedKeys == 0 || shrink.MovedKeys == 0 {
+			b.Fatalf("resize moved nothing: grow %d, shrink %d", grow.MovedKeys, shrink.MovedKeys)
+		}
+		moved += grow.MovedKeys + shrink.MovedKeys
+	}
+	b.ReportMetric(float64(moved)/float64(b.N), "movedKeys/op")
 }
 
 // ---------------------------------------------------------------------

@@ -69,6 +69,7 @@ func main() {
 		partition    = flag.Bool("partition", false, "run as a cluster partition: store and journal evidence but derive no patches (the coordinator runs the fleet-wide hypothesis test)")
 		coordinator  = flag.String("coordinator", "", "run as cluster coordinator over these comma-separated partition base URLs instead of an evidence store")
 		pollInt      = flag.Duration("poll-interval", 1*time.Second, "coordinator: partition journal poll interval")
+		rebalJournal = flag.String("rebalance-journal", "", "coordinator: crash-safe rebalance journal file; an interrupted drain/backfill is re-driven on start (required for safe live resizes)")
 	)
 	flag.Parse()
 
@@ -88,8 +89,11 @@ func main() {
 			log.Print("fleetd: warning: -shards/-journal/-correct-every/-dedup are ignored in coordinator mode")
 		}
 		runCoordinator(ctx, *addr, *coordinator, *token, cumulative.Config{C: *priorC, P: *fillP},
-			*pollInt, *snapshot, *snapshotInt)
+			*pollInt, *snapshot, *snapshotInt, *rebalJournal)
 		return
+	}
+	if *rebalJournal != "" {
+		log.Print("fleetd: warning: -rebalance-journal is ignored outside coordinator mode")
 	}
 
 	if *partition {
@@ -145,7 +149,7 @@ func main() {
 // deltas instead of full resyncs), persists them periodically, and
 // writes a final snapshot on graceful shutdown.
 func runCoordinator(ctx context.Context, addr, partitions, token string, cfg cumulative.Config,
-	pollInt time.Duration, snapshot string, snapshotInt time.Duration) {
+	pollInt time.Duration, snapshot string, snapshotInt time.Duration, rebalJournal string) {
 	var parts []string
 	for _, p := range strings.Split(partitions, ",") {
 		if p = strings.TrimSpace(p); p != "" {
@@ -153,9 +157,10 @@ func runCoordinator(ctx context.Context, addr, partitions, token string, cfg cum
 		}
 	}
 	coord, err := cluster.NewCoordinator(cluster.CoordinatorOptions{
-		Partitions: parts,
-		Config:     cfg,
-		Token:      token,
+		Partitions:       parts,
+		Config:           cfg,
+		Token:            token,
+		RebalanceJournal: rebalJournal,
 	})
 	if err != nil {
 		log.Fatalf("fleetd: %v", err)
@@ -168,7 +173,21 @@ func runCoordinator(ctx context.Context, addr, partitions, token string, cfg cum
 		log.Printf("restored coordinator snapshot %s: %d runs, %d sites, %d patch entries",
 			snapshot, st.Runs, st.Sites, st.PatchLen)
 	}
-	log.Printf("fleetd: coordinator over %d partition(s): %s", len(parts), strings.Join(parts, ", "))
+	if rebalJournal != "" {
+		// A coordinator killed mid-rebalance re-drives the interrupted
+		// drain/backfill before anything else: evictions replay from the
+		// partitions' caches and backfills dedup, so the re-drive is
+		// lossless however far the crash got.
+		if res, err := coord.ResumeRebalance(ctx); err != nil {
+			log.Printf("fleetd: resume rebalance failed (will keep serving; retry with POST /v1/rebalance {}): %v", err)
+		} else if res != nil {
+			log.Printf("fleetd: resumed interrupted rebalance: now at membership v%d over %d node(s), %d key(s) moved",
+				res.Version, len(res.Nodes), res.MovedKeys)
+		}
+	}
+	boot := coord.Status()
+	log.Printf("fleetd: coordinator over %d partition(s) at membership v%d: %s",
+		len(boot.Nodes), boot.MembershipVersion, strings.Join(boot.Nodes, ", "))
 	go coord.Run(ctx, pollInt)
 	if snapshot != "" {
 		go coordinatorSnapshotLoop(ctx, coord, snapshot, snapshotInt)

@@ -136,7 +136,11 @@ func runClient(ctx context.Context, id int, coordURL string, partURLs []string) 
 		}
 		delta := hist.UploadDelta()
 		wmRuns, wmObs := hist.UploadedCounts()
-		for _, piece := range router.SplitBatch(wmRuns, wmObs, delta) {
+		pieces, err := router.SplitBatch(wmRuns, wmObs, delta)
+		if err != nil {
+			return clientResult{err: fmt.Errorf("split batch: %w", err)}
+		}
+		for _, piece := range pieces {
 			if _, err := router.PushPiece(ctx, piece); err != nil {
 				return clientResult{err: fmt.Errorf("routed upload: %w", err)}
 			}

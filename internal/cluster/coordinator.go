@@ -24,9 +24,18 @@ type CoordinatorOptions struct {
 	// defaults). It must match the partitions'.
 	Config cumulative.Config
 	// Token authenticates report uploads to this coordinator (optional).
+	// It is also forwarded to the partition clients, so a token-hardened
+	// cluster accepts the coordinator's rebalance drains and backfills.
 	Token string
 	// MaxReports bounds the retained bug-report ring (0 = 128).
 	MaxReports int
+	// RebalanceJournal is the path of the crash-safe rebalance journal
+	// (JSON lines, fsynced per record). With it set, a coordinator that
+	// dies between drain and backfill re-drives the interrupted rebalance
+	// on restart (ResumeRebalance) without losing or double-counting a
+	// single observation. Empty disables crash safety for rebalances —
+	// fine for tests, not for production resizes.
+	RebalanceJournal string
 }
 
 // Coordinator is the cluster's merge tier. It mirrors every partition's
@@ -38,11 +47,21 @@ type CoordinatorOptions struct {
 type Coordinator struct {
 	cfg   cumulative.Config
 	parts []*partition
+	ring  *Ring // current membership; bumped by Rebalance
 
 	pollMu  sync.Mutex // serializes PollOnce (Run loop vs manual Sync)
 	mu      sync.Mutex
 	merged  *cumulative.History
 	rebuild bool // a partition resynced; merged must be rebuilt from mirrors
+
+	// Rebalance state: rebalMu serializes Rebalance/ResumeRebalance,
+	// rebalPath is the two-phase journal, rebalState is reported in
+	// ClusterStatus (guarded by mu). testRebalanceCrash, when set, aborts
+	// a rebalance at a named stage — the kill-mid-rebalance e2e hook.
+	rebalMu            sync.Mutex
+	rebalPath          string
+	rebalState         RebalanceState
+	testRebalanceCrash func(stage string) error
 
 	log         *fleet.PatchLog
 	epoch       uint64
@@ -85,26 +104,27 @@ func NewCoordinator(opts CoordinatorOptions) (*Coordinator, error) {
 	}
 	c := &Coordinator{
 		cfg:        cfg,
+		ring:       NewRing(0, opts.Partitions...),
 		merged:     cumulative.NewHistory(cfg),
 		log:        fleet.NewPatchLog(),
 		epoch:      uint64(time.Now().UnixNano()),
 		start:      time.Now(),
 		token:      opts.Token,
 		maxReports: opts.MaxReports,
+		rebalPath:  opts.RebalanceJournal,
+		rebalState: RebalanceState{State: RebalanceIdle},
 	}
 	if c.maxReports <= 0 {
 		c.maxReports = 128
 	}
 	for _, base := range opts.Partitions {
-		c.parts = append(c.parts, &partition{
-			base:   base,
-			client: fleet.NewClient(base, "coordinator"),
-			mirror: cumulative.NewHistory(cfg),
-		})
+		c.parts = append(c.parts, c.newPartition(base))
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/patches", c.handlePatches)
 	mux.HandleFunc("/v1/reports", c.handleReports)
+	mux.HandleFunc("/v1/membership", c.handleMembership)
+	mux.HandleFunc("/v1/rebalance", c.handleRebalance)
 	mux.HandleFunc("/v1/status", c.handleStatus)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
@@ -115,8 +135,67 @@ func NewCoordinator(opts CoordinatorOptions) (*Coordinator, error) {
 }
 
 // Handler returns the coordinator's HTTP handler (the client-facing
-// subset of the fleet protocol: patches, reports, status, health).
+// subset of the fleet protocol — patches, reports, status, health —
+// plus the cluster admin surface: membership and rebalance).
 func (c *Coordinator) Handler() http.Handler { return c.mux }
+
+// newPartition builds the coordinator's view of one fleetd instance.
+func (c *Coordinator) newPartition(base string) *partition {
+	client := fleet.NewClient(base, "coordinator")
+	if c.token != "" {
+		client.SetToken(c.token)
+	}
+	return &partition{
+		base:   base,
+		client: client,
+		mirror: cumulative.NewHistory(c.cfg),
+	}
+}
+
+// partitionsSnapshot returns the current partition slice (membership can
+// change under Rebalance).
+func (c *Coordinator) partitionsSnapshot() []*partition {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]*partition(nil), c.parts...)
+}
+
+// setPartitions resets the poll set to exactly nodes, keeping existing
+// partitions' mirrors and cursors where the base URL matches (new nodes
+// start empty and full-resync on their first poll). The merged history
+// is rebuilt from the surviving mirrors on the next correction pass.
+func (c *Coordinator) setPartitions(nodes []string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	have := make(map[string]*partition, len(c.parts))
+	for _, p := range c.parts {
+		have[p.base] = p
+	}
+	c.parts = c.parts[:0]
+	for _, n := range nodes {
+		p := have[n]
+		if p == nil {
+			p = c.newPartition(n)
+		}
+		c.parts = append(c.parts, p)
+	}
+	c.rebuild = true
+}
+
+// findPartition returns the partition for base, or nil.
+func (c *Coordinator) findPartition(base string) *partition {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, p := range c.parts {
+		if p.base == base {
+			return p
+		}
+	}
+	return nil
+}
+
+// Ring exposes the coordinator's membership ring (diagnostics, tests).
+func (c *Coordinator) Ring() *Ring { return c.ring }
 
 // PatchLog exposes the fleet-wide patch log.
 func (c *Coordinator) PatchLog() *fleet.PatchLog { return c.log }
@@ -128,15 +207,23 @@ func (c *Coordinator) PatchLog() *fleet.PatchLog { return c.log }
 func (c *Coordinator) PollOnce(ctx context.Context) (changed bool, err error) {
 	c.pollMu.Lock()
 	defer c.pollMu.Unlock()
+	return c.pollLocked(ctx)
+}
+
+// pollLocked is PollOnce's body; the caller holds pollMu (Rebalance
+// holds it across its whole drain/backfill critical section, so no poll
+// can observe — and run a correction pass over — the half-moved state).
+func (c *Coordinator) pollLocked(ctx context.Context) (changed bool, err error) {
 	c.polls.Add(1)
+	parts := c.partitionsSnapshot()
 	type result struct {
 		p     *partition
 		delta *fleet.SnapshotDelta
 		err   error
 	}
-	results := make([]result, len(c.parts))
+	results := make([]result, len(parts))
 	var wg sync.WaitGroup
-	for i, p := range c.parts {
+	for i, p := range parts {
 		wg.Add(1)
 		go func(i int, p *partition, since, epoch uint64) {
 			defer wg.Done()
@@ -181,6 +268,25 @@ func (c *Coordinator) PollOnce(ctx context.Context) (changed bool, err error) {
 			res.p.mirror = mirror
 			c.rebuild = true
 			c.resyncs.Add(1)
+			changed = true
+		case len(d.Ops) > 0:
+			// Ordered delta: the window holds rebalance evictions. Apply
+			// each op to the mirror in sequence — an eviction removes the
+			// keys' entire evidence at that point. The merged history is
+			// rebuilt from the mirrors afterwards: the drained keys'
+			// evidence reappears through the new owner's journal, and
+			// rebuilding (instead of in-place extraction) keeps the merge
+			// independent of the order partitions' deltas land in.
+			for _, op := range d.Ops {
+				if len(op.Evict) > 0 {
+					res.p.mirror.Extract(op.Evict)
+					c.rebuild = true
+				}
+				if op.Snapshot != nil {
+					res.p.mirror.Absorb(op.Snapshot)
+				}
+			}
+			c.rebuild = true
 			changed = true
 		case d.Snapshot != nil:
 			res.p.mirror.Absorb(d.Snapshot)
@@ -309,9 +415,16 @@ func (c *Coordinator) handleReports(w http.ResponseWriter, r *http.Request) {
 // mirror state.
 type ClusterStatus struct {
 	fleet.StatusReply
-	Polls      int64             `json:"polls"`
-	Resyncs    int64             `json:"resyncs"`
-	Partitions []PartitionStatus `json:"partitions"`
+	Polls   int64 `json:"polls"`
+	Resyncs int64 `json:"resyncs"`
+	// MembershipVersion and Nodes are the current cluster topology
+	// (GET /v1/membership returns the same pair); Rebalance is the
+	// drain/backfill engine's state, including the moved-key count of
+	// the most recent resize.
+	MembershipVersion uint64            `json:"membershipVersion"`
+	Nodes             []string          `json:"nodes"`
+	Rebalance         RebalanceState    `json:"rebalance"`
+	Partitions        []PartitionStatus `json:"partitions"`
 }
 
 // PartitionStatus is one partition's mirror state in ClusterStatus.
@@ -333,8 +446,21 @@ func (c *Coordinator) handleStatus(w http.ResponseWriter, r *http.Request) {
 	fleet.WriteJSON(w, c.Status())
 }
 
+// handleMembership serves the current cluster topology: writers
+// (cluster.Sink, Router owners) adopt it via Ring.SetMembership after a
+// stale-ring rejection or on their regular patch-poll path.
+func (c *Coordinator) handleMembership(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	version, nodes := c.ring.Membership()
+	fleet.WriteJSON(w, fleet.MembershipReply{Version: version, Nodes: nodes})
+}
+
 // Status assembles the coordinator's status reply.
 func (c *Coordinator) Status() *ClusterStatus {
+	version, nodes := c.ring.Membership()
 	c.mu.Lock()
 	st := &ClusterStatus{
 		StatusReply: fleet.StatusReply{
@@ -349,8 +475,11 @@ func (c *Coordinator) Status() *ClusterStatus {
 			Corrections: c.corrections.Load(),
 			DirtyKeys:   c.merged.DirtyKeys(),
 		},
-		Polls:   c.polls.Load(),
-		Resyncs: c.resyncs.Load(),
+		Polls:             c.polls.Load(),
+		Resyncs:           c.resyncs.Load(),
+		MembershipVersion: version,
+		Nodes:             nodes,
+		Rebalance:         c.rebalState,
 	}
 	for _, p := range c.parts {
 		ps := PartitionStatus{

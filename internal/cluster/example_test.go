@@ -19,7 +19,7 @@ func ExampleRouter_SplitBatch() {
 		C: 4, P: 0.5, Runs: 5,
 		Sites: []site.ID{1, 2, 3, 4, 5, 6, 7, 8},
 	}
-	pieces := router.SplitBatch(0, 0, snap)
+	pieces, _ := router.SplitBatch(0, 0, snap)
 
 	sites, withCounters, stamped := 0, 0, 0
 	for _, p := range pieces {

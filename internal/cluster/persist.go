@@ -26,15 +26,18 @@ import (
 
 const (
 	coordSnapMagic   = 0x4E534358 // "XCSN" little-endian
-	coordSnapVersion = 1
+	coordSnapVersion = 2
 	maxSnapParts     = 1 << 12
 	maxMirrorBytes   = 1 << 30
 )
 
-// SaveSnapshot writes the coordinator's mirrors and cursors to path
-// (write-to-temp, then rename — a crash mid-write never corrupts the
-// previous snapshot).
+// SaveSnapshot writes the coordinator's membership (version 2: the ring
+// version and node list, so a restarted coordinator keeps the
+// rebalanced topology and its monotonic version even when the operator's
+// flag list is stale), mirrors and cursors to path (write-to-temp, then
+// rename — a crash mid-write never corrupts the previous snapshot).
 func (c *Coordinator) SaveSnapshot(path string) error {
+	ringVersion, nodes := c.ring.Membership()
 	c.mu.Lock()
 	type entry struct {
 		base       string
@@ -66,6 +69,12 @@ func (c *Coordinator) SaveSnapshot(path string) error {
 	u64 := func(v uint64) { binary.Write(bw, binary.LittleEndian, v) }
 	u32(coordSnapMagic)
 	u32(coordSnapVersion)
+	u64(ringVersion)
+	u32(uint32(len(nodes)))
+	for _, n := range nodes {
+		u32(uint32(len(n)))
+		bw.WriteString(n)
+	}
 	u32(uint32(len(entries)))
 	for _, e := range entries {
 		u32(uint32(len(e.base)))
@@ -124,11 +133,32 @@ func (c *Coordinator) LoadSnapshot(path string) error {
 		}
 		return fmt.Errorf("cluster: restore %s: %w", path, readErr)
 	}
-	if v := u32(); readErr != nil || v < 1 || v > coordSnapVersion {
+	version := u32()
+	if readErr != nil || version < 1 || version > coordSnapVersion {
 		if readErr == nil {
-			readErr = fmt.Errorf("unsupported version %d", v)
+			readErr = fmt.Errorf("unsupported version %d", version)
 		}
 		return fmt.Errorf("cluster: restore %s: %w", path, readErr)
+	}
+	var ringVersion uint64
+	var nodes []string
+	if version >= 2 {
+		ringVersion = u64()
+		nn := u32()
+		if readErr != nil || nn > maxSnapParts {
+			return fmt.Errorf("cluster: restore %s: %w", path, orImplausible(readErr))
+		}
+		for i := uint32(0); i < nn; i++ {
+			nl := u32()
+			if readErr != nil || nl > 4096 {
+				return fmt.Errorf("cluster: restore %s: %w", path, orImplausible(readErr))
+			}
+			buf := make([]byte, nl)
+			if _, err := io.ReadFull(br, buf); err != nil {
+				return fmt.Errorf("cluster: restore %s: %w", path, err)
+			}
+			nodes = append(nodes, string(buf))
+		}
 	}
 	n := u32()
 	if readErr != nil || n > maxSnapParts {
@@ -167,6 +197,14 @@ func (c *Coordinator) LoadSnapshot(path string) error {
 		restored[string(base)] = entry{seq: seq, epoch: epoch, mirror: mirror}
 	}
 
+	// A version-2 snapshot's membership is authoritative: it reflects any
+	// rebalance completed since the operator's flag list was written, and
+	// restoring the monotonic ring version is what keeps the next
+	// rebalance's announcements ahead of the partitions' requirements.
+	if len(nodes) > 0 {
+		c.ring.restoreMembership(ringVersion, nodes)
+		c.setPartitions(nodes)
+	}
 	c.mu.Lock()
 	for _, p := range c.parts {
 		e, ok := restored[p.base]

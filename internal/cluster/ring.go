@@ -15,7 +15,14 @@
 // alloc side, like fleet.Store's stripes) live on exactly one partition,
 // so the coordinator can union partition evidence without deduplication.
 // Membership changes move only the keys owned by the added or removed
-// node — the consistent-hash property the ring tests pin down.
+// node — the consistent-hash property the ring tests pin down — and the
+// coordinator's Rebalance moves those keys' accumulated evidence with
+// them (drain via POST /v1/evict, backfill through the exactly-once
+// batch path, two-phase journal for crash safety), so a moved key's
+// observations never stay split between its old and new owner. Writers
+// stamp uploads with the ring's membership version; partitions reject
+// stale splits, and Sink/Router re-adopt the topology from the
+// coordinator's GET /v1/membership.
 //
 // Uploads are exactly-once end to end: Router.SplitBatch stamps every
 // per-partition piece with its own content-addressed batch ID, Sink
@@ -43,11 +50,19 @@ const DefaultVirtualNodes = 64
 
 // Ring is a consistent-hash ring over partition node names. It is safe
 // for concurrent use; membership changes rebuild the point array.
+//
+// Every membership change bumps a monotonically increasing membership
+// version. Writers stamp the version on the pieces they route
+// (Router.SplitBatch / ObservationBatch.RingVersion) and partitions
+// reject pieces from a stale ring, so a writer that missed a rebalance
+// converges on the new topology instead of racing it — see
+// docs/PROTOCOL.md "Membership versioning".
 type Ring struct {
-	mu     sync.RWMutex
-	vnodes int
-	nodes  map[string]bool
-	points []ringPoint // sorted by hash
+	mu      sync.RWMutex
+	vnodes  int
+	version uint64
+	nodes   map[string]bool
+	points  []ringPoint // sorted by hash
 }
 
 type ringPoint struct {
@@ -61,7 +76,7 @@ func NewRing(vnodes int, nodes ...string) *Ring {
 	if vnodes <= 0 {
 		vnodes = DefaultVirtualNodes
 	}
-	r := &Ring{vnodes: vnodes, nodes: make(map[string]bool)}
+	r := &Ring{vnodes: vnodes, version: 1, nodes: make(map[string]bool)}
 	for _, n := range nodes {
 		r.nodes[n] = true
 	}
@@ -69,8 +84,10 @@ func NewRing(vnodes int, nodes ...string) *Ring {
 	return r
 }
 
-// Add inserts a node. Keys whose ownership changes move exclusively to
-// the new node; no key moves between pre-existing nodes.
+// Add inserts a node and bumps the membership version. Keys whose
+// ownership changes move exclusively to the new node; no key moves
+// between pre-existing nodes. Adding an existing member is a no-op (the
+// version does not move).
 func (r *Ring) Add(node string) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -78,11 +95,13 @@ func (r *Ring) Add(node string) {
 		return
 	}
 	r.nodes[node] = true
+	r.version++
 	r.rebuild()
 }
 
-// Remove deletes a node. Keys it owned redistribute to the surviving
-// nodes; every other key keeps its owner.
+// Remove deletes a node and bumps the membership version. Keys it owned
+// redistribute to the surviving nodes; every other key keeps its owner.
+// Removing a non-member is a no-op.
 func (r *Ring) Remove(node string) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -90,7 +109,67 @@ func (r *Ring) Remove(node string) {
 		return
 	}
 	delete(r.nodes, node)
+	r.version++
 	r.rebuild()
+}
+
+// Version returns the current membership version. Versions start at 1
+// and only ever increase: local Add/Remove bump by one, SetMembership
+// adopts a strictly newer announced version.
+func (r *Ring) Version() uint64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.version
+}
+
+// Membership returns the version and the sorted member list as one
+// consistent pair.
+func (r *Ring) Membership() (uint64, []string) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.nodes))
+	for n := range r.nodes {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return r.version, out
+}
+
+// SetMembership adopts an externally announced topology (a coordinator's
+// GET /v1/membership reply): the node set is replaced wholesale and the
+// version adopted. Announcements at or below the current version are
+// ignored — versions are monotonic, so a stale announcement can never
+// roll a writer back onto an old topology. It reports whether the
+// announcement was applied.
+func (r *Ring) SetMembership(version uint64, nodes []string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if version <= r.version {
+		return false
+	}
+	return r.setMembershipLocked(version, nodes)
+}
+
+// restoreMembership force-applies a persisted topology (coordinator
+// snapshot restore), where the on-disk version is authoritative even
+// against an equal in-memory one.
+func (r *Ring) restoreMembership(version uint64, nodes []string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if version < r.version {
+		return
+	}
+	r.setMembershipLocked(version, nodes)
+}
+
+func (r *Ring) setMembershipLocked(version uint64, nodes []string) bool {
+	r.nodes = make(map[string]bool, len(nodes))
+	for _, n := range nodes {
+		r.nodes[n] = true
+	}
+	r.version = version
+	r.rebuild()
+	return true
 }
 
 // rebuild recomputes the sorted point array. Point hashes depend only on

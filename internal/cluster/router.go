@@ -23,6 +23,13 @@ type Router struct {
 	token   string
 }
 
+// ErrNoMembers reports a routing attempt against a ring with no
+// members: there is no partition to own any key, so nothing can be
+// split or pushed. It guards the degenerate-ring footgun where
+// Ring.Owner returns "" and a piece would otherwise be pushed to a
+// client built for an empty base URL.
+var ErrNoMembers = errors.New("cluster: ring has no members")
+
 // NewRouter returns a router over the given partition base URLs. id is
 // the installation identifier forwarded with every upload.
 func NewRouter(id string, partitions ...string) (*Router, error) {
@@ -87,7 +94,10 @@ func (rt *Router) PushSplit(ctx context.Context, s *cumulative.Snapshot) (replie
 	if s == nil {
 		return nil, nil, errors.New("cluster: nil snapshot")
 	}
-	parts := SplitSnapshot(rt.ring, s)
+	version, parts, err := rt.split(s)
+	if err != nil {
+		return nil, nil, err
+	}
 	replies = make(map[string]*fleet.IngestReply, len(parts))
 	var (
 		wg   sync.WaitGroup
@@ -98,7 +108,11 @@ func (rt *Router) PushSplit(ctx context.Context, s *cumulative.Snapshot) (replie
 		wg.Add(1)
 		go func(node string, part *cumulative.Snapshot) {
 			defer wg.Done()
-			reply, err := rt.client(node).PushSnapshotContext(ctx, part)
+			reply, err := rt.client(node).PushBatchContext(ctx, &fleet.ObservationBatch{
+				Client:      rt.id,
+				Snapshot:    part,
+				RingVersion: version,
+			})
 			rmu.Lock()
 			defer rmu.Unlock()
 			if err != nil {
@@ -111,6 +125,23 @@ func (rt *Router) PushSplit(ctx context.Context, s *cumulative.Snapshot) (replie
 	}
 	wg.Wait()
 	return replies, delivered, errors.Join(errs...)
+}
+
+// split partitions one snapshot under a consistent (version, ownership)
+// pair: if a membership change lands mid-split, the split is redone so
+// the stamped version always matches the topology the pieces were routed
+// by.
+func (rt *Router) split(s *cumulative.Snapshot) (uint64, map[string]*cumulative.Snapshot, error) {
+	for {
+		version := rt.ring.Version()
+		if rt.ring.Len() == 0 {
+			return 0, nil, ErrNoMembers
+		}
+		parts := SplitSnapshot(rt.ring, s)
+		if rt.ring.Version() == version {
+			return version, parts, nil
+		}
+	}
 }
 
 // PushHistory uploads a whole local history as one routed batch.
@@ -135,25 +166,31 @@ type Piece struct {
 // SplitBatch splits delta along the ring (SplitSnapshot) and stamps each
 // piece with cumulative.BatchID derived from the client id, the upload
 // watermark position the delta was cut at (wmRuns, wmObs — see
-// History.UploadedCounts), and the piece's canonical content. Retrying a
-// stored piece verbatim therefore reproduces its ID exactly, while any
-// newly cut delta gets fresh IDs. Pieces are returned in ring-node map
-// order; callers push them with PushPiece and advance their watermark
-// per acknowledged piece.
-func (rt *Router) SplitBatch(wmRuns, wmObs int, delta *cumulative.Snapshot) []Piece {
-	parts := SplitSnapshot(rt.ring, delta)
+// History.UploadedCounts), and the piece's canonical content, plus the
+// membership version the split was routed under. Retrying a stored piece
+// verbatim therefore reproduces its ID exactly, while any newly cut
+// delta gets fresh IDs. Pieces are returned in ring-node map order;
+// callers push them with PushPiece and advance their watermark per
+// acknowledged piece. It returns ErrNoMembers on an empty ring instead
+// of routing pieces to a node named "".
+func (rt *Router) SplitBatch(wmRuns, wmObs int, delta *cumulative.Snapshot) ([]Piece, error) {
+	version, parts, err := rt.split(delta)
+	if err != nil {
+		return nil, err
+	}
 	pieces := make([]Piece, 0, len(parts))
 	for node, part := range parts {
 		pieces = append(pieces, Piece{
 			Node: node,
 			Batch: &fleet.ObservationBatch{
-				Client:   rt.id,
-				Snapshot: part,
-				BatchID:  cumulative.BatchID(rt.id, wmRuns, wmObs, part),
+				Client:      rt.id,
+				Snapshot:    part,
+				BatchID:     cumulative.BatchID(rt.id, wmRuns, wmObs, part),
+				RingVersion: version,
 			},
 		})
 	}
-	return pieces
+	return pieces, nil
 }
 
 // PushPiece uploads one stamped piece to its partition.
@@ -171,8 +208,13 @@ func (rt *Router) PushPiece(ctx context.Context, p Piece) (*fleet.IngestReply, e
 // same striping fleet.Store uses, so each key lands on exactly one
 // partition. Run counters ride with a single deterministic piece (the
 // owner of the batch's lowest key) so the cluster-wide totals the
-// coordinator sums count every run exactly once.
+// coordinator sums count every run exactly once. An empty ring returns
+// nil — callers that push (the Router) surface ErrNoMembers instead of
+// routing to a node named "".
 func SplitSnapshot(r *Ring, s *cumulative.Snapshot) map[string]*cumulative.Snapshot {
+	if r.Len() == 0 {
+		return nil
+	}
 	parts := make(map[string]*cumulative.Snapshot)
 	part := func(node string) *cumulative.Snapshot {
 		p := parts[node]

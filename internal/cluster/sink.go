@@ -61,16 +61,31 @@ func (s *Sink) Router() *Router { return s.router }
 func (s *Sink) SinkName() string { return "cluster" }
 
 // FetchPatches implements engine.PatchSource: download the fleet-wide
-// patch set from the coordinator.
+// patch set from the coordinator. The same poll refreshes ring
+// membership (best-effort), so a session started after a rebalance
+// routes by the current topology from its first upload.
 func (s *Sink) FetchPatches(ctx context.Context) (*patch.Set, error) {
 	ps, version, err := s.coord.PatchesContext(ctx, 0)
 	if err != nil {
 		return nil, err
 	}
+	s.refreshMembership(ctx)
 	s.mu.Lock()
 	s.fetchedEntries, s.fetchedVersion = ps.Len(), version
 	s.mu.Unlock()
 	return ps, nil
+}
+
+// refreshMembership adopts the coordinator's current topology. Failures
+// are ignored: the sink keeps routing by its last known ring, and a
+// stale split is rejected (never absorbed), so correctness is not at
+// stake — only an extra round trip.
+func (s *Sink) refreshMembership(ctx context.Context) {
+	m, err := s.coord.Membership(ctx)
+	if err != nil {
+		return
+	}
+	s.router.Ring().SetMembership(m.Version, m.Nodes)
 }
 
 // Commit implements engine.EvidenceSink: route the history's upload
@@ -119,9 +134,14 @@ func (s *Sink) FlushEvidence(ctx context.Context, ev *engine.Evidence) error {
 // timeout, not one per partition); the watermark is only touched after
 // the phase's pushes have all returned, since the caller serializes
 // history access.
+//
+// Stale-ring rejections (the cluster rebalanced under us) are not
+// failures to park: the rejected piece was split under a dead topology,
+// so it is dropped — its evidence sits beyond the watermark — the
+// membership refreshes from the coordinator, and one more pass re-cuts
+// and re-routes the delta under the new ring.
 func (s *Sink) stream(ctx context.Context, hist *cumulative.History) error {
 	var errs []error
-	blocked := make(map[string]bool)
 
 	s.mu.Lock()
 	retries := make([]Piece, 0, len(s.pending))
@@ -129,36 +149,61 @@ func (s *Sink) stream(ctx context.Context, hist *cumulative.History) error {
 		retries = append(retries, p)
 	}
 	s.mu.Unlock()
-	delivered, failed := s.pushAll(ctx, retries, &errs)
+	delivered, failed, stale := s.pushAll(ctx, retries, &errs)
 	for _, p := range delivered {
 		hist.MarkUploaded(p.Batch.Snapshot)
-		s.mu.Lock()
+	}
+	s.mu.Lock()
+	for _, p := range delivered {
 		delete(s.pending, p.Node)
-		s.mu.Unlock()
 	}
-	// Counter movement riding a still-unacknowledged piece must not be
-	// re-cut into the new delta: the new delta's counters would land on
-	// whichever node owns its lowest key — possibly a *healthy* one —
-	// and be absorbed there while the pending piece later delivers the
-	// overlapping range a second time. Strip counters from the new cut
-	// while any pending piece carries them; they stream once it clears.
-	pendingCounters := false
-	for _, p := range failed {
-		blocked[p.Node] = true
-		sn := p.Batch.Snapshot
-		if sn.Runs != 0 || sn.FailedRuns != 0 || sn.CorruptRuns != 0 {
-			pendingCounters = true
-		}
+	for _, p := range stale {
+		// Split under a dead topology: drop the piece. Its evidence is
+		// still beyond the watermark and re-cuts below under the
+		// refreshed ring.
+		delete(s.pending, p.Node)
 	}
+	s.mu.Unlock()
+	sawStale := len(stale) > 0
 
-	delta := hist.UploadDelta()
-	if pendingCounters {
-		delta.Runs, delta.FailedRuns, delta.CorruptRuns = 0, 0, 0
-	}
-	if !cumulative.DeltaEmpty(delta) {
+	for pass := 0; pass < 2; pass++ {
+		if sawStale {
+			s.refreshMembership(ctx)
+			sawStale = false
+		}
+		// Counter movement riding a still-unacknowledged piece must not be
+		// re-cut into the new delta: the new delta's counters would land on
+		// whichever node owns its lowest key — possibly a *healthy* one —
+		// and be absorbed there while the pending piece later delivers the
+		// overlapping range a second time. Strip counters from the new cut
+		// while any pending piece carries them; they stream once it clears.
+		blocked := make(map[string]bool)
+		pendingCounters := false
+		s.mu.Lock()
+		for node, p := range s.pending {
+			blocked[node] = true
+			sn := p.Batch.Snapshot
+			if sn.Runs != 0 || sn.FailedRuns != 0 || sn.CorruptRuns != 0 {
+				pendingCounters = true
+			}
+		}
+		s.mu.Unlock()
+
+		delta := hist.UploadDelta()
+		if pendingCounters {
+			delta.Runs, delta.FailedRuns, delta.CorruptRuns = 0, 0, 0
+		}
+		if cumulative.DeltaEmpty(delta) {
+			break
+		}
 		wmRuns, wmObs := hist.UploadedCounts()
+		split, err := s.router.SplitBatch(wmRuns, wmObs, delta)
+		if err != nil {
+			errs = append(errs, err)
+			break
+		}
 		var fresh []Piece
-		for _, p := range s.router.SplitBatch(wmRuns, wmObs, delta) {
+		for _, p := range split {
 			if blocked[p.Node] {
 				// This partition's unacknowledged piece is a subset of the
 				// piece just cut for it. Nothing is marked uploaded, so the
@@ -168,7 +213,7 @@ func (s *Sink) stream(ctx context.Context, hist *cumulative.History) error {
 			}
 			fresh = append(fresh, p)
 		}
-		delivered, failed = s.pushAll(ctx, fresh, &errs)
+		delivered, failed, stale = s.pushAll(ctx, fresh, &errs)
 		for _, p := range delivered {
 			hist.MarkUploaded(p.Batch.Snapshot)
 		}
@@ -177,15 +222,22 @@ func (s *Sink) stream(ctx context.Context, hist *cumulative.History) error {
 			s.pending[p.Node] = p
 		}
 		s.mu.Unlock()
+		if len(stale) == 0 {
+			break
+		}
+		sawStale = true
 	}
 	return errors.Join(errs...)
 }
 
 // pushAll uploads pieces to their partitions concurrently, partitioning
-// them into delivered and failed; push errors are appended to errs.
-func (s *Sink) pushAll(ctx context.Context, pieces []Piece, errs *[]error) (delivered, failed []Piece) {
+// them into delivered, failed (retryable verbatim) and stale (rejected
+// for an outdated ring version — must be re-split, never retried
+// verbatim); push errors are appended to errs, except stale rejections,
+// which the caller recovers from by refreshing membership.
+func (s *Sink) pushAll(ctx context.Context, pieces []Piece, errs *[]error) (delivered, failed, stale []Piece) {
 	if len(pieces) == 0 {
-		return nil, nil
+		return nil, nil, nil
 	}
 	var (
 		wg  sync.WaitGroup
@@ -198,16 +250,20 @@ func (s *Sink) pushAll(ctx context.Context, pieces []Piece, errs *[]error) (deli
 			_, err := s.router.PushPiece(ctx, p)
 			rmu.Lock()
 			defer rmu.Unlock()
-			if err != nil {
+			var sre *fleet.StaleRingError
+			switch {
+			case err == nil:
+				delivered = append(delivered, p)
+			case errors.As(err, &sre):
+				stale = append(stale, p)
+			default:
 				*errs = append(*errs, err)
 				failed = append(failed, p)
-				return
 			}
-			delivered = append(delivered, p)
 		}(p)
 	}
 	wg.Wait()
-	return delivered, failed
+	return delivered, failed, stale
 }
 
 // Fetched reports what the pre-run download merged.

@@ -61,7 +61,11 @@ func TestDuplicateUploadsConvergeWithCleanSender(t *testing.T) {
 		hist.Absorb(batch)
 		delta := hist.UploadDelta()
 		wmRuns, wmObs := hist.UploadedCounts()
-		for _, piece := range router.SplitBatch(wmRuns, wmObs, delta) {
+		pieces, err := router.SplitBatch(wmRuns, wmObs, delta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, piece := range pieces {
 			for attempt := 0; attempt < 2; attempt++ {
 				reply, err := router.PushPiece(ctx, piece)
 				if err != nil {

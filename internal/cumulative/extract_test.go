@@ -1,0 +1,95 @@
+package cumulative
+
+import (
+	"testing"
+
+	"exterminator/internal/site"
+)
+
+func extractFixture() *History {
+	hist := NewHistory(DefaultConfig())
+	hist.Absorb(&Snapshot{
+		C: 4, P: 0.5, Runs: 9, FailedRuns: 3, CorruptRuns: 2,
+		Sites: []site.ID{1, 2, 3, 4},
+		Overflow: []SiteObservations{
+			{Site: 1, Obs: []Observation{{X: 0.5, Y: true}, {X: 0.25, Y: false}}},
+			{Site: 2, Obs: []Observation{{X: 0.125, Y: false}}},
+		},
+		Dangling: []PairObservations{
+			{Alloc: 1, Free: 7, Obs: []Observation{{X: 0.5, Y: true}}},
+			{Alloc: 3, Free: 8, Obs: []Observation{{X: 0.5, Y: false}}},
+		},
+		PadHints:      []PadHint{{Site: 1, Pad: 24}, {Site: 2, Pad: 8}},
+		DeferralHints: []DeferralHint{{Alloc: 1, Free: 7, Deferral: 64}},
+	})
+	return hist
+}
+
+// TestExtractPartitionsEvidence: Extract removes exactly the keyed
+// evidence (dangling pairs by alloc side), leaves run counters in place,
+// and re-absorbing the extraction restores the original history — the
+// drain/backfill round-trip is lossless.
+func TestExtractPartitionsEvidence(t *testing.T) {
+	hist := extractFixture()
+	want := extractFixture()
+	want.Canonicalize()
+
+	out := hist.Extract([]site.ID{1, 3})
+	if hist.Runs != 9 || hist.FailedRuns != 3 || hist.CorruptRuns != 2 {
+		t.Fatalf("extract moved run counters: %s", hist)
+	}
+	if out.Runs != 0 {
+		t.Fatal("extracted snapshot carries run counters")
+	}
+	if len(out.Overflow) != 1 || out.Overflow[0].Site != 1 {
+		t.Fatalf("extracted overflow = %+v", out.Overflow)
+	}
+	if len(out.Dangling) != 2 { // both pairs key by alloc sides 1 and 3
+		t.Fatalf("extracted dangling = %+v", out.Dangling)
+	}
+	if len(out.Sites) != 2 || len(out.PadHints) != 1 || len(out.DeferralHints) != 1 {
+		t.Fatalf("extracted snapshot incomplete: %+v", out)
+	}
+	if hist.Sites() != 2 || hist.OverflowKeys() != 1 || hist.DanglingKeys() != 0 {
+		t.Fatalf("leftovers wrong: %s", hist)
+	}
+
+	// Round trip: extract + absorb == original.
+	hist.Absorb(out)
+	hist.Canonicalize()
+	if !hist.Equal(want) {
+		t.Fatalf("extract/absorb round trip diverged:\ngot  %s\nwant %s", hist, want)
+	}
+	// Identify still works and matches a fresh history's decisions.
+	if got, ref := len(hist.Identify().Overflows), len(want.Identify().Overflows); got != ref {
+		t.Fatalf("identify after round trip: %d findings, want %d", got, ref)
+	}
+}
+
+// TestEvidenceKeys: the key universe unions every keyed component by its
+// alloc side, sorted.
+func TestEvidenceKeys(t *testing.T) {
+	hist := extractFixture()
+	keys := hist.EvidenceKeys()
+	want := []site.ID{1, 2, 3, 4}
+	if len(keys) != len(want) {
+		t.Fatalf("keys = %v, want %v", keys, want)
+	}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Fatalf("keys = %v, want %v", keys, want)
+		}
+	}
+	// A dangling-only alloc side appears too.
+	hist.Absorb(&Snapshot{Dangling: []PairObservations{{Alloc: 99, Free: 7, Obs: []Observation{{X: 0.5, Y: true}}}}})
+	keys = hist.EvidenceKeys()
+	if keys[len(keys)-1] != 99 {
+		t.Fatalf("dangling-only alloc side missing: %v", keys)
+	}
+
+	// Extracting every key empties the history.
+	hist.Extract(keys)
+	if hist.Sites() != 0 || hist.OverflowKeys() != 0 || hist.DanglingKeys() != 0 || len(hist.EvidenceKeys()) != 0 {
+		t.Fatalf("full extract left evidence: %s", hist)
+	}
+}

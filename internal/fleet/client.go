@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -15,6 +16,7 @@ import (
 	"exterminator/internal/cumulative"
 	"exterminator/internal/patch"
 	"exterminator/internal/report"
+	"exterminator/internal/site"
 )
 
 // Client talks to a fleet aggregation server. It is safe for concurrent
@@ -201,6 +203,52 @@ func (c *Client) Deltas(ctx context.Context, since uint64) (*SnapshotDelta, erro
 	return &d, nil
 }
 
+// EvictKeys drains a key set from the server (POST /v1/evict): the keys'
+// evidence is atomically removed and returned; counters additionally
+// drains the node's run totals (for a node leaving the cluster). token
+// is the caller's idempotency handle — re-evicting with the same token
+// returns the original drain's result (Cached set) even if the store has
+// since changed. This is the partition half of a cluster rebalance;
+// ordinary installations never need it.
+func (c *Client) EvictKeys(ctx context.Context, token string, keys []site.ID, counters bool) (*EvictReply, error) {
+	var reply EvictReply
+	if err := c.postJSON(ctx, "/v1/evict", EvictRequest{Token: token, Keys: keys, Counters: counters}, &reply); err != nil {
+		return nil, err
+	}
+	return &reply, nil
+}
+
+// AnnounceRing raises the server's required cluster membership version
+// (POST /v1/ring); versioned uploads split under an older ring are
+// rejected from then on. The requirement never regresses — the reply
+// carries the version now in force.
+func (c *Client) AnnounceRing(ctx context.Context, version uint64) (*RingReply, error) {
+	var reply RingReply
+	if err := c.postJSON(ctx, "/v1/ring", RingUpdate{Version: version}, &reply); err != nil {
+		return nil, err
+	}
+	return &reply, nil
+}
+
+// Membership fetches a coordinator's current cluster topology (GET
+// /v1/membership): the membership version and partition base URLs a
+// router should split uploads across.
+func (c *Client) Membership(ctx context.Context) (*MembershipReply, error) {
+	resp, err := c.get(ctx, c.base+"/v1/membership")
+	if err != nil {
+		return nil, fmt.Errorf("fleet: get membership: %w", err)
+	}
+	defer drain(resp)
+	if resp.StatusCode != http.StatusOK {
+		return nil, httpError("get membership", resp)
+	}
+	var m MembershipReply
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		return nil, fmt.Errorf("fleet: get membership: %w", err)
+	}
+	return &m, nil
+}
+
 func (c *Client) get(ctx context.Context, url string) (*http.Response, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
 	if err != nil {
@@ -212,8 +260,35 @@ func (c *Client) get(ctx context.Context, url string) (*http.Response, error) {
 	return c.hc.Do(req)
 }
 
+// StaleRingError reports a 409 stale-ring rejection: the upload was
+// split under an older cluster membership than the partition requires.
+// The evidence was not absorbed; the caller must refresh membership
+// (coordinator GET /v1/membership, cluster.Ring.SetMembership) and
+// re-split its delta before retrying. Required is the partition's
+// current membership version.
+type StaleRingError struct {
+	Required uint64
+}
+
+func (e *StaleRingError) Error() string {
+	return fmt.Sprintf("fleet: upload split under a stale ring (partition requires membership version %d)", e.Required)
+}
+
+// Rate-limit retry bounds: a 429 with Retry-After is obeyed up to
+// maxPushAttempts deliveries, each wait clamped to maxRetryAfterWait so
+// a hostile or misconfigured server cannot park the client forever. The
+// waits are context-aware — cancellation aborts immediately.
+const (
+	maxPushAttempts   = 4
+	maxRetryAfterWait = 10 * time.Second
+)
+
 // postJSON encodes body as JSON — gzip-compressed unless
-// DisableCompression — and posts it to path.
+// DisableCompression — and posts it to path. Rate-limited requests
+// (429, which the server sends with Retry-After and *without* having
+// processed the body) are retried after the advertised delay, bounded
+// by maxPushAttempts; a 409 stale-ring rejection surfaces as a
+// *StaleRingError.
 func (c *Client) postJSON(ctx context.Context, path string, body, reply any) error {
 	var buf bytes.Buffer
 	if c.DisableCompression {
@@ -229,31 +304,65 @@ func (c *Client) postJSON(ctx context.Context, path string, body, reply any) err
 			return fmt.Errorf("fleet: compress %s: %w", path, err)
 		}
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, &buf)
-	if err != nil {
-		return fmt.Errorf("fleet: post %s: %w", path, err)
-	}
-	req.Header.Set("Content-Type", "application/json")
-	if c.token != "" {
-		req.Header.Set("Authorization", "Bearer "+c.token)
-	}
-	if !c.DisableCompression {
-		req.Header.Set("Content-Encoding", "gzip")
-	}
-	resp, err := c.hc.Do(req)
-	if err != nil {
-		return fmt.Errorf("fleet: post %s: %w", path, err)
-	}
-	defer drain(resp)
-	if resp.StatusCode != http.StatusOK {
-		return httpError("post "+path, resp)
-	}
-	if reply != nil {
-		if err := json.NewDecoder(resp.Body).Decode(reply); err != nil {
-			return fmt.Errorf("fleet: decode %s reply: %w", path, err)
+	payload := buf.Bytes()
+	for attempt := 1; ; attempt++ {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(payload))
+		if err != nil {
+			return fmt.Errorf("fleet: post %s: %w", path, err)
 		}
+		req.Header.Set("Content-Type", "application/json")
+		if c.token != "" {
+			req.Header.Set("Authorization", "Bearer "+c.token)
+		}
+		if !c.DisableCompression {
+			req.Header.Set("Content-Encoding", "gzip")
+		}
+		resp, err := c.hc.Do(req)
+		if err != nil {
+			return fmt.Errorf("fleet: post %s: %w", path, err)
+		}
+		if resp.StatusCode == http.StatusTooManyRequests && attempt < maxPushAttempts {
+			wait := retryAfter(resp)
+			drain(resp)
+			select {
+			case <-ctx.Done():
+				return fmt.Errorf("fleet: post %s: %w", path, ctx.Err())
+			case <-time.After(wait):
+			}
+			continue
+		}
+		defer drain(resp)
+		if resp.StatusCode == http.StatusConflict {
+			var ir IngestReply
+			raw, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+			if json.Unmarshal(raw, &ir) == nil && ir.StaleRing {
+				return &StaleRingError{Required: ir.RingVersion}
+			}
+			return fmt.Errorf("fleet: post %s: %s: %s", path, resp.Status, strings.TrimSpace(string(raw)))
+		}
+		if resp.StatusCode != http.StatusOK {
+			return httpError("post "+path, resp)
+		}
+		if reply != nil {
+			if err := json.NewDecoder(resp.Body).Decode(reply); err != nil {
+				return fmt.Errorf("fleet: decode %s reply: %w", path, err)
+			}
+		}
+		return nil
 	}
-	return nil
+}
+
+// retryAfter parses a 429's Retry-After seconds, defaulting to one
+// second and clamping to maxRetryAfterWait.
+func retryAfter(resp *http.Response) time.Duration {
+	wait := time.Second
+	if v, err := strconv.Atoi(strings.TrimSpace(resp.Header.Get("Retry-After"))); err == nil && v > 0 {
+		wait = time.Duration(v) * time.Second
+	}
+	if wait > maxRetryAfterWait {
+		wait = maxRetryAfterWait
+	}
+	return wait
 }
 
 func httpError(op string, resp *http.Response) error {

@@ -64,6 +64,17 @@ func (d *dedupWindow) admit(id string) bool {
 	return true
 }
 
+// has reports whether id is in the window without admitting it. The
+// ingest path consults it before the stale-ring check: a retried batch
+// that was absorbed before a rebalance must ack as a duplicate, never be
+// rejected as stale (rejection would make the client re-split and
+// re-send evidence the drain already moved — a double count).
+func (d *dedupWindow) has(id string) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.seen[id]
+}
+
 // ids returns the retained IDs in FIFO order (snapshot persistence).
 func (d *dedupWindow) ids() []string {
 	d.mu.Lock()

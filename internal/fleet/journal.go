@@ -4,19 +4,31 @@ import (
 	"sync"
 
 	"exterminator/internal/cumulative"
+	"exterminator/internal/site"
 )
 
 // journal is the bounded evidence journal behind GET /v1/deltas: every
 // absorbed observation batch is appended with a monotonic sequence
 // number, so a coordinator can poll "what arrived after seq S" and
-// receive just that. Pollers whose cursor predates the retained window
-// (or comes from another server incarnation) get a full resync instead.
+// receive just that. Rebalance evictions are journaled too — as removal
+// entries, so a poller's mirror tracks evidence that *left* this
+// partition, not only evidence that arrived. Pollers whose cursor
+// predates the retained window (or comes from another server
+// incarnation) get a full resync instead.
 type journal struct {
 	mu      sync.Mutex
 	max     int
 	base    uint64 // entries[0] carries seq base+1
 	seq     uint64
-	entries []*cumulative.Snapshot
+	entries []journalEntry
+}
+
+// journalEntry is one journal step: an absorbed batch (snap) or an
+// eviction (evict — the key set a rebalance drained from this
+// partition).
+type journalEntry struct {
+	snap  *cumulative.Snapshot
+	evict []site.ID
 }
 
 // defaultJournalLen is the retained batch window. Batches are a few KB
@@ -41,6 +53,15 @@ func newJournal(max int) *journal {
 // The snapshot must not be mutated afterwards (the journal keeps the
 // reference).
 func (j *journal) append(s *cumulative.Snapshot) uint64 {
+	return j.push(journalEntry{snap: s})
+}
+
+// appendEvict records a rebalance drain of the given keys.
+func (j *journal) appendEvict(keys []site.ID) uint64 {
+	return j.push(journalEntry{evict: keys})
+}
+
+func (j *journal) push(e journalEntry) uint64 {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	j.seq++
@@ -49,26 +70,26 @@ func (j *journal) append(s *cumulative.Snapshot) uint64 {
 		j.base = j.seq
 		return j.seq
 	}
-	j.entries = append(j.entries, s)
+	j.entries = append(j.entries, e)
 	if len(j.entries) > j.max {
 		drop := len(j.entries) - j.max/2
-		j.entries = append([]*cumulative.Snapshot(nil), j.entries[drop:]...)
+		j.entries = append([]journalEntry(nil), j.entries[drop:]...)
 		j.base += uint64(drop)
 	}
 	return j.seq
 }
 
-// since returns the batches absorbed after sequence number from, plus
+// since returns the entries recorded after sequence number from, plus
 // the current sequence. ok is false when from lies outside the retained
 // window (too old, or from a previous incarnation ahead of seq) — the
 // caller must answer with a full resync.
-func (j *journal) since(from uint64) (entries []*cumulative.Snapshot, seq uint64, ok bool) {
+func (j *journal) since(from uint64) (entries []journalEntry, seq uint64, ok bool) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if from > j.seq || from < j.base {
 		return nil, j.seq, false
 	}
-	return append([]*cumulative.Snapshot(nil), j.entries[from-j.base:]...), j.seq, true
+	return append([]journalEntry(nil), j.entries[from-j.base:]...), j.seq, true
 }
 
 // seqNow returns the current sequence number.

@@ -7,7 +7,6 @@ import (
 	"crypto/subtle"
 	"encoding/binary"
 	"encoding/json"
-	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -21,6 +20,7 @@ import (
 
 	"exterminator/internal/cumulative"
 	"exterminator/internal/report"
+	"exterminator/internal/site"
 )
 
 // ServerOptions configures an aggregation server.
@@ -95,6 +95,17 @@ type Server struct {
 	dedup   *dedupWindow
 	deduped atomic.Int64 // batches acked as duplicates without absorbing
 
+	// ringVersion is the required cluster membership version (0 = none
+	// announced; versioned uploads below it are rejected with 409 +
+	// StaleRing). It is only ever raised — under deltaMu exclusively, so
+	// an ingest that passed the check before a rebalance's announcement
+	// either lands before the announce completes (and is then drained by
+	// the eviction that follows it) or re-checks under the shared lock
+	// and is rejected. evictions/evicts back POST /v1/evict.
+	ringVersion atomic.Uint64
+	evictions   atomic.Int64
+	evicts      *evictCache
+
 	// journal records absorbed batches for GET /v1/deltas. deltaMu makes
 	// (absorb into store + append to journal) atomic with respect to a
 	// full-resync read: ingest holds it shared (absorbs stay concurrent
@@ -133,6 +144,7 @@ func NewServer(opts ServerOptions) *Server {
 		token:        opts.Token,
 		limiter:      newRateLimiter(opts.RatePerSec, burst),
 		dedup:        newDedupWindow(opts.DedupWindow),
+		evicts:       newEvictCache(0),
 		journal:      newJournal(opts.JournalLen),
 		start:        time.Now(),
 		epoch:        uint64(time.Now().UnixNano()),
@@ -148,6 +160,8 @@ func NewServer(opts ServerOptions) *Server {
 	mux.HandleFunc("/v1/reports", s.handleReports)
 	mux.HandleFunc("/v1/patches", s.handlePatches)
 	mux.HandleFunc("/v1/deltas", s.handleDeltas)
+	mux.HandleFunc("/v1/evict", s.handleEvict)
+	mux.HandleFunc("/v1/ring", s.handleRing)
 	mux.HandleFunc("/v1/status", s.handleStatus)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
@@ -269,22 +283,50 @@ func (s *Server) handleObservations(w http.ResponseWriter, r *http.Request) {
 	// in the dedup window was absorbed by an earlier delivery whose ack
 	// was lost — acknowledge it (Duplicate set) without re-absorbing.
 	// Unstamped batches (legacy clients) skip the window and stay
-	// at-least-once.
-	if batch.BatchID != "" && s.dedup != nil && !s.dedup.admit(batch.BatchID) {
+	// at-least-once. The duplicate check comes BEFORE the stale-ring
+	// check: a retry of a batch absorbed before a rebalance must ack as
+	// a duplicate (its evidence was drained to the new owner), not make
+	// the client re-split and double-deliver it.
+	if batch.BatchID != "" && s.dedup != nil && s.dedup.has(batch.BatchID) {
 		s.deduped.Add(1)
 		WriteJSON(w, IngestReply{
-			OK:        true,
-			Duplicate: true,
-			Version:   s.log.Version(),
-			Sites:     s.store.Sites(),
-			Runs:      s.store.Runs(),
+			OK:          true,
+			Duplicate:   true,
+			Version:     s.log.Version(),
+			Sites:       s.store.Sites(),
+			Runs:        s.store.Runs(),
+			RingVersion: s.ringVersion.Load(),
 		})
+		return
+	}
+	// Cheap pre-check; the authoritative stale-ring check runs under the
+	// shared deltaMu below, ordered against the rebalance announcement.
+	if s.writeIfStale(w, &batch) {
 		return
 	}
 	// Shared deltaMu: absorbs from many clients stay concurrent, but a
 	// full-resync read (which takes it exclusively) sees store and
-	// journal at one consistent point.
+	// journal at one consistent point — and the ring-version requirement
+	// (raised exclusively) is re-checked here, so no stale batch can slip
+	// in behind a rebalance's drain.
 	s.deltaMu.RLock()
+	if s.writeIfStale(w, &batch) {
+		s.deltaMu.RUnlock()
+		return
+	}
+	if batch.BatchID != "" && s.dedup != nil && !s.dedup.admit(batch.BatchID) {
+		s.deltaMu.RUnlock()
+		s.deduped.Add(1)
+		WriteJSON(w, IngestReply{
+			OK:          true,
+			Duplicate:   true,
+			Version:     s.log.Version(),
+			Sites:       s.store.Sites(),
+			Runs:        s.store.Runs(),
+			RingVersion: s.ringVersion.Load(),
+		})
+		return
+	}
 	s.store.AbsorbSnapshot(batch.Snapshot)
 	s.journal.append(batch.Snapshot)
 	s.deltaMu.RUnlock()
@@ -294,11 +336,121 @@ func (s *Server) handleObservations(w http.ResponseWriter, r *http.Request) {
 		version, _ = s.Correct()
 	}
 	WriteJSON(w, IngestReply{
-		OK:      true,
-		Version: version,
-		Sites:   s.store.Sites(),
-		Runs:    s.store.Runs(),
+		OK:          true,
+		Version:     version,
+		Sites:       s.store.Sites(),
+		Runs:        s.store.Runs(),
+		RingVersion: s.ringVersion.Load(),
 	})
+}
+
+// writeIfStale rejects a versioned batch split under an older membership
+// than this partition requires (409 + StaleRing), reporting whether it
+// wrote the response. Unversioned batches always pass.
+func (s *Server) writeIfStale(w http.ResponseWriter, batch *ObservationBatch) bool {
+	cur := s.ringVersion.Load()
+	if batch.RingVersion == 0 || cur == 0 || batch.RingVersion >= cur {
+		return false
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusConflict)
+	json.NewEncoder(w).Encode(IngestReply{StaleRing: true, RingVersion: cur})
+	return true
+}
+
+// RequireRingVersion raises the partition's required membership version
+// (it never regresses) and returns the version now in force. The raise
+// is ordered against ingest through deltaMu: once it returns, every
+// in-flight stale batch has either fully absorbed (and will be drained
+// by the eviction that follows the announcement) or will be rejected.
+func (s *Server) RequireRingVersion(v uint64) uint64 {
+	s.deltaMu.Lock()
+	defer s.deltaMu.Unlock()
+	if cur := s.ringVersion.Load(); v > cur {
+		s.ringVersion.Store(v)
+	}
+	return s.ringVersion.Load()
+}
+
+// handleRing is the rebalance announcement endpoint: POST /v1/ring
+// {version} raises the required membership version.
+func (s *Server) handleRing(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	if !s.authorize(w, r) {
+		return
+	}
+	var upd RingUpdate
+	if err := DecodeJSONBody(w, r, s.maxBody, &upd); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if upd.Version == 0 {
+		http.Error(w, "fleet: ring version must be positive", http.StatusBadRequest)
+		return
+	}
+	WriteJSON(w, RingReply{OK: true, Version: s.RequireRingVersion(upd.Version)})
+}
+
+// Evict atomically removes and returns the canonical evidence for a key
+// set (a rebalance drain), journaling the removal so delta pollers see
+// it; with counters set it also drains the global run counters into the
+// snapshot (a node leaving the cluster takes its totals with it). The
+// extraction is exclusive against ingest (deltaMu), so the returned
+// snapshot plus the remaining store partition the evidence exactly.
+// Results are cached under token: re-evicting with the same token
+// returns the original snapshot without touching the store, which is
+// what makes a crashed coordinator's re-drive lossless.
+func (s *Server) Evict(token string, keys []site.ID, counters bool) (snap *cumulative.Snapshot, cached bool) {
+	s.deltaMu.Lock()
+	defer s.deltaMu.Unlock()
+	if prev, ok := s.evicts.get(token); ok {
+		return prev, true
+	}
+	snap = s.store.Extract(keys)
+	switch {
+	case counters:
+		r, f, cr := s.store.DrainCounters()
+		snap.Runs, snap.FailedRuns, snap.CorruptRuns = int(r), int(f), int(cr)
+		// Counter movement cannot be expressed as a journal op (run
+		// counters only ever add), so a journal replay from before this
+		// point would re-count the drained runs if the node ever rejoins.
+		// Invalidate every cursor instead: pollers full-resync against
+		// the post-drain store, which is the truth.
+		s.journal.invalidate()
+	case len(keys) > 0:
+		// Empty key drains (nothing to move) need no journal entry —
+		// there is no removal for a mirror to apply.
+		s.journal.appendEvict(keys)
+	}
+	s.evicts.put(token, snap)
+	s.evictions.Add(1)
+	return snap, false
+}
+
+// handleEvict serves POST /v1/evict (see Evict). It is a write endpoint:
+// token-authenticated when the server has an ingest token.
+func (s *Server) handleEvict(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	if !s.authorize(w, r) {
+		return
+	}
+	var req EvictRequest
+	if err := DecodeJSONBody(w, r, s.maxBody, &req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if req.Token == "" {
+		http.Error(w, "fleet: evict needs an idempotency token", http.StatusBadRequest)
+		return
+	}
+	snap, cached := s.Evict(req.Token, req.Keys, req.Counters)
+	WriteJSON(w, EvictReply{OK: true, Cached: cached, Evicted: snap, RingVersion: s.ringVersion.Load()})
 }
 
 func (s *Server) handleReports(w http.ResponseWriter, r *http.Request) {
@@ -387,12 +539,37 @@ func (s *Server) handleDeltas(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	reply := SnapshotDelta{Epoch: s.epoch, Seq: seq}
-	if len(entries) > 0 {
-		merged := cumulative.NewHistory(s.store.cfg)
-		for _, e := range entries {
-			merged.Absorb(e)
+	// Merge runs of consecutive additions; a rebalance eviction breaks
+	// the run (ordering matters: evidence added before the drain was
+	// drained, evidence added after it was not). Windows without
+	// evictions keep the legacy single-snapshot shape.
+	var ops []DeltaOp
+	var merged *cumulative.History
+	flush := func() {
+		if merged != nil {
+			ops = append(ops, DeltaOp{Snapshot: merged.Snapshot()})
+			merged = nil
 		}
-		reply.Snapshot = merged.Snapshot()
+	}
+	hasEvict := false
+	for _, e := range entries {
+		if len(e.evict) > 0 {
+			hasEvict = true
+			flush()
+			ops = append(ops, DeltaOp{Evict: e.evict})
+			continue
+		}
+		if merged == nil {
+			merged = cumulative.NewHistory(s.store.cfg)
+		}
+		merged.Absorb(e.snap)
+	}
+	flush()
+	switch {
+	case hasEvict:
+		reply.Ops = ops
+	case len(ops) == 1:
+		reply.Snapshot = ops[0].Snapshot
 	}
 	WriteJSON(w, reply)
 }
@@ -418,6 +595,8 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		DirtyKeys:   s.store.DirtyKeys(),
 		Deduped:     s.deduped.Load(),
 		Seq:         s.journal.seqNow(),
+		RingVersion: s.ringVersion.Load(),
+		Evictions:   s.evictions.Load(),
 		Shards:      s.store.ShardStats(),
 	})
 }
@@ -488,42 +667,61 @@ func WriteJSON(w http.ResponseWriter, v any) {
 	}
 }
 
-// Fleet snapshot container (version 1): the dedup window followed by the
-// evidence store in the cumulative persist format. Persisting the window
-// alongside the evidence is what carries exactly-once ingest across
-// restarts: a batch absorbed before the snapshot and retried after the
-// restore is still recognized as a duplicate. Plain cumulative history
-// files (what SaveSnapshot wrote before the container existed) still
-// load, with an empty window.
+// Fleet snapshot container: the dedup window, the required ring version,
+// the rebalance evict cache, and the evidence store in the cumulative
+// persist format. Persisting the window alongside the evidence is what
+// carries exactly-once ingest across restarts: a batch absorbed before
+// the snapshot and retried after the restore is still recognized as a
+// duplicate. Plain cumulative history files (what SaveSnapshot wrote
+// before the container existed) still load, with an empty window;
+// version-1 containers (pre-rebalancing) load with ring version 0 and an
+// empty evict cache.
 const (
 	fleetSnapMagic   = 0x4E534658 // "XFSN" little-endian
-	fleetSnapVersion = 1
+	fleetSnapVersion = 2
 	// maxSnapIDs bounds decoded dedup IDs against corrupt files.
 	maxSnapIDs = 1 << 20
+	// maxSnapEvicts/maxEvictBytes bound the decoded evict cache.
+	maxSnapEvicts = 1 << 10
+	maxEvictBytes = 1 << 28
 )
 
-// SaveSnapshot writes the combined evidence store plus the dedup window
-// to path (write-to-temp, then rename, so a crash mid-write never
-// corrupts the previous snapshot). The evidence is captured before the
-// dedup IDs: ingest admits a batch's ID before absorbing it, so every
-// batch whose evidence made the snapshot has its ID in the window by
-// the time the IDs are read. A batch racing the snapshot is then at
-// worst dropped on restore-and-retry (its ID in the snapshot, its
-// evidence not), never double-counted — the opposite capture order
-// would invert that into a double count.
+// fleetSnapState is everything SaveSnapshot persists, captured at one
+// consistent point.
+type fleetSnapState struct {
+	ids    []string
+	ring   uint64
+	evicts []evictEntry
+	hist   *cumulative.History
+}
+
+// SaveSnapshot writes the combined evidence store, the dedup window, the
+// required ring version and the evict cache to path (write-to-temp, then
+// rename, so a crash mid-write never corrupts the previous snapshot).
+// The whole state is captured under deltaMu held exclusively, so the
+// dedup IDs correspond exactly to the evidence: no batch can slip
+// between the two captures, which is what makes restore-and-retry
+// lossless (an ID in the window without its evidence would make the
+// server drop the retry as a duplicate).
 func (s *Server) SaveSnapshot(path string) error {
-	hist := s.store.Combined()
-	var ids []string
-	if s.dedup != nil {
-		ids = s.dedup.ids()
+	s.deltaMu.Lock()
+	st := fleetSnapState{
+		hist: s.store.Combined(),
+		ring: s.ringVersion.Load(),
 	}
+	if s.dedup != nil {
+		st.ids = s.dedup.ids()
+	}
+	st.evicts = s.evicts.entries()
+	s.deltaMu.Unlock()
+
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, ".fleet-snap-*")
 	if err != nil {
 		return fmt.Errorf("fleet: snapshot: %w", err)
 	}
 	defer os.Remove(tmp.Name())
-	if err := writeFleetSnapshot(tmp, ids, hist); err != nil {
+	if err := writeFleetSnapshot(tmp, st); err != nil {
 		tmp.Close()
 		return fmt.Errorf("fleet: snapshot: %w", err)
 	}
@@ -547,89 +745,145 @@ func (s *Server) LoadSnapshot(path string) error {
 		return fmt.Errorf("fleet: restore: %w", err)
 	}
 	defer f.Close()
-	ids, hist, err := readFleetSnapshot(f)
+	st, err := readFleetSnapshot(f)
 	if err != nil {
 		return fmt.Errorf("fleet: restore %s: %w", path, err)
 	}
 	if s.dedup != nil {
-		s.dedup.restore(ids)
+		s.dedup.restore(st.ids)
+	}
+	s.evicts.restore(st.evicts)
+	if st.ring > 0 {
+		s.RequireRingVersion(st.ring)
 	}
 	// Restored evidence enters the store without a journal entry, so any
 	// journal cursor issued before this point (including 0) can no longer
 	// reconstruct the store from deltas — invalidate them all, forcing
 	// pollers onto the full-resync path.
 	s.deltaMu.Lock()
-	s.store.AbsorbHistory(hist)
+	s.store.AbsorbHistory(st.hist)
 	s.journal.invalidate()
 	s.deltaMu.Unlock()
 	s.Correct()
 	return nil
 }
 
-// writeFleetSnapshot emits the container: magic, version, dedup IDs,
-// then the history in the cumulative persist format.
-func writeFleetSnapshot(w io.Writer, ids []string, hist *cumulative.History) error {
+// writeFleetSnapshot emits the container: magic, version, ring version,
+// evict cache, dedup IDs, then the history in the cumulative persist
+// format.
+func writeFleetSnapshot(w io.Writer, st fleetSnapState) error {
 	bw := bufio.NewWriter(w)
 	u32 := func(v uint32) { binary.Write(bw, binary.LittleEndian, v) }
 	u32(fleetSnapMagic)
 	u32(fleetSnapVersion)
-	u32(uint32(len(ids)))
-	for _, id := range ids {
+	binary.Write(bw, binary.LittleEndian, st.ring)
+	u32(uint32(len(st.evicts)))
+	for _, e := range st.evicts {
+		blob, err := json.Marshal(e.Snap)
+		if err != nil {
+			return err
+		}
+		u32(uint32(len(e.Token)))
+		bw.WriteString(e.Token)
+		u32(uint32(len(blob)))
+		bw.Write(blob)
+	}
+	u32(uint32(len(st.ids)))
+	for _, id := range st.ids {
 		u32(uint32(len(id)))
 		bw.WriteString(id)
 	}
 	if err := bw.Flush(); err != nil {
 		return err
 	}
-	return hist.Encode(w)
+	return st.hist.Encode(w)
 }
 
-// readFleetSnapshot decodes a container written by writeFleetSnapshot,
-// or a legacy bare cumulative history file (empty ID set).
-func readFleetSnapshot(r io.Reader) ([]string, *cumulative.History, error) {
+// readFleetSnapshot decodes a container written by writeFleetSnapshot —
+// any supported version — or a legacy bare cumulative history file
+// (empty window, ring version 0).
+func readFleetSnapshot(r io.Reader) (fleetSnapState, error) {
+	var st fleetSnapState
 	br := bufio.NewReader(r)
 	head, err := br.Peek(4)
 	if err != nil {
-		return nil, nil, err
+		return st, err
 	}
 	if binary.LittleEndian.Uint32(head) != fleetSnapMagic {
-		hist, err := cumulative.DecodeHistory(br)
-		return nil, hist, err
+		st.hist, err = cumulative.DecodeHistory(br)
+		return st, err
 	}
-	var magic, version, n uint32
+	var magic, version uint32
 	read := func(v *uint32) {
 		if err == nil {
 			err = binary.Read(br, binary.LittleEndian, v)
 		}
 	}
-	read(&magic)
-	read(&version)
-	read(&n)
-	if err != nil {
-		return nil, nil, err
-	}
-	if version < 1 || version > fleetSnapVersion {
-		return nil, nil, fmt.Errorf("unsupported fleet snapshot version %d", version)
-	}
-	if n > maxSnapIDs {
-		return nil, nil, fmt.Errorf("implausible dedup id count %d", n)
-	}
-	ids := make([]string, 0, n)
-	for i := uint32(0); i < n; i++ {
+	readStr := func(limit uint32, what string) string {
 		var l uint32
 		read(&l)
-		if err != nil || l > 1024 {
-			if err == nil {
-				err = errors.New("implausible dedup id length")
-			}
-			return nil, nil, fmt.Errorf("fleet snapshot dedup id: %w", err)
+		if err == nil && l > limit {
+			err = fmt.Errorf("implausible %s length %d", what, l)
+		}
+		if err != nil {
+			return ""
 		}
 		buf := make([]byte, l)
-		if _, err := io.ReadFull(br, buf); err != nil {
-			return nil, nil, err
+		if _, rerr := io.ReadFull(br, buf); rerr != nil {
+			err = rerr
+			return ""
 		}
-		ids = append(ids, string(buf))
+		return string(buf)
 	}
-	hist, err := cumulative.DecodeHistory(br)
-	return ids, hist, err
+	read(&magic)
+	read(&version)
+	if err != nil {
+		return st, err
+	}
+	if version < 1 || version > fleetSnapVersion {
+		return st, fmt.Errorf("unsupported fleet snapshot version %d", version)
+	}
+	if version >= 2 {
+		if err = binary.Read(br, binary.LittleEndian, &st.ring); err != nil {
+			return st, err
+		}
+		var ne uint32
+		read(&ne)
+		if err == nil && ne > maxSnapEvicts {
+			err = fmt.Errorf("implausible evict cache size %d", ne)
+		}
+		for i := uint32(0); err == nil && i < ne; i++ {
+			tok := readStr(1024, "evict token")
+			blob := readStr(maxEvictBytes, "evict snapshot")
+			if err != nil {
+				break
+			}
+			var snap cumulative.Snapshot
+			if jerr := json.Unmarshal([]byte(blob), &snap); jerr != nil {
+				err = jerr
+				break
+			}
+			st.evicts = append(st.evicts, evictEntry{Token: tok, Snap: &snap})
+		}
+		if err != nil {
+			return st, fmt.Errorf("fleet snapshot evict cache: %w", err)
+		}
+	}
+	var n uint32
+	read(&n)
+	if err != nil {
+		return st, err
+	}
+	if n > maxSnapIDs {
+		return st, fmt.Errorf("implausible dedup id count %d", n)
+	}
+	for i := uint32(0); i < n; i++ {
+		id := readStr(1024, "dedup id")
+		if err != nil {
+			return st, fmt.Errorf("fleet snapshot dedup id: %w", err)
+		}
+		st.ids = append(st.ids, id)
+	}
+	st.hist, err = cumulative.DecodeHistory(br)
+	return st, err
 }

@@ -114,6 +114,28 @@ func (st *Store) AbsorbSnapshot(s *cumulative.Snapshot) {
 	}
 }
 
+// Extract atomically removes and returns the canonical evidence for a
+// key set — the store-level half of a rebalance drain (Server.Evict
+// holds the delta lock, making the extraction exclusive against ingest).
+// Each key lives in exactly one shard, so the per-shard extractions
+// union without overlap; run counters are not keyed and stay put.
+func (st *Store) Extract(keys []site.ID) *cumulative.Snapshot {
+	perShard := make(map[int][]site.ID)
+	for _, k := range keys {
+		i := st.shardIndex(k)
+		perShard[i] = append(perShard[i], k)
+	}
+	tmp := cumulative.NewHistory(st.cfg)
+	for i, ks := range perShard {
+		sh := &st.shards[i]
+		sh.mu.Lock()
+		snap := sh.hist.Extract(ks)
+		sh.mu.Unlock()
+		tmp.Absorb(snap)
+	}
+	return tmp.Snapshot()
+}
+
 // AbsorbHistory folds a whole history into the store (snapshot restore and
 // in-process aggregation paths).
 func (st *Store) AbsorbHistory(h *cumulative.History) {
@@ -224,6 +246,15 @@ func (st *Store) ShardStats() []ShardStatus {
 		sh.mu.Unlock()
 	}
 	return out
+}
+
+// DrainCounters atomically zeroes the global run counters and returns
+// their prior values — the final step of draining a partition that is
+// leaving the cluster (counters are not keyed, so Extract cannot move
+// them). Callers serialize against ingest (Server.Evict holds the delta
+// lock exclusively).
+func (st *Store) DrainCounters() (runs, failed, corrupt int64) {
+	return st.runs.Swap(0), st.failedRuns.Swap(0), st.corruptRuns.Swap(0)
 }
 
 // Runs returns the fleet-wide run count.

@@ -12,6 +12,8 @@
 //	GET  /v1/reports        recently received reports
 //	GET  /v1/patches?since=V WirePatchSet with entries added after version V
 //	GET  /v1/deltas?since=S  SnapshotDelta with evidence absorbed after journal seq S
+//	POST /v1/evict          EvictRequest: drain a key set (cluster rebalancing)
+//	POST /v1/ring           RingUpdate: raise the required membership version
 //	GET  /v1/status         aggregate statistics
 //	GET  /healthz           liveness
 //
@@ -67,6 +69,14 @@ type ObservationBatch struct {
 	// "no identity": the batch is absorbed unconditionally (legacy
 	// at-least-once clients).
 	BatchID string `json:"batchId,omitempty"`
+	// RingVersion is the cluster membership version the uploader split
+	// this batch under (cluster.Ring.Version). A partition whose
+	// required ring version is newer rejects the batch with 409 and
+	// IngestReply.StaleRing, so a writer that missed a rebalance
+	// re-splits under the new topology instead of stranding evidence on
+	// a former owner. Zero means "unversioned": the batch is accepted
+	// regardless (single-node deployments and legacy clients).
+	RingVersion uint64 `json:"ringVersion,omitempty"`
 }
 
 // IngestReply is the POST /v1/observations response body.
@@ -77,6 +87,17 @@ type IngestReply struct {
 	// was NOT absorbed again. Clients advance their upload watermark on
 	// a duplicate ack exactly as on a first ack.
 	Duplicate bool `json:"duplicate,omitempty"`
+	// StaleRing reports that the batch was rejected (HTTP 409, OK false)
+	// because it was split under an older cluster membership than this
+	// partition requires. The evidence was NOT absorbed; the client must
+	// refresh membership (coordinator GET /v1/membership) and re-split.
+	// The dedup window is consulted first, so a retry of a batch absorbed
+	// *before* the rebalance still acks as a duplicate, never stale.
+	StaleRing bool `json:"staleRing,omitempty"`
+	// RingVersion is the partition's required membership version
+	// (non-zero once a rebalance has announced one), echoed on every
+	// reply so writers can detect they are behind.
+	RingVersion uint64 `json:"ringVersion,omitempty"`
 	// Version is the server's current patch-set version after the ingest
 	// (and any correction pass it triggered), so uploaders can decide to
 	// poll immediately.
@@ -214,6 +235,11 @@ type StatusReply struct {
 	// Seq is the evidence journal's current sequence number (the cursor
 	// coordinators poll GET /v1/deltas with).
 	Seq uint64 `json:"seq,omitempty"`
+	// RingVersion is the required cluster membership version (0 until a
+	// rebalance announces one; see ObservationBatch.RingVersion).
+	RingVersion uint64 `json:"ringVersion,omitempty"`
+	// Evictions counts rebalance drains served via POST /v1/evict.
+	Evictions int64 `json:"evictions,omitempty"`
 	// Shards breaks the evidence store down per stripe, so operators can
 	// see rebalance skew and per-shard recompute health at a glance.
 	Shards []ShardStatus `json:"shards,omitempty"`
@@ -244,6 +270,75 @@ type SnapshotDelta struct {
 	// store, not a delta, and must *replace* (not augment) whatever the
 	// poller previously mirrored from this server.
 	Full bool `json:"full,omitempty"`
-	// Snapshot is the merged evidence (nil when nothing changed).
+	// Snapshot is the merged evidence (nil when nothing changed). It is
+	// only used when the window holds no evictions; otherwise Ops carries
+	// the ordered sequence instead.
 	Snapshot *cumulative.Snapshot `json:"snapshot,omitempty"`
+	// Ops is the ordered delta when the window contains rebalance
+	// evictions: additions and evictions must be applied in sequence
+	// (an eviction removes a key's entire evidence from the mirror at
+	// that point in the stream). Consecutive additions are pre-merged.
+	// Mutually exclusive with Snapshot.
+	Ops []DeltaOp `json:"ops,omitempty"`
+}
+
+// DeltaOp is one step of an ordered evidence delta: either an absorbed
+// snapshot or a key-set eviction (a rebalance drain — the keys' evidence
+// moved to another partition and must leave the poller's mirror of this
+// one).
+type DeltaOp struct {
+	Evict    []site.ID            `json:"evict,omitempty"`
+	Snapshot *cumulative.Snapshot `json:"snapshot,omitempty"`
+}
+
+// EvictRequest is the POST /v1/evict body: atomically remove and return
+// the canonical evidence for a key set (a rebalance drain). Token is the
+// caller's idempotency handle: the server caches the extraction result
+// under it, and re-posting the same token returns the cached snapshot —
+// which is what lets a coordinator that crashed between drain and
+// backfill re-drain without losing the already-extracted evidence.
+type EvictRequest struct {
+	Token string    `json:"token"`
+	Keys  []site.ID `json:"keys"`
+	// Counters additionally drains the store's run counters into the
+	// returned snapshot (they are not keyed, so key eviction alone never
+	// moves them). Set when the node is leaving the cluster entirely —
+	// its counters must follow its evidence to the survivors, or the
+	// fleet-wide run totals would shrink.
+	Counters bool `json:"counters,omitempty"`
+}
+
+// EvictReply is the POST /v1/evict response.
+type EvictReply struct {
+	OK bool `json:"ok"`
+	// Cached reports that Token was seen before and Evicted is the
+	// original extraction's result (Keys was ignored).
+	Cached bool `json:"cached,omitempty"`
+	// Evicted is the removed evidence in canonical snapshot form.
+	Evicted *cumulative.Snapshot `json:"evicted"`
+	// RingVersion echoes the partition's required membership version.
+	RingVersion uint64 `json:"ringVersion,omitempty"`
+}
+
+// RingUpdate is the POST /v1/ring body: announce the cluster membership
+// version this partition must require on versioned uploads. The server
+// only ever moves the requirement forward.
+type RingUpdate struct {
+	Version uint64 `json:"version"`
+}
+
+// RingReply is the POST /v1/ring response, echoing the (possibly higher)
+// version now in force.
+type RingReply struct {
+	OK      bool   `json:"ok"`
+	Version uint64 `json:"version"`
+}
+
+// MembershipReply is the coordinator's GET /v1/membership response: the
+// current cluster topology, which writers adopt via
+// cluster.Ring.SetMembership after a stale-ring rejection (or on their
+// regular patch-poll path).
+type MembershipReply struct {
+	Version uint64   `json:"version"`
+	Nodes   []string `json:"nodes"`
 }
