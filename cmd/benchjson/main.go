@@ -1,0 +1,132 @@
+// benchjson converts `go test -bench` text output into a JSON artifact.
+//
+//	go test -bench . -benchmem | benchjson -o BENCH_fleet.json
+//
+// The artifact carries each result twice: structured (name, iterations,
+// numeric value per unit) for trend tooling, and the raw benchmark-format
+// lines under "benchfmt" so benchstat can consume the same file:
+//
+//	jq -r .benchfmt BENCH_fleet.json | benchstat /dev/stdin
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line, e.g.
+// "BenchmarkFleetIngest-8  100  123456 ns/op  456 B/op  7 allocs/op".
+type Result struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Report is the artifact layout.
+type Report struct {
+	Config     map[string]string `json:"config,omitempty"` // goos, goarch, pkg, cpu
+	Benchmarks []Result          `json:"benchmarks"`
+	Benchfmt   string            `json:"benchfmt"` // raw lines, benchstat-parseable
+}
+
+func parse(r io.Reader) (*Report, error) {
+	rep := &Report{Config: map[string]string{}}
+	var raw strings.Builder
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "Benchmark"):
+			res, ok := parseBenchLine(line)
+			if !ok {
+				continue
+			}
+			rep.Benchmarks = append(rep.Benchmarks, res)
+			raw.WriteString(line)
+			raw.WriteByte('\n')
+		default:
+			// Configuration preamble: "goos: linux", "cpu: ...".
+			if k, v, ok := strings.Cut(line, ": "); ok && !strings.Contains(k, " ") {
+				rep.Config[k] = v
+				raw.WriteString(line)
+				raw.WriteByte('\n')
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	rep.Benchfmt = raw.String()
+	return rep, nil
+}
+
+func parseBenchLine(line string) (Result, bool) {
+	f := strings.Fields(line)
+	// Name, iteration count, then (value, unit) pairs.
+	if len(f) < 4 || len(f)%2 != 0 {
+		return Result{}, false
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	res := Result{Name: f[0], Iterations: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		res.Metrics[f[i+1]] = v
+	}
+	return res, true
+}
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	in := io.Reader(os.Stdin)
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+	}
+
+	rep, err := parse(in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(rep.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark results in input")
+		os.Exit(1)
+	}
+
+	w := io.Writer(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,56 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: exterminator
+cpu: Intel(R) Xeon(R)
+BenchmarkFleetIngest-8   	     100	    123456 ns/op	    4096 B/op	      12 allocs/op
+BenchmarkClusterRoute-8  	       1	   9876543 ns/op
+PASS
+ok  	exterminator	1.234s
+`
+
+func TestParse(t *testing.T) {
+	rep, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(rep.Benchmarks))
+	}
+	b := rep.Benchmarks[0]
+	if b.Name != "BenchmarkFleetIngest-8" || b.Iterations != 100 {
+		t.Errorf("first result = %+v", b)
+	}
+	if b.Metrics["ns/op"] != 123456 || b.Metrics["B/op"] != 4096 || b.Metrics["allocs/op"] != 12 {
+		t.Errorf("first result metrics = %v", b.Metrics)
+	}
+	if rep.Config["goos"] != "linux" || rep.Config["pkg"] != "exterminator" {
+		t.Errorf("config = %v", rep.Config)
+	}
+	// The embedded benchfmt block must keep config + result lines (what
+	// benchstat reads) and drop the PASS/ok trailer.
+	for _, want := range []string{"goos: linux\n", "BenchmarkClusterRoute-8"} {
+		if !strings.Contains(rep.Benchfmt, want) {
+			t.Errorf("benchfmt missing %q:\n%s", want, rep.Benchfmt)
+		}
+	}
+	if strings.Contains(rep.Benchfmt, "PASS") || strings.Contains(rep.Benchfmt, "ok  ") {
+		t.Errorf("benchfmt kept test-runner noise:\n%s", rep.Benchfmt)
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	rep, err := parse(strings.NewReader("BenchmarkBroken-8 notanumber ns/op\nrandom noise\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 0 {
+		t.Errorf("malformed lines produced results: %+v", rep.Benchmarks)
+	}
+}

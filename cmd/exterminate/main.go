@@ -22,6 +22,8 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -33,6 +35,7 @@ import (
 	"exterminator/internal/image"
 	"exterminator/internal/inject"
 	"exterminator/internal/mutator"
+	"exterminator/internal/telemetry"
 	"exterminator/internal/trace"
 	"exterminator/internal/workloads"
 	"exterminator/internal/xrand"
@@ -65,6 +68,7 @@ func main() {
 		flushInt    = flag.Duration("flush-interval", 0, "stream evidence to the sinks (fleet, history file) every interval while a cumulative session is still running (0: only at session end)")
 		flushEvery  = flag.Int("flush-every", 0, "stream evidence to the sinks after every N cumulative runs (0: only at session end)")
 		events      = flag.Bool("events", false, "print the session's full event stream")
+		debugAddr   = flag.String("debug-addr", "", "private listen address for net/http/pprof and session /metrics (long cumulative sessions)")
 	)
 	flag.Parse()
 
@@ -117,6 +121,20 @@ func main() {
 			}
 		})),
 	}
+	var reg *telemetry.Registry
+	if *debugAddr != "" {
+		// Session metrics + pprof on a private listener: a long cumulative
+		// run (hours of -maxruns with -flush-interval) becomes observable
+		// the same way the fleet daemons are.
+		reg = telemetry.NewRegistry()
+		telemetry.RegisterBuildInfo(reg)
+		opts = append(opts, engine.WithObserver(telemetry.NewObserver(reg)))
+		go func() {
+			if err := http.ListenAndServe(*debugAddr, telemetry.DebugMux(reg)); err != nil {
+				log.Printf("exterminate: debug listener: %v", err)
+			}
+		}()
+	}
 
 	switch *mode {
 	case "iterative":
@@ -156,6 +174,9 @@ func main() {
 		fc := fleet.NewClient(*fleetURL, installID(*fleetID))
 		if *fleetToken != "" {
 			fc.SetToken(*fleetToken)
+		}
+		if reg != nil {
+			fc.SetMetrics(reg)
 		}
 		fleetSink = fleet.NewSink(fc)
 		opts = append(opts, engine.WithSink(fleetSink))

@@ -38,6 +38,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -49,6 +50,8 @@ import (
 	"exterminator/internal/cluster"
 	"exterminator/internal/cumulative"
 	"exterminator/internal/fleet"
+	"exterminator/internal/telemetry"
+	"exterminator/internal/version"
 )
 
 func main() {
@@ -70,11 +73,33 @@ func main() {
 		coordinator  = flag.String("coordinator", "", "run as cluster coordinator over these comma-separated partition base URLs instead of an evidence store")
 		pollInt      = flag.Duration("poll-interval", 1*time.Second, "coordinator: partition journal poll interval")
 		rebalJournal = flag.String("rebalance-journal", "", "coordinator: crash-safe rebalance journal file; an interrupted drain/backfill is re-driven on start (required for safe live resizes)")
+		debugAddr    = flag.String("debug-addr", "", "private listen address for net/http/pprof and /metrics (empty: no debug listener; /metrics is always on the main listener too)")
+		logJSON      = flag.Bool("log-json", false, "emit structured logs as JSON lines (default: human-readable text)")
+		showVersion  = flag.Bool("version", false, "print build version and exit")
 	)
 	flag.Parse()
 
+	if *showVersion {
+		fmt.Println("fleetd", version.String())
+		return
+	}
+
+	var handler slog.Handler
+	if *logJSON {
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	} else {
+		handler = slog.NewTextHandler(os.Stderr, nil)
+	}
+	logger := slog.New(handler)
+	reg := telemetry.NewRegistry()
+	log.Printf("fleetd %s", version.String())
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *debugAddr != "" {
+		go serveDebug(ctx, *debugAddr, reg)
+	}
 
 	if *coordinator != "" {
 		if *partition {
@@ -89,7 +114,7 @@ func main() {
 			log.Print("fleetd: warning: -shards/-journal/-correct-every/-dedup are ignored in coordinator mode")
 		}
 		runCoordinator(ctx, *addr, *coordinator, *token, cumulative.Config{C: *priorC, P: *fillP},
-			*pollInt, *snapshot, *snapshotInt, *rebalJournal)
+			*pollInt, *snapshot, *snapshotInt, *rebalJournal, reg, logger)
 		return
 	}
 	if *rebalJournal != "" {
@@ -108,6 +133,8 @@ func main() {
 		RateBurst:    *burst,
 		JournalLen:   *journalLen,
 		DedupWindow:  *dedupLen,
+		Metrics:      reg,
+		Logger:       logger,
 		// See ServerOptions.DisableCorrection: a partition's local N
 		// would understate the Bayesian prior, so the server itself
 		// refuses to derive patches in this mode.
@@ -149,7 +176,8 @@ func main() {
 // deltas instead of full resyncs), persists them periodically, and
 // writes a final snapshot on graceful shutdown.
 func runCoordinator(ctx context.Context, addr, partitions, token string, cfg cumulative.Config,
-	pollInt time.Duration, snapshot string, snapshotInt time.Duration, rebalJournal string) {
+	pollInt time.Duration, snapshot string, snapshotInt time.Duration, rebalJournal string,
+	reg *telemetry.Registry, logger *slog.Logger) {
 	var parts []string
 	for _, p := range strings.Split(partitions, ",") {
 		if p = strings.TrimSpace(p); p != "" {
@@ -161,6 +189,8 @@ func runCoordinator(ctx context.Context, addr, partitions, token string, cfg cum
 		Config:           cfg,
 		Token:            token,
 		RebalanceJournal: rebalJournal,
+		Metrics:          reg,
+		Logger:           logger,
 	})
 	if err != nil {
 		log.Fatalf("fleetd: %v", err)
@@ -230,6 +260,28 @@ func coordinatorSnapshotLoop(ctx context.Context, coord *cluster.Coordinator, pa
 			}
 		}
 	}
+}
+
+// serveDebug runs the private profiling listener (-debug-addr):
+// net/http/pprof plus /metrics. Kept off the public mux so profiling
+// endpoints are only reachable where the operator pointed them.
+func serveDebug(ctx context.Context, addr string, reg *telemetry.Registry) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		log.Printf("fleetd: debug listener: %v", err)
+		return
+	}
+	hs := &http.Server{Handler: telemetry.DebugMux(reg)}
+	go func() {
+		log.Printf("fleetd: debug (pprof + metrics) on %s", ln.Addr())
+		if err := hs.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Printf("fleetd: debug listener: %v", err)
+		}
+	}()
+	<-ctx.Done()
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	hs.Shutdown(shutdownCtx)
 }
 
 // serve runs an HTTP server for handler until ctx is done, then drains.

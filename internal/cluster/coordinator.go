@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"sync"
@@ -13,6 +14,8 @@ import (
 	"exterminator/internal/cumulative"
 	"exterminator/internal/fleet"
 	"exterminator/internal/report"
+	"exterminator/internal/telemetry"
+	"exterminator/internal/version"
 )
 
 // CoordinatorOptions configures a cluster coordinator.
@@ -36,6 +39,15 @@ type CoordinatorOptions struct {
 	// single observation. Empty disables crash safety for rebalances —
 	// fine for tests, not for production resizes.
 	RebalanceJournal string
+	// Metrics is the registry the coordinator's instruments register into
+	// (poll/resync counters, per-partition lag gauges, rebalance phase
+	// histograms). Nil gets a private registry; either way the
+	// coordinator's mux serves it on GET /metrics.
+	Metrics *telemetry.Registry
+	// Logger receives the coordinator's structured log (delta
+	// applications with their upload correlation IDs, resyncs, rebalance
+	// phases). Nil discards.
+	Logger *slog.Logger
 }
 
 // Coordinator is the cluster's merge tier. It mirrors every partition's
@@ -76,7 +88,65 @@ type Coordinator struct {
 	maxReports int
 	reportSeen atomic.Int64
 
+	reg     *telemetry.Registry
+	metrics coordMetrics
+	logger  *slog.Logger
+
 	mux *http.ServeMux
+}
+
+// coordMetrics is the merge tier's instrument set. Per-partition series
+// (seq, poll age, poll errors) are registered by newPartition as
+// membership changes — GaugeFunc replacement keeps a re-added
+// partition's series bound to its live state.
+type coordMetrics struct {
+	polls       *telemetry.Counter
+	resyncs     *telemetry.Counter
+	deltas      *telemetry.Counter
+	deltaObs    *telemetry.Counter
+	rebuilds    *telemetry.Counter
+	corrections *telemetry.Counter
+	patchPolls  *telemetry.Counter
+	movedKeys   *telemetry.Counter
+	correctSec  *telemetry.Histogram
+}
+
+func (m *coordMetrics) register(reg *telemetry.Registry, c *Coordinator) {
+	m.polls = reg.Counter("cluster_polls_total",
+		"Delta-poll rounds across all partitions.")
+	m.resyncs = reg.Counter("cluster_resyncs_total",
+		"Partition mirrors replaced wholesale (restart, journal-window miss, or epoch change).")
+	m.deltas = reg.Counter("cluster_deltas_applied_total",
+		"Partition deltas folded into mirrors (incremental or ordered).")
+	m.deltaObs = reg.Counter("cluster_delta_observations_total",
+		"Individual observations mirrored from partitions via deltas (the coordinator's ingest volume).")
+	m.rebuilds = reg.Counter("cluster_merged_rebuilds_total",
+		"Merged-history rebuilds from the partition mirrors (the post-resync/rebalance slow path).")
+	m.corrections = reg.Counter("cluster_corrections_total",
+		"Correction passes over the merged evidence.")
+	m.patchPolls = reg.Counter("cluster_patch_polls_total",
+		"GET /v1/patches requests served (writer patch-poll fan-in).")
+	m.movedKeys = reg.Counter("cluster_rebalance_moved_keys_total",
+		"Evidence keys drained and backfilled by completed rebalances.")
+	m.correctSec = reg.Histogram("cluster_correct_seconds",
+		"Correction pass latency (rebuild, if any, plus incremental identify and fold).",
+		telemetry.DefBuckets)
+	reg.GaugeFunc("cluster_merged_sites",
+		"Distinct allocation sites in the merged history.",
+		func() float64 { c.mu.Lock(); defer c.mu.Unlock(); return float64(c.merged.Sites()) })
+	reg.GaugeFunc("cluster_merged_runs",
+		"Fleet-wide runs folded into the merged history.",
+		func() float64 { c.mu.Lock(); defer c.mu.Unlock(); return float64(c.merged.Runs) })
+	reg.GaugeFunc("cluster_dirty_keys",
+		"Merged-history keys awaiting the next incremental identify pass.",
+		func() float64 { c.mu.Lock(); defer c.mu.Unlock(); return float64(c.merged.DirtyKeys()) })
+	reg.GaugeFunc("cluster_patch_version",
+		"Fleet-wide patch log version.",
+		func() float64 { return float64(c.log.Version()) })
+	reg.GaugeFunc("cluster_partitions",
+		"Partitions currently in the poll set.",
+		func() float64 { c.mu.Lock(); defer c.mu.Unlock(); return float64(len(c.parts)) })
+	telemetry.RegisterBuildInfo(reg)
 }
 
 // partition is the coordinator's view of one fleetd instance: a local
@@ -86,11 +156,18 @@ type partition struct {
 	base   string
 	client *fleet.Client
 
-	mirror  *cumulative.History
-	seq     uint64
-	epoch   uint64
-	errs    atomic.Int64
-	lastErr atomic.Value // string
+	mirror *cumulative.History
+	seq    uint64
+	epoch  uint64
+	errs   atomic.Int64
+	// seqGauge shadows seq and lastPoll stamps the last successful delta
+	// application (unixnano), so the per-partition gauges read lock-free
+	// atomics instead of reaching for the coordinator's mu from an
+	// exposition scrape.
+	seqGauge atomic.Uint64
+	lastPoll atomic.Int64
+	errsC    *telemetry.Counter
+	lastErr  atomic.Value // string
 }
 
 // NewCoordinator returns a coordinator mirroring the given partitions.
@@ -117,6 +194,16 @@ func NewCoordinator(opts CoordinatorOptions) (*Coordinator, error) {
 	if c.maxReports <= 0 {
 		c.maxReports = 128
 	}
+	c.reg = opts.Metrics
+	if c.reg == nil {
+		c.reg = telemetry.NewRegistry()
+	}
+	logger := opts.Logger
+	if logger == nil {
+		logger = slog.New(slog.DiscardHandler)
+	}
+	c.logger = logger.With("component", "coordinator")
+	c.metrics.register(c.reg, c)
 	for _, base := range opts.Partitions {
 		c.parts = append(c.parts, c.newPartition(base))
 	}
@@ -130,26 +217,51 @@ func NewCoordinator(opts CoordinatorOptions) (*Coordinator, error) {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
 	})
+	mux.Handle("/metrics", c.reg.Handler())
 	c.mux = mux
 	return c, nil
 }
+
+// Metrics exposes the coordinator's registry (also served on the
+// handler's GET /metrics).
+func (c *Coordinator) Metrics() *telemetry.Registry { return c.reg }
 
 // Handler returns the coordinator's HTTP handler (the client-facing
 // subset of the fleet protocol — patches, reports, status, health —
 // plus the cluster admin surface: membership and rebalance).
 func (c *Coordinator) Handler() http.Handler { return c.mux }
 
-// newPartition builds the coordinator's view of one fleetd instance.
+// newPartition builds the coordinator's view of one fleetd instance and
+// registers its per-partition series. A re-added partition re-binds the
+// existing series to the fresh state (GaugeFunc replace semantics), so
+// membership churn never double-registers.
 func (c *Coordinator) newPartition(base string) *partition {
 	client := fleet.NewClient(base, "coordinator")
 	if c.token != "" {
 		client.SetToken(c.token)
 	}
-	return &partition{
+	p := &partition{
 		base:   base,
 		client: client,
 		mirror: cumulative.NewHistory(c.cfg),
 	}
+	p.errsC = c.reg.Counter("cluster_poll_errors_total",
+		"Failed delta polls, by partition.", telemetry.L("partition", base))
+	c.reg.GaugeFunc("cluster_partition_seq",
+		"Journal cursor mirrored from each partition.",
+		func() float64 { return float64(p.seqGauge.Load()) },
+		telemetry.L("partition", base))
+	c.reg.GaugeFunc("cluster_partition_poll_age_seconds",
+		"Delta-poll lag: seconds since each partition's last successful poll (0 until the first).",
+		func() float64 {
+			ns := p.lastPoll.Load()
+			if ns == 0 {
+				return 0
+			}
+			return time.Since(time.Unix(0, ns)).Seconds()
+		},
+		telemetry.L("partition", base))
+	return p
 }
 
 // partitionsSnapshot returns the current partition slice (membership can
@@ -215,6 +327,7 @@ func (c *Coordinator) PollOnce(ctx context.Context) (changed bool, err error) {
 // can observe — and run a correction pass over — the half-moved state).
 func (c *Coordinator) pollLocked(ctx context.Context) (changed bool, err error) {
 	c.polls.Add(1)
+	c.metrics.polls.Inc()
 	parts := c.partitionsSnapshot()
 	type result struct {
 		p     *partition
@@ -249,7 +362,10 @@ func (c *Coordinator) pollLocked(ctx context.Context) (changed bool, err error) 
 	for _, res := range results {
 		if res.err != nil {
 			res.p.errs.Add(1)
+			res.p.errsC.Inc()
 			res.p.lastErr.Store(res.err.Error())
+			c.logger.Warn("delta poll failed",
+				"partition", res.p.base, "error", res.err.Error())
 			errs = append(errs, fmt.Errorf("cluster: poll %s: %w", res.p.base, res.err))
 			continue
 		}
@@ -268,6 +384,10 @@ func (c *Coordinator) pollLocked(ctx context.Context) (changed bool, err error) 
 			res.p.mirror = mirror
 			c.rebuild = true
 			c.resyncs.Add(1)
+			c.metrics.resyncs.Inc()
+			c.metrics.deltaObs.Add(float64(fleet.SnapshotObservations(d.Snapshot)))
+			c.logger.Info("partition resynced; mirror replaced",
+				"partition", res.p.base, "seq", d.Seq, "epoch", d.Epoch)
 			changed = true
 		case len(d.Ops) > 0:
 			// Ordered delta: the window holds rebalance evictions. Apply
@@ -277,6 +397,7 @@ func (c *Coordinator) pollLocked(ctx context.Context) (changed bool, err error) 
 			// evidence reappears through the new owner's journal, and
 			// rebuilding (instead of in-place extraction) keeps the merge
 			// independent of the order partitions' deltas land in.
+			obs := 0
 			for _, op := range d.Ops {
 				if len(op.Evict) > 0 {
 					res.p.mirror.Extract(op.Evict)
@@ -284,9 +405,15 @@ func (c *Coordinator) pollLocked(ctx context.Context) (changed bool, err error) 
 				}
 				if op.Snapshot != nil {
 					res.p.mirror.Absorb(op.Snapshot)
+					obs += fleet.SnapshotObservations(op.Snapshot)
 				}
 			}
 			c.rebuild = true
+			c.metrics.deltas.Inc()
+			c.metrics.deltaObs.Add(float64(obs))
+			c.logger.Info("ordered delta applied",
+				"partition", res.p.base, "seq", d.Seq, "ops", len(d.Ops),
+				"observations", obs, "requestIds", d.ReqIDs)
 			changed = true
 		case d.Snapshot != nil:
 			res.p.mirror.Absorb(d.Snapshot)
@@ -296,9 +423,17 @@ func (c *Coordinator) pollLocked(ctx context.Context) (changed bool, err error) 
 				// incremental identify pass.
 				c.merged.Absorb(d.Snapshot)
 			}
+			obs := fleet.SnapshotObservations(d.Snapshot)
+			c.metrics.deltas.Inc()
+			c.metrics.deltaObs.Add(float64(obs))
+			c.logger.Info("delta applied",
+				"partition", res.p.base, "seq", d.Seq,
+				"observations", obs, "requestIds", d.ReqIDs)
 			changed = true
 		}
 		res.p.seq, res.p.epoch = d.Seq, d.Epoch
+		res.p.seqGauge.Store(d.Seq)
+		res.p.lastPoll.Store(time.Now().UnixNano())
 	}
 	return changed, errors.Join(errs...)
 }
@@ -311,6 +446,8 @@ func (c *Coordinator) Correct() (uint64, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.corrections.Add(1)
+	c.metrics.corrections.Inc()
+	defer c.metrics.correctSec.ObserveSince(time.Now())
 	if c.rebuild {
 		merged := cumulative.NewHistory(c.cfg)
 		for _, p := range c.parts {
@@ -318,12 +455,18 @@ func (c *Coordinator) Correct() (uint64, bool) {
 		}
 		c.merged = merged
 		c.rebuild = false
+		c.metrics.rebuilds.Inc()
 	}
 	findings := c.merged.Identify()
 	if findings.Empty() {
 		return c.log.Version(), false
 	}
-	return c.log.Fold(findings.Patches())
+	v, changed := c.log.Fold(findings.Patches())
+	if changed {
+		c.logger.Info("correction pass folded fleet-wide patches",
+			"patchVersion", v, "patchEntries", c.log.Len())
+	}
+	return v, changed
 }
 
 // Run polls and corrects every interval until ctx is done.
@@ -361,6 +504,7 @@ func (c *Coordinator) handlePatches(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "GET only", http.StatusMethodNotAllowed)
 		return
 	}
+	c.metrics.patchPolls.Inc()
 	var since uint64
 	if q := r.URL.Query().Get("since"); q != "" {
 		v, err := strconv.ParseUint(q, 10, 64)
@@ -460,10 +604,12 @@ func (c *Coordinator) handleMembership(w http.ResponseWriter, r *http.Request) {
 
 // Status assembles the coordinator's status reply.
 func (c *Coordinator) Status() *ClusterStatus {
-	version, nodes := c.ring.Membership()
+	build := version.String()
+	memberVersion, nodes := c.ring.Membership()
 	c.mu.Lock()
 	st := &ClusterStatus{
 		StatusReply: fleet.StatusReply{
+			Build:       build,
 			Version:     c.log.Version(),
 			Sites:       c.merged.Sites(),
 			Runs:        int64(c.merged.Runs),
@@ -477,7 +623,7 @@ func (c *Coordinator) Status() *ClusterStatus {
 		},
 		Polls:             c.polls.Load(),
 		Resyncs:           c.resyncs.Load(),
-		MembershipVersion: version,
+		MembershipVersion: memberVersion,
 		Nodes:             nodes,
 		Rebalance:         c.rebalState,
 	}

@@ -9,10 +9,12 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"time"
 
 	"exterminator/internal/cumulative"
 	"exterminator/internal/fleet"
 	"exterminator/internal/site"
+	"exterminator/internal/telemetry"
 )
 
 // Live ring rebalancing: when cluster membership changes, the keys the
@@ -206,11 +208,26 @@ func (c *Coordinator) adoptCompletedPlan(completed *rebalPlan) {
 	c.setPartitions(completed.New)
 }
 
+// observeRebalPhase records one rebalance phase's duration in the
+// per-phase latency histogram.
+func (c *Coordinator) observeRebalPhase(phase string, start time.Time) {
+	c.reg.Histogram("cluster_rebalance_phase_seconds",
+		"Rebalance phase durations (announce, drain, commit).",
+		telemetry.DefBuckets, telemetry.L("phase", phase)).ObserveSince(start)
+}
+
 // runRebalance drives one plan to completion. The caller holds rebalMu.
 func (c *Coordinator) runRebalance(ctx context.Context, plan *rebalPlan) (*RebalanceResult, error) {
 	c.setRebalState(RebalanceState{State: RebalanceRebalancing, Version: plan.Version})
+	c.logger.Info("rebalance starting",
+		"version", plan.Version, "old", plan.Old, "new", plan.New)
 	fail := func(err error) (*RebalanceResult, error) {
 		c.setRebalState(RebalanceState{State: RebalanceFailed, Version: plan.Version, LastError: err.Error()})
+		c.reg.Counter("cluster_rebalances_total",
+			"Rebalances driven to a terminal state, by outcome.",
+			telemetry.L("outcome", "failed")).Inc()
+		c.logger.Error("rebalance failed",
+			"version", plan.Version, "error", err.Error())
 		return nil, err
 	}
 
@@ -233,11 +250,13 @@ func (c *Coordinator) runRebalance(ctx context.Context, plan *rebalPlan) (*Rebal
 	// membership version before any key moves, so a writer still routing
 	// by the old ring cannot strand evidence on a former owner while the
 	// drain is in flight.
+	announceStart := time.Now()
 	for _, node := range union {
 		if _, err := c.findPartition(node).client.AnnounceRing(ctx, plan.Version); err != nil {
 			return fail(fmt.Errorf("cluster: announce membership v%d to %s: %w", plan.Version, node, err))
 		}
 	}
+	c.observeRebalPhase("announce", announceStart)
 	if err := c.rebalCrashpoint("announced"); err != nil {
 		return fail(err)
 	}
@@ -261,6 +280,7 @@ func (c *Coordinator) runRebalance(ctx context.Context, plan *rebalPlan) (*Rebal
 	for _, n := range plan.New {
 		newSet[n] = true
 	}
+	drainStart := time.Now()
 	moved := 0
 	drained := make(map[string]int)
 	for _, node := range plan.Old {
@@ -316,11 +336,16 @@ func (c *Coordinator) runRebalance(ctx context.Context, plan *rebalPlan) (*Rebal
 		if err := c.journalRebal(rebalRecord{Op: "backfilled", Version: plan.Version, Part: node}); err != nil {
 			return fail(err)
 		}
+		c.logger.Info("partition drained and backfilled",
+			"version", plan.Version, "partition", node,
+			"movedKeys", drained[node], "leaving", leaving)
 	}
+	c.observeRebalPhase("drain", drainStart)
 
 	// Commit membership: the coordinator's own ring adopts the new
 	// topology, removed partitions drop out of the poll set, and the
 	// merged history is rebuilt from the mirrors on the next pass.
+	commitStart := time.Now()
 	c.ring.SetMembership(plan.Version, plan.New)
 	c.mu.Lock()
 	kept := c.parts[:0]
@@ -343,12 +368,20 @@ func (c *Coordinator) runRebalance(ctx context.Context, plan *rebalPlan) (*Rebal
 		return fail(err)
 	}
 	c.Correct()
+	c.observeRebalPhase("commit", commitStart)
 	c.setRebalState(RebalanceState{
 		State:             RebalanceDone,
 		Version:           plan.Version,
 		MovedKeys:         moved,
 		DrainedPartitions: len(drained),
 	})
+	c.metrics.movedKeys.Add(float64(moved))
+	c.reg.Counter("cluster_rebalances_total",
+		"Rebalances driven to a terminal state, by outcome.",
+		telemetry.L("outcome", "done")).Inc()
+	c.logger.Info("rebalance committed",
+		"version", plan.Version, "nodes", plan.New,
+		"movedKeys", moved, "drainedPartitions", len(drained))
 	return &RebalanceResult{Version: plan.Version, Nodes: plan.New, MovedKeys: moved, Drained: drained}, nil
 }
 

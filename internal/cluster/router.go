@@ -4,11 +4,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"sync"
 
 	"exterminator/internal/cumulative"
 	"exterminator/internal/fleet"
 	"exterminator/internal/site"
+	"exterminator/internal/telemetry"
 )
 
 // Router is the cluster-aware upload client: it splits every observation
@@ -21,6 +23,8 @@ type Router struct {
 	mu      sync.Mutex
 	clients map[string]*fleet.Client
 	token   string
+	logger  *slog.Logger
+	reg     *telemetry.Registry
 }
 
 // ErrNoMembers reports a routing attempt against a ring with no
@@ -56,6 +60,29 @@ func (rt *Router) SetToken(token string) {
 	}
 }
 
+// SetLogger propagates a structured logger to every partition client —
+// existing and lazily created alike — so each 429/retry logs with its
+// batch and correlation IDs.
+func (rt *Router) SetLogger(l *slog.Logger) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	rt.logger = l
+	for _, c := range rt.clients {
+		c.SetLogger(l)
+	}
+}
+
+// SetMetrics registers every partition client's upload instruments into
+// reg (the fleet_client_* family; all partitions share the series).
+func (rt *Router) SetMetrics(reg *telemetry.Registry) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	rt.reg = reg
+	for _, c := range rt.clients {
+		c.SetMetrics(reg)
+	}
+}
+
 // client returns (creating lazily) the fleet client for a partition.
 func (rt *Router) client(node string) *fleet.Client {
 	rt.mu.Lock()
@@ -65,6 +92,12 @@ func (rt *Router) client(node string) *fleet.Client {
 		c = fleet.NewClient(node, rt.id)
 		if rt.token != "" {
 			c.SetToken(rt.token)
+		}
+		if rt.logger != nil {
+			c.SetLogger(rt.logger)
+		}
+		if rt.reg != nil {
+			c.SetMetrics(rt.reg)
 		}
 		rt.clients[node] = c
 	}

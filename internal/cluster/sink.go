@@ -3,6 +3,7 @@ package cluster
 import (
 	"context"
 	"errors"
+	"log/slog"
 	"sync"
 
 	"exterminator/internal/cumulative"
@@ -10,6 +11,7 @@ import (
 	"exterminator/internal/fleet"
 	"exterminator/internal/patch"
 	"exterminator/internal/report"
+	"exterminator/internal/telemetry"
 )
 
 // Sink is the cluster-aware engine.EvidenceSink: patches download from
@@ -20,6 +22,11 @@ import (
 type Sink struct {
 	coord  *fleet.Client
 	router *Router
+	logger *slog.Logger
+
+	// Flush instrumentation, registered by SetMetrics (nil without).
+	flushPieces   *telemetry.Histogram
+	staleResplits *telemetry.Counter
 
 	mu             sync.Mutex
 	fetchedEntries int
@@ -43,6 +50,7 @@ func NewSink(coordinatorURL, id string, partitions ...string) (*Sink, error) {
 	return &Sink{
 		coord:   fleet.NewClient(coordinatorURL, id),
 		router:  rt,
+		logger:  slog.New(slog.DiscardHandler),
 		pending: make(map[string]Piece),
 	}, nil
 }
@@ -52,6 +60,31 @@ func NewSink(coordinatorURL, id string, partitions ...string) (*Sink, error) {
 func (s *Sink) SetToken(token string) {
 	s.coord.SetToken(token)
 	s.router.SetToken(token)
+}
+
+// SetLogger attaches a structured logger to the sink and every client
+// under it (coordinator and per-partition); by default all are silent.
+func (s *Sink) SetLogger(l *slog.Logger) {
+	if l == nil {
+		l = slog.New(slog.DiscardHandler)
+	}
+	s.logger = l.With("component", "cluster-sink")
+	s.coord.SetLogger(l)
+	s.router.SetLogger(l)
+}
+
+// SetMetrics registers the sink's flush instruments into reg and
+// propagates the registry to every client under it.
+func (s *Sink) SetMetrics(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	s.flushPieces = reg.Histogram("cluster_sink_flush_pieces",
+		"Ring-split pieces pushed per evidence flush.", telemetry.SizeBuckets)
+	s.staleResplits = reg.Counter("cluster_sink_stale_resplits_total",
+		"Flushes re-split after a stale-ring rejection (the cluster rebalanced mid-upload).")
+	s.coord.SetMetrics(reg)
+	s.router.SetMetrics(reg)
 }
 
 // Router exposes the underlying router (membership changes).
@@ -165,9 +198,15 @@ func (s *Sink) stream(ctx context.Context, hist *cumulative.History) error {
 	}
 	s.mu.Unlock()
 	sawStale := len(stale) > 0
+	pushed := len(retries)
 
 	for pass := 0; pass < 2; pass++ {
 		if sawStale {
+			if s.staleResplits != nil {
+				s.staleResplits.Inc()
+			}
+			s.logger.Warn("stale ring rejected pieces; refreshing membership and re-splitting",
+				"stalePieces", len(stale))
 			s.refreshMembership(ctx)
 			sawStale = false
 		}
@@ -213,6 +252,7 @@ func (s *Sink) stream(ctx context.Context, hist *cumulative.History) error {
 			}
 			fresh = append(fresh, p)
 		}
+		pushed += len(fresh)
 		delivered, failed, stale = s.pushAll(ctx, fresh, &errs)
 		for _, p := range delivered {
 			hist.MarkUploaded(p.Batch.Snapshot)
@@ -226,6 +266,9 @@ func (s *Sink) stream(ctx context.Context, hist *cumulative.History) error {
 			break
 		}
 		sawStale = true
+	}
+	if s.flushPieces != nil && pushed > 0 {
+		s.flushPieces.Observe(float64(pushed))
 	}
 	return errors.Join(errs...)
 }

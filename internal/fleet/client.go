@@ -7,6 +7,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"strings"
@@ -17,6 +18,7 @@ import (
 	"exterminator/internal/patch"
 	"exterminator/internal/report"
 	"exterminator/internal/site"
+	"exterminator/internal/telemetry"
 )
 
 // Client talks to a fleet aggregation server. It is safe for concurrent
@@ -27,10 +29,12 @@ import (
 // about ingest bandwidth. Set DisableCompression for servers that
 // predate transparent decompression.
 type Client struct {
-	base  string
-	id    string
-	token string
-	hc    *http.Client
+	base   string
+	id     string
+	token  string
+	hc     *http.Client
+	logger *slog.Logger
+	m      *clientMetrics
 
 	// DisableCompression sends request bodies uncompressed.
 	DisableCompression bool
@@ -39,19 +43,67 @@ type Client struct {
 	lastEpoch uint64 // server incarnation seen by the previous poll
 }
 
+// clientMetrics is the upload-side instrument set, registered when the
+// embedding process hands the client a registry (SetMetrics). Nil on
+// clients that never did — every touch point is nil-guarded.
+type clientMetrics struct {
+	pushes     *telemetry.Counter
+	retries    *telemetry.Counter
+	backoffSec *telemetry.Counter
+	errors     *telemetry.Counter
+	pushSec    *telemetry.Histogram
+}
+
+func newClientMetrics(reg *telemetry.Registry) *clientMetrics {
+	return &clientMetrics{
+		pushes: reg.Counter("fleet_client_pushes_total",
+			"Observation batch uploads attempted (each counted once, however many 429 retries it took)."),
+		retries: reg.Counter("fleet_client_retries_total",
+			"Rate-limited (429) upload deliveries retried after a Retry-After wait."),
+		backoffSec: reg.Counter("fleet_client_backoff_seconds_total",
+			"Total seconds spent sleeping on Retry-After backoff."),
+		errors: reg.Counter("fleet_client_push_errors_total",
+			"Observation uploads that ultimately failed (after retries)."),
+		pushSec: reg.Histogram("fleet_client_push_seconds",
+			"Observation upload round-trip latency, including 429 backoff.",
+			telemetry.DefBuckets),
+	}
+}
+
 // NewClient returns a client for the server at base (e.g.
 // "http://patches.example.com:7077"). id is an opaque installation
 // identifier sent with uploads; empty is fine.
 func NewClient(base, id string) *Client {
 	return &Client{
-		base: strings.TrimRight(base, "/"),
-		id:   id,
-		hc:   &http.Client{Timeout: 15 * time.Second},
+		base:   strings.TrimRight(base, "/"),
+		id:     id,
+		hc:     &http.Client{Timeout: 15 * time.Second},
+		logger: slog.New(slog.DiscardHandler),
 	}
 }
 
 // SetHTTPClient swaps the underlying HTTP client (tests, custom timeouts).
 func (c *Client) SetHTTPClient(hc *http.Client) { c.hc = hc }
+
+// SetLogger attaches a structured logger; by default the client is
+// silent. Each rate-limited retry is logged with the attempt count, the
+// server's Retry-After, and the batch and correlation IDs, so a stalled
+// uploader explains itself.
+func (c *Client) SetLogger(l *slog.Logger) {
+	if l == nil {
+		l = slog.New(slog.DiscardHandler)
+	}
+	c.logger = l.With("component", "fleet-client")
+}
+
+// SetMetrics registers the client's upload instruments (push latency,
+// retry and backoff counters) into reg. Without it the client records
+// nothing.
+func (c *Client) SetMetrics(reg *telemetry.Registry) {
+	if reg != nil {
+		c.m = newClientMetrics(reg)
+	}
+}
 
 // SetToken attaches a shared ingest token, sent as `Authorization:
 // Bearer <token>` with every request (servers started with -token reject
@@ -86,7 +138,10 @@ func (c *Client) PushBatchContext(ctx context.Context, b *ObservationBatch) (*In
 		b.Client = c.id
 	}
 	var reply IngestReply
-	if err := c.postJSON(ctx, "/v1/observations", b, &reply); err != nil {
+	if err := c.post(ctx, "/v1/observations", b.BatchID, b, &reply); err != nil {
+		if c.m != nil {
+			c.m.errors.Inc()
+		}
 		return nil, err
 	}
 	return &reply, nil
@@ -290,6 +345,14 @@ const (
 // by maxPushAttempts; a 409 stale-ring rejection surfaces as a
 // *StaleRingError.
 func (c *Client) postJSON(ctx context.Context, path string, body, reply any) error {
+	return c.post(ctx, path, "", body, reply)
+}
+
+// post is postJSON carrying the batch's identity for log correlation.
+// Every delivery is stamped with one X-Request-ID, held constant across
+// 429 retries of the same payload so all server-side log lines for this
+// upload share a single correlation handle.
+func (c *Client) post(ctx context.Context, path, batchID string, body, reply any) error {
 	var buf bytes.Buffer
 	if c.DisableCompression {
 		if err := json.NewEncoder(&buf).Encode(body); err != nil {
@@ -305,12 +368,18 @@ func (c *Client) postJSON(ctx context.Context, path string, body, reply any) err
 		}
 	}
 	payload := buf.Bytes()
+	reqID := telemetry.NewRequestID()
+	if path == "/v1/observations" && c.m != nil {
+		c.m.pushes.Inc()
+		defer c.m.pushSec.ObserveSince(time.Now())
+	}
 	for attempt := 1; ; attempt++ {
 		req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(payload))
 		if err != nil {
 			return fmt.Errorf("fleet: post %s: %w", path, err)
 		}
 		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set(RequestIDHeader, reqID)
 		if c.token != "" {
 			req.Header.Set("Authorization", "Bearer "+c.token)
 		}
@@ -324,6 +393,16 @@ func (c *Client) postJSON(ctx context.Context, path string, body, reply any) err
 		if resp.StatusCode == http.StatusTooManyRequests && attempt < maxPushAttempts {
 			wait := retryAfter(resp)
 			drain(resp)
+			c.logger.Warn("push rate-limited; backing off",
+				"path", path,
+				"attempt", attempt,
+				"retryAfterSec", wait.Seconds(),
+				"batchId", batchID,
+				"requestId", reqID)
+			if c.m != nil {
+				c.m.retries.Inc()
+				c.m.backoffSec.Add(wait.Seconds())
+			}
 			select {
 			case <-ctx.Done():
 				return fmt.Errorf("fleet: post %s: %w", path, ctx.Err())

@@ -25,10 +25,13 @@ type journal struct {
 
 // journalEntry is one journal step: an absorbed batch (snap) or an
 // eviction (evict — the key set a rebalance drained from this
-// partition).
+// partition). reqID is the batch's X-Request-ID correlation field; it
+// rides the delta reply so the coordinator's log can be joined with
+// this partition's, upload by upload.
 type journalEntry struct {
 	snap  *cumulative.Snapshot
 	evict []site.ID
+	reqID string
 }
 
 // defaultJournalLen is the retained batch window. Batches are a few KB
@@ -49,11 +52,11 @@ func newJournal(max int) *journal {
 	return &journal{max: max}
 }
 
-// append records one absorbed batch and returns its sequence number.
-// The snapshot must not be mutated afterwards (the journal keeps the
-// reference).
-func (j *journal) append(s *cumulative.Snapshot) uint64 {
-	return j.push(journalEntry{snap: s})
+// append records one absorbed batch (tagged with its request's
+// correlation ID) and returns its sequence number. The snapshot must
+// not be mutated afterwards (the journal keeps the reference).
+func (j *journal) append(s *cumulative.Snapshot, reqID string) uint64 {
+	return j.push(journalEntry{snap: s, reqID: reqID})
 }
 
 // appendEvict records a rebalance drain of the given keys.
@@ -90,6 +93,14 @@ func (j *journal) since(from uint64) (entries []journalEntry, seq uint64, ok boo
 		return nil, j.seq, false
 	}
 	return append([]journalEntry(nil), j.entries[from-j.base:]...), j.seq, true
+}
+
+// length returns how many entries the journal currently retains (the
+// delta-poll window depth gauge).
+func (j *journal) length() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.entries)
 }
 
 // seqNow returns the current sequence number.

@@ -9,6 +9,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -21,6 +22,8 @@ import (
 	"exterminator/internal/cumulative"
 	"exterminator/internal/report"
 	"exterminator/internal/site"
+	"exterminator/internal/telemetry"
+	"exterminator/internal/version"
 )
 
 // ServerOptions configures an aggregation server.
@@ -70,6 +73,15 @@ type ServerOptions struct {
 	// retrying after a lost ack cannot double-count evidence. The window
 	// is persisted in snapshots, so the guarantee survives restarts.
 	DedupWindow int
+	// Metrics is the telemetry registry the server instruments into and
+	// serves on GET /metrics (nil = a fresh private registry — /metrics
+	// still works, nothing else shares it).
+	Metrics *telemetry.Registry
+	// Logger receives the server's structured log stream (ingest,
+	// dedup/stale/eviction decisions, correction passes, snapshots), each
+	// record carrying the upload's X-Request-ID correlation field where
+	// one applies. Nil discards.
+	Logger *slog.Logger
 }
 
 // Server is the fleet aggregation service: sharded evidence store,
@@ -119,9 +131,88 @@ type Server struct {
 	maxReports int
 	reportSeen atomic.Int64
 
+	reg     *telemetry.Registry
+	metrics serverMetrics
+	logger  *slog.Logger
+
 	start time.Time
 	epoch uint64
 	mux   *http.ServeMux
+}
+
+// serverMetrics is the fleet server's instrument set (see
+// docs/OBSERVABILITY.md for the full reference).
+type serverMetrics struct {
+	batches      *telemetry.Counter
+	observations *telemetry.Counter
+	runs         *telemetry.Counter
+	wireBytes    *telemetry.Counter
+	bodyBytes    *telemetry.Counter
+	dedupHits    *telemetry.Counter
+	staleRing    *telemetry.Counter
+	rateLimited  *telemetry.Counter
+	unauthorized *telemetry.Counter
+	evictions    *telemetry.Counter
+	corrections  *telemetry.Counter
+	ingestSec    *telemetry.Histogram
+	identifySec  *telemetry.Histogram
+	correctSec   *telemetry.Histogram
+}
+
+// register instruments the server into reg: the ingest counter set, the
+// identify/correct latency histograms, and scrape-time gauges over the
+// live store/journal/patch-log state.
+func (m *serverMetrics) register(reg *telemetry.Registry, s *Server) {
+	m.batches = reg.Counter("fleet_ingest_batches_total",
+		"Observation batches absorbed (duplicates and rejections excluded).")
+	m.observations = reg.Counter("fleet_ingest_observations_total",
+		"Individual overflow/dangling observations absorbed.")
+	m.runs = reg.Counter("fleet_ingest_runs_total",
+		"Run-counter increments absorbed with batches.")
+	m.wireBytes = reg.Counter("fleet_ingest_wire_bytes_total",
+		"Ingest request-body bytes read off the wire (compressed when the client gzips).")
+	m.bodyBytes = reg.Counter("fleet_ingest_body_bytes_total",
+		"Ingest request-body bytes after decompression; divide wire by body for the gzip ratio.")
+	m.dedupHits = reg.Counter("fleet_dedup_hits_total",
+		"Uploads acknowledged as duplicates without being re-absorbed (exactly-once window hits).")
+	m.staleRing = reg.Counter("fleet_stale_ring_rejects_total",
+		"Uploads rejected with 409 for being split under an outdated cluster membership.")
+	m.rateLimited = reg.Counter("fleet_rate_limited_total",
+		"Uploads rejected with 429 by the per-host token bucket.")
+	m.unauthorized = reg.Counter("fleet_unauthorized_total",
+		"Write requests rejected with 401 (missing or invalid ingest token).")
+	m.evictions = reg.Counter("fleet_evictions_total",
+		"Rebalance drains served via POST /v1/evict (cache hits included).")
+	m.corrections = reg.Counter("fleet_corrections_total",
+		"Completed correction passes.")
+	m.ingestSec = reg.Histogram("fleet_ingest_seconds",
+		"POST /v1/observations handling latency in seconds.", nil)
+	m.identifySec = reg.Histogram("fleet_identify_seconds",
+		"Incremental Bayesian identify latency per correction pass, in seconds.", nil)
+	m.correctSec = reg.Histogram("fleet_correct_seconds",
+		"Whole correction-pass latency (identify + patch fold), in seconds.", nil)
+	reg.GaugeFunc("fleet_dirty_keys",
+		"Evidence keys the next correction pass must rescore (recompute backlog).",
+		func() float64 { return float64(s.store.DirtyKeys()) })
+	reg.GaugeFunc("fleet_journal_seq",
+		"Evidence journal sequence number (the cursor coordinators poll with).",
+		func() float64 { return float64(s.journal.seqNow()) })
+	reg.GaugeFunc("fleet_journal_entries",
+		"Evidence journal entries currently retained (delta-poll window depth).",
+		func() float64 { return float64(s.journal.length()) })
+	reg.GaugeFunc("fleet_patch_version",
+		"Patch log version.",
+		func() float64 { return float64(s.log.Version()) })
+	reg.GaugeFunc("fleet_patch_entries",
+		"Patch log entry count.",
+		func() float64 { return float64(s.log.Len()) })
+	reg.GaugeFunc("fleet_evidence_sites",
+		"Distinct allocation sites in the evidence store (N in the Bayesian prior).",
+		func() float64 { return float64(s.store.Sites()) })
+	reg.GaugeFunc("fleet_evidence_runs",
+		"Fleet-wide run count in the evidence store.",
+		func() float64 { return float64(s.store.Runs()) })
+	telemetry.RegisterBuildInfo(reg)
 }
 
 // NewServer returns a ready-to-serve aggregation server.
@@ -146,6 +237,8 @@ func NewServer(opts ServerOptions) *Server {
 		dedup:        newDedupWindow(opts.DedupWindow),
 		evicts:       newEvictCache(0),
 		journal:      newJournal(opts.JournalLen),
+		reg:          opts.Metrics,
+		logger:       opts.Logger,
 		start:        time.Now(),
 		epoch:        uint64(time.Now().UnixNano()),
 	}
@@ -155,6 +248,14 @@ func NewServer(opts ServerOptions) *Server {
 	if s.maxBody <= 0 {
 		s.maxBody = 16 << 20
 	}
+	if s.reg == nil {
+		s.reg = telemetry.NewRegistry()
+	}
+	if s.logger == nil {
+		s.logger = slog.New(slog.DiscardHandler)
+	}
+	s.logger = s.logger.With("component", "fleet")
+	s.metrics.register(s.reg, s)
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/observations", s.handleObservations)
 	mux.HandleFunc("/v1/reports", s.handleReports)
@@ -163,6 +264,7 @@ func NewServer(opts ServerOptions) *Server {
 	mux.HandleFunc("/v1/evict", s.handleEvict)
 	mux.HandleFunc("/v1/ring", s.handleRing)
 	mux.HandleFunc("/v1/status", s.handleStatus)
+	mux.Handle("/metrics", s.reg.Handler())
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
@@ -173,6 +275,10 @@ func NewServer(opts ServerOptions) *Server {
 
 // Handler returns the server's HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
+
+// Metrics returns the registry the server instruments into (fleetd also
+// serves it on the -debug-addr listener).
+func (s *Server) Metrics() *telemetry.Registry { return s.reg }
 
 // Store exposes the evidence store (tests and fleetd snapshots).
 func (s *Server) Store() *Store { return s.store }
@@ -195,13 +301,25 @@ func (s *Server) Correct() (uint64, bool) {
 	}
 	s.correctMu.Lock()
 	defer s.correctMu.Unlock()
+	start := time.Now()
+	defer s.metrics.correctSec.ObserveSince(start)
 	s.pending.Store(0)
 	s.corrections.Add(1)
+	s.metrics.corrections.Inc()
+	identifyStart := time.Now()
 	findings := s.store.Identify()
+	s.metrics.identifySec.ObserveSince(identifyStart)
 	if findings.Empty() {
+		s.logger.Debug("correction pass: no findings",
+			"version", s.log.Version(), "durationSec", time.Since(start).Seconds())
 		return s.log.Version(), false
 	}
-	return s.log.Fold(findings.Patches())
+	v, changed := s.log.Fold(findings.Patches())
+	if changed {
+		s.logger.Info("correction pass derived patches",
+			"version", v, "patchEntries", s.log.Len(), "durationSec", time.Since(start).Seconds())
+	}
+	return v, changed
 }
 
 // RunCorrectionLoop reruns Correct every interval until ctx is done — the
@@ -241,6 +359,9 @@ func (s *Server) authorize(w http.ResponseWriter, r *http.Request) bool {
 	if s.token == "" || BearerAuthorized(r, s.token) {
 		return true
 	}
+	s.metrics.unauthorized.Inc()
+	s.logger.Warn("unauthorized write rejected",
+		"path", r.URL.Path, "remote", r.RemoteAddr, "requestId", r.Header.Get(RequestIDHeader))
 	w.Header().Set("WWW-Authenticate", `Bearer realm="fleet"`)
 	http.Error(w, "fleet: missing or invalid ingest token", http.StatusUnauthorized)
 	return false
@@ -256,10 +377,26 @@ func (s *Server) throttle(w http.ResponseWriter, r *http.Request) bool {
 		return true
 	}
 	s.limited.Add(1)
+	s.metrics.rateLimited.Inc()
 	secs := int64(wait/time.Second) + 1
+	s.logger.Warn("ingest rate limited",
+		"remote", r.RemoteAddr, "retryAfterSec", secs, "requestId", r.Header.Get(RequestIDHeader))
 	w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
 	http.Error(w, "fleet: ingest rate limit exceeded", http.StatusTooManyRequests)
 	return false
+}
+
+// requestID extracts the upload's X-Request-ID correlation field,
+// minting one for requests that arrive without it (legacy clients), so
+// every ingest log record and journal entry carries a grep-able handle.
+func requestID(r *http.Request) string {
+	if id := strings.TrimSpace(r.Header.Get(RequestIDHeader)); id != "" {
+		if len(id) > 128 {
+			id = id[:128]
+		}
+		return id
+	}
+	return telemetry.NewRequestID()
 }
 
 func (s *Server) handleObservations(w http.ResponseWriter, r *http.Request) {
@@ -267,11 +404,19 @@ func (s *Server) handleObservations(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "POST only", http.StatusMethodNotAllowed)
 		return
 	}
+	start := time.Now()
+	defer s.metrics.ingestSec.ObserveSince(start)
 	if !s.authorize(w, r) || !s.throttle(w, r) {
 		return
 	}
+	reqID := requestID(r)
+	w.Header().Set(RequestIDHeader, reqID)
 	var batch ObservationBatch
-	if err := DecodeJSONBody(w, r, s.maxBody, &batch); err != nil {
+	wireBytes, bodyBytes, err := decodeBodyMetered(w, r, s.maxBody, &batch)
+	s.metrics.wireBytes.Add(float64(wireBytes))
+	s.metrics.bodyBytes.Add(float64(bodyBytes))
+	if err != nil {
+		s.logger.Warn("ingest body rejected", "requestId", reqID, "error", err.Error())
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
@@ -288,20 +433,12 @@ func (s *Server) handleObservations(w http.ResponseWriter, r *http.Request) {
 	// a duplicate (its evidence was drained to the new owner), not make
 	// the client re-split and double-deliver it.
 	if batch.BatchID != "" && s.dedup != nil && s.dedup.has(batch.BatchID) {
-		s.deduped.Add(1)
-		WriteJSON(w, IngestReply{
-			OK:          true,
-			Duplicate:   true,
-			Version:     s.log.Version(),
-			Sites:       s.store.Sites(),
-			Runs:        s.store.Runs(),
-			RingVersion: s.ringVersion.Load(),
-		})
+		s.ackDuplicate(w, &batch, reqID)
 		return
 	}
 	// Cheap pre-check; the authoritative stale-ring check runs under the
 	// shared deltaMu below, ordered against the rebalance announcement.
-	if s.writeIfStale(w, &batch) {
+	if s.writeIfStale(w, &batch, reqID) {
 		return
 	}
 	// Shared deltaMu: absorbs from many clients stay concurrent, but a
@@ -310,34 +447,53 @@ func (s *Server) handleObservations(w http.ResponseWriter, r *http.Request) {
 	// (raised exclusively) is re-checked here, so no stale batch can slip
 	// in behind a rebalance's drain.
 	s.deltaMu.RLock()
-	if s.writeIfStale(w, &batch) {
+	if s.writeIfStale(w, &batch, reqID) {
 		s.deltaMu.RUnlock()
 		return
 	}
 	if batch.BatchID != "" && s.dedup != nil && !s.dedup.admit(batch.BatchID) {
 		s.deltaMu.RUnlock()
-		s.deduped.Add(1)
-		WriteJSON(w, IngestReply{
-			OK:          true,
-			Duplicate:   true,
-			Version:     s.log.Version(),
-			Sites:       s.store.Sites(),
-			Runs:        s.store.Runs(),
-			RingVersion: s.ringVersion.Load(),
-		})
+		s.ackDuplicate(w, &batch, reqID)
 		return
 	}
 	s.store.AbsorbSnapshot(batch.Snapshot)
-	s.journal.append(batch.Snapshot)
+	seq := s.journal.append(batch.Snapshot, reqID)
 	s.deltaMu.RUnlock()
 	s.store.NoteClient(batch.Client)
+	obs := SnapshotObservations(batch.Snapshot)
+	s.metrics.batches.Inc()
+	s.metrics.observations.Add(float64(obs))
+	s.metrics.runs.Add(float64(batch.Snapshot.Runs))
+	s.logger.Info("ingest absorbed",
+		"requestId", reqID, "batchId", batch.BatchID, "client", batch.Client,
+		"runs", batch.Snapshot.Runs, "observations", obs, "seq", seq,
+		"wireBytes", wireBytes, "bodyBytes", bodyBytes)
 	version := s.log.Version()
 	if n := s.pending.Add(1); s.correctEvery >= 0 && n > int64(s.correctEvery) {
 		version, _ = s.Correct()
 	}
 	WriteJSON(w, IngestReply{
 		OK:          true,
+		RequestID:   reqID,
 		Version:     version,
+		Sites:       s.store.Sites(),
+		Runs:        s.store.Runs(),
+		RingVersion: s.ringVersion.Load(),
+	})
+}
+
+// ackDuplicate acknowledges a batch the dedup window already holds,
+// without re-absorbing it.
+func (s *Server) ackDuplicate(w http.ResponseWriter, batch *ObservationBatch, reqID string) {
+	s.deduped.Add(1)
+	s.metrics.dedupHits.Inc()
+	s.logger.Info("ingest duplicate acknowledged",
+		"requestId", reqID, "batchId", batch.BatchID, "client", batch.Client)
+	WriteJSON(w, IngestReply{
+		OK:          true,
+		Duplicate:   true,
+		RequestID:   reqID,
+		Version:     s.log.Version(),
 		Sites:       s.store.Sites(),
 		Runs:        s.store.Runs(),
 		RingVersion: s.ringVersion.Load(),
@@ -347,14 +503,18 @@ func (s *Server) handleObservations(w http.ResponseWriter, r *http.Request) {
 // writeIfStale rejects a versioned batch split under an older membership
 // than this partition requires (409 + StaleRing), reporting whether it
 // wrote the response. Unversioned batches always pass.
-func (s *Server) writeIfStale(w http.ResponseWriter, batch *ObservationBatch) bool {
+func (s *Server) writeIfStale(w http.ResponseWriter, batch *ObservationBatch, reqID string) bool {
 	cur := s.ringVersion.Load()
 	if batch.RingVersion == 0 || cur == 0 || batch.RingVersion >= cur {
 		return false
 	}
+	s.metrics.staleRing.Inc()
+	s.logger.Warn("stale-ring upload rejected",
+		"requestId", reqID, "batchId", batch.BatchID, "client", batch.Client,
+		"batchRingVersion", batch.RingVersion, "requiredRingVersion", cur)
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusConflict)
-	json.NewEncoder(w).Encode(IngestReply{StaleRing: true, RingVersion: cur})
+	json.NewEncoder(w).Encode(IngestReply{StaleRing: true, RequestID: reqID, RingVersion: cur})
 	return true
 }
 
@@ -391,7 +551,9 @@ func (s *Server) handleRing(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "fleet: ring version must be positive", http.StatusBadRequest)
 		return
 	}
-	WriteJSON(w, RingReply{OK: true, Version: s.RequireRingVersion(upd.Version)})
+	v := s.RequireRingVersion(upd.Version)
+	s.logger.Info("ring version announced", "announced", upd.Version, "required", v)
+	WriteJSON(w, RingReply{OK: true, Version: v})
 }
 
 // Evict atomically removes and returns the canonical evidence for a key
@@ -427,6 +589,9 @@ func (s *Server) Evict(token string, keys []site.ID, counters bool) (snap *cumul
 	}
 	s.evicts.put(token, snap)
 	s.evictions.Add(1)
+	s.metrics.evictions.Inc()
+	s.logger.Info("rebalance drain served",
+		"token", token, "keys", len(keys), "counters", counters)
 	return snap, false
 }
 
@@ -535,10 +700,18 @@ func (s *Server) handleDeltas(w http.ResponseWriter, r *http.Request) {
 		seq = s.journal.seqNow()
 		hist := s.store.Combined()
 		s.deltaMu.Unlock()
+		s.logger.Info("delta poll answered with full resync", "since", since, "seq", seq)
 		WriteJSON(w, SnapshotDelta{Epoch: s.epoch, Seq: seq, Full: true, Snapshot: hist.Snapshot()})
 		return
 	}
 	reply := SnapshotDelta{Epoch: s.epoch, Seq: seq}
+	// Carry the window's correlation IDs so the coordinator's delta log
+	// lines up with this partition's ingest log, upload by upload.
+	for _, e := range entries {
+		if e.reqID != "" && len(reply.ReqIDs) < maxDeltaReqIDs {
+			reply.ReqIDs = append(reply.ReqIDs, e.reqID)
+		}
+	}
 	// Merge runs of consecutive additions; a rebalance eviction breaks
 	// the run (ordering matters: evidence added before the drain was
 	// drained, evidence added after it was not). Windows without
@@ -580,6 +753,7 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	WriteJSON(w, StatusReply{
+		Build:       version.String(),
 		Version:     s.log.Version(),
 		Sites:       s.store.Sites(),
 		Runs:        s.store.Runs(),
@@ -609,28 +783,63 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 // so every fleet tier (the cluster coordinator included) accepts
 // exactly the request bodies fleet.Client sends.
 func DecodeJSONBody(w http.ResponseWriter, r *http.Request, limit int64, dst any) error {
-	var body io.Reader = http.MaxBytesReader(w, r.Body, limit)
+	_, _, err := decodeBodyMetered(w, r, limit, dst)
+	return err
+}
+
+// decodeBodyMetered is DecodeJSONBody additionally reporting the bytes
+// read off the wire (compressed, when the client gzips) and the decoded
+// body bytes fed to the JSON decoder — the pair behind the ingest
+// byte/gzip-ratio metrics. Byte counts are valid even on error (they
+// cover whatever was consumed before the failure).
+func decodeBodyMetered(w http.ResponseWriter, r *http.Request, limit int64, dst any) (wireBytes, bodyBytes int64, err error) {
+	wire := &countReader{r: http.MaxBytesReader(w, r.Body, limit)}
+	var body io.Reader = wire
+	gz := false
 	if enc := r.Header.Get("Content-Encoding"); enc != "" {
 		if !strings.EqualFold(enc, "gzip") {
-			return fmt.Errorf("fleet: unsupported Content-Encoding %q", enc)
+			return wire.n, wire.n, fmt.Errorf("fleet: unsupported Content-Encoding %q", enc)
 		}
-		zr, err := gzip.NewReader(body)
-		if err != nil {
-			return fmt.Errorf("fleet: decode gzip body: %w", err)
+		zr, zerr := gzip.NewReader(body)
+		if zerr != nil {
+			return wire.n, 0, fmt.Errorf("fleet: decode gzip body: %w", zerr)
 		}
 		defer zr.Close()
 		// Stream straight into the decoder — no full-body buffer — but
 		// fail as soon as the decompressed stream exceeds the limit.
 		body = &boundedReader{r: zr, remaining: limit + 1, limit: limit}
+		gz = true
 	}
-	dec := json.NewDecoder(body)
+	decoded := &countReader{r: body}
+	dec := json.NewDecoder(decoded)
+	bytesRead := func() (int64, int64) {
+		if gz {
+			return wire.n, decoded.n
+		}
+		return wire.n, wire.n
+	}
 	if err := dec.Decode(dst); err != nil {
-		return fmt.Errorf("fleet: decode body: %w", err)
+		wireBytes, bodyBytes = bytesRead()
+		return wireBytes, bodyBytes, fmt.Errorf("fleet: decode body: %w", err)
 	}
 	if dec.More() {
-		return fmt.Errorf("fleet: decode body: trailing data")
+		wireBytes, bodyBytes = bytesRead()
+		return wireBytes, bodyBytes, fmt.Errorf("fleet: decode body: trailing data")
 	}
-	return nil
+	wireBytes, bodyBytes = bytesRead()
+	return wireBytes, bodyBytes, nil
+}
+
+// countReader counts the bytes read through it.
+type countReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
 }
 
 // boundedReader errors once more than limit bytes have been read — the

@@ -79,9 +79,23 @@ type ObservationBatch struct {
 	RingVersion uint64 `json:"ringVersion,omitempty"`
 }
 
+// RequestIDHeader is the correlation header every fleet tier propagates:
+// the upload client stamps each POST with a fresh ID (or the caller's),
+// the partition logs and journals it, and the coordinator logs it again
+// when the batch's delta arrives — one upload's journey is grep-able
+// end to end across all three logs.
+const RequestIDHeader = "X-Request-ID"
+
+// maxDeltaReqIDs bounds the correlation IDs carried on one delta reply.
+const maxDeltaReqIDs = 1024
+
 // IngestReply is the POST /v1/observations response body.
 type IngestReply struct {
 	OK bool `json:"ok"`
+	// RequestID echoes the upload's X-Request-ID correlation field (the
+	// server mints one when the request carried none), so a client can
+	// quote the exact handle the server logged under.
+	RequestID string `json:"requestId,omitempty"`
 	// Duplicate reports that the batch's ID was already in the server's
 	// dedup window: the evidence was absorbed by an earlier delivery and
 	// was NOT absorbed again. Clients advance their upload watermark on
@@ -211,6 +225,10 @@ func decodeWire(r io.Reader) (*WirePatchSet, error) {
 
 // StatusReply is the GET /v1/status response body.
 type StatusReply struct {
+	// Build is the serving binary's link-time identity ("version
+	// (commit)", stamped via -ldflags; see internal/version), so an
+	// operator can tell which binary a partition runs.
+	Build       string `json:"build,omitempty"`
 	Version     uint64 `json:"version"`
 	Sites       int    `json:"sites"`
 	Runs        int64  `json:"runs"`
@@ -280,6 +298,28 @@ type SnapshotDelta struct {
 	// that point in the stream). Consecutive additions are pre-merged.
 	// Mutually exclusive with Snapshot.
 	Ops []DeltaOp `json:"ops,omitempty"`
+	// ReqIDs are the X-Request-ID correlation fields of the uploads this
+	// delta covers (bounded; oldest first). The coordinator logs them
+	// when it applies the delta, so one upload is grep-able from the
+	// client through the partition to the coordinator.
+	ReqIDs []string `json:"reqIds,omitempty"`
+}
+
+// SnapshotObservations counts the individual overflow and dangling
+// observations a snapshot carries — the unit the ingest
+// observation-counter metrics are denominated in.
+func SnapshotObservations(s *cumulative.Snapshot) int {
+	if s == nil {
+		return 0
+	}
+	n := 0
+	for _, so := range s.Overflow {
+		n += len(so.Obs)
+	}
+	for _, po := range s.Dangling {
+		n += len(po.Obs)
+	}
+	return n
 }
 
 // DeltaOp is one step of an ordered evidence delta: either an absorbed

@@ -1,0 +1,37 @@
+package telemetry
+
+import (
+	"net/http"
+	"net/http/pprof"
+
+	"exterminator/internal/version"
+)
+
+// RegisterBuildInfo registers the standard build-identity metric: an
+// exterminator_build_info gauge pinned at 1 whose version/commit labels
+// carry the link-time stamp (internal/version). Scrapers join it against
+// any other series to tell which binary produced them.
+func RegisterBuildInfo(r *Registry) {
+	r.GaugeFunc("exterminator_build_info",
+		"Build identity: constant 1, labeled with the binary's version and commit.",
+		func() float64 { return 1 },
+		L("version", version.Version), L("commit", version.Commit))
+}
+
+// DebugMux returns the handler daemons serve on their -debug-addr: the
+// net/http/pprof profiling surface plus this registry's /metrics. The
+// pprof handlers are mounted explicitly on a private mux — importing
+// this package never exposes profiling on a production listener; only a
+// daemon started with -debug-addr serves it, and only there.
+func DebugMux(r *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	if r != nil {
+		mux.Handle("/metrics", r.Handler())
+	}
+	return mux
+}

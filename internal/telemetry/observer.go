@@ -1,0 +1,80 @@
+package telemetry
+
+import (
+	"exterminator/internal/engine"
+)
+
+// Observer maps an engine session's typed event stream onto session
+// metrics, so a long-running exterminate process (or anything embedding
+// engine.Session) exposes its progress on /metrics next to the fleet
+// tiers'. Attach with engine.WithObserver(telemetry.NewObserver(reg)).
+//
+// Observe is called synchronously from the session's serialized emission
+// path; every update here is a couple of atomic adds, so it never slows
+// a run down.
+type Observer struct {
+	reg *Registry
+
+	runs       *Gauge
+	failures   *Gauge
+	patchTotal *Gauge
+	derived    *Counter
+	detected   *Counter
+	isolations *Counter
+	sessions   *Counter
+}
+
+// NewObserver registers the session metric family set into reg and
+// returns the observer.
+func NewObserver(reg *Registry) *Observer {
+	return &Observer{
+		reg: reg,
+		runs: reg.Gauge("engine_session_runs",
+			"Executions completed by the current session (cumulative run count or serve chunk ordinal)."),
+		failures: reg.Gauge("engine_session_failures",
+			"Failed executions observed by the current session."),
+		patchTotal: reg.Gauge("engine_session_patch_entries",
+			"Size of the session's working patch set."),
+		derived: reg.Counter("engine_patches_derived_total",
+			"Patch entries newly derived by sessions."),
+		detected: reg.Counter("engine_errors_detected_total",
+			"Error detections across sessions (DieFast signal, crash, divergence, or Bayesian threshold)."),
+		isolations: reg.Counter("engine_isolation_rounds_total",
+			"Image-diff isolation passes run."),
+		sessions: reg.Counter("engine_sessions_finished_total",
+			"Sessions run to completion, by outcome.", L("outcome", "finished")),
+	}
+}
+
+// Observe implements engine.Observer.
+func (o *Observer) Observe(ev engine.Event) {
+	o.reg.Counter("engine_events_total",
+		"Session events by kind.", L("kind", ev.Kind())).Inc()
+	switch e := ev.(type) {
+	case engine.Progress:
+		o.runs.Set(float64(e.Run))
+		o.failures.Set(float64(e.Failures))
+	case engine.ErrorDetected:
+		o.detected.Inc()
+	case engine.IsolationRound:
+		o.isolations.Inc()
+	case engine.PatchDerived:
+		o.derived.Add(float64(e.New))
+		o.patchTotal.Set(float64(e.Total))
+	case engine.RunStarted:
+		o.patchTotal.Set(float64(e.Patches))
+	case engine.EvidenceFlushed:
+		o.reg.Counter("engine_evidence_flushes_total",
+			"Mid-run evidence flushes accepted, by sink.", L("sink", e.Sink)).Inc()
+	case engine.EvidenceCommitted:
+		o.reg.Counter("engine_evidence_commits_total",
+			"Post-run evidence commits accepted, by sink.", L("sink", e.Sink)).Inc()
+	case engine.SessionFinished:
+		outcome := "finished"
+		if e.Canceled {
+			outcome = "canceled"
+		}
+		o.reg.Counter("engine_sessions_finished_total",
+			"Sessions run to completion, by outcome.", L("outcome", outcome)).Inc()
+	}
+}

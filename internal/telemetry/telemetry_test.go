@@ -1,0 +1,284 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestExpositionGolden pins the exact text-format output for a small
+// registry: HELP/TYPE preamble per family, label rendering, histogram
+// bucket cumulativity with the +Inf terminator, and _sum/_count lines.
+func TestExpositionGolden(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("test_requests_total", "Requests served.")
+	c.Add(3)
+	reg.Counter("test_errors_total", "Errors by kind.", L("kind", "io")).Inc()
+	reg.Counter("test_errors_total", "Errors by kind.", L("kind", "parse")).Add(2)
+	g := reg.Gauge("test_depth", "Queue depth.")
+	g.Set(7)
+	g.Add(-2)
+	reg.GaugeFunc("test_uptime", "Constant for the test.", func() float64 { return 1.5 })
+	h := reg.Histogram("test_latency_seconds", "Latency.", []float64{0.1, 1, 10})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(0.5)
+	h.Observe(99) // beyond the last bound: only +Inf and _count see it
+
+	var b strings.Builder
+	if err := reg.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP test_requests_total Requests served.
+# TYPE test_requests_total counter
+test_requests_total 3
+# HELP test_errors_total Errors by kind.
+# TYPE test_errors_total counter
+test_errors_total{kind="io"} 1
+test_errors_total{kind="parse"} 2
+# HELP test_depth Queue depth.
+# TYPE test_depth gauge
+test_depth 5
+# HELP test_uptime Constant for the test.
+# TYPE test_uptime gauge
+test_uptime 1.5
+# HELP test_latency_seconds Latency.
+# TYPE test_latency_seconds histogram
+test_latency_seconds_bucket{le="0.1"} 1
+test_latency_seconds_bucket{le="1"} 3
+test_latency_seconds_bucket{le="10"} 3
+test_latency_seconds_bucket{le="+Inf"} 4
+test_latency_seconds_sum 100.05
+test_latency_seconds_count 4
+`
+	if got := b.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// sampleRe matches one exposition sample line:
+// name{label="value",...} value
+var sampleRe = regexp.MustCompile(
+	`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="[^"\n]*"(,[a-zA-Z_][a-zA-Z0-9_]*="[^"\n]*")*\})? ` +
+		`(NaN|[+-]?Inf|[+-]?[0-9.eE+-]+)$`)
+
+// TestExpositionParses validates the full output of a realistic registry
+// against the text-format grammar: every line is a HELP, TYPE or sample
+// line; every sample's family was declared; histograms are cumulative
+// and end with an +Inf bucket equal to _count.
+func TestExpositionParses(t *testing.T) {
+	reg := NewRegistry()
+	for i := 0; i < 5; i++ {
+		reg.Counter("app_ops_total", "Ops.", L("op", fmt.Sprintf("op%d", i))).Add(float64(i))
+	}
+	reg.Gauge("app_temp", "Temperature.").Set(-3.25)
+	h := reg.Histogram("app_sizes", "Sizes.", SizeBuckets)
+	for i := 0; i < 100; i++ {
+		h.Observe(float64(i * 37 % 2000))
+	}
+	RegisterBuildInfo(reg)
+
+	srv := httptest.NewServer(reg.Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("Content-Type = %q, want text format 0.0.4", ct)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+
+	declared := map[string]bool{}
+	var curHist string
+	var lastCum float64 = -1
+	var infSeen float64 = -1
+	for _, line := range strings.Split(strings.TrimRight(body, "\n"), "\n") {
+		switch {
+		case strings.HasPrefix(line, "# HELP "):
+			parts := strings.SplitN(line, " ", 4)
+			if len(parts) < 4 {
+				t.Fatalf("malformed HELP line: %q", line)
+			}
+		case strings.HasPrefix(line, "# TYPE "):
+			parts := strings.SplitN(line, " ", 4)
+			if len(parts) != 4 {
+				t.Fatalf("malformed TYPE line: %q", line)
+			}
+			name, typ := parts[2], parts[3]
+			if typ != "counter" && typ != "gauge" && typ != "histogram" {
+				t.Fatalf("unknown type %q in %q", typ, line)
+			}
+			declared[name] = true
+			if typ == "histogram" {
+				curHist, lastCum, infSeen = name, -1, -1
+			} else {
+				curHist = ""
+			}
+		default:
+			if !sampleRe.MatchString(line) {
+				t.Fatalf("sample line does not match exposition grammar: %q", line)
+			}
+			name := line
+			if i := strings.IndexAny(line, "{ "); i >= 0 {
+				name = line[:i]
+			}
+			base := strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(name,
+				"_bucket"), "_sum"), "_count")
+			if !declared[name] && !declared[base] {
+				t.Fatalf("sample %q has no TYPE declaration", line)
+			}
+			if curHist != "" && name == curHist+"_bucket" {
+				v, _ := strconv.ParseFloat(line[strings.LastIndex(line, " ")+1:], 64)
+				if v < lastCum {
+					t.Fatalf("histogram buckets not cumulative at %q (prev %v)", line, lastCum)
+				}
+				lastCum = v
+				if strings.Contains(line, `le="+Inf"`) {
+					infSeen = v
+				}
+			}
+			if curHist != "" && name == curHist+"_count" {
+				v, _ := strconv.ParseFloat(line[strings.LastIndex(line, " ")+1:], 64)
+				if infSeen != v {
+					t.Fatalf("histogram %s +Inf bucket %v != count %v", curHist, infSeen, v)
+				}
+			}
+		}
+	}
+	if len(declared) == 0 {
+		t.Fatal("no metric families in exposition output")
+	}
+}
+
+// TestConcurrentHammer drives counters, gauges and a histogram from many
+// goroutines through the get-or-create path, interleaved with exposition
+// scrapes — the -race CI job proves the lock-free hot path clean.
+func TestConcurrentHammer(t *testing.T) {
+	reg := NewRegistry()
+	const workers = 16
+	const perWorker = 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				reg.Counter("hammer_total", "h").Inc()
+				reg.Counter("hammer_labeled_total", "h", L("w", fmt.Sprintf("%d", w%4))).Inc()
+				reg.Gauge("hammer_gauge", "h").Add(1)
+				reg.Histogram("hammer_hist", "h", DefBuckets).Observe(float64(i) / perWorker)
+			}
+		}(w)
+	}
+	// Scrape concurrently with the writers.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			var b strings.Builder
+			if err := reg.WriteText(&b); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+
+	if got := reg.Counter("hammer_total", "h").Value(); got != workers*perWorker {
+		t.Errorf("hammer_total = %v, want %v", got, workers*perWorker)
+	}
+	var labeled float64
+	for w := 0; w < 4; w++ {
+		labeled += reg.Counter("hammer_labeled_total", "h", L("w", fmt.Sprintf("%d", w))).Value()
+	}
+	if labeled != workers*perWorker {
+		t.Errorf("sum of hammer_labeled_total = %v, want %v", labeled, workers*perWorker)
+	}
+	if got := reg.Gauge("hammer_gauge", "h").Value(); got != workers*perWorker {
+		t.Errorf("hammer_gauge = %v, want %v", got, workers*perWorker)
+	}
+	h := reg.Histogram("hammer_hist", "h", DefBuckets)
+	if h.Count() != workers*perWorker {
+		t.Errorf("hammer_hist count = %v, want %v", h.Count(), workers*perWorker)
+	}
+}
+
+// TestGaugeFuncReplace verifies re-registration re-binds the closure —
+// the semantics partition re-adds rely on.
+func TestGaugeFuncReplace(t *testing.T) {
+	reg := NewRegistry()
+	reg.GaugeFunc("replace_me", "h", func() float64 { return 1 })
+	reg.GaugeFunc("replace_me", "h", func() float64 { return 2 })
+	var b strings.Builder
+	if err := reg.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "replace_me 2\n") {
+		t.Errorf("GaugeFunc not replaced:\n%s", b.String())
+	}
+	if strings.Count(b.String(), "\nreplace_me ") != 1 {
+		t.Errorf("GaugeFunc re-registration duplicated the series:\n%s", b.String())
+	}
+}
+
+// TestInvalidNamePanics pins the fail-fast contract for malformed names.
+func TestInvalidNamePanics(t *testing.T) {
+	reg := NewRegistry()
+	for _, bad := range []string{"9starts_with_digit", "has-dash", "has space", ""} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("metric name %q did not panic", bad)
+				}
+			}()
+			reg.Counter(bad, "h")
+		}()
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("type conflict did not panic")
+			}
+		}()
+		reg.Counter("conflict_metric", "h")
+		reg.Gauge("conflict_metric", "h")
+	}()
+}
+
+// TestCounterMonotonic pins that negative adds are dropped.
+func TestCounterMonotonic(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("mono_total", "h")
+	c.Add(5)
+	c.Add(-3)
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter after negative add = %v, want 5", got)
+	}
+}
+
+// TestNewRequestID checks shape and (statistical) uniqueness.
+func TestNewRequestID(t *testing.T) {
+	seen := make(map[string]bool)
+	for i := 0; i < 1000; i++ {
+		id := NewRequestID()
+		if len(id) != 16 {
+			t.Fatalf("request ID %q has length %d, want 16", id, len(id))
+		}
+		if seen[id] {
+			t.Fatalf("request ID %q repeated", id)
+		}
+		seen[id] = true
+	}
+}

@@ -1,0 +1,21 @@
+// Package version carries the build identity stamped into Exterminator
+// binaries at link time:
+//
+//	go build -ldflags "-X exterminator/internal/version.Version=v1.2.3 \
+//	                   -X exterminator/internal/version.Commit=$(git rev-parse --short HEAD)" ./cmd/fleetd
+//
+// Unstamped builds report "dev (unknown)". The daemons log it at
+// startup, report it in GET /v1/status (StatusReply.Build), and expose
+// it as the exterminator_build_info metric, so an operator can always
+// tell which binary a partition runs.
+package version
+
+var (
+	// Version is the human-readable release identifier.
+	Version = "dev"
+	// Commit is the VCS revision the binary was built from.
+	Commit = "unknown"
+)
+
+// String renders the build identity as "version (commit)".
+func String() string { return Version + " (" + Commit + ")" }

@@ -1,0 +1,69 @@
+package main
+
+import (
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// registrationRe captures the metric-name literal of a telemetry
+// registration call: reg.Counter("name", ...), .Gauge, .GaugeFunc or
+// .Histogram, tolerating a line break between the call and the literal.
+var registrationRe = regexp.MustCompile(
+	`\.(?:Counter|Gauge|GaugeFunc|Histogram)\(\s*"([a-zA-Z_][a-zA-Z0-9_]*)"`)
+
+// TestMetricsDocumented fails when a metric registered anywhere in the
+// production source tree is missing from docs/OBSERVABILITY.md, so the
+// metric reference cannot silently rot. Test files are excluded: their
+// throwaway series (hammer_*, test_*, ...) are not part of the
+// product's metric surface.
+func TestMetricsDocumented(t *testing.T) {
+	names := map[string][]string{} // metric name -> files registering it
+	for _, root := range []string{"internal", "cmd"} {
+		err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() || !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+				return nil
+			}
+			src, err := os.ReadFile(path)
+			if err != nil {
+				return err
+			}
+			for _, m := range registrationRe.FindAllStringSubmatch(string(src), -1) {
+				names[m[1]] = append(names[m[1]], path)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(names) == 0 {
+		t.Fatal("no metric registrations found under internal/ or cmd/; the lint regex is broken")
+	}
+
+	doc, err := os.ReadFile(filepath.Join("docs", "OBSERVABILITY.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	docText := string(doc)
+
+	var missing []string
+	for name := range names {
+		if !strings.Contains(docText, "`"+name+"`") {
+			missing = append(missing, name)
+		}
+	}
+	sort.Strings(missing)
+	for _, name := range missing {
+		t.Errorf("metric %q (registered in %s) is not documented in docs/OBSERVABILITY.md",
+			name, strings.Join(names[name], ", "))
+	}
+	t.Logf("checked %d registered metric names against docs/OBSERVABILITY.md", len(names))
+}
