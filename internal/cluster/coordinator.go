@@ -109,6 +109,16 @@ type coordMetrics struct {
 	patchPolls  *telemetry.Counter
 	movedKeys   *telemetry.Counter
 	correctSec  *telemetry.Histogram
+	// Merged-history state is mirrored into plain gauges at the end of
+	// every mutation (pollLocked, Correct, membership changes) instead of
+	// being read through scrape-time funcs: a gauge func would take c.mu,
+	// making a /metrics scrape block for the full duration of a
+	// correction pass — and the exposition path must never contend with
+	// the poll/correct path.
+	mergedSites *telemetry.Gauge
+	mergedRuns  *telemetry.Gauge
+	dirtyKeys   *telemetry.Gauge
+	partitions  *telemetry.Gauge
 }
 
 func (m *coordMetrics) register(reg *telemetry.Registry, c *Coordinator) {
@@ -131,22 +141,29 @@ func (m *coordMetrics) register(reg *telemetry.Registry, c *Coordinator) {
 	m.correctSec = reg.Histogram("cluster_correct_seconds",
 		"Correction pass latency (rebuild, if any, plus incremental identify and fold).",
 		telemetry.DefBuckets)
-	reg.GaugeFunc("cluster_merged_sites",
-		"Distinct allocation sites in the merged history.",
-		func() float64 { c.mu.Lock(); defer c.mu.Unlock(); return float64(c.merged.Sites()) })
-	reg.GaugeFunc("cluster_merged_runs",
-		"Fleet-wide runs folded into the merged history.",
-		func() float64 { c.mu.Lock(); defer c.mu.Unlock(); return float64(c.merged.Runs) })
-	reg.GaugeFunc("cluster_dirty_keys",
-		"Merged-history keys awaiting the next incremental identify pass.",
-		func() float64 { c.mu.Lock(); defer c.mu.Unlock(); return float64(c.merged.DirtyKeys()) })
+	m.mergedSites = reg.Gauge("cluster_merged_sites",
+		"Distinct allocation sites in the merged history.")
+	m.mergedRuns = reg.Gauge("cluster_merged_runs",
+		"Fleet-wide runs folded into the merged history.")
+	m.dirtyKeys = reg.Gauge("cluster_dirty_keys",
+		"Merged-history keys awaiting the next incremental identify pass.")
+	m.partitions = reg.Gauge("cluster_partitions",
+		"Partitions currently in the poll set.")
 	reg.GaugeFunc("cluster_patch_version",
 		"Fleet-wide patch log version.",
 		func() float64 { return float64(c.log.Version()) })
-	reg.GaugeFunc("cluster_partitions",
-		"Partitions currently in the poll set.",
-		func() float64 { c.mu.Lock(); defer c.mu.Unlock(); return float64(len(c.parts)) })
 	telemetry.RegisterBuildInfo(reg)
+}
+
+// updateMergedGauges mirrors the merged-history state into the
+// exposition gauges. The caller holds c.mu; every path that mutates the
+// merged history or the poll set calls it before unlocking, so scrapes
+// read current values off atomics without ever touching c.mu.
+func (c *Coordinator) updateMergedGauges() {
+	c.metrics.mergedSites.Set(float64(c.merged.Sites()))
+	c.metrics.mergedRuns.Set(float64(c.merged.Runs))
+	c.metrics.dirtyKeys.Set(float64(c.merged.DirtyKeys()))
+	c.metrics.partitions.Set(float64(len(c.parts)))
 }
 
 // partition is the coordinator's view of one fleetd instance: a local
@@ -207,6 +224,7 @@ func NewCoordinator(opts CoordinatorOptions) (*Coordinator, error) {
 	for _, base := range opts.Partitions {
 		c.parts = append(c.parts, c.newPartition(base))
 	}
+	c.updateMergedGauges()
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/patches", c.handlePatches)
 	mux.HandleFunc("/v1/reports", c.handleReports)
@@ -292,6 +310,7 @@ func (c *Coordinator) setPartitions(nodes []string) {
 		c.parts = append(c.parts, p)
 	}
 	c.rebuild = true
+	c.updateMergedGauges()
 }
 
 // findPartition returns the partition for base, or nil.
@@ -435,6 +454,7 @@ func (c *Coordinator) pollLocked(ctx context.Context) (changed bool, err error) 
 		res.p.seqGauge.Store(d.Seq)
 		res.p.lastPoll.Store(time.Now().UnixNano())
 	}
+	c.updateMergedGauges()
 	return changed, errors.Join(errs...)
 }
 
@@ -445,6 +465,7 @@ func (c *Coordinator) pollLocked(ctx context.Context) (changed bool, err error) 
 func (c *Coordinator) Correct() (uint64, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	defer c.updateMergedGauges()
 	c.corrections.Add(1)
 	c.metrics.corrections.Inc()
 	defer c.metrics.correctSec.ObserveSince(time.Now())

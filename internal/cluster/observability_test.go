@@ -219,3 +219,103 @@ func TestRebalanceMetrics(t *testing.T) {
 		}
 	}
 }
+
+// TestScrapeDuringMembershipChange pins the lock-order fix: exposition
+// scrapes hammering the registry must never deadlock against a
+// membership change that registers new per-partition series while
+// holding the coordinator's state lock. (The old ABBA: WriteText held
+// the registry lock while gauge funcs took the coordinator lock, and
+// newPartition took the two in the opposite order — one scrape
+// concurrent with one add-node could hang the coordinator forever.)
+// It also pins the mirrored merged-history gauges: the values must be
+// current in the scrape without the exposition path touching c.mu.
+func TestScrapeDuringMembershipChange(t *testing.T) {
+	ctx := context.Background()
+	cfg := cumulative.Config{C: 4, P: 0.5}
+
+	mk := func() *httptest.Server {
+		srv := fleet.NewServer(fleet.ServerOptions{Config: cfg, CorrectEvery: -1, DisableCorrection: true})
+		return httptest.NewServer(srv.Handler())
+	}
+	ts1 := mk()
+	defer ts1.Close()
+	ts2 := mk()
+	defer ts2.Close()
+
+	reg := telemetry.NewRegistry()
+	coord, err := NewCoordinator(CoordinatorOptions{
+		Partitions: []string{ts1.URL},
+		Config:     cfg,
+		Metrics:    reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rt, err := NewRouter("seed", ts1.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := &cumulative.Snapshot{C: 4, P: 0.5, Runs: 1}
+	for i := 0; i < 64; i++ {
+		id := site.ID(0x3000 + uint32(i))
+		snap.Sites = append(snap.Sites, id)
+		snap.Overflow = append(snap.Overflow, cumulative.SiteObservations{
+			Site: id, Obs: []cumulative.Observation{{X: 0.25, Y: false}},
+		})
+	}
+	if _, err := rt.PushSnapshot(ctx, snap); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := coord.Sync(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// Scrape continuously while the rebalance registers the new node's
+	// series. Before the fix this pair could deadlock; the test would
+	// then hang until the go test timeout.
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			var b strings.Builder
+			if err := reg.WriteText(&b); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	_, rebErr := coord.AddNode(ctx, ts2.URL)
+	close(done)
+	wg.Wait()
+	if rebErr != nil {
+		t.Fatal(rebErr)
+	}
+
+	var b strings.Builder
+	if err := reg.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	body := b.String()
+	if got := sampleValue(body, "cluster_partitions"); got != "2" {
+		t.Errorf("cluster_partitions = %q, want 2", got)
+	}
+	if got := sampleValue(body, "cluster_merged_sites"); got != "64" {
+		t.Errorf("cluster_merged_sites = %q, want 64", got)
+	}
+	if got := sampleValue(body, "cluster_merged_runs"); got != "1" {
+		t.Errorf("cluster_merged_runs = %q, want 1", got)
+	}
+	// runRebalance ends with a Correct(), which clears the dirty set and
+	// re-mirrors the gauge.
+	if got := sampleValue(body, "cluster_dirty_keys"); got != "0" {
+		t.Errorf("cluster_dirty_keys = %q, want 0", got)
+	}
+}

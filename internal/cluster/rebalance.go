@@ -244,6 +244,7 @@ func (c *Coordinator) runRebalance(ctx context.Context, plan *rebalPlan) (*Rebal
 			c.parts = append(c.parts, c.newPartition(node))
 		}
 	}
+	c.updateMergedGauges()
 	c.mu.Unlock()
 
 	// Phase 0 — announce: every partition starts requiring the new
@@ -356,6 +357,7 @@ func (c *Coordinator) runRebalance(ctx context.Context, plan *rebalPlan) (*Rebal
 	}
 	c.parts = kept
 	c.rebuild = true
+	c.updateMergedGauges()
 	c.mu.Unlock()
 
 	// Fold the moves into the mirrors while the poll freeze still holds,

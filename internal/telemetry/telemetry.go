@@ -267,15 +267,44 @@ func (r *Registry) Names() []string {
 // WriteText renders the registry in the Prometheus text exposition
 // format (version 0.0.4).
 func (r *Registry) WriteText(w io.Writer) error {
-	// Snapshot the structure under the lock; values are read from atomics
-	// afterwards (gauge funcs run outside the structural lock would be
-	// nicer, but they must not re-enter the registry anyway — and holding
-	// the lock keeps a concurrent GaugeFunc swap from racing the read).
+	// Snapshot the structure under the lock, then render — and evaluate
+	// gauge funcs — after releasing it. Gauge funcs may take component
+	// locks, and components register series (Registry.lookup takes this
+	// lock) while holding those same locks, so calling a func with the
+	// registry lock held would be a lock-order inversion: a scrape and a
+	// membership change could deadlock each other. Copying the fn values
+	// under the lock also keeps a concurrent GaugeFunc swap from racing
+	// the read.
+	type seriesSnap struct {
+		labels  []Label
+		counter *Counter
+		gauge   *Gauge
+		fn      func() float64
+		hist    *Histogram
+	}
+	type famSnap struct {
+		name, help, typ string
+		series          []seriesSnap
+	}
 	r.mu.Lock()
-	defer r.mu.Unlock()
-	bw := bufio.NewWriter(w)
+	fams := make([]famSnap, 0, len(r.order))
 	for _, name := range r.order {
 		fam := r.fams[name]
+		fs := famSnap{name: fam.name, help: fam.help, typ: fam.typ}
+		for _, s := range fam.series {
+			fs.series = append(fs.series, seriesSnap{
+				labels:  s.labels,
+				counter: s.counter,
+				gauge:   s.gauge,
+				fn:      s.fn,
+				hist:    s.hist,
+			})
+		}
+		fams = append(fams, fs)
+	}
+	r.mu.Unlock()
+	bw := bufio.NewWriter(w)
+	for _, fam := range fams {
 		fmt.Fprintf(bw, "# HELP %s %s\n", fam.name, escapeHelp(fam.help))
 		fmt.Fprintf(bw, "# TYPE %s %s\n", fam.name, fam.typ)
 		for _, s := range fam.series {
@@ -327,13 +356,13 @@ func writeSample(w *bufio.Writer, name string, labels []Label, extra *Label, v f
 				w.WriteByte(',')
 			}
 			first = false
-			fmt.Fprintf(w, "%s=%q", l.Name, escapeValue(l.Value))
+			fmt.Fprintf(w, "%s=%q", l.Name, l.Value)
 		}
 		if extra != nil {
 			if !first {
 				w.WriteByte(',')
 			}
-			fmt.Fprintf(w, "%s=%q", extra.Name, escapeValue(extra.Value))
+			fmt.Fprintf(w, "%s=%q", extra.Name, extra.Value)
 		}
 		w.WriteByte('}')
 	}
@@ -351,11 +380,9 @@ func formatFloat(v float64) string {
 	return strconv.FormatFloat(v, 'g', -1, 64)
 }
 
-// escapeValue escapes a label value per the exposition format. %q adds
-// the quotes and escapes " and \; only newlines need help.
-func escapeValue(v string) string {
-	return strings.ReplaceAll(v, "\n", `\n`)
-}
+// Label values need no pre-escaping: writeSample's %q adds the quotes
+// and escapes backslash, quote and newline exactly as the exposition
+// format requires.
 
 // escapeHelp escapes a help string per the exposition format.
 func escapeHelp(h string) string {

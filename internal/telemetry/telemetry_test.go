@@ -9,6 +9,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 )
 
 // TestExpositionGolden pins the exact text-format output for a small
@@ -230,6 +231,53 @@ func TestGaugeFuncReplace(t *testing.T) {
 	}
 	if strings.Count(b.String(), "\nreplace_me ") != 1 {
 		t.Errorf("GaugeFunc re-registration duplicated the series:\n%s", b.String())
+	}
+}
+
+// TestGaugeFuncRunsOutsideRegistryLock pins the deadlock fix: WriteText
+// must evaluate gauge funcs after releasing the registry lock, because
+// components register series while holding their own locks and their
+// gauge funcs may take those same locks (the coordinator's membership
+// path did exactly this). A func that re-enters the registry is the
+// deterministic stand-in — under the old hold-the-lock rendering it
+// self-deadlocks on the non-reentrant mutex.
+func TestGaugeFuncRunsOutsideRegistryLock(t *testing.T) {
+	reg := NewRegistry()
+	reg.GaugeFunc("reentrant_gauge", "h", func() float64 {
+		reg.Counter("registered_from_gauge_func_total", "h").Inc()
+		return 1
+	})
+	done := make(chan error, 1)
+	go func() {
+		var b strings.Builder
+		done <- reg.WriteText(&b)
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("WriteText deadlocked: gauge func ran under the registry lock")
+	}
+	if got := reg.Counter("registered_from_gauge_func_total", "h").Value(); got != 1 {
+		t.Errorf("counter registered from gauge func = %v, want 1", got)
+	}
+}
+
+// TestLabelValueEscaping pins single-escaping: %q already renders
+// newline/quote/backslash per the exposition format, so a newline must
+// come out as \n (0x5c 0x6e), not a double-escaped \\n.
+func TestLabelValueEscaping(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("esc_total", "h", L("v", "a\nb\"c\\d")).Inc()
+	var b strings.Builder
+	if err := reg.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `esc_total{v="a\nb\"c\\d"} 1` + "\n"
+	if !strings.Contains(b.String(), want) {
+		t.Errorf("label escaping mismatch:\n--- got ---\n%s--- want line ---\n%s", b.String(), want)
 	}
 }
 
