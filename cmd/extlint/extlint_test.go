@@ -1,0 +1,61 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestVetToolProtocol builds the real binary and exercises the go vet
+// integration end-to-end: the -V=full handshake (go derives its cache
+// key from the trailing buildID token) and an actual `go vet -vettool`
+// run over a production package, which must come back clean.
+func TestVetToolProtocol(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary and shells out to go vet")
+	}
+	bin := filepath.Join(t.TempDir(), "extlint")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("building extlint: %v\n%s", err, out)
+	}
+
+	out, err := exec.Command(bin, "-V=full").CombinedOutput()
+	if err != nil {
+		t.Fatalf("-V=full: %v\n%s", err, out)
+	}
+	fields := strings.Fields(strings.TrimSpace(string(out)))
+	if len(fields) < 3 || !strings.HasPrefix(fields[len(fields)-1], "buildID=") {
+		t.Fatalf("-V=full output %q: want trailing buildID= token", out)
+	}
+
+	out, err = exec.Command(bin, "-flags").CombinedOutput()
+	if err != nil || strings.TrimSpace(string(out)) != "[]" {
+		t.Fatalf("-flags: err=%v output=%q, want []", err, out)
+	}
+
+	vet := exec.Command("go", "vet", "-vettool="+bin, "exterminator/internal/telemetry")
+	vet.Dir = moduleRoot(t)
+	if out, err := vet.CombinedOutput(); err != nil {
+		t.Fatalf("go vet -vettool over internal/telemetry: %v\n%s", err, out)
+	}
+}
+
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above test directory")
+		}
+		dir = parent
+	}
+}

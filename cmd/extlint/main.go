@@ -1,0 +1,124 @@
+// Command extlint runs Exterminator's project-specific static-analysis
+// suite (internal/analyzers): lockorder, lockio, atomicmix, wiretags
+// and metricconv.
+//
+// Standalone (whole-program — the CI gate):
+//
+//	go run ./cmd/extlint ./...
+//	go run ./cmd/extlint -run lockorder,lockio ./internal/fleet
+//	go run ./cmd/extlint -dumplocks ./...   # print the derived lock graph
+//
+// As a go vet tool (per-package units; lockorder degrades to
+// package-local edges because vet units cannot see the whole program):
+//
+//	go build -o /tmp/extlint ./cmd/extlint
+//	go vet -vettool=/tmp/extlint ./...
+//
+// Exit status: 0 clean, 1 usage/load error, 2 findings.
+//
+// Findings are suppressed line-by-line with a documented directive:
+//
+//	//extlint:ignore <analyzer> <reason>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+
+	"exterminator/internal/analyzers"
+)
+
+func main() {
+	// go vet protocol: -V=full, -flags, or a single *.cfg argument.
+	if unitcheckerMain() {
+		return
+	}
+
+	var (
+		dumplocks = flag.Bool("dumplocks", false, "print the derived lock-acquisition graph and exit")
+		run       = flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+	)
+	flag.Parse()
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	pass, err := loadPatterns(patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "extlint:", err)
+		os.Exit(1)
+	}
+
+	if *dumplocks {
+		fmt.Print(analyzers.DumpEdges(pass))
+		return
+	}
+
+	all := analyzers.DefaultAnalyzers()
+	selected := all
+	if *run != "" {
+		want := make(map[string]bool)
+		for _, n := range strings.Split(*run, ",") {
+			want[strings.TrimSpace(n)] = true
+		}
+		selected = nil
+		for _, a := range all {
+			if want[a.Name] {
+				selected = append(selected, a)
+			}
+		}
+		if len(selected) == 0 {
+			fmt.Fprintf(os.Stderr, "extlint: no analyzers match -run=%s\n", *run)
+			os.Exit(1)
+		}
+	}
+
+	diags := analyzers.RunAnalyzers(pass, selected)
+	for _, d := range diags {
+		fmt.Println(analyzers.Format(pass.Fset, d))
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "extlint: %d finding(s)\n", len(diags))
+		os.Exit(2)
+	}
+}
+
+// loadPatterns expands go package patterns (via `go list`) and loads
+// every matched package into one whole-program pass.
+func loadPatterns(patterns []string) (*analyzers.Pass, error) {
+	loader, err := analyzers.NewLoader(".")
+	if err != nil {
+		return nil, err
+	}
+	args := append([]string{"list", "-f", "{{.ImportPath}}\t{{.Dir}}\t{{len .GoFiles}}"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %w", strings.Join(patterns, " "), err)
+	}
+	var pkgs []*analyzers.Package
+	for _, line := range strings.Split(strings.TrimSpace(string(out)), "\n") {
+		path, rest, ok := strings.Cut(line, "\t")
+		if !ok {
+			continue
+		}
+		dir, nfiles, ok := strings.Cut(rest, "\t")
+		if !ok || nfiles == "0" {
+			continue // test-only packages (e.g. the repo root) have no product code
+		}
+		pkg, err := loader.LoadDir(path, dir)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	if len(pkgs) == 0 {
+		return nil, fmt.Errorf("no packages matched %s", strings.Join(patterns, " "))
+	}
+	return loader.NewPass(pkgs), nil
+}

@@ -1,0 +1,171 @@
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"exterminator/internal/analyzers"
+)
+
+// This file implements enough of the `go vet -vettool` protocol for
+// extlint to run as a vet tool: respond to -V=full and -flags, then
+// accept a single *.cfg argument describing one package unit, analyze
+// it, and write the (empty — extlint has no facts) .vetx output go vet
+// expects for caching. Vet units see one package at a time, so
+// lockorder runs package-locally here; the standalone whole-program
+// mode in main.go is the authoritative CI gate.
+
+// vetConfig mirrors the JSON config go vet writes for vet tools.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// unitcheckerMain handles the vet protocol; it reports whether it
+// consumed the invocation.
+func unitcheckerMain() bool {
+	args := os.Args[1:]
+	switch {
+	case len(args) == 1 && strings.HasPrefix(args[0], "-V"):
+		if args[0] == "-V=full" {
+			// go vet derives its cache key from the final buildID= token,
+			// so it must change whenever the tool binary does: hash the
+			// executable itself, as x/tools' unitchecker does.
+			id := "none"
+			if data, err := os.ReadFile(os.Args[0]); err == nil {
+				h := sha256.Sum256(data)
+				id = fmt.Sprintf("%x", h[:])
+			}
+			fmt.Printf("%s version devel buildID=%s\n", filepath.Base(os.Args[0]), id)
+		}
+		return true
+	case len(args) == 1 && args[0] == "-flags":
+		fmt.Println("[]")
+		return true
+	case len(args) == 1 && strings.HasSuffix(args[0], ".cfg"):
+		runUnit(args[0])
+		return true
+	}
+	return false
+}
+
+func runUnit(cfgFile string) {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fatal(err)
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fatal(fmt.Errorf("parsing %s: %w", cfgFile, err))
+	}
+
+	// go vet requires the facts output to exist even on failure paths;
+	// extlint carries no facts, so it is always empty.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fatal(err)
+		}
+	}
+	if cfg.VetxOnly {
+		return
+	}
+
+	// Match the standalone gate: production sources only. Vet also hands
+	// us test-variant units whose GoFiles include _test.go files;
+	// test-local metrics and locks are not part of the checked surface.
+	var goFiles []string
+	for _, name := range cfg.GoFiles {
+		if !strings.HasSuffix(name, "_test.go") {
+			goFiles = append(goFiles, name)
+		}
+	}
+	if len(goFiles) == 0 {
+		return
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range goFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			typecheckFailed(cfg, err)
+			return
+		}
+		files = append(files, f)
+	}
+
+	// Dependencies come from the compiler export data go vet hands us.
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	tconf := types.Config{Importer: importer.ForCompiler(fset, compiler, lookup), FakeImportC: true}
+	info := analyzers.NewTypeInfo()
+	tpkg, err := tconf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		typecheckFailed(cfg, err)
+		return
+	}
+
+	pass := &analyzers.Pass{
+		Fset: fset,
+		Pkgs: []*analyzers.Package{{
+			Path:  cfg.ImportPath,
+			Dir:   cfg.Dir,
+			Files: files,
+			Types: tpkg,
+			Info:  info,
+		}},
+	}
+	if root, _, err := analyzers.FindModuleRoot(cfg.Dir); err == nil {
+		pass.ModRoot = root
+	}
+
+	diags := analyzers.RunAnalyzers(pass, analyzers.DefaultAnalyzers())
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, analyzers.Format(fset, d))
+	}
+	if len(diags) > 0 {
+		os.Exit(2)
+	}
+}
+
+func typecheckFailed(cfg vetConfig, err error) {
+	if cfg.SucceedOnTypecheckFailure {
+		return
+	}
+	fatal(err)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "extlint:", err)
+	os.Exit(1)
+}

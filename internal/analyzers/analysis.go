@@ -1,0 +1,139 @@
+// Package analyzers is Exterminator's project-specific static-analysis
+// suite: five passes that turn the concurrency and wire-contract
+// conventions the fleet pipeline depends on into build failures instead
+// of runtime gambles.
+//
+//   - lockorder derives the global mutex-acquisition graph across the
+//     telemetry/fleet/cluster/engine packages and flags cycles and
+//     violations of the canonical lock hierarchy (LockOrder).
+//   - lockio flags blocking operations (HTTP round-trips, file I/O,
+//     channel ops, time.Sleep, dynamic calls) performed while a
+//     sync.Mutex or sync.RWMutex is held.
+//   - atomicmix flags fields accessed both through sync/atomic and
+//     through plain loads/stores.
+//   - wiretags checks that every exported field of a wire struct carries
+//     an explicit, unique json tag documented in docs/PROTOCOL.md.
+//   - metricconv checks telemetry registrations for Prometheus name
+//     validity, subsystem prefixes, type-suffix conventions and
+//     docs/OBSERVABILITY.md coverage.
+//
+// The framework deliberately mirrors the golang.org/x/tools/go/analysis
+// shape (Analyzer, Pass, Diagnostic, testdata with "// want" comments)
+// but is built purely on the standard library's go/ast, go/types and
+// go/importer so the repo keeps its zero-dependency stance; cmd/extlint
+// is the driver, runnable standalone or as a go vet -vettool.
+//
+// A finding can be suppressed at the offending line (or the line above
+// it) with a directive comment that names the analyzer and gives a
+// reason:
+//
+//	//extlint:ignore lockio observers are contract-bound non-blocking
+//
+// Directives with a missing reason are themselves diagnosed, so every
+// suppression in the tree is a documented decision.
+package analyzers
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"os"
+	"sort"
+)
+
+// Package is one loaded, type-checked package under analysis.
+type Package struct {
+	Path  string // import path (or a synthetic path for test fixtures)
+	Dir   string // directory the files were loaded from
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Pass carries the whole program under analysis to an Analyzer's Run.
+// Unlike go/analysis, a Pass holds every loaded package at once: the
+// lockorder analyzer needs the cross-package call graph, and the others
+// simply iterate.
+type Pass struct {
+	Fset *token.FileSet
+	Pkgs []*Package
+
+	// ModRoot is the module root directory, used by analyzers that
+	// check source against checked-in docs (wiretags, metricconv).
+	// Empty when unknown (then doc checks are skipped).
+	ModRoot string
+
+	// ReadFile reads a doc file; overridable in tests. Defaults to
+	// os.ReadFile.
+	ReadFile func(path string) ([]byte, error)
+}
+
+func (p *Pass) readFile(path string) ([]byte, error) {
+	if p.ReadFile != nil {
+		return p.ReadFile(path)
+	}
+	return os.ReadFile(path)
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer string // filled in by the driver
+}
+
+// Analyzer is one named pass.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) []Diagnostic
+}
+
+// DefaultAnalyzers returns the five passes configured for this
+// repository (canonical lock order, wire packages, docs paths).
+func DefaultAnalyzers() []*Analyzer {
+	return []*Analyzer{
+		Lockorder(DefaultLockorderConfig()),
+		Lockio(DefaultLockioConfig()),
+		Atomicmix(),
+		Wiretags(DefaultWiretagsConfig()),
+		Metricconv(DefaultMetricconvConfig()),
+	}
+}
+
+// RunAnalyzers runs every analyzer over the pass, applies
+// //extlint:ignore suppression directives, and returns the surviving
+// diagnostics sorted by position. Malformed or unused directives are
+// reported as "extlint" diagnostics so suppressions cannot silently
+// rot.
+func RunAnalyzers(pass *Pass, analyzers []*Analyzer) []Diagnostic {
+	dirs := collectDirectives(pass)
+	var out []Diagnostic
+	for _, a := range analyzers {
+		for _, d := range a.Run(pass) {
+			d.Analyzer = a.Name
+			if dirs.suppresses(pass.Fset, d) {
+				continue
+			}
+			out = append(out, d)
+		}
+	}
+	out = append(out, dirs.problems(pass.Fset)...)
+	sort.Slice(out, func(i, j int) bool {
+		pi, pj := pass.Fset.Position(out[i].Pos), pass.Fset.Position(out[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return out[i].Message < out[j].Message
+	})
+	return out
+}
+
+// Format renders a diagnostic as "file:line:col: analyzer: message".
+func Format(fset *token.FileSet, d Diagnostic) string {
+	return fmt.Sprintf("%s: %s: %s", fset.Position(d.Pos), d.Analyzer, d.Message)
+}

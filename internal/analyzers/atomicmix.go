@@ -1,0 +1,150 @@
+package analyzers
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Atomicmix builds the analyzer: it flags struct fields and package-
+// level variables that are accessed both through sync/atomic calls
+// (atomic.AddInt64(&x.n, 1), atomic.LoadUint64(&v), ...) and through
+// plain loads or stores — the mix that silently downgrades a lock-free
+// field to a data race. Fields whose type already lives in sync/atomic
+// (atomic.Int64, atomic.Uint64, atomic.Value, ...) cannot be misused
+// this way and are ignored.
+func Atomicmix() *Analyzer {
+	return &Analyzer{
+		Name: "atomicmix",
+		Doc:  "detect fields accessed both atomically (sync/atomic) and with plain loads/stores",
+		Run:  runAtomicmix,
+	}
+}
+
+type atomicAccess struct {
+	atomicPos []token.Pos // &x passed to a sync/atomic call
+	plainPos  []token.Pos // any other load/store
+}
+
+func runAtomicmix(pass *Pass) []Diagnostic {
+	accesses := make(map[*types.Var]*atomicAccess)
+	get := func(v *types.Var) *atomicAccess {
+		a := accesses[v]
+		if a == nil {
+			a = &atomicAccess{}
+			accesses[v] = a
+		}
+		return a
+	}
+
+	for _, pkg := range pass.Pkgs {
+		info := pkg.Info
+		for _, f := range pkg.Files {
+			// First mark every &target handed to a sync/atomic call.
+			atomicArgs := make(map[ast.Expr]bool)
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := typeutilCallee(info, call)
+				if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+					return true
+				}
+				for _, arg := range call.Args {
+					if u, ok := ast.Unparen(arg).(*ast.UnaryExpr); ok && u.Op == token.AND {
+						atomicArgs[u.X] = true
+					}
+				}
+				return true
+			})
+
+			ast.Inspect(f, func(n ast.Node) bool {
+				var v *types.Var
+				switch n := n.(type) {
+				case *ast.SelectorExpr:
+					sel, ok := info.Selections[n]
+					if !ok || sel.Kind() != types.FieldVal {
+						return true
+					}
+					v, _ = sel.Obj().(*types.Var)
+				case *ast.Ident:
+					obj, _ := info.Uses[n].(*types.Var)
+					if obj == nil || obj.Pkg() == nil || obj.Parent() != obj.Pkg().Scope() {
+						return true
+					}
+					v = obj
+				default:
+					return true
+				}
+				if v == nil || isAtomicTyped(v.Type()) {
+					return true
+				}
+				e := n.(ast.Expr)
+				if atomicArgs[e] {
+					get(v).atomicPos = append(get(v).atomicPos, e.Pos())
+					return false // don't re-count the base expression
+				}
+				get(v).plainPos = append(get(v).plainPos, e.Pos())
+				return true
+			})
+		}
+	}
+
+	var vars []*types.Var
+	for v, a := range accesses {
+		if len(a.atomicPos) > 0 && len(a.plainPos) > 0 {
+			vars = append(vars, v)
+		}
+	}
+	sort.Slice(vars, func(i, j int) bool { return vars[i].Pos() < vars[j].Pos() })
+
+	var out []Diagnostic
+	for _, v := range vars {
+		a := accesses[v]
+		sort.Slice(a.plainPos, func(i, j int) bool { return a.plainPos[i] < a.plainPos[j] })
+		sort.Slice(a.atomicPos, func(i, j int) bool { return a.atomicPos[i] < a.atomicPos[j] })
+		for _, p := range a.plainPos {
+			out = append(out, Diagnostic{
+				Pos: p,
+				Message: fmt.Sprintf(
+					"plain access to %s, which is also accessed via sync/atomic (e.g. at %s): use atomic ops consistently or migrate the field to an atomic.* type",
+					v.Name(), pass.Fset.Position(a.atomicPos[0])),
+			})
+		}
+	}
+	return out
+}
+
+// isAtomicTyped reports whether t (or its element for arrays/slices) is
+// one of sync/atomic's self-synchronizing types.
+func isAtomicTyped(t types.Type) bool {
+	switch tt := t.(type) {
+	case *types.Array:
+		return isAtomicTyped(tt.Elem())
+	case *types.Slice:
+		return isAtomicTyped(tt.Elem())
+	}
+	n := namedOf(t)
+	return n != nil && n.Obj().Pkg() != nil && n.Obj().Pkg().Path() == "sync/atomic"
+}
+
+// typeutilCallee resolves a call's static *types.Func (package function
+// or qualified selector), a small subset of go/types/typeutil.Callee.
+func typeutilCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		f, _ := info.Uses[fun].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			f, _ := sel.Obj().(*types.Func)
+			return f
+		}
+		f, _ := info.Uses[fun.Sel].(*types.Func)
+		return f
+	}
+	return nil
+}

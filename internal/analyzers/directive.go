@@ -1,0 +1,90 @@
+package analyzers
+
+import (
+	"go/token"
+	"strings"
+)
+
+// directivePrefix introduces a suppression comment:
+//
+//	//extlint:ignore <analyzer> <reason>
+//
+// It suppresses diagnostics from <analyzer> (or every analyzer, when
+// <analyzer> is "all") on the directive's own line or the line directly
+// below it, so it can ride at the end of the offending line or on its
+// own line above.
+const directivePrefix = "//extlint:ignore"
+
+type directive struct {
+	pos      token.Pos
+	analyzer string
+	reason   string
+}
+
+type directiveSet struct {
+	// byLine maps file name -> line -> directives covering that line.
+	byLine    map[string]map[int][]directive
+	malformed []directive
+}
+
+func collectDirectives(pass *Pass) *directiveSet {
+	ds := &directiveSet{byLine: make(map[string]map[int][]directive)}
+	for _, pkg := range pass.Pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					if !strings.HasPrefix(c.Text, directivePrefix) {
+						continue
+					}
+					rest := strings.TrimPrefix(c.Text, directivePrefix)
+					fields := strings.Fields(rest)
+					d := directive{pos: c.Pos()}
+					if len(fields) >= 1 {
+						d.analyzer = fields[0]
+					}
+					if len(fields) >= 2 {
+						d.reason = strings.Join(fields[1:], " ")
+					}
+					if d.analyzer == "" || d.reason == "" {
+						ds.malformed = append(ds.malformed, d)
+						continue
+					}
+					p := pass.Fset.Position(c.Pos())
+					lines := ds.byLine[p.Filename]
+					if lines == nil {
+						lines = make(map[int][]directive)
+						ds.byLine[p.Filename] = lines
+					}
+					// Cover the directive's line and the next one.
+					lines[p.Line] = append(lines[p.Line], d)
+					lines[p.Line+1] = append(lines[p.Line+1], d)
+				}
+			}
+		}
+	}
+	return ds
+}
+
+func (ds *directiveSet) suppresses(fset *token.FileSet, d Diagnostic) bool {
+	p := fset.Position(d.Pos)
+	for _, dir := range ds.byLine[p.Filename][p.Line] {
+		if dir.analyzer == d.Analyzer || dir.analyzer == "all" {
+			return true
+		}
+	}
+	return false
+}
+
+// problems reports malformed directives: a suppression without both an
+// analyzer name and a reason is not a documented decision.
+func (ds *directiveSet) problems(fset *token.FileSet) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range ds.malformed {
+		out = append(out, Diagnostic{
+			Pos:      d.pos,
+			Analyzer: "extlint",
+			Message:  "malformed //extlint:ignore directive: want \"//extlint:ignore <analyzer> <reason>\"",
+		})
+	}
+	return out
+}

@@ -1,0 +1,174 @@
+package analyzers
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Loader parses and type-checks module packages from source using only
+// the standard library: module-internal import paths are resolved
+// against the module root, everything else (the standard library) is
+// delegated to go/importer's source importer. One Loader shares a
+// FileSet and a package cache, so a whole-program Pass sees a single
+// type universe — a *types.Func observed in one package is identical to
+// the same function seen from another, which is what lets lockorder
+// stitch a cross-package call graph together.
+type Loader struct {
+	Fset    *token.FileSet
+	ModRoot string
+	ModPath string
+
+	std  types.ImporterFrom
+	pkgs map[string]*Package
+}
+
+// NewLoader returns a loader rooted at the module containing dir.
+func NewLoader(dir string) (*Loader, error) {
+	root, path, err := findModule(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset:    fset,
+		ModRoot: root,
+		ModPath: path,
+		std:     importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+		pkgs:    make(map[string]*Package),
+	}, nil
+}
+
+// FindModuleRoot walks up from dir to the enclosing go.mod and returns
+// the module root directory and module path.
+func FindModuleRoot(dir string) (root, path string, err error) {
+	return findModule(dir)
+}
+
+// findModule walks up from dir to the enclosing go.mod and returns the
+// module root directory and module path.
+func findModule(dir string) (root, path string, err error) {
+	dir, err = filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return dir, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("go.mod in %s has no module line", dir)
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// Import implements types.Importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	return l.ImportFrom(path, "", 0)
+}
+
+// ImportFrom implements types.ImporterFrom.
+func (l *Loader) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if path == l.ModPath || strings.HasPrefix(path, l.ModPath+"/") {
+		pkg, err := l.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.ImportFrom(path, dir, mode)
+}
+
+// Load loads (with syntax) the module package with the given import
+// path, reusing the cache on repeat loads.
+func (l *Loader) Load(importPath string) (*Package, error) {
+	dir := filepath.Join(l.ModRoot, filepath.FromSlash(strings.TrimPrefix(strings.TrimPrefix(importPath, l.ModPath), "/")))
+	return l.LoadDir(importPath, dir)
+}
+
+// LoadDir parses and type-checks the package in dir under the given
+// import path. Test files are excluded; files are filtered through the
+// default build constraints. Fixture packages (testdata dirs) load the
+// same way with a synthetic import path.
+func (l *Loader) LoadDir(importPath, dir string) (*Package, error) {
+	if pkg, ok := l.pkgs[importPath]; ok {
+		return pkg, nil
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range ents {
+		n := e.Name()
+		if e.IsDir() || !strings.HasSuffix(n, ".go") || strings.HasSuffix(n, "_test.go") {
+			continue
+		}
+		if ok, err := build.Default.MatchFile(dir, n); err == nil && !ok {
+			continue
+		}
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("no buildable Go files in %s", dir)
+	}
+	var files []*ast.File
+	for _, n := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, n), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := newInfo()
+	conf := types.Config{Importer: l, FakeImportC: true}
+	tpkg, err := conf.Check(importPath, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %w", importPath, err)
+	}
+	pkg := &Package{Path: importPath, Dir: dir, Files: files, Types: tpkg, Info: info}
+	l.pkgs[importPath] = pkg
+	return pkg, nil
+}
+
+// NewTypeInfo returns a types.Info with every map the analyzers rely
+// on allocated (the vet-tool driver type-checks its own unit and must
+// populate the same maps the Loader would).
+func NewTypeInfo() *types.Info { return newInfo() }
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}
+
+// NewPass builds a Pass over exactly the given packages (support
+// packages pulled in as dependencies are deliberately excluded — a test
+// fixture importing internal/telemetry must not drag the real tree into
+// its findings).
+func (l *Loader) NewPass(pkgs []*Package) *Pass {
+	return &Pass{Fset: l.Fset, Pkgs: pkgs, ModRoot: l.ModRoot}
+}

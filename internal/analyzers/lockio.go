@@ -1,0 +1,125 @@
+package analyzers
+
+import (
+	"fmt"
+	"sort"
+)
+
+// LockioConfig parameterizes the lockio analyzer.
+type LockioConfig struct {
+	// FlagDynamicCalls also reports calls through func values and
+	// interface methods made while a mutex is held whose CHA candidate
+	// set contains a function that (transitively) blocks. The callee is
+	// unknown at the call site — the exact shape of the PR 6
+	// scrape-vs-membership deadlock — but a diagnostic is only worth
+	// raising when some possible callee demonstrably blocks.
+	FlagDynamicCalls bool
+
+	// CoarseLocks are lock classes that serialize entire long-running
+	// operations (a rebalance pass, a poll fan-out) rather than guarding
+	// data structures; holding them across I/O is their whole purpose.
+	// A finding is suppressed when every lock held at the operation is
+	// coarse — if a data lock is also held, the finding stands.
+	CoarseLocks []string
+}
+
+// DefaultLockioConfig returns the repository configuration. The coarse
+// classes mirror the "coordination scope" tier of LockOrder:
+// Coordinator.rebalMu fences a whole announce/drain/backfill/commit
+// rebalance (journal writes, HTTP pushes included), and
+// Coordinator.pollMu serializes poll passes whose body IS a parallel
+// HTTP fan-out.
+func DefaultLockioConfig() LockioConfig {
+	return LockioConfig{
+		FlagDynamicCalls: true,
+		CoarseLocks:      []string{"cluster.Coordinator.rebalMu", "cluster.Coordinator.pollMu"},
+	}
+}
+
+// Lockio builds the analyzer: it flags blocking operations — HTTP
+// round-trips, file I/O, channel ops, time.Sleep, subprocess waits —
+// performed while a sync.Mutex or sync.RWMutex is held, directly or via
+// a statically-resolved call chain, plus (optionally) dynamic calls
+// under a lock.
+func Lockio(cfg LockioConfig) *Analyzer {
+	return &Analyzer{
+		Name: "lockio",
+		Doc:  "detect blocking operations performed while a mutex is held",
+		Run: func(pass *Pass) []Diagnostic {
+			lp := buildLockProgram(pass)
+			coarse := make(map[string]bool, len(cfg.CoarseLocks))
+			for _, c := range cfg.CoarseLocks {
+				coarse[c] = true
+			}
+			allCoarse := func(held []heldLock) bool {
+				for _, h := range held {
+					if !coarse[h.class] {
+						return false
+					}
+				}
+				return true
+			}
+			var names []string
+			byName := make(map[string]*funcSummary)
+			for _, s := range lp.funcs {
+				names = append(names, s.name)
+				byName[s.name] = s
+			}
+			sort.Strings(names)
+
+			var out []Diagnostic
+			for _, n := range names {
+				s := byName[n]
+				for _, b := range s.blocking {
+					if len(b.held) == 0 || allCoarse(b.held) {
+						continue
+					}
+					out = append(out, Diagnostic{
+						Pos: b.pos,
+						Message: fmt.Sprintf("%s while holding %s (acquired at %s)",
+							b.what, displayClass(b.held[0].class), pass.Fset.Position(b.held[0].pos)),
+					})
+				}
+				for _, c := range s.calls {
+					if len(c.held) == 0 || allCoarse(c.held) {
+						continue
+					}
+					cs, ok := lp.funcs[c.callee]
+					if !ok || cs.transBlock == nil {
+						continue
+					}
+					tb := cs.transBlock
+					chain := cs.name
+					if tb.via != "" {
+						chain = cs.name + " → " + tb.via
+					}
+					out = append(out, Diagnostic{
+						Pos: c.pos,
+						Message: fmt.Sprintf("call to %s, which does %s, while holding %s (acquired at %s)",
+							chain, tb.what, displayClass(c.held[0].class), pass.Fset.Position(c.held[0].pos)),
+					})
+				}
+				if cfg.FlagDynamicCalls {
+					for _, d := range s.dynCalls {
+						if len(d.held) == 0 || allCoarse(d.held) {
+							continue
+						}
+						for _, cand := range lp.dynCandidates(d) {
+							if cand.transBlock == nil {
+								continue
+							}
+							tb := cand.transBlock
+							out = append(out, Diagnostic{
+								Pos: d.pos,
+								Message: fmt.Sprintf("dynamic call through %s may reach %s, which does %s, while holding %s (acquired at %s)",
+									d.desc, cand.name, tb.what, displayClass(d.held[0].class), pass.Fset.Position(d.held[0].pos)),
+							})
+							break // one diagnostic per site is enough
+						}
+					}
+				}
+			}
+			return out
+		},
+	}
+}

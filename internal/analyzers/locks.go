@@ -1,0 +1,981 @@
+package analyzers
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// This file is the shared engine behind lockorder and lockio: it walks
+// every function in the analyzed packages with a "currently held
+// mutexes" set, abstracts mutexes into classes (all instances of one
+// field share a class, e.g. telemetry.Registry.mu), summarizes what
+// each function acquires and which blocking operations it performs, and
+// resolves dynamic calls (func values, interface methods) with a cheap
+// whole-program CHA so a GaugeFunc-style closure handed across package
+// boundaries still contributes edges to the acquisition graph.
+//
+// The walk is a linear over-approximation, not a real CFG: a Lock is
+// held from its statement to the matching Unlock in source order (or to
+// function end when the Unlock is deferred); branches that end in
+// return/panic don't leak their held-set past the branch; both arms of
+// an if contribute the union of their exits. TryLock is ignored.
+
+// lockClasses with these prefixes are function-locals; they participate
+// in held tracking (lockio) but not in the global order graph.
+const localClassPrefix = "local:"
+
+// displayClass renders a class key for diagnostics: global classes print
+// as-is, function-locals as "local mutex <name>".
+func displayClass(c string) string {
+	if rest, ok := strings.CutPrefix(c, localClassPrefix); ok {
+		name, _, _ := strings.Cut(rest, "@")
+		return "local mutex " + name
+	}
+	return c
+}
+
+type heldLock struct {
+	class string
+	op    string // "Lock" or "RLock"
+	pos   token.Pos
+}
+
+type heldSet struct {
+	locks []heldLock // acquisition order
+}
+
+func (h *heldSet) copy() *heldSet {
+	return &heldSet{locks: append([]heldLock(nil), h.locks...)}
+}
+
+func (h *heldSet) add(l heldLock) {
+	for _, e := range h.locks {
+		if e.class == l.class {
+			return
+		}
+	}
+	h.locks = append(h.locks, l)
+}
+
+func (h *heldSet) remove(class string) {
+	for i, e := range h.locks {
+		if e.class == class {
+			h.locks = append(h.locks[:i], h.locks[i+1:]...)
+			return
+		}
+	}
+}
+
+func (h *heldSet) union(o *heldSet) {
+	for _, l := range o.locks {
+		h.add(l)
+	}
+}
+
+func (h *heldSet) snapshot() []heldLock {
+	if len(h.locks) == 0 {
+		return nil
+	}
+	return append([]heldLock(nil), h.locks...)
+}
+
+// acqSite is one Lock/RLock call and the locks held at that moment.
+type acqSite struct {
+	class string
+	op    string
+	pos   token.Pos
+	held  []heldLock
+}
+
+// callSite is a statically resolved call and the locks held around it.
+type callSite struct {
+	held   []heldLock
+	callee *types.Func
+	pos    token.Pos
+}
+
+// dynCallSite is a call whose target is a func value or an interface
+// method; candidates are found by signature/implements matching.
+type dynCallSite struct {
+	held  []heldLock
+	sig   *types.Signature
+	iface *types.Interface // non-nil for interface method calls
+	meth  string           // method name for interface calls
+	desc  string           // human description for messages
+	pos   token.Pos
+}
+
+// blockSite is one potentially blocking operation and the locks held.
+type blockSite struct {
+	held []heldLock
+	what string
+	pos  token.Pos
+}
+
+type funcSummary struct {
+	name     string
+	pkg      *Package
+	obj      *types.Func // nil for func literals
+	sig      *types.Signature
+	acquires []acqSite
+	calls    []callSite
+	dynCalls []dynCallSite
+	blocking []blockSite
+
+	// fixpoint results
+	transAcq   map[string]transWitness
+	transBlock *transBlockWitness
+}
+
+// transWitness explains how a class becomes transitively acquirable:
+// via which direct callee.
+type transWitness struct {
+	via string // callee name, "" when acquired directly
+	pos token.Pos
+}
+
+type transBlockWitness struct {
+	what string
+	via  string // call chain, "" when direct
+	pos  token.Pos
+}
+
+// lockProgram is the whole-program lock model.
+type lockProgram struct {
+	pass  *Pass
+	funcs map[any]*funcSummary // *types.Func or *ast.FuncLit -> summary
+
+	// addrTaken: func literals and functions referenced as values,
+	// bucketed by signature string, for func-value CHA.
+	addrTaken map[string][]*funcSummary
+
+	// methods: every concrete method with a body, for interface CHA.
+	methods []*funcSummary
+
+	// classPos: first acquisition position per class, for
+	// undeclared-class diagnostics.
+	classPos map[string]token.Pos
+}
+
+func buildLockProgram(pass *Pass) *lockProgram {
+	lp := &lockProgram{
+		pass:      pass,
+		funcs:     make(map[any]*funcSummary),
+		addrTaken: make(map[string][]*funcSummary),
+		classPos:  make(map[string]token.Pos),
+	}
+	for _, pkg := range pass.Pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+				if obj == nil {
+					continue
+				}
+				sum := &funcSummary{
+					name: obj.FullName(),
+					pkg:  pkg,
+					obj:  obj,
+					sig:  obj.Type().(*types.Signature),
+				}
+				lp.funcs[obj] = sum
+				if sum.sig.Recv() != nil {
+					lp.methods = append(lp.methods, sum)
+				}
+				w := &lockWalker{lp: lp, pkg: pkg, fn: sum}
+				held := &heldSet{}
+				w.stmts(fd.Body.List, held)
+			}
+		}
+	}
+	lp.fixpoint()
+	return lp
+}
+
+func (lp *lockProgram) summary(obj *types.Func) *funcSummary { return lp.funcs[obj].orNil() }
+
+func (s *funcSummary) orNil() *funcSummary { return s }
+
+// litSummary analyzes a func literal as its own function.
+func (lp *lockProgram) litSummary(pkg *Package, lit *ast.FuncLit) *funcSummary {
+	if sum, ok := lp.funcs[lit]; ok {
+		return sum
+	}
+	sig, _ := pkg.Info.Types[lit].Type.(*types.Signature)
+	sum := &funcSummary{
+		name: fmt.Sprintf("func literal at %s", lp.pass.Fset.Position(lit.Pos())),
+		pkg:  pkg,
+		sig:  sig,
+	}
+	lp.funcs[lit] = sum
+	if sig != nil {
+		key := sigKey(sig)
+		lp.addrTaken[key] = append(lp.addrTaken[key], sum)
+	}
+	w := &lockWalker{lp: lp, pkg: pkg, fn: sum}
+	w.stmts(lit.Body.List, &heldSet{})
+	return sum
+}
+
+// sigKey canonicalizes a signature (receiver ignored) for CHA matching.
+func sigKey(sig *types.Signature) string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i := 0; i < sig.Params().Len(); i++ {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(sig.Params().At(i).Type().String())
+	}
+	b.WriteString(")(")
+	for i := 0; i < sig.Results().Len(); i++ {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(sig.Results().At(i).Type().String())
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// dynCandidates resolves a dynamic call site to possible callees.
+func (lp *lockProgram) dynCandidates(d dynCallSite) []*funcSummary {
+	var out []*funcSummary
+	if d.iface != nil {
+		for _, m := range lp.methods {
+			if m.obj == nil || m.obj.Name() != d.meth {
+				continue
+			}
+			recv := m.sig.Recv().Type()
+			if types.Implements(recv, d.iface) {
+				out = append(out, m)
+			}
+		}
+		return out
+	}
+	if d.sig != nil {
+		return lp.addrTaken[sigKey(d.sig)]
+	}
+	return nil
+}
+
+// fixpoint computes transitive acquisitions and transitive blocking
+// over the static + CHA call graph.
+func (lp *lockProgram) fixpoint() {
+	// Stable iteration order for deterministic witnesses.
+	var all []*funcSummary
+	for _, s := range lp.funcs {
+		all = append(all, s)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].name < all[j].name })
+
+	for _, s := range all {
+		s.transAcq = make(map[string]transWitness)
+		for _, a := range s.acquires {
+			if !strings.HasPrefix(a.class, localClassPrefix) {
+				if _, ok := s.transAcq[a.class]; !ok {
+					s.transAcq[a.class] = transWitness{pos: a.pos}
+				}
+			}
+		}
+		for _, b := range s.blocking {
+			if s.transBlock == nil {
+				s.transBlock = &transBlockWitness{what: b.what, pos: b.pos}
+			}
+		}
+	}
+
+	callees := func(s *funcSummary) []*funcSummary {
+		var out []*funcSummary
+		for _, c := range s.calls {
+			if cs, ok := lp.funcs[c.callee]; ok {
+				out = append(out, cs)
+			}
+		}
+		for _, d := range s.dynCalls {
+			out = append(out, lp.dynCandidates(d)...)
+		}
+		return out
+	}
+
+	for changed := true; changed; {
+		changed = false
+		for _, s := range all {
+			for _, cs := range callees(s) {
+				for class := range cs.transAcq {
+					if _, ok := s.transAcq[class]; !ok {
+						s.transAcq[class] = transWitness{via: cs.name, pos: s.callPos(cs)}
+						changed = true
+					}
+				}
+			}
+			if s.transBlock == nil {
+				// Transitive blocking follows static calls only:
+				// CHA-resolved blocking would tar every callback
+				// signature with the worst implementation.
+				for _, c := range s.calls {
+					cs, ok := lp.funcs[c.callee]
+					if !ok || cs.transBlock == nil {
+						continue
+					}
+					via := cs.name
+					if cs.transBlock.via != "" {
+						via = cs.name + " → " + cs.transBlock.via
+					}
+					s.transBlock = &transBlockWitness{what: cs.transBlock.what, via: via, pos: c.pos}
+					changed = true
+					break
+				}
+			}
+		}
+	}
+}
+
+// callPos finds where s calls target (for witness positions).
+func (s *funcSummary) callPos(target *funcSummary) token.Pos {
+	for _, c := range s.calls {
+		if target.obj != nil && c.callee == target.obj {
+			return c.pos
+		}
+	}
+	for _, d := range s.dynCalls {
+		_ = d
+		return d.pos
+	}
+	if len(s.acquires) > 0 {
+		return s.acquires[0].pos
+	}
+	return token.NoPos
+}
+
+// ---------------------------------------------------------------------------
+// Walker
+
+type lockWalker struct {
+	lp  *lockProgram
+	pkg *Package
+	fn  *funcSummary
+}
+
+// stmts walks a statement list, threading the held-set through it.
+// The return value reports whether the list definitely terminates
+// (return / branch / panic) rather than falling through.
+func (w *lockWalker) stmts(list []ast.Stmt, held *heldSet) bool {
+	for _, s := range list {
+		if w.stmt(s, held) {
+			return true
+		}
+	}
+	return false
+}
+
+func (w *lockWalker) stmt(s ast.Stmt, held *heldSet) bool {
+	switch s := s.(type) {
+	case nil:
+		return false
+	case *ast.ExprStmt:
+		w.expr(s.X, held)
+	case *ast.SendStmt:
+		w.expr(s.Chan, held)
+		w.expr(s.Value, held)
+		w.block("channel send", s.Arrow, held)
+	case *ast.IncDecStmt:
+		w.expr(s.X, held)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			w.expr(e, held)
+		}
+		for _, e := range s.Lhs {
+			w.expr(e, held)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, e := range vs.Values {
+						w.expr(e, held)
+					}
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			w.expr(e, held)
+		}
+		return true
+	case *ast.BranchStmt:
+		// break/continue/goto: like return for fallthrough purposes.
+		return s.Tok != token.FALLTHROUGH
+	case *ast.BlockStmt:
+		return w.stmts(s.List, held)
+	case *ast.LabeledStmt:
+		return w.stmt(s.Stmt, held)
+	case *ast.IfStmt:
+		w.stmt(s.Init, held)
+		w.expr(s.Cond, held)
+		thenHeld := held.copy()
+		thenTerm := w.stmts(s.Body.List, thenHeld)
+		elseHeld := held.copy()
+		elseTerm := false
+		if s.Else != nil {
+			elseTerm = w.stmt(s.Else, elseHeld)
+		}
+		switch {
+		case thenTerm && elseTerm:
+			return true
+		case thenTerm:
+			*held = *elseHeld
+		case elseTerm:
+			*held = *thenHeld
+		default:
+			*held = *thenHeld
+			held.union(elseHeld)
+		}
+	case *ast.ForStmt:
+		w.stmt(s.Init, held)
+		if s.Cond != nil {
+			w.expr(s.Cond, held)
+		}
+		body := held.copy()
+		w.stmts(s.Body.List, body)
+		w.stmt(s.Post, body)
+		held.union(body)
+	case *ast.RangeStmt:
+		w.expr(s.X, held)
+		if t := w.pkg.Info.Types[s.X].Type; t != nil {
+			if _, isChan := t.Underlying().(*types.Chan); isChan {
+				w.block("range over channel", s.For, held)
+			}
+		}
+		body := held.copy()
+		w.stmts(s.Body.List, body)
+		held.union(body)
+	case *ast.SwitchStmt:
+		w.stmt(s.Init, held)
+		if s.Tag != nil {
+			w.expr(s.Tag, held)
+		}
+		w.caseClauses(s.Body, held)
+	case *ast.TypeSwitchStmt:
+		w.stmt(s.Init, held)
+		w.stmt(s.Assign, held)
+		w.caseClauses(s.Body, held)
+	case *ast.SelectStmt:
+		hasDefault := false
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+				hasDefault = true
+			}
+		}
+		if !hasDefault {
+			w.block("select without default", s.Select, held)
+		}
+		for _, c := range s.Body.List {
+			cc, ok := c.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			body := held.copy()
+			if cc.Comm != nil {
+				// The comm op itself is covered by the select diagnostic.
+				w.commExprs(cc.Comm, body)
+			}
+			w.stmts(cc.Body, body)
+			if !stmtsTerminate(cc.Body) {
+				held.union(body)
+			}
+		}
+	case *ast.DeferStmt:
+		w.deferCall(s.Call, held)
+	case *ast.GoStmt:
+		// The goroutine body runs in a fresh lock context; analyze it
+		// but record no call edge from here.
+		if lit, ok := ast.Unparen(s.Call.Fun).(*ast.FuncLit); ok {
+			w.lp.litSummary(w.pkg, lit)
+		} else {
+			w.expr(s.Call.Fun, held)
+		}
+		for _, a := range s.Call.Args {
+			w.expr(a, held)
+		}
+	}
+	return false
+}
+
+// commExprs walks a select comm statement's sub-expressions without
+// recording the channel op again.
+func (w *lockWalker) commExprs(s ast.Stmt, held *heldSet) {
+	switch s := s.(type) {
+	case *ast.SendStmt:
+		w.expr(s.Chan, held)
+		w.expr(s.Value, held)
+	case *ast.ExprStmt:
+		if u, ok := s.X.(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+			w.expr(u.X, held)
+		}
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			if u, ok := e.(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+				w.expr(u.X, held)
+			}
+		}
+	}
+}
+
+func stmtsTerminate(list []ast.Stmt) bool {
+	if len(list) == 0 {
+		return false
+	}
+	switch s := list[len(list)-1].(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.BranchStmt:
+		return s.Tok != token.FALLTHROUGH
+	}
+	return false
+}
+
+func (w *lockWalker) caseClauses(body *ast.BlockStmt, held *heldSet) {
+	merged := held.copy()
+	for _, c := range body.List {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		caseHeld := held.copy()
+		for _, e := range cc.List {
+			w.expr(e, caseHeld)
+		}
+		if !w.stmts(cc.Body, caseHeld) {
+			merged.union(caseHeld)
+		}
+	}
+	*held = *merged
+}
+
+// expr walks an expression, updating held on Lock/Unlock and recording
+// calls, dynamic calls and blocking ops.
+func (w *lockWalker) expr(e ast.Expr, held *heldSet) {
+	switch e := e.(type) {
+	case nil:
+		return
+	case *ast.FuncLit:
+		w.lp.litSummary(w.pkg, e)
+		return
+	case *ast.CallExpr:
+		w.call(e, held)
+		return
+	case *ast.UnaryExpr:
+		if e.Op == token.ARROW {
+			w.block("channel receive", e.OpPos, held)
+		}
+		w.expr(e.X, held)
+		return
+	case *ast.ParenExpr:
+		w.expr(e.X, held)
+		return
+	case *ast.SelectorExpr:
+		w.markAddrTaken(e.Sel)
+		w.expr(e.X, held)
+		return
+	case *ast.Ident:
+		w.markAddrTaken(e)
+		return
+	case *ast.BinaryExpr:
+		w.expr(e.X, held)
+		w.expr(e.Y, held)
+		return
+	case *ast.StarExpr:
+		w.expr(e.X, held)
+		return
+	case *ast.IndexExpr:
+		w.expr(e.X, held)
+		w.expr(e.Index, held)
+		return
+	case *ast.IndexListExpr:
+		w.expr(e.X, held)
+		for _, i := range e.Indices {
+			w.expr(i, held)
+		}
+		return
+	case *ast.SliceExpr:
+		w.expr(e.X, held)
+		w.expr(e.Low, held)
+		w.expr(e.High, held)
+		w.expr(e.Max, held)
+		return
+	case *ast.TypeAssertExpr:
+		w.expr(e.X, held)
+		return
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			w.expr(el, held)
+		}
+		return
+	case *ast.KeyValueExpr:
+		w.expr(e.Key, held)
+		w.expr(e.Value, held)
+		return
+	default:
+		return
+	}
+}
+
+// markAddrTaken records named functions used as values (not in call
+// position — call sites route through w.call) for func-value CHA.
+func (w *lockWalker) markAddrTaken(id *ast.Ident) {
+	obj, _ := w.pkg.Info.Uses[id].(*types.Func)
+	if obj == nil {
+		return
+	}
+	if sum, ok := w.lp.funcs[obj]; ok {
+		key := sigKey(sum.sig)
+		for _, s := range w.lp.addrTaken[key] {
+			if s == sum {
+				return
+			}
+		}
+		w.lp.addrTaken[key] = append(w.lp.addrTaken[key], sum)
+	}
+}
+
+func (w *lockWalker) block(what string, pos token.Pos, held *heldSet) {
+	w.fn.blocking = append(w.fn.blocking, blockSite{held: held.snapshot(), what: what, pos: pos})
+}
+
+// deferCall handles a deferred call: a deferred Unlock keeps the class
+// held to function end (which is the truth); other deferred calls are
+// recorded as ordinary calls under the current held-set.
+func (w *lockWalker) deferCall(call *ast.CallExpr, held *heldSet) {
+	if class, op, ok := w.mutexOp(call); ok {
+		switch op {
+		case "Unlock", "RUnlock":
+			// Keep held: the lock stays held for the rest of the body.
+			_ = class
+			return
+		}
+	}
+	w.call(call, held)
+}
+
+// mutexOp reports whether call is a sync.Mutex/RWMutex method call and
+// resolves its lock class.
+func (w *lockWalker) mutexOp(call *ast.CallExpr) (class, op string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	name := sel.Sel.Name
+	switch name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	// The method must come from sync.Mutex or sync.RWMutex (directly or
+	// via embedding).
+	obj := w.pkg.Info.Uses[sel.Sel]
+	fobj, _ := obj.(*types.Func)
+	if fobj == nil || fobj.Pkg() == nil || fobj.Pkg().Path() != "sync" {
+		return "", "", false
+	}
+	recv := fobj.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return "", "", false
+	}
+	rt := recv.Type()
+	if p, isPtr := rt.(*types.Pointer); isPtr {
+		rt = p.Elem()
+	}
+	named, isNamed := rt.(*types.Named)
+	if !isNamed {
+		return "", "", false
+	}
+	switch named.Obj().Name() {
+	case "Mutex", "RWMutex":
+	default:
+		return "", "", false
+	}
+	return w.receiverClass(sel), name, true
+}
+
+// receiverClass abstracts the receiver of a mutex method call into a
+// lock class key.
+func (w *lockWalker) receiverClass(sel *ast.SelectorExpr) string {
+	// Embedded case: x.Lock() where x's type embeds the mutex — class
+	// is owner type + embedded field name.
+	if s, ok := w.pkg.Info.Selections[sel]; ok && len(s.Index()) > 1 {
+		if named := namedOf(s.Recv()); named != nil {
+			if st, ok := named.Underlying().(*types.Struct); ok {
+				f := st.Field(s.Index()[0])
+				return classKey(named, f.Name())
+			}
+		}
+	}
+	x := ast.Unparen(sel.X)
+	for {
+		if u, ok := x.(*ast.UnaryExpr); ok && u.Op == token.AND {
+			x = ast.Unparen(u.X)
+			continue
+		}
+		if s, ok := x.(*ast.StarExpr); ok {
+			x = ast.Unparen(s.X)
+			continue
+		}
+		break
+	}
+	switch x := x.(type) {
+	case *ast.SelectorExpr:
+		// base.field.Lock(): class = type(base).field
+		if fs, ok := w.pkg.Info.Selections[x]; ok && fs.Kind() == types.FieldVal {
+			if named := namedOf(fs.Recv()); named != nil {
+				idx := fs.Index()
+				owner := named
+				st, _ := named.Underlying().(*types.Struct)
+				// Walk down embedded path so s.inner.mu attributes mu
+				// to inner's type.
+				for i := 0; i < len(idx)-1 && st != nil; i++ {
+					f := st.Field(idx[i])
+					if n := namedOf(f.Type()); n != nil {
+						owner = n
+						st, _ = n.Underlying().(*types.Struct)
+					} else {
+						st = nil
+					}
+				}
+				if st != nil {
+					return classKey(owner, st.Field(idx[len(idx)-1]).Name())
+				}
+			}
+		}
+		// Qualified package-level var: pkg.Mu.Lock()
+		if obj, ok := w.pkg.Info.Uses[x.Sel].(*types.Var); ok && obj.Pkg() != nil &&
+			obj.Parent() == obj.Pkg().Scope() {
+			return obj.Pkg().Name() + "." + obj.Name()
+		}
+	case *ast.Ident:
+		if obj, ok := w.pkg.Info.Uses[x].(*types.Var); ok {
+			if obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope() {
+				return obj.Pkg().Name() + "." + obj.Name()
+			}
+			return fmt.Sprintf("%s%s@%d", localClassPrefix, x.Name, obj.Pos())
+		}
+	}
+	return fmt.Sprintf("%sanon@%d", localClassPrefix, sel.Pos())
+}
+
+func namedOf(t types.Type) *types.Named {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+func classKey(named *types.Named, field string) string {
+	pkg := "?"
+	if named.Obj().Pkg() != nil {
+		pkg = named.Obj().Pkg().Name()
+	}
+	return pkg + "." + named.Obj().Name() + "." + field
+}
+
+// call processes one call expression under the current held-set.
+func (w *lockWalker) call(call *ast.CallExpr, held *heldSet) {
+	// Receiver/callee sub-expressions and arguments run first.
+	fun := ast.Unparen(call.Fun)
+	if sel, ok := fun.(*ast.SelectorExpr); ok {
+		w.expr(sel.X, held)
+	} else if _, isIdent := fun.(*ast.Ident); !isIdent {
+		w.expr(fun, held)
+	}
+	for _, a := range call.Args {
+		w.expr(a, held)
+	}
+
+	// Mutex operations mutate the held-set.
+	if class, op, ok := w.mutexOp(call); ok {
+		switch op {
+		case "Lock", "RLock":
+			w.fn.acquires = append(w.fn.acquires, acqSite{
+				class: class, op: op, pos: call.Pos(), held: held.snapshot(),
+			})
+			if !strings.HasPrefix(class, localClassPrefix) {
+				if _, seen := w.lp.classPos[class]; !seen {
+					w.lp.classPos[class] = call.Pos()
+				}
+			}
+			held.add(heldLock{class: class, op: op, pos: call.Pos()})
+		case "Unlock", "RUnlock":
+			held.remove(class)
+		}
+		return
+	}
+
+	// Conversions T(x) and builtins (len, append, make, ...) are not
+	// calls for our purposes.
+	if tv, ok := w.pkg.Info.Types[call.Fun]; ok && (tv.IsType() || tv.IsBuiltin()) {
+		return
+	}
+
+	callee := w.staticCallee(call)
+	if callee != nil {
+		// sync.Once.Do(f) executes f synchronously: model as a direct
+		// call to a literal argument.
+		if callee.FullName() == "(*sync.Once).Do" && len(call.Args) == 1 {
+			if lit, ok := ast.Unparen(call.Args[0]).(*ast.FuncLit); ok {
+				sum := w.lp.litSummary(w.pkg, lit)
+				if sum.obj == nil {
+					w.fn.dynCalls = append(w.fn.dynCalls, dynCallSite{
+						held: held.snapshot(), sig: sum.sig,
+						desc: "sync.Once.Do callback", pos: call.Pos(),
+					})
+				}
+			}
+			return
+		}
+		w.fn.calls = append(w.fn.calls, callSite{held: held.snapshot(), callee: callee, pos: call.Pos()})
+		if what, ok := blockingFuncs[callee.FullName()]; ok {
+			w.block(what, call.Pos(), held)
+		}
+		return
+	}
+
+	// Dynamic call: through an interface method or a func value.
+	if sel, ok := fun.(*ast.SelectorExpr); ok {
+		if s, ok := w.pkg.Info.Selections[sel]; ok && s.Kind() == types.MethodVal {
+			if iface, ok := s.Recv().Underlying().(*types.Interface); ok {
+				w.fn.dynCalls = append(w.fn.dynCalls, dynCallSite{
+					held: held.snapshot(), iface: iface, meth: sel.Sel.Name,
+					desc: fmt.Sprintf("interface method %s.%s", typeShort(s.Recv()), sel.Sel.Name),
+					pos:  call.Pos(),
+				})
+				return
+			}
+		}
+	}
+	if tv, ok := w.pkg.Info.Types[call.Fun]; ok {
+		if sig, ok := tv.Type.Underlying().(*types.Signature); ok {
+			w.fn.dynCalls = append(w.fn.dynCalls, dynCallSite{
+				held: held.snapshot(), sig: sig,
+				desc: fmt.Sprintf("func value %s", exprString(call.Fun)),
+				pos:  call.Pos(),
+			})
+		}
+	}
+}
+
+// staticCallee resolves the *types.Func a call statically targets, or
+// nil for dynamic calls and builtins.
+func (w *lockWalker) staticCallee(call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := w.pkg.Info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if s, ok := w.pkg.Info.Selections[fun]; ok {
+			if s.Kind() == types.MethodVal {
+				if _, isIface := s.Recv().Underlying().(*types.Interface); isIface {
+					return nil
+				}
+				if f, ok := s.Obj().(*types.Func); ok {
+					return f
+				}
+			}
+			return nil
+		}
+		// Qualified identifier pkg.F.
+		if f, ok := w.pkg.Info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+func typeShort(t types.Type) string {
+	s := t.String()
+	if i := strings.LastIndex(s, "/"); i >= 0 {
+		s = s[i+1:]
+	}
+	return s
+}
+
+func exprString(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.CallExpr:
+		return exprString(e.Fun) + "(...)"
+	case *ast.IndexExpr:
+		return exprString(e.X) + "[...]"
+	default:
+		return "expression"
+	}
+}
+
+// blockingFuncs maps types.Func.FullName() of known blocking standard
+// library operations to a short description. Curated for the hazards
+// this codebase actually risks: HTTP round-trips, file I/O, process
+// waits and sleeps on a goroutine that holds a mutex.
+var blockingFuncs = map[string]string{
+	"time.Sleep": "time.Sleep",
+
+	"net/http.Get":                      "HTTP round-trip (http.Get)",
+	"net/http.Post":                     "HTTP round-trip (http.Post)",
+	"net/http.PostForm":                 "HTTP round-trip (http.PostForm)",
+	"net/http.Head":                     "HTTP round-trip (http.Head)",
+	"net/http.ListenAndServe":           "blocking server (http.ListenAndServe)",
+	"(*net/http.Client).Do":             "HTTP round-trip (http.Client.Do)",
+	"(*net/http.Client).Get":            "HTTP round-trip (http.Client.Get)",
+	"(*net/http.Client).Post":           "HTTP round-trip (http.Client.Post)",
+	"(*net/http.Client).PostForm":       "HTTP round-trip (http.Client.PostForm)",
+	"(*net/http.Client).Head":           "HTTP round-trip (http.Client.Head)",
+	"(*net/http.Transport).RoundTrip":   "HTTP round-trip (http.Transport.RoundTrip)",
+	"(*net/http.Server).ListenAndServe": "blocking server (http.Server.ListenAndServe)",
+	"(*net/http.Server).Serve":          "blocking server (http.Server.Serve)",
+	"(*net/http.Server).Shutdown":       "blocking shutdown (http.Server.Shutdown)",
+
+	"net.Dial":                  "network dial (net.Dial)",
+	"net.DialTimeout":           "network dial (net.DialTimeout)",
+	"net.Listen":                "network listen (net.Listen)",
+	"(*net.Dialer).Dial":        "network dial (net.Dialer.Dial)",
+	"(*net.Dialer).DialContext": "network dial (net.Dialer.DialContext)",
+
+	"os.Open":      "file I/O (os.Open)",
+	"os.OpenFile":  "file I/O (os.OpenFile)",
+	"os.Create":    "file I/O (os.Create)",
+	"os.ReadFile":  "file I/O (os.ReadFile)",
+	"os.WriteFile": "file I/O (os.WriteFile)",
+	"os.ReadDir":   "file I/O (os.ReadDir)",
+	"os.Remove":    "file I/O (os.Remove)",
+	"os.RemoveAll": "file I/O (os.RemoveAll)",
+	"os.Rename":    "file I/O (os.Rename)",
+	"os.Mkdir":     "file I/O (os.Mkdir)",
+	"os.MkdirAll":  "file I/O (os.MkdirAll)",
+	"os.Stat":      "file I/O (os.Stat)",
+
+	"(*os.File).Read":        "file I/O (os.File.Read)",
+	"(*os.File).ReadAt":      "file I/O (os.File.ReadAt)",
+	"(*os.File).Write":       "file I/O (os.File.Write)",
+	"(*os.File).WriteAt":     "file I/O (os.File.WriteAt)",
+	"(*os.File).WriteString": "file I/O (os.File.WriteString)",
+	"(*os.File).Sync":        "file I/O (os.File.Sync)",
+	"(*os.File).Close":       "file I/O (os.File.Close)",
+
+	"(*os/exec.Cmd).Run":            "subprocess (exec.Cmd.Run)",
+	"(*os/exec.Cmd).Output":         "subprocess (exec.Cmd.Output)",
+	"(*os/exec.Cmd).CombinedOutput": "subprocess (exec.Cmd.CombinedOutput)",
+	"(*os/exec.Cmd).Wait":           "subprocess (exec.Cmd.Wait)",
+
+	"(*sync.WaitGroup).Wait": "sync.WaitGroup.Wait",
+	"(*sync.Cond).Wait":      "sync.Cond.Wait",
+}

@@ -1,0 +1,196 @@
+package analyzers
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// MetricconvConfig parameterizes the metricconv analyzer.
+type MetricconvConfig struct {
+	// RegistryPkgSuffix identifies the telemetry package (matched
+	// against the import path) whose Registry methods register metrics.
+	RegistryPkgSuffix string
+
+	// ScanPkgPrefixes restricts which packages' registrations are
+	// checked (the product surface; examples and fixtures stay out).
+	// Empty means every package in the pass.
+	ScanPkgPrefixes []string
+
+	// Prefixes are the allowed metric-name prefixes (the
+	// exterminator_/subsystem namespaces).
+	Prefixes []string
+
+	// HistogramSuffixes are the unit suffixes histograms must end in.
+	HistogramSuffixes []string
+
+	// DocFile is the metrics reference, relative to the module root;
+	// every registered name must appear there backticked. Empty skips
+	// the doc check.
+	DocFile string
+}
+
+// DefaultMetricconvConfig returns the repository configuration.
+func DefaultMetricconvConfig() MetricconvConfig {
+	return MetricconvConfig{
+		RegistryPkgSuffix: "internal/telemetry",
+		ScanPkgPrefixes:   []string{"exterminator/internal", "exterminator/cmd"},
+		Prefixes:          []string{"exterminator_", "fleet_", "cluster_", "engine_"},
+		HistogramSuffixes: []string{"_seconds", "_bytes"},
+		DocFile:           filepath.Join("docs", "OBSERVABILITY.md"),
+	}
+}
+
+var promNameRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+
+// Metricconv builds the analyzer: every telemetry registration
+// (Registry.Counter/Gauge/GaugeFunc/Histogram with a constant name)
+// must use a valid Prometheus name in an approved subsystem namespace,
+// follow the type-suffix conventions (counters end in _total, gauges
+// don't, histograms end in a unit suffix), and appear in
+// docs/OBSERVABILITY.md. It subsumes the retired metricsdocs_test.go
+// lint with type-checked precision instead of a regex scrape.
+func Metricconv(cfg MetricconvConfig) *Analyzer {
+	return &Analyzer{
+		Name: "metricconv",
+		Doc:  "check telemetry metric names: validity, namespaces, type suffixes, documentation",
+		Run: func(pass *Pass) []Diagnostic {
+			var doc string
+			docLoaded := false
+			if cfg.DocFile != "" && pass.ModRoot != "" {
+				if b, err := pass.readFile(filepath.Join(pass.ModRoot, cfg.DocFile)); err == nil {
+					doc = string(b)
+					docLoaded = true
+				}
+			}
+
+			var out []Diagnostic
+			for _, pkg := range pass.Pkgs {
+				if len(cfg.ScanPkgPrefixes) > 0 && !prefixMatch(pkg.Path, cfg.ScanPkgPrefixes) {
+					continue
+				}
+				for _, f := range pkg.Files {
+					ast.Inspect(f, func(n ast.Node) bool {
+						call, ok := n.(*ast.CallExpr)
+						if !ok {
+							return true
+						}
+						method, ok := registryMethod(pkg.Info, call, cfg.RegistryPkgSuffix)
+						if !ok || len(call.Args) == 0 {
+							return true
+						}
+						name, ok := constString(pkg.Info, call.Args[0])
+						if !ok {
+							out = append(out, Diagnostic{
+								Pos:     call.Args[0].Pos(),
+								Message: fmt.Sprintf("metric name passed to Registry.%s is not a constant string: names must be statically checkable", method),
+							})
+							return true
+						}
+						out = append(out, checkMetricName(call.Args[0].Pos(), method, name, doc, docLoaded, cfg)...)
+						return true
+					})
+				}
+			}
+			return out
+		},
+	}
+}
+
+func prefixMatch(path string, prefixes []string) bool {
+	for _, p := range prefixes {
+		if strings.HasPrefix(path, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// registryMethod reports whether call is a metric registration on the
+// telemetry Registry and which method it is.
+func registryMethod(info *types.Info, call *ast.CallExpr, pkgSuffix string) (string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	switch sel.Sel.Name {
+	case "Counter", "Gauge", "GaugeFunc", "Histogram":
+	default:
+		return "", false
+	}
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.MethodVal {
+		return "", false
+	}
+	recv := namedOf(s.Recv())
+	if recv == nil || recv.Obj().Name() != "Registry" ||
+		recv.Obj().Pkg() == nil || !strings.HasSuffix(recv.Obj().Pkg().Path(), pkgSuffix) {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}
+
+// constString resolves a constant string expression (literal or const).
+func constString(info *types.Info, e ast.Expr) (string, bool) {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+func checkMetricName(pos token.Pos, method, name string, doc string, docLoaded bool, cfg MetricconvConfig) []Diagnostic {
+	var out []Diagnostic
+	add := func(format string, args ...any) {
+		out = append(out, Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+	}
+
+	if !promNameRe.MatchString(name) {
+		add("metric name %q is not a valid Prometheus metric name", name)
+		return out
+	}
+	if len(cfg.Prefixes) > 0 && !hasAnyPrefix(name, cfg.Prefixes) {
+		add("metric name %q lacks an approved subsystem prefix (one of %s)", name, strings.Join(cfg.Prefixes, ", "))
+	}
+	switch method {
+	case "Counter":
+		if !strings.HasSuffix(name, "_total") {
+			add("counter %q must end in _total", name)
+		}
+	case "Gauge", "GaugeFunc":
+		if strings.HasSuffix(name, "_total") {
+			add("gauge %q must not end in _total (reserved for counters)", name)
+		}
+	case "Histogram":
+		if !hasAnySuffix(name, cfg.HistogramSuffixes) {
+			add("histogram %q must end in a unit suffix (one of %s)", name, strings.Join(cfg.HistogramSuffixes, ", "))
+		}
+	}
+	if docLoaded && !strings.Contains(doc, "`"+name+"`") {
+		add("metric %q is not documented in %s", name, cfg.DocFile)
+	}
+	return out
+}
+
+func hasAnyPrefix(s string, prefixes []string) bool {
+	for _, p := range prefixes {
+		if strings.HasPrefix(s, p) {
+			return true
+		}
+	}
+	return false
+}
+
+func hasAnySuffix(s string, suffixes []string) bool {
+	for _, su := range suffixes {
+		if strings.HasSuffix(s, su) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,37 @@
+// Package atomicmix exercises the atomicmix analyzer: fields and
+// package vars accessed both through sync/atomic and plainly are
+// flagged at every plain access; atomic-only, plain-only and
+// atomic.*-typed fields are not.
+package atomicmix
+
+import "sync/atomic"
+
+type counters struct {
+	hits  int64
+	plain int64
+	typed atomic.Int64
+}
+
+func inc(c *counters) {
+	atomic.AddInt64(&c.hits, 1)
+	c.plain++ // plain-only: no finding
+	c.typed.Add(1)
+}
+
+func read(c *counters) int64 {
+	return c.hits // want `plain access to hits, which is also accessed via sync/atomic`
+}
+
+func readTyped(c *counters) int64 {
+	return c.typed.Load() // atomic.Int64 cannot be misused: no finding
+}
+
+var global uint64
+
+func bump() {
+	atomic.AddUint64(&global, 1)
+}
+
+func peek() uint64 {
+	return global // want `plain access to global, which is also accessed via sync/atomic`
+}

@@ -1,0 +1,40 @@
+// Package directive exercises the //extlint:ignore contract: same-line
+// and line-above suppression, the "all" wildcard, and malformed
+// directives (no reason) being diagnosed themselves. Checked by
+// TestDirectives with explicit assertions rather than want comments
+// (a malformed directive cannot carry a want on its own line).
+package directive
+
+import (
+	"sync"
+	"time"
+)
+
+type T struct{ mu sync.Mutex }
+
+func sameLine(t *T) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	time.Sleep(time.Millisecond) //extlint:ignore lockio same-line suppression with a reason
+}
+
+func lineAbove(t *T) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	//extlint:ignore all wildcard suppression with a reason
+	time.Sleep(time.Millisecond)
+}
+
+func wrongAnalyzer(t *T) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	//extlint:ignore wiretags names a different analyzer, so lockio still fires
+	time.Sleep(time.Millisecond)
+}
+
+func malformed(t *T) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	//extlint:ignore lockio
+	time.Sleep(time.Millisecond)
+}

@@ -1,0 +1,79 @@
+// Package lockio exercises the lockio analyzer: direct blocking ops
+// under a mutex, blocking reached through a static call chain, dynamic
+// calls whose CHA candidates block, the coarse-lock allowlist, and the
+// suppression directive. The test config marks lockio.Pool.opMu coarse.
+package lockio
+
+import (
+	"os"
+	"sync"
+	"time"
+)
+
+type S struct {
+	mu sync.Mutex
+	ch chan int
+	n  int
+}
+
+func direct(s *S) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	time.Sleep(time.Millisecond) // want `time\.Sleep while holding lockio\.S\.mu`
+}
+
+func channels(s *S) {
+	s.mu.Lock()
+	s.ch <- 1 // want `channel send while holding lockio\.S\.mu`
+	<-s.ch    // want `channel receive while holding lockio\.S\.mu`
+	s.mu.Unlock()
+	<-s.ch // lock released: no finding
+}
+
+func readConfig() {
+	_, _ = os.ReadFile("config.json")
+}
+
+func transitive(s *S) {
+	s.mu.Lock()
+	readConfig() // want `call to .*readConfig, which does file I/O`
+	s.mu.Unlock()
+	readConfig() // lock released: no finding
+}
+
+func sleeper() {
+	time.Sleep(time.Second)
+}
+
+// dynamic calls a func value under the lock; CHA finds sleeper (address
+// taken below, same signature), which blocks.
+func dynamic(s *S, f func()) {
+	use(sleeper)
+	s.mu.Lock()
+	f() // want `dynamic call through func value f may reach .*sleeper, which does time\.Sleep`
+	s.mu.Unlock()
+}
+
+func use(func()) {}
+
+func suppressed(s *S) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	//extlint:ignore lockio fixture demonstrates a documented suppression
+	time.Sleep(time.Millisecond)
+}
+
+// Pool.opMu is declared coarse in the test config: holding it across
+// I/O is its purpose, so nothing below is flagged.
+type Pool struct {
+	opMu sync.Mutex
+}
+
+func (p *Pool) drain(s *S) {
+	p.opMu.Lock()
+	defer p.opMu.Unlock()
+	readConfig()
+	s.mu.Lock()                  // a data lock joins: coarse exemption ends
+	time.Sleep(time.Millisecond) // want `time\.Sleep while holding lockio\.Pool\.opMu`
+	s.mu.Unlock()
+}

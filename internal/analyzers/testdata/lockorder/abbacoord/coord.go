@@ -1,0 +1,29 @@
+// Package abbacoord is the coordinator half of the lockorder ABBA
+// regression fixture: SetMetrics holds c.mu while registering a gauge
+// closure that itself locks c.mu when the registry later evaluates it.
+// Scrape (Registry.mu → Coordinator.mu via the callback) and membership
+// change (Coordinator.mu → Registry.mu via GaugeFunc) deadlock.
+package abbacoord
+
+import (
+	"sync"
+
+	"exterminator/internal/analyzers/testdata/lockorder/abbareg"
+)
+
+// Coordinator is a miniature of cluster.Coordinator.
+type Coordinator struct {
+	mu    sync.Mutex
+	nodes int
+}
+
+// SetMetrics registers gauges under c.mu — the other half of the ABBA.
+func (c *Coordinator) SetMetrics(reg *abbareg.Registry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	reg.GaugeFunc(func() float64 { // want `lock-order cycle among .*abbacoord\.Coordinator\.mu`
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return float64(c.nodes)
+	})
+}

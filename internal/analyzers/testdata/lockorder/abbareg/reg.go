@@ -1,0 +1,35 @@
+// Package abbareg is the registry half of the lockorder regression
+// fixture for the PR 6 scrape-vs-membership deadlock: WriteText
+// evaluates gauge callbacks while still holding the registry mutex (the
+// pre-fix shape of telemetry.Registry.WriteText), so a callback that
+// locks its owner closes an ABBA cycle with any owner that registers
+// gauges under its own lock (abbacoord).
+package abbareg
+
+import "sync"
+
+// Registry is a miniature of telemetry.Registry.
+type Registry struct {
+	mu  sync.Mutex
+	fns []func() float64
+}
+
+// GaugeFunc registers a gauge callback under r.mu.
+func (r *Registry) GaugeFunc(fn func() float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.fns = append(r.fns, fn)
+}
+
+// WriteText renders every gauge with r.mu still held — the buggy half
+// of the ABBA (the fixed WriteText snapshots under the lock and
+// evaluates after release).
+func (r *Registry) WriteText() float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var sum float64
+	for _, fn := range r.fns {
+		sum += fn() // want `lock-order cycle among .*abbareg\.Registry\.mu`
+	}
+	return sum
+}

@@ -1,0 +1,37 @@
+// Package ranked exercises the lockorder declaration checks: an edge
+// against the declared rank order, and a lock class missing from the
+// declaration entirely. The test config declares Order = [A.mu, B.mu]
+// with DeclarePkgs = ["ranked."].
+package ranked
+
+import "sync"
+
+type A struct{ mu sync.Mutex }
+
+type B struct{ mu sync.Mutex }
+
+// C's mutex is acquired but never declared in the canonical order.
+type C struct{ mu sync.Mutex }
+
+// Sequential never nests the two locks: no edge, no finding.
+func Sequential(a *A, b *B) {
+	a.mu.Lock()
+	a.mu.Unlock()
+	b.mu.Lock()
+	b.mu.Unlock()
+}
+
+// Outward acquires A.mu while holding B.mu: rank violation (but no
+// cycle, since nothing ever acquires B.mu under A.mu).
+func Outward(a *A, b *B) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	a.mu.Lock() // want `violates the canonical lock order`
+	a.mu.Unlock()
+}
+
+// UsesC acquires the undeclared class.
+func UsesC(c *C) {
+	c.mu.Lock() // want `lock class ranked\.C\.mu is not declared in the canonical lock order`
+	c.mu.Unlock()
+}

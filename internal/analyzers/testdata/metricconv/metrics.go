@@ -1,0 +1,22 @@
+// Package metricconv exercises the metricconv analyzer: Prometheus
+// name validity, subsystem prefixes, type-suffix conventions,
+// constant-name enforcement, and doc coverage (observability.md beside
+// this file).
+package metricconv
+
+import "exterminator/internal/analyzers/testdata/metricconv/registry"
+
+const goodName = "fleet_good_total"
+
+func register(r *registry.Registry, dyn string) {
+	r.Counter(goodName, "constant names resolve through consts")
+	r.Counter("fleet_bad", "x")                // want `counter "fleet_bad" must end in _total`
+	r.Gauge("fleet_depth_total", "x")          // want `gauge "fleet_depth_total" must not end in _total`
+	r.GaugeFunc("fleet_depth", "x", nil)       // documented gauge: no finding
+	r.Histogram("fleet_lat", "x", nil)         // want `histogram "fleet_lat" must end in a unit suffix`
+	r.Histogram("fleet_lat_seconds", "x", nil) // documented histogram: no finding
+	r.Counter("other_thing_total", "x")        // want `lacks an approved subsystem prefix`
+	r.Counter("fleet bad name_total", "x")     // want `not a valid Prometheus metric name`
+	r.Counter(dyn, "x")                        // want `not a constant string`
+	r.Gauge("fleet_undocumented", "x")         // want `metric "fleet_undocumented" is not documented`
+}

@@ -1,0 +1,16 @@
+// Package registry is a miniature of internal/telemetry for the
+// metricconv fixture: the analyzer recognizes registrations by method
+// name on a type named Registry in the configured registry package.
+package registry
+
+type Series struct{}
+
+type Registry struct{}
+
+func (r *Registry) Counter(name, help string) *Series { return nil }
+
+func (r *Registry) Gauge(name, help string) *Series { return nil }
+
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {}
+
+func (r *Registry) Histogram(name, help string, buckets []float64) *Series { return nil }

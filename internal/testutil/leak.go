@@ -1,0 +1,86 @@
+// Package testutil holds helpers shared by the repo's test suites. It
+// is imported only from _test.go files; nothing here may appear in a
+// production dependency chain.
+package testutil
+
+import (
+	"runtime"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+)
+
+// leakGrace is how long the cleanup check waits for goroutines started
+// during the test to unwind before declaring them leaked. Shutdown is
+// asynchronous — a loop selecting on ctx.Done() needs a few scheduler
+// ticks to observe the cancel — so the check polls rather than
+// snapshotting once. Overridden by the self-test.
+var leakGrace = 5 * time.Second
+
+// VerifyNoLeaks arms a goroutine-leak check on t: it snapshots the
+// goroutines alive right now and, after the test body and every
+// later-registered cleanup have finished, requires that every goroutine
+// started during the test has exited. A goroutine still running after
+// the grace period fails the test with its full stack.
+//
+// Call it first, before spawning anything: cleanups run last-in
+// first-out, so arming early places the check after the shutdown paths
+// it audits (httptest.Server.Close, context cancels, etc). Do not
+// combine it with t.Parallel — goroutines belonging to sibling tests
+// would be indistinguishable from leaks.
+func VerifyNoLeaks(t testing.TB) {
+	t.Helper()
+	base := goroutines()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(leakGrace)
+		var leaked []string
+		for {
+			leaked = leaked[:0]
+			for id, stack := range goroutines() {
+				if _, ok := base[id]; !ok {
+					leaked = append(leaked, stack)
+				}
+			}
+			if len(leaked) == 0 {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		sort.Strings(leaked)
+		t.Errorf("goroutine leak: %d goroutine(s) started during the test still running after %v:\n\n%s",
+			len(leaked), leakGrace, strings.Join(leaked, "\n\n"))
+	})
+}
+
+// goroutines returns the stack of every live goroutine keyed by its id
+// (from the "goroutine N [state]:" header). Goroutines created by the
+// runtime itself (GC workers, scavenger) are excluded: the runtime
+// starts them at its own pace, and they never exit.
+func goroutines() map[string]string {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, 2*len(buf))
+	}
+	out := make(map[string]string)
+	for _, g := range strings.Split(string(buf), "\n\n") {
+		header, _, _ := strings.Cut(g, "\n")
+		f := strings.Fields(header)
+		if len(f) < 2 || f[0] != "goroutine" {
+			continue
+		}
+		if strings.Contains(g, "\ncreated by runtime.") {
+			continue
+		}
+		out[f[1]] = g
+	}
+	return out
+}

@@ -1,0 +1,73 @@
+package testutil
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fakeTB captures the calls VerifyNoLeaks makes so the failure path can
+// be exercised without failing the real test. Embedding testing.TB
+// satisfies the interface's private method; anything unstubbed panics.
+type fakeTB struct {
+	testing.TB
+	cleanups []func()
+	failed   bool
+	msg      string
+}
+
+func (f *fakeTB) Helper() {}
+
+func (f *fakeTB) Cleanup(fn func()) { f.cleanups = append(f.cleanups, fn) }
+
+func (f *fakeTB) Errorf(format string, args ...any) {
+	f.failed = true
+	f.msg = fmt.Sprintf(format, args...)
+}
+
+func (f *fakeTB) runCleanups() {
+	for i := len(f.cleanups) - 1; i >= 0; i-- {
+		f.cleanups[i]()
+	}
+}
+
+func TestVerifyNoLeaksPassesOnCleanExit(t *testing.T) {
+	ft := &fakeTB{}
+	VerifyNoLeaks(ft)
+
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		<-stop
+	}()
+	close(stop)
+	<-done
+
+	ft.runCleanups()
+	if ft.failed {
+		t.Fatalf("clean exit reported as leak:\n%s", ft.msg)
+	}
+}
+
+func TestVerifyNoLeaksReportsStuckGoroutine(t *testing.T) {
+	old := leakGrace
+	leakGrace = 50 * time.Millisecond
+	defer func() { leakGrace = old }()
+
+	ft := &fakeTB{}
+	VerifyNoLeaks(ft)
+
+	stop := make(chan struct{})
+	go func() { <-stop }() // still blocked when cleanups run
+
+	ft.runCleanups()
+	close(stop)
+	if !ft.failed {
+		t.Fatal("stuck goroutine not reported")
+	}
+	if !strings.Contains(ft.msg, "goroutine leak") || !strings.Contains(ft.msg, "leak_test.go") {
+		t.Fatalf("leak report missing the header or the leaking stack:\n%s", ft.msg)
+	}
+}
