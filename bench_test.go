@@ -33,7 +33,9 @@ import (
 	"exterminator/internal/mem"
 	"exterminator/internal/modes"
 	"exterminator/internal/mutator"
+	"exterminator/internal/patch"
 	"exterminator/internal/site"
+	"exterminator/internal/triage"
 	"exterminator/internal/workloads"
 	"exterminator/internal/xrand"
 )
@@ -601,5 +603,42 @@ func BenchmarkServeHealthyStream(b *testing.B) {
 		if len(res.Incidents) != 0 {
 			b.Fatal("benign stream had incidents")
 		}
+	}
+}
+
+// BenchmarkTriage: one triage pass over a fleet-scale candidate set —
+// 10k overflow sites (stack-clustered in groups of 8) plus 1k dangling
+// pairs — measuring the clustering, pooling, lifecycle and ranking work
+// a coordinator pays per correction pass.
+func BenchmarkTriage(b *testing.B) {
+	eng := triage.New(triage.Config{})
+	var overs, dangs []cumulative.Candidate
+	for i := 0; i < 10000; i++ {
+		id := site.ID(0x10000 + uint32(i))
+		// Eight sites share each innermost suffix: realistic many-paths-
+		// one-defect clustering, ~1250 overflow clusters.
+		eng.RecordFrames(id, []uint64{uint64(i), uint64(i / 8), 0xAA, 0xBB})
+		overs = append(overs, cumulative.Candidate{
+			Site: id, Bayes: 1 + float64(i%97), Obs: 1 + i%5,
+		})
+	}
+	for i := 0; i < 1000; i++ {
+		dangs = append(dangs, cumulative.Candidate{
+			Pair:  site.Pair{Alloc: site.ID(0x40000 + uint32(i%250)), Free: site.ID(0x50000 + uint32(i))},
+			Bayes: 1 + float64(i%31), Obs: 1 + i%3,
+		})
+	}
+	ps := patch.New()
+	for i := 0; i < 100; i++ {
+		ps.AddPad(site.ID(0x10000+uint32(i)), 8)
+	}
+	in := triage.PassInput{Overflows: overs, Danglings: dangs, Patches: ps, Threshold: 50}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Pass(in)
+	}
+	if eng.Clusters() == 0 {
+		b.Fatal("no clusters formed")
 	}
 }

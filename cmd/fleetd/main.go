@@ -51,6 +51,7 @@ import (
 	"exterminator/internal/cumulative"
 	"exterminator/internal/fleet"
 	"exterminator/internal/telemetry"
+	"exterminator/internal/triage"
 	"exterminator/internal/version"
 )
 
@@ -73,8 +74,13 @@ func main() {
 		coordinator  = flag.String("coordinator", "", "run as cluster coordinator over these comma-separated partition base URLs instead of an evidence store")
 		pollInt      = flag.Duration("poll-interval", 1*time.Second, "coordinator: partition journal poll interval")
 		rebalJournal = flag.String("rebalance-journal", "", "coordinator: crash-safe rebalance journal file; an interrupted drain/backfill is re-driven on start (required for safe live resizes)")
+		alertURL     = flag.String("alert-url", "", "webhook URL for triage alerts: POST a compound alert when a cluster crosses the Bayes or occurrence trigger (empty: alerting off)")
+		alertBayes   = flag.Float64("alert-bayes", 0, "triage alert trigger: pooled log10 Bayes factor a cluster must reach (0: disabled)")
+		alertOccurs  = flag.Int("alert-occurrences", 0, "triage alert trigger: total occurrences a cluster must accumulate (0: disabled)")
+		alertCool    = flag.Duration("alert-cooldown", 0, "minimum gap between webhook alerts for the same cluster (0: 1h)")
 		debugAddr    = flag.String("debug-addr", "", "private listen address for net/http/pprof and /metrics (empty: no debug listener; /metrics is always on the main listener too)")
 		logJSON      = flag.Bool("log-json", false, "emit structured logs as JSON lines (default: human-readable text)")
+		logDebug     = flag.Bool("log-debug", false, "log at debug level: per-request read-path lines (patches/deltas/status served) with their X-Request-ID")
 		showVersion  = flag.Bool("version", false, "print build version and exit")
 	)
 	flag.Parse()
@@ -84,11 +90,15 @@ func main() {
 		return
 	}
 
+	hopts := &slog.HandlerOptions{}
+	if *logDebug {
+		hopts.Level = slog.LevelDebug
+	}
 	var handler slog.Handler
 	if *logJSON {
-		handler = slog.NewJSONHandler(os.Stderr, nil)
+		handler = slog.NewJSONHandler(os.Stderr, hopts)
 	} else {
-		handler = slog.NewTextHandler(os.Stderr, nil)
+		handler = slog.NewTextHandler(os.Stderr, hopts)
 	}
 	logger := slog.New(handler)
 	reg := telemetry.NewRegistry()
@@ -96,6 +106,13 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	triageCfg := triage.Config{Alert: triage.AlertConfig{
+		URL:            *alertURL,
+		BayesThreshold: *alertBayes,
+		MinOccurrences: *alertOccurs,
+		Cooldown:       *alertCool,
+	}}
 
 	if *debugAddr != "" {
 		go serveDebug(ctx, *debugAddr, reg)
@@ -114,7 +131,7 @@ func main() {
 			log.Print("fleetd: warning: -shards/-journal/-correct-every/-dedup are ignored in coordinator mode")
 		}
 		runCoordinator(ctx, *addr, *coordinator, *token, cumulative.Config{C: *priorC, P: *fillP},
-			*pollInt, *snapshot, *snapshotInt, *rebalJournal, reg, logger)
+			*pollInt, *snapshot, *snapshotInt, *rebalJournal, triageCfg, reg, logger)
 		return
 	}
 	if *rebalJournal != "" {
@@ -123,6 +140,9 @@ func main() {
 
 	if *partition {
 		log.Print("fleetd: partition mode: evidence store + journal only; patch derivation is the coordinator's job")
+		if *alertURL != "" {
+			log.Print("fleetd: warning: -alert-url is ignored in partition mode (the coordinator ranks and alerts over the merged pool)")
+		}
 	}
 	srv := fleet.NewServer(fleet.ServerOptions{
 		Shards:       *shards,
@@ -133,6 +153,7 @@ func main() {
 		RateBurst:    *burst,
 		JournalLen:   *journalLen,
 		DedupWindow:  *dedupLen,
+		Triage:       triageCfg,
 		Metrics:      reg,
 		Logger:       logger,
 		// See ServerOptions.DisableCorrection: a partition's local N
@@ -177,7 +198,7 @@ func main() {
 // writes a final snapshot on graceful shutdown.
 func runCoordinator(ctx context.Context, addr, partitions, token string, cfg cumulative.Config,
 	pollInt time.Duration, snapshot string, snapshotInt time.Duration, rebalJournal string,
-	reg *telemetry.Registry, logger *slog.Logger) {
+	triageCfg triage.Config, reg *telemetry.Registry, logger *slog.Logger) {
 	var parts []string
 	for _, p := range strings.Split(partitions, ",") {
 		if p = strings.TrimSpace(p); p != "" {
@@ -188,6 +209,7 @@ func runCoordinator(ctx context.Context, addr, partitions, token string, cfg cum
 		Partitions:       parts,
 		Config:           cfg,
 		Token:            token,
+		Triage:           triageCfg,
 		RebalanceJournal: rebalJournal,
 		Metrics:          reg,
 		Logger:           logger,

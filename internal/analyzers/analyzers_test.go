@@ -227,8 +227,8 @@ func TestDirectives(t *testing.T) {
 }
 
 // TestRepoLockGraph pins the acceptance criterion on the real tree: the
-// telemetry/fleet/cluster/engine lock graph is cycle-free and every
-// edge respects the canonical LockOrder declaration.
+// telemetry/fleet/cluster/engine/triage lock graph is cycle-free and
+// every edge respects the canonical LockOrder declaration.
 func TestRepoLockGraph(t *testing.T) {
 	if testing.Short() {
 		t.Skip("whole-program load is slow")
@@ -240,6 +240,7 @@ func TestRepoLockGraph(t *testing.T) {
 	var pkgs []*Package
 	for _, p := range []string{
 		"exterminator/internal/telemetry",
+		"exterminator/internal/triage",
 		"exterminator/internal/fleet",
 		"exterminator/internal/cluster",
 		"exterminator/internal/engine",

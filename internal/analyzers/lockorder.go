@@ -26,7 +26,7 @@ type LockorderConfig struct {
 func DefaultLockorderConfig() LockorderConfig {
 	return LockorderConfig{
 		Order:       LockOrder,
-		DeclarePkgs: []string{"telemetry.", "fleet.", "cluster.", "engine."},
+		DeclarePkgs: []string{"telemetry.", "fleet.", "cluster.", "engine.", "triage."},
 	}
 }
 

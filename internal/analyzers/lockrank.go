@@ -47,6 +47,9 @@ var LockOrder = []LockRank{
 	{Class: "fleet.Server.correctMu", Doc: "serializes correction passes (O(dirty-sites) identify+patch)"},
 	{Class: "fleet.Server.deltaMu", Doc: "partition delta/journal window, ring-version raises, snapshot capture"},
 	{Class: "fleet.Server.reportMu", Doc: "partition bug-report accumulator"},
+	// —— triage scope ——
+	{Class: "triage.Engine.mu", Doc: "triage cluster table and rankings; taken by correction passes (under correctMu or after the coordinator's mu is released) and /v1/triage reads"},
+	{Class: "triage.Alerter.mu", Doc: "webhook exactly-once state: fired records and pending queue; armed under Engine.mu, drained lock-free of it — delivery POSTs hold no lock"},
 	// —— storage leaves ——
 	{Class: "fleet.Store.clientMu", Doc: "per-client run-counter ownership"},
 	{Class: "fleet.storeShard.mu", Doc: "one evidence shard of the mutex-striped store"},

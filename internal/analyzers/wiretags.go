@@ -21,12 +21,13 @@ type WiretagsConfig struct {
 }
 
 // DefaultWiretagsConfig returns the repository configuration: wire
-// structs live in internal/fleet and internal/cluster; schemas are
-// specified in docs/PROTOCOL.md, and the /v1/status reply fields in the
-// docs/OPERATIONS.md field reference PROTOCOL.md points at.
+// structs live in internal/fleet, internal/cluster and internal/triage;
+// schemas are specified in docs/PROTOCOL.md, and the /v1/status reply
+// fields in the docs/OPERATIONS.md field reference PROTOCOL.md points
+// at.
 func DefaultWiretagsConfig() WiretagsConfig {
 	return WiretagsConfig{
-		WirePkgSuffixes: []string{"internal/fleet", "internal/cluster"},
+		WirePkgSuffixes: []string{"internal/fleet", "internal/cluster", "internal/triage"},
 		DocFiles: []string{
 			filepath.Join("docs", "PROTOCOL.md"),
 			filepath.Join("docs", "OPERATIONS.md"),

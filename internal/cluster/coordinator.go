@@ -15,6 +15,7 @@ import (
 	"exterminator/internal/fleet"
 	"exterminator/internal/report"
 	"exterminator/internal/telemetry"
+	"exterminator/internal/triage"
 	"exterminator/internal/version"
 )
 
@@ -32,6 +33,12 @@ type CoordinatorOptions struct {
 	Token string
 	// MaxReports bounds the retained bug-report ring (0 = 128).
 	MaxReports int
+	// Triage configures the coordinator's triage engine (GET /v1/triage
+	// rankings over the merged evidence) and its webhook alerter. The
+	// zero value serves rankings with alerting off. Alert exactly-once
+	// state rides in the coordinator snapshot (SaveSnapshot), so a
+	// restart neither re-fires nor drops an armed alert.
+	Triage triage.Config
 	// RebalanceJournal is the path of the crash-safe rebalance journal
 	// (JSON lines, fsynced per record). With it set, a coordinator that
 	// dies between drain and backfill re-drives the interrupted rebalance
@@ -76,6 +83,7 @@ type Coordinator struct {
 	testRebalanceCrash func(stage string) error
 
 	log         *fleet.PatchLog
+	triage      *triage.Engine
 	epoch       uint64
 	start       time.Time
 	polls       atomic.Int64
@@ -219,6 +227,11 @@ func NewCoordinator(opts CoordinatorOptions) (*Coordinator, error) {
 	if logger == nil {
 		logger = slog.New(slog.DiscardHandler)
 	}
+	tcfg := opts.Triage
+	tcfg.Source = "coordinator"
+	c.triage = triage.New(tcfg)
+	c.triage.SetLogger(logger)
+	c.triage.SetMetrics(c.reg)
 	c.logger = logger.With("component", "coordinator")
 	c.metrics.register(c.reg, c)
 	for _, base := range opts.Partitions {
@@ -231,6 +244,8 @@ func NewCoordinator(opts CoordinatorOptions) (*Coordinator, error) {
 	mux.HandleFunc("/v1/membership", c.handleMembership)
 	mux.HandleFunc("/v1/rebalance", c.handleRebalance)
 	mux.HandleFunc("/v1/status", c.handleStatus)
+	mux.Handle("/v1/triage", c.triage)
+	mux.Handle("/v1/triage/", c.triage)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
@@ -255,6 +270,10 @@ func (c *Coordinator) Handler() http.Handler { return c.mux }
 // membership churn never double-registers.
 func (c *Coordinator) newPartition(base string) *partition {
 	client := fleet.NewClient(base, "coordinator")
+	// The partition client logs its delta fetches with their
+	// X-Request-ID, so one correlation ID greps from a partition's
+	// journal serve through the coordinator's mirror application.
+	client.SetLogger(c.logger.With("partition", base))
 	if c.token != "" {
 		client.SetToken(c.token)
 	}
@@ -461,8 +480,16 @@ func (c *Coordinator) pollLocked(ctx context.Context) (changed bool, err error) 
 // Correct runs one correction pass over the merged evidence and folds
 // newly derived patches into the fleet-wide log. After a partition
 // resync the merged history is rebuilt from the mirrors first (the rare
-// slow path); otherwise the pass rescores only dirty sites.
+// slow path); otherwise the pass rescores only dirty sites. The triage
+// pass that follows runs outside c.mu — a /metrics scrape or delta poll
+// never waits behind clustering.
 func (c *Coordinator) Correct() (uint64, bool) {
+	v, changed := c.correctLocked()
+	c.triagePass()
+	return v, changed
+}
+
+func (c *Coordinator) correctLocked() (uint64, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	defer c.updateMergedGauges()
@@ -490,6 +517,32 @@ func (c *Coordinator) Correct() (uint64, bool) {
 	return v, changed
 }
 
+// triagePass feeds the merged evidence's ranked candidates through the
+// triage engine. Candidates are harvested under c.mu (they are cheap
+// copies of cached per-key Bayes factors); the clustering pass itself
+// runs unlocked.
+func (c *Coordinator) triagePass() {
+	if c.triage == nil {
+		return
+	}
+	c.mu.Lock()
+	over := c.merged.OverflowCandidates()
+	dang := c.merged.DanglingCandidates()
+	threshold := c.merged.Threshold()
+	c.mu.Unlock()
+	patches, _ := c.log.Since(0)
+	c.triage.Pass(triage.PassInput{
+		Overflows: over,
+		Danglings: dang,
+		Patches:   patches,
+		Threshold: threshold,
+	})
+}
+
+// Triage exposes the coordinator's triage engine (rankings, alert
+// delivery, snapshot persistence).
+func (c *Coordinator) Triage() *triage.Engine { return c.triage }
+
 // Run polls and corrects every interval until ctx is done.
 func (c *Coordinator) Run(ctx context.Context, interval time.Duration) {
 	if interval <= 0 {
@@ -505,6 +558,7 @@ func (c *Coordinator) Run(ctx context.Context, interval time.Duration) {
 			if changed, _ := c.PollOnce(ctx); changed {
 				c.Correct()
 			}
+			c.triage.DeliverAlerts(ctx)
 		}
 	}
 }
@@ -525,6 +579,7 @@ func (c *Coordinator) handlePatches(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "GET only", http.StatusMethodNotAllowed)
 		return
 	}
+	reqID := fleet.EchoRequestID(w, r)
 	c.metrics.patchPolls.Inc()
 	var since uint64
 	if q := r.URL.Query().Get("since"); q != "" {
@@ -538,6 +593,8 @@ func (c *Coordinator) handlePatches(w http.ResponseWriter, r *http.Request) {
 	ps, version := c.log.Since(since)
 	wire := fleet.ToWire(ps, version)
 	wire.Epoch = c.epoch
+	c.logger.Debug("patches served",
+		"since", since, "version", version, "requestId", reqID)
 	fleet.WriteJSON(w, wire)
 }
 
@@ -557,6 +614,11 @@ func (c *Coordinator) handleReports(w http.ResponseWriter, r *http.Request) {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
+		// Same retention hygiene as fleetd: sanitize on ingest (paths,
+		// PII, caps) so a re-served report never leaks what a client
+		// forgot to redact, and feed stack provenance to triage.
+		report.Redact(&rep)
+		c.feedTriageFrames(&rep)
 		c.reportSeen.Add(1)
 		c.reportMu.Lock()
 		c.reports = append(c.reports, &rep)
@@ -572,6 +634,20 @@ func (c *Coordinator) handleReports(w http.ResponseWriter, r *http.Request) {
 		fleet.WriteJSON(w, out)
 	default:
 		http.Error(w, "GET or POST only", http.StatusMethodNotAllowed)
+	}
+}
+
+// feedTriageFrames records uploaded findings' call stacks with the
+// triage engine so clusters can group by normalized callsite signature
+// instead of falling back to per-site keys.
+func (c *Coordinator) feedTriageFrames(rep *report.Report) {
+	if c.triage == nil {
+		return
+	}
+	for _, f := range rep.Findings {
+		for _, t := range f.Sites {
+			c.triage.RecordFrames(t.Site, t.Frames)
+		}
 	}
 }
 
@@ -608,6 +684,8 @@ func (c *Coordinator) handleStatus(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "GET only", http.StatusMethodNotAllowed)
 		return
 	}
+	reqID := fleet.EchoRequestID(w, r)
+	c.logger.Debug("status served", "requestId", reqID)
 	fleet.WriteJSON(w, c.Status())
 }
 
@@ -619,7 +697,10 @@ func (c *Coordinator) handleMembership(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "GET only", http.StatusMethodNotAllowed)
 		return
 	}
+	reqID := fleet.EchoRequestID(w, r)
 	version, nodes := c.ring.Membership()
+	c.logger.Debug("membership served",
+		"membershipVersion", version, "requestId", reqID)
 	fleet.WriteJSON(w, fleet.MembershipReply{Version: version, Nodes: nodes})
 }
 

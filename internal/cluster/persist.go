@@ -26,18 +26,26 @@ import (
 
 const (
 	coordSnapMagic   = 0x4E534358 // "XCSN" little-endian
-	coordSnapVersion = 2
+	coordSnapVersion = 3
 	maxSnapParts     = 1 << 12
 	maxMirrorBytes   = 1 << 30
+	maxAlertBytes    = 1 << 26
 )
 
 // SaveSnapshot writes the coordinator's membership (version 2: the ring
 // version and node list, so a restarted coordinator keeps the
 // rebalanced topology and its monotonic version even when the operator's
-// flag list is stale), mirrors and cursors to path (write-to-temp, then
-// rename — a crash mid-write never corrupts the previous snapshot).
+// flag list is stale), mirrors, cursors and the triage alerter's
+// exactly-once state (version 3: fired records and the undelivered
+// queue, so a restart neither re-fires a webhook already sent nor drops
+// one still pending) to path (write-to-temp, then rename — a crash
+// mid-write never corrupts the previous snapshot).
 func (c *Coordinator) SaveSnapshot(path string) error {
 	ringVersion, nodes := c.ring.Membership()
+	alerts, err := c.triage.AlertState()
+	if err != nil {
+		return fmt.Errorf("cluster: snapshot: %w", err)
+	}
 	c.mu.Lock()
 	type entry struct {
 		base       string
@@ -45,7 +53,6 @@ func (c *Coordinator) SaveSnapshot(path string) error {
 		mirror     []byte
 	}
 	entries := make([]entry, 0, len(c.parts))
-	var err error
 	for _, p := range c.parts {
 		var buf bytes.Buffer
 		if err = p.mirror.Encode(&buf); err != nil {
@@ -84,6 +91,8 @@ func (c *Coordinator) SaveSnapshot(path string) error {
 		u64(uint64(len(e.mirror)))
 		bw.Write(e.mirror)
 	}
+	u64(uint64(len(alerts)))
+	bw.Write(alerts)
 	if err := bw.Flush(); err != nil {
 		tmp.Close()
 		return fmt.Errorf("cluster: snapshot: %w", err)
@@ -196,6 +205,17 @@ func (c *Coordinator) LoadSnapshot(path string) error {
 		}
 		restored[string(base)] = entry{seq: seq, epoch: epoch, mirror: mirror}
 	}
+	var alerts []byte
+	if version >= 3 {
+		al := u64()
+		if readErr != nil || al > maxAlertBytes {
+			return fmt.Errorf("cluster: restore %s: %w", path, orImplausible(readErr))
+		}
+		alerts = make([]byte, al)
+		if _, err := io.ReadFull(br, alerts); err != nil {
+			return fmt.Errorf("cluster: restore %s: %w", path, err)
+		}
+	}
 
 	// A version-2 snapshot's membership is authoritative: it reflects any
 	// rebalance completed since the operator's flag list was written, and
@@ -216,6 +236,13 @@ func (c *Coordinator) LoadSnapshot(path string) error {
 	}
 	c.rebuild = true
 	c.mu.Unlock()
+	// Alert state must land before the warm-up correction pass: the pass
+	// re-ranks the restored evidence, and only the restored fired records
+	// stop it from re-arming (and later re-firing) alerts already sent by
+	// the previous incarnation.
+	if err := c.triage.RestoreAlertState(alerts); err != nil {
+		return fmt.Errorf("cluster: restore %s: %w", path, err)
+	}
 	c.Correct()
 	return nil
 }

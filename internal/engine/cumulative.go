@@ -53,7 +53,7 @@ func (s *Session) runCumulative(ctx context.Context, work *patch.Set) (*Cumulati
 		if ctx.Err() != nil {
 			return res, true
 		}
-		ex := s.cumulativeRun(run, res.Patches)
+		ex := s.cumulativeRun(run, s.runPatches(res.Patches))
 		s.histMu.Lock()
 		hist.RecordRun(ex.Heap, ex.Outcome.Bad())
 		res.Runs = run
@@ -141,7 +141,7 @@ func (s *Session) cumulativePool(ctx context.Context, res *CumulativeResult, sta
 		go func() {
 			defer wg.Done()
 			for run := range jobs {
-				ex := s.cumulativeRun(run, base)
+				ex := s.cumulativeRun(run, s.runPatches(base))
 				select {
 				case results <- runResult{heap: ex.Heap, bad: ex.Outcome.Bad()}:
 				case <-ictx.Done():

@@ -120,6 +120,15 @@ type Session struct {
 	histMu        sync.Mutex
 	lastFlushRuns int          // history run count at the previous flush
 	flushErrs     []*SinkError // soft mid-run flush failures (under histMu)
+
+	// livePatches holds patches fetched from patch sources *mid-run* (at
+	// evidence-flush points): a long streaming session adopts the fleet's
+	// newly derived corrections without restarting. It is kept separate
+	// from the run's working set so Result.Derived — computed as
+	// Patches.Diff(preRun) — never claims fleet-fetched entries as this
+	// session's own. Executions merge it in read-only; updates go through
+	// a CAS loop (flusher goroutine vs run-loop trigger), never a lock.
+	livePatches atomic.Pointer[patch.Set]
 }
 
 // New builds a session. It validates the options eagerly so a
@@ -205,6 +214,7 @@ func (s *Session) Run(ctx context.Context) (*Result, error) {
 	s.execs.Store(0)
 	s.lastFlushRuns = -1 // first flush trigger always streams
 	s.flushErrs = nil
+	s.livePatches.Store(nil)
 	res := &Result{
 		Mode:     s.cfg.mode,
 		Workload: s.workload.Name(),

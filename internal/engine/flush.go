@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"exterminator/internal/cumulative"
+	"exterminator/internal/patch"
 )
 
 // Mid-run evidence streaming (WithFlushInterval / WithFlushEvery): very
@@ -67,15 +68,28 @@ func (s *Session) maybeFlushEvery(ctx context.Context, hist *cumulative.History,
 }
 
 // flushEvidence streams the current evidence through every streaming
-// sink, serialized against the run loop by histMu. A flush with no new
-// runs since the previous one is skipped (nothing to stream; retries of
-// a failed upload wait for the next trigger that has news, or the final
-// commit). Failures are soft: recorded as SinkErrors, evidence kept for
-// the next flush.
+// sink and then — a flush point being the session's natural heartbeat —
+// re-polls the patch sources so a long streaming session adopts the
+// fleet's newest corrections mid-run. Failures are soft: recorded as
+// SinkErrors, evidence kept for the next flush.
 func (s *Session) flushEvidence(ctx context.Context, hist *cumulative.History) {
+	if !s.streamEvidence(ctx, hist) {
+		return
+	}
+	// Outside histMu: the pull is network I/O and must never extend the
+	// window in which run folding is blocked.
+	s.refreshLivePatches(ctx)
+}
+
+// streamEvidence is the upload half of a flush, serialized against the
+// run loop by histMu. A flush with no new runs since the previous one is
+// skipped (nothing to stream; retries of a failed upload wait for the
+// next trigger that has news, or the final commit). Returns whether the
+// flush point was live (evidence streamed — the patch-pull trigger).
+func (s *Session) streamEvidence(ctx context.Context, hist *cumulative.History) bool {
 	sinks := s.streamingSinks()
 	if len(sinks) == 0 || hist == nil {
-		return
+		return false
 	}
 	s.histMu.Lock()
 	defer s.histMu.Unlock()
@@ -84,7 +98,7 @@ func (s *Session) flushEvidence(ctx context.Context, hist *cumulative.History) {
 	// start, so its possibly-unuploaded backlog streams on the first
 	// trigger.)
 	if hist.Runs == 0 || hist.Runs == s.lastFlushRuns {
-		return
+		return false
 	}
 	s.lastFlushRuns = hist.Runs
 	ev := &Evidence{Workload: s.workload.Name(), Mode: s.cfg.mode, History: hist}
@@ -96,4 +110,79 @@ func (s *Session) flushEvidence(ctx context.Context, hist *cumulative.History) {
 		}
 		s.emit(EvidenceFlushed{Sink: sink.SinkName(), Run: hist.Runs})
 	}
+	return true
+}
+
+// refreshLivePatches re-polls every PatchSource sink and folds anything
+// new into the session's live patch overlay. Fetches run unlocked; the
+// overlay swap is a CAS loop so a concurrent trigger (interval flusher
+// vs run-count trigger) never loses an update. Fetched entries go only
+// into the overlay — never the run's working set — so Result.Derived
+// stays exactly the entries this session derived itself.
+func (s *Session) refreshLivePatches(ctx context.Context) {
+	type fetched struct {
+		sink string
+		ps   *patch.Set
+	}
+	var sets []fetched
+	var errs []*SinkError
+	for _, sink := range s.cfg.sinks {
+		src, ok := sink.(PatchSource)
+		if !ok {
+			continue
+		}
+		ps, err := src.FetchPatches(ctx)
+		if err != nil {
+			errs = append(errs, &SinkError{Sink: sink.SinkName(), Op: "fetch", Err: err})
+			continue
+		}
+		if ps != nil && ps.Len() > 0 {
+			sets = append(sets, fetched{sink: sink.SinkName(), ps: ps})
+		}
+	}
+	if len(errs) > 0 {
+		s.histMu.Lock()
+		s.flushErrs = append(s.flushErrs, errs...)
+		s.histMu.Unlock()
+	}
+	if len(sets) == 0 {
+		return
+	}
+	for {
+		cur := s.livePatches.Load()
+		merged := patch.New()
+		if cur != nil {
+			merged.Merge(cur)
+		}
+		grew := false
+		for _, f := range sets {
+			if merged.Merge(f.ps) {
+				grew = true
+			}
+		}
+		if !grew {
+			return
+		}
+		if s.livePatches.CompareAndSwap(cur, merged) {
+			for _, f := range sets {
+				s.emit(PatchesFetched{Sink: f.sink, Entries: f.ps.Len()})
+			}
+			return
+		}
+	}
+}
+
+// runPatches returns the effective patch set for one execution: the
+// run's working set overlaid with any patches fetched mid-run. The
+// working set itself is never mutated here.
+func (s *Session) runPatches(patches *patch.Set) *patch.Set {
+	lp := s.livePatches.Load()
+	if lp == nil {
+		return patches
+	}
+	merged := patches.Clone()
+	if !merged.Merge(lp) {
+		return patches
+	}
+	return merged
 }

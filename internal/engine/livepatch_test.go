@@ -1,0 +1,108 @@
+package engine
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"exterminator/internal/patch"
+	"exterminator/internal/site"
+)
+
+const fleetSite = site.ID(0xF00D)
+
+// lateFleetSink simulates a fleet whose patch log grows while a
+// streaming session runs: it serves no patches before the run, then —
+// from the first mid-run flush on — serves one pad entry, the way a
+// fleetd that crossed a threshold on someone else's evidence would.
+type lateFleetSink struct {
+	mu      sync.Mutex
+	fetches int
+	flushes int
+	serving *patch.Set
+}
+
+func (s *lateFleetSink) SinkName() string                        { return "late-fleet" }
+func (s *lateFleetSink) Commit(context.Context, *Evidence) error { return nil }
+
+func (s *lateFleetSink) FlushEvidence(context.Context, *Evidence) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.flushes++
+	if s.serving == nil {
+		ps := patch.New()
+		ps.AddPad(fleetSite, 16)
+		s.serving = ps
+	}
+	return nil
+}
+
+func (s *lateFleetSink) FetchPatches(context.Context) (*patch.Set, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.fetches++
+	if s.serving == nil {
+		return nil, nil
+	}
+	return s.serving.Clone(), nil
+}
+
+// TestFlushPointsRePollPatchSources: a streaming cumulative session
+// re-polls its PatchSource sinks at every live flush point, folds what
+// arrives into the live overlay executions run under, and keeps
+// Result.Derived free of the fetched entries — a session only ever
+// reports upstream what it derived itself.
+func TestFlushPointsRePollPatchSources(t *testing.T) {
+	sink := &lateFleetSink{}
+	var fetchedEvents int
+	sess, err := New(Batch(espresso()),
+		WithMode(ModeCumulative),
+		WithSeeds(1, 0x9106),
+		WithMaxRuns(6),
+		WithFlushEvery(1),
+		WithSink(sink),
+		WithObserver(ObserverFunc(func(ev Event) {
+			if pf, ok := ev.(PatchesFetched); ok && pf.Sink == "late-fleet" && pf.Entries > 0 {
+				fetchedEvents++
+			}
+		})))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sess.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sink.mu.Lock()
+	fetches, flushes := sink.fetches, sink.flushes
+	sink.mu.Unlock()
+	if flushes == 0 {
+		t.Fatal("no mid-run flushes happened")
+	}
+	// One pre-run fetch plus one per live flush point.
+	if fetches < flushes+1 {
+		t.Fatalf("fetches = %d for %d flushes — flush points did not re-poll", fetches, flushes)
+	}
+	if fetchedEvents == 0 {
+		t.Fatal("no PatchesFetched event for the mid-run pull")
+	}
+
+	// The overlay holds the fleet's entry and applies to executions...
+	lp := sess.livePatches.Load()
+	if lp == nil || lp.Pad(fleetSite) != 16 {
+		t.Fatalf("live overlay = %v, want the fetched pad", lp)
+	}
+	if got := sess.runPatches(patch.New()); got.Pad(fleetSite) != 16 {
+		t.Fatalf("runPatches does not apply the overlay: %v", got)
+	}
+
+	// ...but never leaks into the session's own results: Derived (and
+	// the working set it diffs against) must exclude fetched entries.
+	if res.Patches.Pad(fleetSite) != 0 {
+		t.Fatalf("fetched patch leaked into Result.Patches: %v", res.Patches)
+	}
+	if res.Derived.Pad(fleetSite) != 0 {
+		t.Fatalf("fetched patch leaked into Result.Derived: %v", res.Derived)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"io"
 	"log/slog"
 	"net/http"
+	"net/url"
 	"strconv"
 	"strings"
 	"sync"
@@ -19,6 +20,7 @@ import (
 	"exterminator/internal/report"
 	"exterminator/internal/site"
 	"exterminator/internal/telemetry"
+	"exterminator/internal/triage"
 )
 
 // Client talks to a fleet aggregation server. It is safe for concurrent
@@ -171,9 +173,12 @@ func (c *Client) PushReport(r *report.Report) error {
 	return c.PushReportContext(context.Background(), r)
 }
 
-// PushReportContext is PushReport honoring ctx.
+// PushReportContext is PushReport honoring ctx. The report is redacted
+// in place before upload (report.Redact): relative paths only, no
+// PII/token-shaped strings, capped lists — nothing leaves the client
+// that the fleet's retention and triage tiers must not see.
 func (c *Client) PushReportContext(ctx context.Context, r *report.Report) error {
-	return c.postJSON(ctx, "/v1/reports", r, nil)
+	return c.postJSON(ctx, "/v1/reports", report.Redact(r), nil)
 }
 
 // Patches fetches the patch entries added after version since, returning
@@ -209,32 +214,67 @@ func (c *Client) PatchesContext(ctx context.Context, since uint64) (*patch.Set, 
 }
 
 func (c *Client) fetchPatches(ctx context.Context, since uint64) (*WirePatchSet, error) {
-	resp, err := c.get(ctx, fmt.Sprintf("%s/v1/patches?since=%d", c.base, since))
+	resp, reqID, err := c.get(ctx, fmt.Sprintf("/v1/patches?since=%d", since))
 	if err != nil {
-		return nil, fmt.Errorf("fleet: get patches: %w", err)
+		return nil, fmt.Errorf("fleet: get patches (request %s): %w", reqID, err)
 	}
 	defer drain(resp)
 	if resp.StatusCode != http.StatusOK {
-		return nil, httpError("get patches", resp)
+		return nil, httpError("get patches (request "+reqID+")", resp)
 	}
 	return decodeWire(resp.Body)
 }
 
 // Status fetches aggregate server statistics.
 func (c *Client) Status() (*StatusReply, error) {
-	resp, err := c.get(context.Background(), c.base+"/v1/status")
+	resp, reqID, err := c.get(context.Background(), "/v1/status")
 	if err != nil {
-		return nil, fmt.Errorf("fleet: get status: %w", err)
+		return nil, fmt.Errorf("fleet: get status (request %s): %w", reqID, err)
 	}
 	defer drain(resp)
 	if resp.StatusCode != http.StatusOK {
-		return nil, httpError("get status", resp)
+		return nil, httpError("get status (request "+reqID+")", resp)
 	}
 	var st StatusReply
 	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
-		return nil, fmt.Errorf("fleet: get status: %w", err)
+		return nil, fmt.Errorf("fleet: get status (request %s): %w", reqID, err)
 	}
 	return &st, nil
+}
+
+// TriageRankings fetches the server's paginated triage ranking (GET
+// /v1/triage): the fleet's top defect clusters, pooled-Bayes first.
+func (c *Client) TriageRankings(ctx context.Context, offset, limit int) (*triage.RankingReply, error) {
+	resp, reqID, err := c.get(ctx, fmt.Sprintf("/v1/triage?offset=%d&limit=%d", offset, limit))
+	if err != nil {
+		return nil, fmt.Errorf("fleet: get triage (request %s): %w", reqID, err)
+	}
+	defer drain(resp)
+	if resp.StatusCode != http.StatusOK {
+		return nil, httpError("get triage (request "+reqID+")", resp)
+	}
+	var rr triage.RankingReply
+	if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
+		return nil, fmt.Errorf("fleet: get triage (request %s): %w", reqID, err)
+	}
+	return &rr, nil
+}
+
+// TriageCluster fetches one cluster's detail (GET /v1/triage/{cluster}).
+func (c *Client) TriageCluster(ctx context.Context, id string) (*triage.ClusterDetail, error) {
+	resp, reqID, err := c.get(ctx, "/v1/triage/"+url.PathEscape(id))
+	if err != nil {
+		return nil, fmt.Errorf("fleet: get triage cluster (request %s): %w", reqID, err)
+	}
+	defer drain(resp)
+	if resp.StatusCode != http.StatusOK {
+		return nil, httpError("get triage cluster (request "+reqID+")", resp)
+	}
+	var d triage.ClusterDetail
+	if err := json.NewDecoder(resp.Body).Decode(&d); err != nil {
+		return nil, fmt.Errorf("fleet: get triage cluster (request %s): %w", reqID, err)
+	}
+	return &d, nil
 }
 
 // Deltas polls the server's evidence journal: everything absorbed after
@@ -242,18 +282,18 @@ func (c *Client) Status() (*StatusReply, error) {
 // feed cluster coordinators (internal/cluster) mirror partitions with;
 // ordinary installations never need it.
 func (c *Client) Deltas(ctx context.Context, since uint64) (*SnapshotDelta, error) {
-	resp, err := c.get(ctx, fmt.Sprintf("%s/v1/deltas?since=%d", c.base, since))
+	resp, reqID, err := c.get(ctx, fmt.Sprintf("/v1/deltas?since=%d", since))
 	if err != nil {
-		return nil, fmt.Errorf("fleet: get deltas: %w", err)
+		return nil, fmt.Errorf("fleet: get deltas (request %s): %w", reqID, err)
 	}
 	defer drain(resp)
 	if resp.StatusCode != http.StatusOK {
-		return nil, httpError("get deltas", resp)
+		return nil, httpError("get deltas (request "+reqID+")", resp)
 	}
 	var d SnapshotDelta
 	dec := json.NewDecoder(resp.Body)
 	if err := dec.Decode(&d); err != nil {
-		return nil, fmt.Errorf("fleet: decode deltas: %w", err)
+		return nil, fmt.Errorf("fleet: decode deltas (request %s): %w", reqID, err)
 	}
 	return &d, nil
 }
@@ -289,30 +329,43 @@ func (c *Client) AnnounceRing(ctx context.Context, version uint64) (*RingReply, 
 // /v1/membership): the membership version and partition base URLs a
 // router should split uploads across.
 func (c *Client) Membership(ctx context.Context) (*MembershipReply, error) {
-	resp, err := c.get(ctx, c.base+"/v1/membership")
+	resp, reqID, err := c.get(ctx, "/v1/membership")
 	if err != nil {
-		return nil, fmt.Errorf("fleet: get membership: %w", err)
+		return nil, fmt.Errorf("fleet: get membership (request %s): %w", reqID, err)
 	}
 	defer drain(resp)
 	if resp.StatusCode != http.StatusOK {
-		return nil, httpError("get membership", resp)
+		return nil, httpError("get membership (request "+reqID+")", resp)
 	}
 	var m MembershipReply
 	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
-		return nil, fmt.Errorf("fleet: get membership: %w", err)
+		return nil, fmt.Errorf("fleet: get membership (request %s): %w", reqID, err)
 	}
 	return &m, nil
 }
 
-func (c *Client) get(ctx context.Context, url string) (*http.Response, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+// get issues a read request for path (e.g. "/v1/patches?since=3"),
+// stamping it with a fresh X-Request-ID — the read-path half of the
+// correlation contract: uploads have carried one since PR 6, but a
+// failed *fetch* could not be grepped across tiers. The ID is logged
+// here and returned so callers thread it into their errors.
+func (c *Client) get(ctx context.Context, path string) (resp *http.Response, reqID string, err error) {
+	reqID = telemetry.NewRequestID()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
 	if err != nil {
-		return nil, err
+		return nil, reqID, err
 	}
+	req.Header.Set(RequestIDHeader, reqID)
 	if c.token != "" {
 		req.Header.Set("Authorization", "Bearer "+c.token)
 	}
-	return c.hc.Do(req)
+	resp, err = c.hc.Do(req)
+	if err != nil {
+		c.logger.Warn("fetch failed", "path", path, "requestId", reqID, "error", err)
+		return nil, reqID, err
+	}
+	c.logger.Debug("fetch", "path", path, "status", resp.StatusCode, "requestId", reqID)
+	return resp, reqID, nil
 }
 
 // StaleRingError reports a 409 stale-ring rejection: the upload was

@@ -23,6 +23,7 @@ import (
 	"exterminator/internal/report"
 	"exterminator/internal/site"
 	"exterminator/internal/telemetry"
+	"exterminator/internal/triage"
 	"exterminator/internal/version"
 )
 
@@ -73,6 +74,13 @@ type ServerOptions struct {
 	// retrying after a lost ack cannot double-count evidence. The window
 	// is persisted in snapshots, so the guarantee survives restarts.
 	DedupWindow int
+	// Triage configures the triage engine behind GET /v1/triage
+	// (clustered top-offender rankings) and its webhook alerter. The
+	// zero value serves rankings with alerting off. Partition-mode
+	// servers (DisableCorrection) skip triage passes for the same
+	// reason they skip correction — a ring slice's local view would
+	// mis-rank — and serve empty rankings.
+	Triage triage.Config
 	// Metrics is the telemetry registry the server instruments into and
 	// serves on GET /metrics (nil = a fresh private registry — /metrics
 	// still works, nothing else shares it).
@@ -87,8 +95,9 @@ type ServerOptions struct {
 // Server is the fleet aggregation service: sharded evidence store,
 // versioned patch log, correction loop, and the HTTP API over them.
 type Server struct {
-	store *Store
-	log   *PatchLog
+	store  *Store
+	log    *PatchLog
+	triage *triage.Engine // nil in partition mode
 
 	correctEvery int
 	noCorrect    bool
@@ -254,6 +263,13 @@ func NewServer(opts ServerOptions) *Server {
 	if s.logger == nil {
 		s.logger = slog.New(slog.DiscardHandler)
 	}
+	if !s.noCorrect {
+		tcfg := opts.Triage
+		tcfg.Source = "fleetd"
+		s.triage = triage.New(tcfg)
+		s.triage.SetLogger(s.logger)
+		s.triage.SetMetrics(s.reg)
+	}
 	s.logger = s.logger.With("component", "fleet")
 	s.metrics.register(s.reg, s)
 	mux := http.NewServeMux()
@@ -264,6 +280,10 @@ func NewServer(opts ServerOptions) *Server {
 	mux.HandleFunc("/v1/evict", s.handleEvict)
 	mux.HandleFunc("/v1/ring", s.handleRing)
 	mux.HandleFunc("/v1/status", s.handleStatus)
+	// s.triage may be a typed nil (partition mode): Engine.ServeHTTP is
+	// nil-receiver-safe and answers with an empty ranking.
+	mux.Handle("/v1/triage", s.triage)
+	mux.Handle("/v1/triage/", s.triage)
 	mux.Handle("/metrics", s.reg.Handler())
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
@@ -309,18 +329,42 @@ func (s *Server) Correct() (uint64, bool) {
 	identifyStart := time.Now()
 	findings := s.store.Identify()
 	s.metrics.identifySec.ObserveSince(identifyStart)
+	changed := false
 	if findings.Empty() {
 		s.logger.Debug("correction pass: no findings",
 			"version", s.log.Version(), "durationSec", time.Since(start).Seconds())
-		return s.log.Version(), false
+	} else {
+		var v uint64
+		if v, changed = s.log.Fold(findings.Patches()); changed {
+			s.logger.Info("correction pass derived patches",
+				"version", v, "patchEntries", s.log.Len(), "durationSec", time.Since(start).Seconds())
+		}
 	}
-	v, changed := s.log.Fold(findings.Patches())
-	if changed {
-		s.logger.Info("correction pass derived patches",
-			"version", v, "patchEntries", s.log.Len(), "durationSec", time.Since(start).Seconds())
-	}
-	return v, changed
+	// Triage rides the correction pass: cluster the rescored candidates
+	// against the patch log the pass just folded. Still under correctMu,
+	// so passes (and their lifecycle transitions) stay serialized.
+	s.triagePass()
+	return s.log.Version(), changed
 }
+
+// triagePass folds the store's current per-site candidates into the
+// triage engine. No-op in partition mode.
+func (s *Server) triagePass() {
+	if s.triage == nil {
+		return
+	}
+	over, dang := s.store.TriageCandidates()
+	ps, _ := s.log.Since(0)
+	s.triage.Pass(triage.PassInput{
+		Overflows: over,
+		Danglings: dang,
+		Patches:   ps,
+		Threshold: s.store.Threshold(),
+	})
+}
+
+// Triage exposes the triage engine (nil in partition mode).
+func (s *Server) Triage() *triage.Engine { return s.triage }
 
 // RunCorrectionLoop reruns Correct every interval until ctx is done — the
 // background half of "rerun the test as evidence arrives". It only pays
@@ -339,6 +383,9 @@ func (s *Server) RunCorrectionLoop(ctx context.Context, interval time.Duration) 
 			if s.pending.Load() > 0 {
 				s.Correct()
 			}
+			// Alert delivery is decoupled from passes: due retries
+			// drain every tick even when no new evidence arrived.
+			s.triage.DeliverAlerts(ctx)
 		}
 	}
 }
@@ -397,6 +444,16 @@ func requestID(r *http.Request) string {
 		return id
 	}
 	return telemetry.NewRequestID()
+}
+
+// EchoRequestID extracts (or mints) the request's correlation ID and
+// echoes it on the response — the read-path half of the X-Request-ID
+// contract, so failed fetches grep across tiers just like uploads.
+// Exported so the cluster coordinator's read handlers share it.
+func EchoRequestID(w http.ResponseWriter, r *http.Request) string {
+	id := requestID(r)
+	w.Header().Set(RequestIDHeader, id)
+	return id
 }
 
 func (s *Server) handleObservations(w http.ResponseWriter, r *http.Request) {
@@ -629,6 +686,10 @@ func (s *Server) handleReports(w http.ResponseWriter, r *http.Request) {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
+		// Clients redact before upload; redacting again here keeps the
+		// retained set clean even for hand-rolled uploaders.
+		report.Redact(&rep)
+		s.feedTriageFrames(&rep)
 		s.reportSeen.Add(1)
 		s.reportMu.Lock()
 		s.reports = append(s.reports, &rep)
@@ -644,6 +705,20 @@ func (s *Server) handleReports(w http.ResponseWriter, r *http.Request) {
 		WriteJSON(w, out)
 	default:
 		http.Error(w, "GET or POST only", http.StatusMethodNotAllowed)
+	}
+}
+
+// feedTriageFrames hands a report's structured site provenance to the
+// triage engine: recorded call stacks are what upgrade site-hash
+// clusters into signature clusters.
+func (s *Server) feedTriageFrames(rep *report.Report) {
+	if s.triage == nil {
+		return
+	}
+	for _, f := range rep.Findings {
+		for _, t := range f.Sites {
+			s.triage.RecordFrames(t.Site, t.Frames)
+		}
 	}
 }
 
@@ -667,9 +742,12 @@ func (s *Server) handlePatches(w http.ResponseWriter, r *http.Request) {
 		}
 		since = v
 	}
+	reqID := EchoRequestID(w, r)
 	ps, version := s.log.Since(since)
 	wire := ToWire(ps, version)
 	wire.Epoch = s.epoch
+	s.logger.Debug("patches served",
+		"since", since, "version", version, "entries", ps.Len(), "requestId", reqID)
 	WriteJSON(w, wire)
 }
 
@@ -692,6 +770,7 @@ func (s *Server) handleDeltas(w http.ResponseWriter, r *http.Request) {
 		}
 		since = v
 	}
+	reqID := EchoRequestID(w, r)
 	entries, seq, ok := s.journal.since(since)
 	if !ok {
 		// Full resync: exclude in-flight ingest so the snapshot matches
@@ -700,7 +779,8 @@ func (s *Server) handleDeltas(w http.ResponseWriter, r *http.Request) {
 		seq = s.journal.seqNow()
 		hist := s.store.Combined()
 		s.deltaMu.Unlock()
-		s.logger.Info("delta poll answered with full resync", "since", since, "seq", seq)
+		s.logger.Info("delta poll answered with full resync",
+			"since", since, "seq", seq, "requestId", reqID)
 		WriteJSON(w, SnapshotDelta{Epoch: s.epoch, Seq: seq, Full: true, Snapshot: hist.Snapshot()})
 		return
 	}
@@ -744,6 +824,8 @@ func (s *Server) handleDeltas(w http.ResponseWriter, r *http.Request) {
 	case len(ops) == 1:
 		reply.Snapshot = ops[0].Snapshot
 	}
+	s.logger.Debug("deltas served",
+		"since", since, "seq", seq, "entries", len(entries), "requestId", reqID)
 	WriteJSON(w, reply)
 }
 
@@ -752,6 +834,8 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "GET only", http.StatusMethodNotAllowed)
 		return
 	}
+	reqID := EchoRequestID(w, r)
+	s.logger.Debug("status served", "requestId", reqID)
 	WriteJSON(w, StatusReply{
 		Build:       version.String(),
 		Version:     s.log.Version(),

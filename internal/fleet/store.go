@@ -216,6 +216,27 @@ func (st *Store) Identify() *cumulative.Findings {
 	return f
 }
 
+// TriageCandidates collects every shard's ranked per-site candidates
+// for a triage pass. Keys stripe deterministically across shards, so
+// concatenation is exactly the unsharded candidate set; the triage
+// engine re-sorts internally, so cross-shard order does not matter.
+func (st *Store) TriageCandidates() (over, dang []cumulative.Candidate) {
+	for i := range st.shards {
+		sh := &st.shards[i]
+		sh.mu.Lock()
+		over = append(over, sh.hist.OverflowCandidates()...)
+		dang = append(dang, sh.hist.DanglingCandidates()...)
+		sh.mu.Unlock()
+	}
+	return over, dang
+}
+
+// Threshold returns the store-wide identification threshold cN−1, with
+// N the global distinct-site count — the same N Identify tests against.
+func (st *Store) Threshold() float64 {
+	return st.cfg.C*float64(st.Sites()) - 1
+}
+
 // DirtyKeys returns the number of evidence keys (overflow sites plus
 // dangling pairs) changed since the last correction pass — the work the
 // next pass will do.

@@ -1,0 +1,100 @@
+package report
+
+import (
+	"regexp"
+	"strings"
+)
+
+// Redaction pass over bug reports before they leave the client (and,
+// defensively, as they enter a server). Bug reports describe *memory
+// errors*, not user data — but workload names, details and titles are
+// produced by arbitrary embedding code, so the uploader enforces the
+// data-loss rules gasoline's error-clustering QA plan spells out:
+//
+//   - DL-1: no absolute filesystem paths — a path names machines and
+//     users; only the final component survives.
+//   - DL-2: no PII-shaped strings — emails and credential-shaped
+//     key=value assignments are masked.
+//   - DL-5: lists are capped — a report cannot smuggle an unbounded
+//     payload through its Details or Findings.
+//   - DL-7: long opaque blobs (hex/base64 runs long enough to be
+//     tokens or dumped memory) are masked; short hashes like site IDs
+//     ("0x900") pass untouched.
+
+// Redaction caps (DL-5).
+const (
+	MaxFindings       = 100
+	MaxDetails        = 20
+	MaxSitesPerFind   = 64
+	MaxFramesPerTrace = 32
+)
+
+var (
+	// Absolute POSIX or Windows path with at least two components,
+	// anchored at start-of-string or a separator so slashed prose
+	// ("read/write") never matches. Only the final component survives.
+	absPathRe = regexp.MustCompile(`(^|[\s"'=(\[])((?:[A-Za-z]:)?(?:[\\/][\w.+-]+){2,})`)
+
+	// Email addresses (DL-2).
+	emailRe = regexp.MustCompile(`[\w.+-]+@[\w-]+(?:\.[\w-]+)+`)
+
+	// Credential-shaped content: token=..., api_key: ..., Bearer ….
+	credentialRe = regexp.MustCompile(`(?i)\b(?:token|secret|password|passwd|api[_-]?key|authorization)\b\s*[:=]\s*(?:bearer\s+)?\S+|(?i)\bbearer\s+\S+`)
+
+	// Long opaque blobs: 32+ hex chars or 40+ base64-ish chars (DL-7).
+	// Site hashes and synthetic frames are far shorter and survive.
+	blobRe = regexp.MustCompile(`\b(?:[0-9a-fA-F]{32,}|[A-Za-z0-9+/=_-]{40,})\b`)
+)
+
+// Redact sanitizes a report in place (and returns it): paths relative,
+// PII and token-shaped strings masked, lists capped. Applied by
+// fleet.Client.PushReport before upload and by servers on ingest, so
+// no retained or re-served report ever carries raw payload content.
+func Redact(r *Report) *Report {
+	if r == nil {
+		return nil
+	}
+	if len(r.Findings) > MaxFindings {
+		r.Findings = r.Findings[:MaxFindings]
+	}
+	for i := range r.Findings {
+		f := &r.Findings[i]
+		f.Kind = redactString(f.Kind)
+		f.Title = redactString(f.Title)
+		f.Suggested = redactString(f.Suggested)
+		if len(f.Details) > MaxDetails {
+			f.Details = f.Details[:MaxDetails]
+		}
+		for j := range f.Details {
+			f.Details[j] = redactString(f.Details[j])
+		}
+		if len(f.Sites) > MaxSitesPerFind {
+			f.Sites = f.Sites[:MaxSitesPerFind]
+		}
+		for j := range f.Sites {
+			if len(f.Sites[j].Frames) > MaxFramesPerTrace {
+				f.Sites[j].Frames = f.Sites[j].Frames[:MaxFramesPerTrace]
+			}
+		}
+	}
+	return r
+}
+
+// redactString applies the string-level rules in a fixed order:
+// credentials first (their values may look like blobs or paths),
+// then emails, blobs, and finally paths.
+func redactString(s string) string {
+	if s == "" {
+		return s
+	}
+	s = credentialRe.ReplaceAllString(s, "[redacted]")
+	s = emailRe.ReplaceAllString(s, "[redacted-email]")
+	s = blobRe.ReplaceAllString(s, "[redacted]")
+	s = absPathRe.ReplaceAllStringFunc(s, func(m string) string {
+		sub := absPathRe.FindStringSubmatch(m)
+		path := sub[2]
+		base := path[strings.LastIndexAny(path, `/\`)+1:]
+		return sub[1] + base
+	})
+	return s
+}

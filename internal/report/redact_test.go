@@ -1,0 +1,130 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"exterminator/internal/patch"
+)
+
+func TestRedactAbsolutePaths(t *testing.T) {
+	cases := []struct{ in, want string }{
+		// DL-1: POSIX absolute paths keep only the final component.
+		{"crash writing /home/alice/project/data.bin during run", "crash writing data.bin during run"},
+		{"/var/lib/exterminator/history.xchist corrupted", "history.xchist corrupted"},
+		// Windows drive paths too.
+		{`read C:\Users\bob\Documents\trace.log`, "read trace.log"},
+		// Quoted and bracketed paths keep their delimiter.
+		{`open("/etc/app/conf.yaml")`, `open("conf.yaml")`},
+		// Slashed prose is NOT a path: no separator-anchored match.
+		{"the read/write ratio and alloc/free pairing held", "the read/write ratio and alloc/free pairing held"},
+		// A single component ("/tmp") names no user or layout; it survives.
+		{"spilled to /tmp", "spilled to /tmp"},
+	}
+	for _, c := range cases {
+		if got := redactString(c.in); got != c.want {
+			t.Errorf("redactString(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestRedactPIIAndCredentials(t *testing.T) {
+	cases := []struct {
+		in       string
+		mustLose []string
+	}{
+		// DL-2: emails.
+		{"reported by carol.jones+oncall@example.co.uk yesterday", []string{"carol.jones", "example.co.uk"}},
+		// DL-2: credential-shaped assignments, any casing/separator.
+		{"retry with token=sk_live_abc123 next time", []string{"sk_live_abc123"}},
+		{"config had API_KEY: 0123secret456", []string{"0123secret456"}},
+		{"header Authorization = Bearer eyJfoo", []string{"eyJfoo"}},
+		{"password=hunter2 leaked into the title", []string{"hunter2"}},
+		// DL-7: long opaque blobs (possible tokens / dumped memory).
+		{"digest 0123456789abcdef0123456789abcdef00 attached", []string{"0123456789abcdef"}},
+		{"payload QUJDREVGR0hJSktMTU5PUFFSU1RVVldYWVphYmNkZWZnaGlq here", []string{"QUJDREVG"}},
+	}
+	for _, c := range cases {
+		got := redactString(c.in)
+		for _, leak := range c.mustLose {
+			if strings.Contains(got, leak) {
+				t.Errorf("redactString(%q) = %q; still carries %q", c.in, got, leak)
+			}
+		}
+		if !strings.Contains(got, "[redacted") {
+			t.Errorf("redactString(%q) = %q; no redaction marker", c.in, got)
+		}
+	}
+}
+
+func TestRedactSparesSiteHashes(t *testing.T) {
+	// Site IDs and short hex frames are the report's payload — far below
+	// the 32-hex blob floor, they must survive untouched.
+	in := "heap buffer overflow from allocation site 0x900 (frame 0xdeadbeef)"
+	if got := redactString(in); got != in {
+		t.Fatalf("redactString mangled site hashes: %q -> %q", in, got)
+	}
+}
+
+func TestRedactCapsLists(t *testing.T) {
+	r := &Report{}
+	for i := 0; i < MaxFindings+50; i++ {
+		f := Finding{Kind: "buffer-overflow", Title: "t"}
+		for j := 0; j < MaxDetails+10; j++ {
+			f.Details = append(f.Details, "d")
+		}
+		for j := 0; j < MaxSitesPerFind+10; j++ {
+			st := SiteTrace{Site: 1, Role: "alloc"}
+			for k := 0; k < MaxFramesPerTrace+10; k++ {
+				st.Frames = append(st.Frames, uint64(k))
+			}
+			f.Sites = append(f.Sites, st)
+		}
+		r.Findings = append(r.Findings, f)
+	}
+	Redact(r)
+	if len(r.Findings) != MaxFindings {
+		t.Fatalf("findings = %d, want cap %d", len(r.Findings), MaxFindings)
+	}
+	f := r.Findings[0]
+	if len(f.Details) != MaxDetails || len(f.Sites) != MaxSitesPerFind || len(f.Sites[0].Frames) != MaxFramesPerTrace {
+		t.Fatalf("caps not applied: details=%d sites=%d frames=%d",
+			len(f.Details), len(f.Sites), len(f.Sites[0].Frames))
+	}
+}
+
+func TestRedactWalksAllTextFields(t *testing.T) {
+	r := &Report{Findings: []Finding{{
+		Kind:      "overflow at /home/u/a/b.c",
+		Title:     "seen by dave@example.com",
+		Details:   []string{"token=abc123xyz was in scope"},
+		Suggested: `fix C:\src\app\buf.go`,
+	}}}
+	Redact(r)
+	f := r.Findings[0]
+	for name, s := range map[string]string{
+		"Kind": f.Kind, "Title": f.Title, "Details[0]": f.Details[0], "Suggested": f.Suggested,
+	} {
+		for _, leak := range []string{"/home/", "example.com", "abc123xyz", `C:\src`} {
+			if strings.Contains(s, leak) {
+				t.Errorf("%s = %q still carries %q", name, s, leak)
+			}
+		}
+	}
+	if Redact(nil) != nil {
+		t.Fatal("Redact(nil) != nil")
+	}
+}
+
+func TestRedactIdempotent(t *testing.T) {
+	ps := patch.New()
+	ps.AddPad(0x900, 8)
+	r := FromPatches(ps, nil)
+	r.Findings[0].Title = "from /opt/app/bin/worker by eve@corp.example"
+	Redact(r)
+	once := r.Findings[0].Title
+	Redact(r)
+	if r.Findings[0].Title != once {
+		t.Fatalf("second Redact changed output: %q -> %q", once, r.Findings[0].Title)
+	}
+}

@@ -35,6 +35,22 @@ type Finding struct {
 	Title     string
 	Details   []string
 	Suggested string
+
+	// Sites is the finding's structured provenance: the site hashes it
+	// concerns and, when a site.Registry was available, their recorded
+	// call stacks. The fleet's triage tier clusters correlated findings
+	// by these stacks; the prose Details above are for humans only.
+	Sites []SiteTrace `json:",omitempty"`
+}
+
+// SiteTrace is one site's provenance in a finding. Frames are the
+// synthetic outermost-first call stack the site hash was computed from
+// — opaque program counters, never source paths or symbol text, so a
+// trace carries no redactable content.
+type SiteTrace struct {
+	Site   site.ID
+	Role   string   // "alloc" or "free"
+	Frames []uint64 `json:",omitempty"`
 }
 
 // Report is a set of findings derived from patches (and optionally richer
@@ -58,6 +74,7 @@ func FromPatches(p *patch.Set, reg *site.Registry) *Report {
 			Suggested: fmt.Sprintf("audit the buffer size computation at this site: the allocation is at least %d byte(s) too small for the data written into it (check for off-by-one loop bounds, missing terminator/header space, or unescaped-length vs escaped-length confusion)", pad),
 		}
 		f.Details = append(f.Details, describeSite(reg, s, "allocation")...)
+		f.Sites = append(f.Sites, trace(reg, s, "alloc"))
 		r.Findings = append(r.Findings, f)
 	}
 	for _, s := range sortedSites(p.FrontPads) {
@@ -72,6 +89,7 @@ func FromPatches(p *patch.Set, reg *site.Registry) *Report {
 			Suggested: fmt.Sprintf("audit index arithmetic at this site: writes reach %d byte(s) below the buffer (check for negative indices, off-by-one at position 0, or pointer arithmetic that backs up past the base)", pad),
 		}
 		f.Details = append(f.Details, describeSite(reg, s, "allocation")...)
+		f.Sites = append(f.Sites, trace(reg, s, "alloc"))
 		r.Findings = append(r.Findings, f)
 	}
 	for _, pr := range sortedPairs(p.Deferrals) {
@@ -87,6 +105,7 @@ func FromPatches(p *patch.Set, reg *site.Registry) *Report {
 		}
 		f.Details = append(f.Details, describeSite(reg, pr.Alloc, "allocation")...)
 		f.Details = append(f.Details, describeSite(reg, pr.Free, "deallocation")...)
+		f.Sites = append(f.Sites, trace(reg, pr.Alloc, "alloc"), trace(reg, pr.Free, "free"))
 		r.Findings = append(r.Findings, f)
 	}
 	return r
@@ -111,6 +130,7 @@ func FromIsolation(rep *isolate.Report, reg *site.Registry) *Report {
 			f.Details = append(f.Details, fmt.Sprintf("corrupted neighbour object(s): %v", o.Victims))
 		}
 		f.Details = append(f.Details, describeSite(reg, o.AllocSite, "allocation")...)
+		f.Sites = append(f.Sites, trace(reg, o.AllocSite, "alloc"))
 		r.Findings = append(r.Findings, f)
 	}
 	for _, d := range rep.Danglings {
@@ -125,6 +145,7 @@ func FromIsolation(rep *isolate.Report, reg *site.Registry) *Report {
 		}
 		f.Details = append(f.Details, describeSite(reg, d.Pair.Alloc, "allocation")...)
 		f.Details = append(f.Details, describeSite(reg, d.Pair.Free, "deallocation")...)
+		f.Sites = append(f.Sites, trace(reg, d.Pair.Alloc, "alloc"), trace(reg, d.Pair.Free, "free"))
 		r.Findings = append(r.Findings, f)
 	}
 	return r
@@ -160,6 +181,18 @@ func (r *Report) String() string {
 	var b strings.Builder
 	r.Write(&b)
 	return b.String()
+}
+
+// trace builds one site's structured provenance entry, resolving the
+// recorded stack when a registry is available.
+func trace(reg *site.Registry, s site.ID, role string) SiteTrace {
+	t := SiteTrace{Site: s, Role: role}
+	if reg != nil {
+		if frames := reg.Lookup(s); frames != nil {
+			t.Frames = append([]uint64(nil), frames...)
+		}
+	}
+	return t
 }
 
 func describeSite(reg *site.Registry, s site.ID, role string) []string {

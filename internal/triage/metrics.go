@@ -1,0 +1,47 @@
+package triage
+
+import "exterminator/internal/telemetry"
+
+// metricsSet is the triage instrument set, registered when the owning
+// tier hands the engine a registry (SetMetrics). Nil on engines that
+// never did — every touch point is nil-guarded.
+type metricsSet struct {
+	clusters     *telemetry.Gauge
+	topBayes     *telemetry.Gauge
+	passSec      *telemetry.Histogram
+	transitions  map[string]*telemetry.Counter
+	alertsFired  *telemetry.Counter
+	alertRetries *telemetry.Counter
+	alertDrops   *telemetry.Counter
+}
+
+func newMetricsSet(reg *telemetry.Registry) *metricsSet {
+	m := &metricsSet{
+		clusters: reg.Gauge("exterminator_triage_clusters",
+			"Defect clusters the triage engine currently tracks."),
+		topBayes: reg.Gauge("exterminator_triage_top_bayes",
+			"Pooled log10 Bayes factor of the top-ranked cluster."),
+		passSec: reg.Histogram("exterminator_triage_pass_seconds",
+			"Triage pass latency (clustering + lifecycle + alert arming).",
+			telemetry.DefBuckets),
+		alertsFired: reg.Counter("exterminator_triage_alerts_fired_total",
+			"Webhook alerts delivered."),
+		alertRetries: reg.Counter("exterminator_triage_alert_retries_total",
+			"Webhook alert deliveries retried after a failure."),
+		alertDrops: reg.Counter("exterminator_triage_alert_drops_total",
+			"Webhook alerts dropped after exhausting delivery attempts."),
+		transitions: make(map[string]*telemetry.Counter),
+	}
+	for _, st := range []string{StateNew, StateActive, StatePatched, StateResolved, StateRegressed} {
+		m.transitions[st] = reg.Counter("exterminator_triage_transitions_total",
+			"Cluster lifecycle transitions, labeled by destination state.",
+			telemetry.L("to", st))
+	}
+	return m
+}
+
+func (m *metricsSet) transition(to string) {
+	if c := m.transitions[to]; c != nil {
+		c.Inc()
+	}
+}

@@ -1,0 +1,565 @@
+// Package triage clusters the fleet's correlated error sites into
+// ranked, lifecycle-tracked defect clusters — the aggregation layer a
+// million-client deployment needs on top of raw per-site Bayes factors.
+//
+// The paper's hypothesis test (§5) scores *individual* allocation and
+// deallocation sites; at fleet scale one source defect commonly surfaces
+// as many distinct site hashes (the same buggy helper inlined or called
+// from several places, differing only in outer frames). The engine folds
+// those back together by normalized callsite signature: the innermost
+// suffix of the site's recorded call stack, each frame normalized to its
+// module-relative low bits so layout differences between installations
+// do not split clusters. Sites with no recorded stack cluster by their
+// own site hash — for dangling pairs that still merges every premature
+// free of one allocation site into a single cluster.
+//
+// Per cluster the engine maintains a pooled Bayes factor (the sum of the
+// members' log10 factors: observations at correlated sites are
+// independent evidence for the shared root cause), a capped instance
+// list (gasoline's DL-5 rule: never ship unbounded example lists), and a
+// lifecycle:
+//
+//	new → active → patched → resolved
+//	                 ↑           │ evidence re-accumulates
+//	                 └── regressed
+//
+// A cluster is "patched" when every member key is covered by the current
+// patch log, "resolved" after ResolveAfter quiet passes, and "regressed"
+// when a resolved cluster re-accumulates evidence — the signal that a
+// supposedly fixed defect shipped again. Regressions re-arm the webhook
+// alerter (alert.go).
+//
+// Passes are driven by the owning tier — fleet.Server after each
+// correction pass, cluster.Coordinator after each merge+correct — and
+// are deterministic: the same evidence, frames and patch log produce
+// byte-identical rankings regardless of sharding, which the cluster e2e
+// test pins.
+package triage
+
+import (
+	"log/slog"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"exterminator/internal/cumulative"
+	"exterminator/internal/patch"
+	"exterminator/internal/site"
+	"exterminator/internal/telemetry"
+)
+
+// Cluster lifecycle states.
+const (
+	StateNew       = "new"
+	StateActive    = "active"
+	StatePatched   = "patched"
+	StateResolved  = "resolved"
+	StateRegressed = "regressed"
+)
+
+// Defaults for Config fields left zero.
+const (
+	DefaultSuffixDepth  = 3
+	DefaultMaxInstances = 20 // gasoline DL-5: instance lists are capped
+	DefaultResolveAfter = 3
+)
+
+// frameMask normalizes a stack frame to its module-relative low bits:
+// synthetic site stacks (and real return PCs under ASLR) differ across
+// installations only in the high "module base" bits, so clustering
+// hashes the masked value.
+const frameMask = 0xffffffff
+
+// Config parameterizes the engine. The zero value is usable: defaults
+// apply and alerting stays off until Alert.URL is set.
+type Config struct {
+	// SuffixDepth is how many innermost frames of a site's recorded
+	// stack form its normalized signature (0 means DefaultSuffixDepth).
+	SuffixDepth int
+
+	// MaxInstances caps the per-cluster instance list served in detail
+	// replies (0 means DefaultMaxInstances).
+	MaxInstances int
+
+	// ResolveAfter is how many consecutive quiet passes (no new
+	// evidence) a patched cluster needs before it counts as resolved
+	// (0 means DefaultResolveAfter).
+	ResolveAfter int
+
+	// Source names the tier in alert payloads ("fleetd",
+	// "coordinator"); empty means "fleet".
+	Source string
+
+	// Alert configures the webhook alerter; the zero value disables it.
+	Alert AlertConfig
+}
+
+func (c Config) withDefaults() Config {
+	if c.SuffixDepth <= 0 {
+		c.SuffixDepth = DefaultSuffixDepth
+	}
+	if c.MaxInstances <= 0 {
+		c.MaxInstances = DefaultMaxInstances
+	}
+	if c.ResolveAfter <= 0 {
+		c.ResolveAfter = DefaultResolveAfter
+	}
+	if c.Source == "" {
+		c.Source = "fleet"
+	}
+	return c
+}
+
+// PassInput is one triage pass's evidence: the per-site candidates the
+// owning tier's history ranked, the patch log the tier currently
+// distributes, and the per-site identification threshold (cN−1) in
+// force when the candidates were scored.
+type PassInput struct {
+	Overflows []cumulative.Candidate
+	Danglings []cumulative.Candidate
+	Patches   *patch.Set
+	Threshold float64
+}
+
+// PassStats summarizes one pass.
+type PassStats struct {
+	Pass        uint64
+	Clusters    int
+	Transitions int
+	Queued      int // alerts enqueued this pass
+}
+
+// clusterState is the engine's per-cluster record. The wire-facing
+// summary is regenerated from it on demand.
+type clusterState struct {
+	id   string
+	kind string // "overflow", "underflow", "dangling"
+
+	state       string
+	firstPass   uint64
+	lastPass    uint64
+	lastGrowth  uint64 // pass that last added evidence
+	regressions int
+
+	sites       int
+	occurrences int
+	pooled      float64 // log10 pooled Bayes factor
+	top         float64 // strongest member's raw Bayes factor
+	above       bool    // top member crossed the per-site threshold
+	frames      []uint64
+	instances   []TriageInstance
+}
+
+// Engine is the triage engine. Safe for concurrent use; a nil *Engine
+// is a valid no-op (partition-mode servers serve empty rankings).
+type Engine struct {
+	cfg     Config
+	logger  *slog.Logger
+	m       *metricsSet
+	alerter *Alerter
+
+	mu       sync.Mutex
+	frames   map[site.ID][]uint64
+	clusters map[string]*clusterState
+	pass     uint64
+	ranked   []string // cluster ids in rank order, regenerated per pass
+}
+
+// New returns an engine with cfg (zero value fine).
+func New(cfg Config) *Engine {
+	cfg = cfg.withDefaults()
+	e := &Engine{
+		cfg:      cfg,
+		logger:   slog.New(slog.DiscardHandler),
+		frames:   make(map[site.ID][]uint64),
+		clusters: make(map[string]*clusterState),
+	}
+	e.alerter = newAlerter(cfg.Alert, cfg.Source)
+	return e
+}
+
+// SetLogger attaches a structured logger (default: silent).
+func (e *Engine) SetLogger(l *slog.Logger) {
+	if e == nil || l == nil {
+		return
+	}
+	e.logger = l.With("component", "triage")
+	e.alerter.logger = e.logger
+}
+
+// SetMetrics registers the triage instrument set into reg.
+func (e *Engine) SetMetrics(reg *telemetry.Registry) {
+	if e == nil || reg == nil {
+		return
+	}
+	e.m = newMetricsSet(reg)
+	e.alerter.m = e.m
+}
+
+// RecordFrames stores the recorded call stack for a site (outermost
+// first), feeding signature clustering. First writer wins, mirroring
+// site.Registry semantics.
+func (e *Engine) RecordFrames(id site.ID, frames []uint64) {
+	if e == nil || len(frames) == 0 {
+		return
+	}
+	if len(frames) > maxTraceFrames {
+		frames = frames[len(frames)-maxTraceFrames:]
+	}
+	e.mu.Lock()
+	if _, ok := e.frames[id]; !ok {
+		e.frames[id] = append([]uint64(nil), frames...)
+	}
+	e.mu.Unlock()
+}
+
+// FramesKnown reports how many sites have recorded stacks.
+func (e *Engine) FramesKnown() int {
+	if e == nil {
+		return 0
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.frames)
+}
+
+// signature hashes the normalized innermost suffix of a recorded stack
+// (64-bit DJB2 over the masked frames), or reports ok=false when the
+// site has no recorded stack.
+func (e *Engine) signatureLocked(id site.ID) (sig uint64, suffix []uint64, ok bool) {
+	frames, found := e.frames[id]
+	if !found || len(frames) == 0 {
+		return 0, nil, false
+	}
+	depth := e.cfg.SuffixDepth
+	if depth > len(frames) {
+		depth = len(frames)
+	}
+	suffix = frames[len(frames)-depth:]
+	h := uint64(5381)
+	for _, pc := range suffix {
+		h = h*33 + (pc & frameMask)
+	}
+	return h, suffix, true
+}
+
+// member is one candidate folded into a cluster during a pass.
+type member struct {
+	site  site.ID
+	pair  site.Pair // dangling only
+	kind  string
+	bayes float64
+	obs   int
+}
+
+// agg accumulates one cluster's members for the current pass.
+type agg struct {
+	id      string
+	kind    string
+	frames  []uint64
+	members []member
+}
+
+// Pass folds the tier's current candidates into the cluster map,
+// advances lifecycles against the patch log, and arms due alerts. It is
+// deterministic in its inputs. Safe to call on a nil engine (no-op).
+func (e *Engine) Pass(in PassInput) PassStats {
+	if e == nil {
+		return PassStats{}
+	}
+	start := time.Now()
+	e.mu.Lock()
+	e.pass++
+	stats := PassStats{Pass: e.pass}
+
+	// 1. Aggregate candidates by cluster key.
+	aggs := make(map[string]*agg)
+	fold := func(id string, kind string, frames []uint64, m member) {
+		a := aggs[id]
+		if a == nil {
+			a = &agg{id: id, kind: kind, frames: frames}
+			aggs[id] = a
+		}
+		a.members = append(a.members, m)
+	}
+	for _, c := range in.Overflows {
+		id, frames := e.clusterKeyLocked("overflow", c.Site)
+		fold(id, "overflow", frames, member{site: c.Site, kind: "overflow", bayes: c.Bayes, obs: c.Obs})
+	}
+	for _, c := range in.Danglings {
+		id, frames := e.clusterKeyLocked("dangling", c.Pair.Alloc)
+		fold(id, "dangling", frames, member{site: c.Pair.Alloc, pair: c.Pair, kind: "dangling", bayes: c.Bayes, obs: c.Obs})
+	}
+
+	// 2. Advance each aggregated cluster's state.
+	for _, id := range sortedKeys(aggs) {
+		a := aggs[id]
+		cs := e.clusters[id]
+		if cs == nil {
+			cs = &clusterState{id: id, kind: a.kind, state: StateNew, firstPass: e.pass, frames: a.frames}
+			e.clusters[id] = cs
+			e.transition(cs, StateNew, &stats)
+		}
+		prevObs := cs.occurrences
+		e.refreshLocked(cs, a)
+		cs.lastPass = e.pass
+		grew := cs.occurrences > prevObs || cs.firstPass == e.pass
+		if grew {
+			cs.lastGrowth = e.pass
+		}
+		patched := in.Patches != nil && clusterPatched(a, in.Patches)
+		cs.above = in.Threshold > 0 && cs.top >= in.Threshold
+
+		switch {
+		case cs.state == StateResolved && grew:
+			cs.regressions++
+			e.transition(cs, StateRegressed, &stats)
+		case patched && (cs.state == StatePatched || cs.state == StateResolved):
+			if cs.state == StatePatched && e.pass-cs.lastGrowth >= uint64(e.cfg.ResolveAfter) {
+				e.transition(cs, StateResolved, &stats)
+			}
+		case patched:
+			e.transition(cs, StatePatched, &stats)
+		case cs.state == StateNew && cs.firstPass != e.pass:
+			e.transition(cs, StateActive, &stats)
+		case cs.state == StateRegressed && !patched:
+			// stays regressed until the patch log covers it again
+		}
+	}
+
+	// 3. Regenerate the ranking and arm alerts.
+	e.rankLocked()
+	stats.Clusters = len(e.clusters)
+	for _, id := range e.ranked {
+		cs := e.clusters[id]
+		if queued, reason := e.alerter.consider(e.summaryLocked(cs), e.pass); queued {
+			stats.Queued++
+			e.logger.Info("alert armed",
+				"cluster", cs.id, "reason", reason,
+				"pooledBayes", cs.pooled, "occurrences", cs.occurrences)
+		}
+	}
+
+	if e.m != nil {
+		e.m.clusters.Set(float64(len(e.clusters)))
+		top := 0.0
+		if len(e.ranked) > 0 {
+			top = e.clusters[e.ranked[0]].pooled
+		}
+		e.m.topBayes.Set(top)
+	}
+	e.mu.Unlock()
+	if e.m != nil {
+		e.m.passSec.ObserveSince(start)
+	}
+	return stats
+}
+
+// clusterKeyLocked computes the cluster id for a candidate keyed by
+// alloc-side site s: signature-based when the site has a recorded
+// stack, site-hash-based otherwise.
+func (e *Engine) clusterKeyLocked(kind string, s site.ID) (string, []uint64) {
+	if sig, suffix, ok := e.signatureLocked(s); ok {
+		return kind + "-sig-" + strconv.FormatUint(sig, 16), suffix
+	}
+	return kind + "-site-" + strconv.FormatUint(uint64(s), 16), nil
+}
+
+// refreshLocked recomputes a cluster's pooled evidence from this pass's
+// membership. Summation runs in key order so the pooled float is
+// identical however the members arrived.
+func (e *Engine) refreshLocked(cs *clusterState, a *agg) {
+	sort.Slice(a.members, func(i, j int) bool {
+		if a.members[i].site != a.members[j].site {
+			return a.members[i].site < a.members[j].site
+		}
+		return a.members[i].pair.Free < a.members[j].pair.Free
+	})
+	distinct := make(map[site.ID]bool, len(a.members))
+	pooled, top, occ := 0.0, 0.0, 0
+	for _, m := range a.members {
+		distinct[m.site] = true
+		occ += m.obs
+		pooled += log10Clamped(m.bayes)
+		if m.bayes > top {
+			top = m.bayes
+		}
+	}
+	cs.sites = len(distinct)
+	cs.occurrences = occ
+	cs.pooled = pooled
+	cs.top = top
+	if len(a.frames) > 0 {
+		cs.frames = a.frames
+	}
+
+	// Instance list: strongest first, deterministic tie-break, capped
+	// (gasoline DL-5 — never an unbounded example list on the wire).
+	inst := make([]TriageInstance, 0, len(a.members))
+	for _, m := range a.members {
+		ti := TriageInstance{Site: m.site.String(), Bayes: m.bayes, Obs: m.obs}
+		if m.kind == "dangling" {
+			ti.Free = m.pair.Free.String()
+		}
+		inst = append(inst, ti)
+	}
+	sort.SliceStable(inst, func(i, j int) bool {
+		if inst[i].Bayes != inst[j].Bayes {
+			return inst[i].Bayes > inst[j].Bayes
+		}
+		if inst[i].Site != inst[j].Site {
+			return inst[i].Site < inst[j].Site
+		}
+		return inst[i].Free < inst[j].Free
+	})
+	if len(inst) > e.cfg.MaxInstances {
+		inst = inst[:e.cfg.MaxInstances]
+	}
+	cs.instances = inst
+}
+
+// clusterPatched reports whether the patch log covers every member key.
+func clusterPatched(a *agg, ps *patch.Set) bool {
+	for _, m := range a.members {
+		if m.kind == "dangling" {
+			if ps.Deferral(m.pair) == 0 {
+				return false
+			}
+			continue
+		}
+		if ps.Pad(m.site) == 0 && ps.FrontPad(m.site) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// transition moves a cluster into state and counts it.
+func (e *Engine) transition(cs *clusterState, state string, stats *PassStats) {
+	if cs.state == state && state != StateNew {
+		return
+	}
+	from := cs.state
+	cs.state = state
+	stats.Transitions++
+	if e.m != nil {
+		e.m.transition(state)
+	}
+	if state != StateNew {
+		e.logger.Info("cluster transition", "cluster", cs.id, "from", from, "to", state)
+	}
+}
+
+// rankLocked rebuilds the ranking: pooled Bayes descending, id
+// ascending as the deterministic tie-break.
+func (e *Engine) rankLocked() {
+	e.ranked = e.ranked[:0]
+	for id := range e.clusters {
+		e.ranked = append(e.ranked, id)
+	}
+	sort.Slice(e.ranked, func(i, j int) bool {
+		a, b := e.clusters[e.ranked[i]], e.clusters[e.ranked[j]]
+		if a.pooled != b.pooled {
+			return a.pooled > b.pooled
+		}
+		return a.id < b.id
+	})
+}
+
+// summaryLocked renders the wire summary for one cluster. The summary
+// string is a normalized template (gasoline DL-4/DL-6): counts and
+// scores only, never raw payload text.
+func (e *Engine) summaryLocked(cs *clusterState) ClusterSummary {
+	return ClusterSummary{
+		ID:             cs.id,
+		Kind:           cs.kind,
+		State:          cs.state,
+		Sites:          cs.sites,
+		Occurrences:    cs.occurrences,
+		PooledBayes:    cs.pooled,
+		TopBayes:       cs.top,
+		AboveThreshold: cs.above,
+		Regressions:    cs.regressions,
+		FirstPass:      cs.firstPass,
+		LastPass:       cs.lastPass,
+		Summary: cs.kind + ": " + strconv.Itoa(cs.sites) + " correlated site(s), " +
+			strconv.Itoa(cs.occurrences) + " observation(s), pooled log10 Bayes " +
+			strconv.FormatFloat(cs.pooled, 'g', 6, 64),
+	}
+}
+
+// Rankings serves the paginated top-offender list. offset/limit are
+// clamped (limit 0 means DefaultPageSize, capped at MaxPageSize).
+func (e *Engine) Rankings(offset, limit int) *RankingReply {
+	if limit <= 0 {
+		limit = DefaultPageSize
+	}
+	if limit > MaxPageSize {
+		limit = MaxPageSize
+	}
+	if offset < 0 {
+		offset = 0
+	}
+	reply := &RankingReply{Offset: offset, Limit: limit, Clusters: []ClusterSummary{}}
+	if e == nil {
+		return reply
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	reply.Pass = e.pass
+	reply.Total = len(e.ranked)
+	for i := offset; i < len(e.ranked) && len(reply.Clusters) < limit; i++ {
+		reply.Clusters = append(reply.Clusters, e.summaryLocked(e.clusters[e.ranked[i]]))
+	}
+	return reply
+}
+
+// Detail serves one cluster's detail reply.
+func (e *Engine) Detail(id string) (*ClusterDetail, bool) {
+	if e == nil {
+		return nil, false
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	cs, ok := e.clusters[id]
+	if !ok {
+		return nil, false
+	}
+	d := &ClusterDetail{
+		ClusterSummary: e.summaryLocked(cs),
+		Instances:      append([]TriageInstance{}, cs.instances...),
+	}
+	for _, pc := range cs.frames {
+		d.Frames = append(d.Frames, "0x"+strconv.FormatUint(pc&frameMask, 16))
+	}
+	d.Alert = e.alerter.status(cs.id)
+	return d, true
+}
+
+// Clusters reports the current cluster count.
+func (e *Engine) Clusters() int {
+	if e == nil {
+		return 0
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.clusters)
+}
+
+func sortedKeys(m map[string]*agg) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func log10Clamped(v float64) float64 {
+	if v < 1e-300 {
+		v = 1e-300
+	}
+	return math.Log10(v)
+}
