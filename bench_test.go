@@ -15,6 +15,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"path/filepath"
@@ -641,4 +642,91 @@ func BenchmarkTriage(b *testing.B) {
 	if eng.Clusters() == 0 {
 		b.Fatal("no clusters formed")
 	}
+}
+
+// Read-replica patch fan-out: what one replica can absorb from a patch
+// polling fleet, cached (If-None-Match revalidation answered 304 with
+// no body) versus uncached (full patch-set body on every poll). The
+// cached/uncached gap is the reason the replica tier exists:
+//
+//	go test -bench BenchmarkReplicaPatchFanout -benchtime 100x
+func BenchmarkReplicaPatchFanout(b *testing.B) {
+	ctx := context.Background()
+	cfg := cumulative.DefaultConfig()
+	part := fleet.NewServer(fleet.ServerOptions{Config: cfg, CorrectEvery: -1})
+	partTS := httptest.NewServer(part.Handler())
+	defer partTS.Close()
+
+	// Seed enough indicted sites for a realistically sized patch set.
+	snap := &cumulative.Snapshot{C: cfg.C, P: cfg.P, Runs: 40, FailedRuns: 30, CorruptRuns: 30}
+	for i := 0; i < 200; i++ {
+		id := site.ID(0x9000 + uint32(i))
+		snap.Sites = append(snap.Sites, id)
+		obs := make([]cumulative.Observation, 0, 8)
+		for j := 0; j < 8; j++ {
+			obs = append(obs, cumulative.Observation{X: 0.1 + float64(j)*0.05, Y: true})
+		}
+		snap.Overflow = append(snap.Overflow, cumulative.SiteObservations{Site: id, Obs: obs})
+		snap.PadHints = append(snap.PadHints, cumulative.PadHint{Site: id, Pad: 16})
+	}
+	if _, err := fleet.NewClient(partTS.URL, "bench").PushSnapshot(snap); err != nil {
+		b.Fatal(err)
+	}
+	coord, err := cluster.NewCoordinator(cluster.CoordinatorOptions{
+		Partitions: []string{partTS.URL}, Config: cfg,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := coord.Sync(ctx); err != nil {
+		b.Fatal(err)
+	}
+	coordTS := httptest.NewServer(coord.Handler())
+	defer coordTS.Close()
+
+	rep, err := cluster.NewReplica(cluster.ReplicaOptions{Upstreams: []string{coordTS.URL}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := rep.PollOnce(ctx); err != nil {
+		b.Fatal(err)
+	}
+	repTS := httptest.NewServer(rep.Handler())
+	defer repTS.Close()
+	st := rep.Status()
+	etag := fleet.PatchETag(st.ReplicaEpoch, st.ReplicaVersion)
+	hc := repTS.Client()
+
+	poll := func(b *testing.B, validator string, wantStatus int) {
+		b.Helper()
+		req, err := http.NewRequest(http.MethodGet, repTS.URL+"/v1/patches?since=0", nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if validator != "" {
+			req.Header.Set("If-None-Match", validator)
+		}
+		resp, err := hc.Do(req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		n, _ := io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != wantStatus {
+			b.Fatalf("status %d, want %d", resp.StatusCode, wantStatus)
+		}
+		b.SetBytes(n)
+	}
+	b.Run("cached", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			poll(b, etag, http.StatusNotModified)
+		}
+	})
+	b.Run("uncached", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			poll(b, "", http.StatusOK)
+		}
+	})
 }

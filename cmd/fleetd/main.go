@@ -72,7 +72,12 @@ func main() {
 		dedupLen     = flag.Int("dedup", 0, "exactly-once ingest window: recently absorbed batch IDs retained (0: 4096, negative: disable dedup)")
 		partition    = flag.Bool("partition", false, "run as a cluster partition: store and journal evidence but derive no patches (the coordinator runs the fleet-wide hypothesis test)")
 		coordinator  = flag.String("coordinator", "", "run as cluster coordinator over these comma-separated partition base URLs instead of an evidence store")
-		pollInt      = flag.Duration("poll-interval", 1*time.Second, "coordinator: partition journal poll interval")
+		standby      = flag.Bool("standby", false, "coordinator: start as a warm standby — mirror the partitions but gate the client surface behind 503 until promoted (see docs/OPERATIONS.md, Failover)")
+		primary      = flag.String("primary", "", "standby: primary coordinator base URL to lease-probe; consecutive probe failures trigger self-promotion")
+		takeoverN    = flag.Int("takeover-after", 0, "standby: consecutive failed lease probes before self-promotion (0: 3)")
+		leaseHolder  = flag.String("lease-holder", "", "coordinator: lease-holder name reported in /v1/lease and /v1/status (empty: the listen address)")
+		replica      = flag.String("replica", "", "run as a read replica over these comma-separated coordinator base URLs (primary first, standby after); serves GET /v1/patches and /v1/triage from a cache refreshed every -poll-interval")
+		pollInt      = flag.Duration("poll-interval", 1*time.Second, "coordinator: partition journal poll interval (replica: cache refresh interval)")
 		rebalJournal = flag.String("rebalance-journal", "", "coordinator: crash-safe rebalance journal file; an interrupted drain/backfill is re-driven on start (required for safe live resizes)")
 		alertURL     = flag.String("alert-url", "", "webhook URL for triage alerts: POST a compound alert when a cluster crosses the Bayes or occurrence trigger (empty: alerting off)")
 		alertBayes   = flag.Float64("alert-bayes", 0, "triage alert trigger: pooled log10 Bayes factor a cluster must reach (0: disabled)")
@@ -118,9 +123,20 @@ func main() {
 		go serveDebug(ctx, *debugAddr, reg)
 	}
 
+	if *replica != "" {
+		if *partition || *coordinator != "" {
+			log.Fatal("fleetd: -replica is exclusive with -partition/-coordinator: a replica is a stateless read cache in front of the merge tier")
+		}
+		runReplica(ctx, *addr, *replica, *token, *pollInt, reg, logger)
+		return
+	}
+
 	if *coordinator != "" {
 		if *partition {
 			log.Fatal("fleetd: -partition and -coordinator are mutually exclusive: a node is either an evidence store or the merge tier")
+		}
+		if *standby && *primary == "" {
+			log.Print("fleetd: warning: -standby without -primary never promotes automatically (only POST /v1/lease)")
 		}
 		// The coordinator has no evidence store of its own; surface any
 		// store-only flags instead of silently ignoring them.
@@ -130,12 +146,20 @@ func main() {
 		if *shards != fleet.DefaultShards || *journalLen != 0 || *correctEvery != 8 || *dedupLen != 0 {
 			log.Print("fleetd: warning: -shards/-journal/-correct-every/-dedup are ignored in coordinator mode")
 		}
+		holder := *leaseHolder
+		if holder == "" {
+			holder = *addr
+		}
+		ha := haOptions{standby: *standby, primary: *primary, takeoverAfter: *takeoverN, holder: holder}
 		runCoordinator(ctx, *addr, *coordinator, *token, cumulative.Config{C: *priorC, P: *fillP},
-			*pollInt, *snapshot, *snapshotInt, *rebalJournal, triageCfg, reg, logger)
+			*pollInt, *snapshot, *snapshotInt, *rebalJournal, ha, triageCfg, reg, logger)
 		return
 	}
 	if *rebalJournal != "" {
 		log.Print("fleetd: warning: -rebalance-journal is ignored outside coordinator mode")
+	}
+	if *standby || *primary != "" || *takeoverN != 0 || *leaseHolder != "" {
+		log.Print("fleetd: warning: -standby/-primary/-takeover-after/-lease-holder are ignored outside coordinator mode")
 	}
 
 	if *partition {
@@ -191,6 +215,15 @@ func main() {
 		st.Batches(), st.Clients(), st.Runs(), st.Sites(), srv.PatchLog().Len(), srv.PatchLog().Version())
 }
 
+// haOptions carries the coordinator high-availability flags
+// (-standby, -primary, -takeover-after, -lease-holder).
+type haOptions struct {
+	standby       bool
+	primary       string
+	takeoverAfter int
+	holder        string
+}
+
 // runCoordinator runs the cluster merge tier until ctx is done. With a
 // snapshot path, the coordinator restores its partition mirrors and
 // journal cursors on start (so surviving partitions answer with cheap
@@ -198,7 +231,7 @@ func main() {
 // writes a final snapshot on graceful shutdown.
 func runCoordinator(ctx context.Context, addr, partitions, token string, cfg cumulative.Config,
 	pollInt time.Duration, snapshot string, snapshotInt time.Duration, rebalJournal string,
-	triageCfg triage.Config, reg *telemetry.Registry, logger *slog.Logger) {
+	ha haOptions, triageCfg triage.Config, reg *telemetry.Registry, logger *slog.Logger) {
 	var parts []string
 	for _, p := range strings.Split(partitions, ",") {
 		if p = strings.TrimSpace(p); p != "" {
@@ -211,6 +244,10 @@ func runCoordinator(ctx context.Context, addr, partitions, token string, cfg cum
 		Token:            token,
 		Triage:           triageCfg,
 		RebalanceJournal: rebalJournal,
+		Standby:          ha.standby,
+		Primary:          ha.primary,
+		TakeoverAfter:    ha.takeoverAfter,
+		LeaseHolder:      ha.holder,
 		Metrics:          reg,
 		Logger:           logger,
 	})
@@ -225,11 +262,12 @@ func runCoordinator(ctx context.Context, addr, partitions, token string, cfg cum
 		log.Printf("restored coordinator snapshot %s: %d runs, %d sites, %d patch entries",
 			snapshot, st.Runs, st.Sites, st.PatchLen)
 	}
-	if rebalJournal != "" {
+	if rebalJournal != "" && !ha.standby {
 		// A coordinator killed mid-rebalance re-drives the interrupted
 		// drain/backfill before anything else: evictions replay from the
 		// partitions' caches and backfills dedup, so the re-drive is
-		// lossless however far the crash got.
+		// lossless however far the crash got. A standby does not touch
+		// the journal at boot — it re-drives on promotion instead.
 		if res, err := coord.ResumeRebalance(ctx); err != nil {
 			log.Printf("fleetd: resume rebalance failed (will keep serving; retry with POST /v1/rebalance {}): %v", err)
 		} else if res != nil {
@@ -238,8 +276,12 @@ func runCoordinator(ctx context.Context, addr, partitions, token string, cfg cum
 		}
 	}
 	boot := coord.Status()
-	log.Printf("fleetd: coordinator over %d partition(s) at membership v%d: %s",
-		len(boot.Nodes), boot.MembershipVersion, strings.Join(boot.Nodes, ", "))
+	role := "primary"
+	if ha.standby {
+		role = fmt.Sprintf("standby for %s", ha.primary)
+	}
+	log.Printf("fleetd: coordinator (%s, holder %s) over %d partition(s) at membership v%d: %s",
+		role, ha.holder, len(boot.Nodes), boot.MembershipVersion, strings.Join(boot.Nodes, ", "))
 	go coord.Run(ctx, pollInt)
 	if snapshot != "" {
 		go coordinatorSnapshotLoop(ctx, coord, snapshot, snapshotInt)
@@ -257,6 +299,39 @@ func runCoordinator(ctx context.Context, addr, partitions, token string, cfg cum
 	st := coord.Status()
 	fmt.Printf("fleetd (coordinator): %d poll round(s), %d resync(s): %d runs, %d sites, %d patch entries at version %d\n",
 		st.Polls, st.Resyncs, st.Runs, st.Sites, st.PatchLen, st.Version)
+}
+
+// runReplica runs the read-path fan-out tier: a stateless cache over
+// one or more coordinators (primary first, standby after) serving
+// GET /v1/patches and GET /v1/triage to any number of pollers. No
+// snapshot, no journal — a restarted replica rebuilds its entire state
+// from one upstream poll.
+func runReplica(ctx context.Context, addr, upstreams, token string, pollInt time.Duration,
+	reg *telemetry.Registry, logger *slog.Logger) {
+	var ups []string
+	for _, u := range strings.Split(upstreams, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			ups = append(ups, u)
+		}
+	}
+	rep, err := cluster.NewReplica(cluster.ReplicaOptions{
+		Upstreams:    ups,
+		PollInterval: pollInt,
+		Token:        token,
+		Metrics:      reg,
+		Logger:       logger,
+	})
+	if err != nil {
+		log.Fatalf("fleetd: %v", err)
+	}
+	log.Printf("fleetd: replica over %d upstream(s): %s", len(ups), strings.Join(ups, ", "))
+	go rep.Run(ctx)
+
+	serve(ctx, addr, rep.Handler(), "fleetd (replica)")
+
+	st := rep.Status()
+	fmt.Printf("fleetd (replica): %d poll(s), %d error(s): serving upstream version %d (epoch %d), %d patch req(s), %d revalidated\n",
+		st.Polls, st.PollErrors, st.ReplicaVersion, st.ReplicaEpoch, st.PatchRequests, st.PatchNotModified)
 }
 
 // coordinatorSnapshotLoop persists the coordinator's mirrors every

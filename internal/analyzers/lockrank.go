@@ -41,7 +41,8 @@ var LockOrder = []LockRank{
 	// —— client / router scope ——
 	{Class: "cluster.Router.mu", Doc: "router membership snapshot and per-partition clients"},
 	{Class: "cluster.Ring.mu", Doc: "consistent-hash ring membership and version"},
-	{Class: "fleet.Client.mu", Doc: "upload client request-id/backoff state"},
+	{Class: "fleet.Client.mu", Doc: "upload client request-id/backoff/failover state: active base, last epoch, ETag"},
+	{Class: "cluster.Replica.mu", Doc: "read-replica cache: mirrored patch set, delta ring, triage body; poll I/O happens before it is taken, responses are assembled under it and written after release"},
 	// —— partition / server scope ——
 	{Class: "cluster.Coordinator.reportMu", Doc: "coordinator bug-report accumulator"},
 	{Class: "fleet.Server.correctMu", Doc: "serializes correction passes (O(dirty-sites) identify+patch)"},

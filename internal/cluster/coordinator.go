@@ -39,6 +39,23 @@ type CoordinatorOptions struct {
 	// state rides in the coordinator snapshot (SaveSnapshot), so a
 	// restart neither re-fires nor drops an armed alert.
 	Triage triage.Config
+	// Standby starts the coordinator as a warm standby: it mirrors the
+	// same partition journals (cursors advancing, mirrors warm) but
+	// answers the client-facing surface — patches, triage, reports,
+	// rebalance — with 503 until Promote is called or its lease probes
+	// against Primary fail TakeoverAfter times in a row. See
+	// docs/OPERATIONS.md "Failover".
+	Standby bool
+	// Primary is the primary coordinator's base URL a standby probes
+	// (GET /v1/lease) from its Run loop. Empty disables automatic
+	// takeover; promotion is then manual (Promote, or POST /v1/lease).
+	Primary string
+	// TakeoverAfter is the consecutive failed lease probes after which
+	// a standby promotes itself (0 = 3).
+	TakeoverAfter int
+	// LeaseHolder names this coordinator in GET /v1/lease replies
+	// (diagnostic only; empty = "coordinator").
+	LeaseHolder string
 	// RebalanceJournal is the path of the crash-safe rebalance journal
 	// (JSON lines, fsynced per record). With it set, a coordinator that
 	// dies between drain and backfill re-drives the interrupted rebalance
@@ -84,11 +101,25 @@ type Coordinator struct {
 
 	log         *fleet.PatchLog
 	triage      *triage.Engine
-	epoch       uint64
 	start       time.Time
 	polls       atomic.Int64
 	resyncs     atomic.Int64
 	corrections atomic.Int64
+
+	// Failover state: epoch stamps every patch response (rises across
+	// failovers — clients reject anything lower than they have seen);
+	// primary gates the client-facing surface; a standby probes the
+	// primary's lease through primaryClient and promotes itself after
+	// takeoverAfter consecutive probe failures (probeFails is touched
+	// only by the Run loop). seenPrimaryEpoch floors the epoch a
+	// promotion mints.
+	epoch            atomic.Uint64
+	primary          atomic.Bool
+	holder           string
+	primaryClient    *fleet.Client
+	takeoverAfter    int
+	probeFails       int
+	seenPrimaryEpoch atomic.Uint64
 
 	token      string
 	reportMu   sync.Mutex
@@ -127,6 +158,14 @@ type coordMetrics struct {
 	mergedRuns  *telemetry.Gauge
 	dirtyKeys   *telemetry.Gauge
 	partitions  *telemetry.Gauge
+	// Failover instruments: primaryG mirrors the lease role (1 =
+	// primary) so dashboards can alert on "no primary" or "two
+	// primaries" across a pair's scrapes.
+	patchNotMod    *telemetry.Counter
+	leaseProbes    *telemetry.Counter
+	leaseProbeErrs *telemetry.Counter
+	failovers      *telemetry.Counter
+	primaryG       *telemetry.Gauge
 }
 
 func (m *coordMetrics) register(reg *telemetry.Registry, c *Coordinator) {
@@ -146,6 +185,16 @@ func (m *coordMetrics) register(reg *telemetry.Registry, c *Coordinator) {
 		"GET /v1/patches requests served (writer patch-poll fan-in).")
 	m.movedKeys = reg.Counter("cluster_rebalance_moved_keys_total",
 		"Evidence keys drained and backfilled by completed rebalances.")
+	m.patchNotMod = reg.Counter("cluster_patch_not_modified_total",
+		"GET /v1/patches polls answered 304 off the If-None-Match validator.")
+	m.leaseProbes = reg.Counter("cluster_lease_probes_total",
+		"Standby lease probes against the primary coordinator.")
+	m.leaseProbeErrs = reg.Counter("cluster_lease_probe_errors_total",
+		"Failed standby lease probes (takeover fires after TakeoverAfter consecutive failures).")
+	m.failovers = reg.Counter("cluster_failovers_total",
+		"Standby promotions to primary (epoch handoffs).")
+	m.primaryG = reg.Gauge("cluster_primary",
+		"1 while this coordinator holds the lease (serves the client-facing surface), 0 while standing by.")
 	m.correctSec = reg.Histogram("cluster_correct_seconds",
 		"Correction pass latency (rebuild, if any, plus incremental identify and fold).",
 		telemetry.DefBuckets)
@@ -205,16 +254,25 @@ func NewCoordinator(opts CoordinatorOptions) (*Coordinator, error) {
 		cfg = cumulative.DefaultConfig()
 	}
 	c := &Coordinator{
-		cfg:        cfg,
-		ring:       NewRing(0, opts.Partitions...),
-		merged:     cumulative.NewHistory(cfg),
-		log:        fleet.NewPatchLog(),
-		epoch:      uint64(time.Now().UnixNano()),
-		start:      time.Now(),
-		token:      opts.Token,
-		maxReports: opts.MaxReports,
-		rebalPath:  opts.RebalanceJournal,
-		rebalState: RebalanceState{State: RebalanceIdle},
+		cfg:           cfg,
+		ring:          NewRing(0, opts.Partitions...),
+		merged:        cumulative.NewHistory(cfg),
+		log:           fleet.NewPatchLog(),
+		start:         time.Now(),
+		token:         opts.Token,
+		maxReports:    opts.MaxReports,
+		rebalPath:     opts.RebalanceJournal,
+		rebalState:    RebalanceState{State: RebalanceIdle},
+		holder:        opts.LeaseHolder,
+		takeoverAfter: opts.TakeoverAfter,
+	}
+	c.epoch.Store(uint64(time.Now().UnixNano()))
+	c.primary.Store(!opts.Standby)
+	if c.holder == "" {
+		c.holder = "coordinator"
+	}
+	if c.takeoverAfter <= 0 {
+		c.takeoverAfter = leaseProbeDefault
 	}
 	if c.maxReports <= 0 {
 		c.maxReports = 128
@@ -234,18 +292,34 @@ func NewCoordinator(opts CoordinatorOptions) (*Coordinator, error) {
 	c.triage.SetMetrics(c.reg)
 	c.logger = logger.With("component", "coordinator")
 	c.metrics.register(c.reg, c)
+	if c.primary.Load() {
+		c.metrics.primaryG.Set(1)
+	}
+	if opts.Primary != "" {
+		pc := fleet.NewClient(opts.Primary, "standby")
+		pc.SetLogger(c.logger.With("primary", opts.Primary))
+		if c.token != "" {
+			pc.SetToken(c.token)
+		}
+		c.primaryClient = pc
+	}
 	for _, base := range opts.Partitions {
 		c.parts = append(c.parts, c.newPartition(base))
 	}
 	c.updateMergedGauges()
 	mux := http.NewServeMux()
-	mux.HandleFunc("/v1/patches", c.handlePatches)
-	mux.HandleFunc("/v1/reports", c.handleReports)
+	// The client-facing surface is lease-gated: a standby answers 503
+	// until promoted. Topology and diagnostics (membership, status,
+	// lease, health, metrics) always serve — they are how operators and
+	// probes see the standby at all.
+	mux.Handle("/v1/patches", c.gatePrimary(http.HandlerFunc(c.handlePatches)))
+	mux.Handle("/v1/reports", c.gatePrimary(http.HandlerFunc(c.handleReports)))
 	mux.HandleFunc("/v1/membership", c.handleMembership)
-	mux.HandleFunc("/v1/rebalance", c.handleRebalance)
+	mux.Handle("/v1/rebalance", c.gatePrimary(http.HandlerFunc(c.handleRebalance)))
 	mux.HandleFunc("/v1/status", c.handleStatus)
-	mux.Handle("/v1/triage", c.triage)
-	mux.Handle("/v1/triage/", c.triage)
+	mux.HandleFunc("/v1/lease", c.handleLease)
+	mux.Handle("/v1/triage", c.gatePrimary(c.triage))
+	mux.Handle("/v1/triage/", c.gatePrimary(c.triage))
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
@@ -543,22 +617,35 @@ func (c *Coordinator) triagePass() {
 // delivery, snapshot persistence).
 func (c *Coordinator) Triage() *triage.Engine { return c.triage }
 
-// Run polls and corrects every interval until ctx is done.
+// Run polls and corrects every interval (jittered ±10% so a fleet of
+// coordinators and replicas never phase-locks; see fleet.JitterInterval)
+// until ctx is done. A standby polls the same journals — mirrors warm,
+// cursors advancing — but defers correction and alert delivery to its
+// promotion: the patch log is a pure function of the mirrors, and
+// running the alerter on a standby would double-fire every webhook the
+// primary already sent. Each standby tick also probes the primary's
+// lease and promotes after TakeoverAfter consecutive failures.
 func (c *Coordinator) Run(ctx context.Context, interval time.Duration) {
 	if interval <= 0 {
 		interval = 2 * time.Second
 	}
-	t := time.NewTicker(interval)
+	t := time.NewTimer(fleet.JitterInterval(interval))
 	defer t.Stop()
 	for {
 		select {
 		case <-ctx.Done():
 			return
 		case <-t.C:
-			if changed, _ := c.PollOnce(ctx); changed {
-				c.Correct()
+			changed, _ := c.PollOnce(ctx)
+			if c.primary.Load() {
+				if changed {
+					c.Correct()
+				}
+				c.triage.DeliverAlerts(ctx)
+			} else {
+				c.probePrimary(ctx)
 			}
-			c.triage.DeliverAlerts(ctx)
+			t.Reset(fleet.JitterInterval(interval))
 		}
 	}
 }
@@ -591,8 +678,15 @@ func (c *Coordinator) handlePatches(w http.ResponseWriter, r *http.Request) {
 		since = v
 	}
 	ps, version := c.log.Since(since)
+	epoch := c.epoch.Load()
+	if fleet.MatchETag(w, r, fleet.PatchETag(epoch, version)) {
+		c.metrics.patchNotMod.Inc()
+		c.logger.Debug("patches revalidated (304)",
+			"since", since, "version", version, "requestId", reqID)
+		return
+	}
 	wire := fleet.ToWire(ps, version)
-	wire.Epoch = c.epoch
+	wire.Epoch = epoch
 	c.logger.Debug("patches served",
 		"since", since, "version", version, "requestId", reqID)
 	fleet.WriteJSON(w, wire)
@@ -666,6 +760,11 @@ type ClusterStatus struct {
 	Nodes             []string          `json:"nodes"`
 	Rebalance         RebalanceState    `json:"rebalance"`
 	Partitions        []PartitionStatus `json:"partitions"`
+	// Primary, LeaseEpoch and LeaseHolder mirror GET /v1/lease, so one
+	// status scrape shows a pair's roles.
+	Primary     bool   `json:"primary"`
+	LeaseEpoch  uint64 `json:"leaseEpoch"`
+	LeaseHolder string `json:"leaseHolder"`
 }
 
 // PartitionStatus is one partition's mirror state in ClusterStatus.
@@ -728,6 +827,9 @@ func (c *Coordinator) Status() *ClusterStatus {
 		MembershipVersion: memberVersion,
 		Nodes:             nodes,
 		Rebalance:         c.rebalState,
+		Primary:           c.primary.Load(),
+		LeaseEpoch:        c.epoch.Load(),
+		LeaseHolder:       c.holder,
 	}
 	for _, p := range c.parts {
 		ps := PartitionStatus{

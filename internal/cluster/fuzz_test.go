@@ -1,0 +1,80 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"exterminator/internal/cumulative"
+	"exterminator/internal/site"
+)
+
+// fuzzCoordSeed hand-encodes a small valid XCSN v3 container: ring
+// membership, one partition entry with a non-empty mirror, and an
+// empty alert blob.
+func fuzzCoordSeed(t testing.TB) []byte {
+	hist := cumulative.NewHistory(cumulative.DefaultConfig())
+	hist.Absorb(&cumulative.Snapshot{
+		Runs:  2,
+		Sites: []site.ID{9},
+		Overflow: []cumulative.SiteObservations{
+			{Site: 9, Obs: []cumulative.Observation{{X: 0.5, Y: true}}},
+		},
+	})
+	var mirror bytes.Buffer
+	if err := hist.Encode(&mirror); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	u32 := func(v uint32) { binary.Write(&buf, binary.LittleEndian, v) }
+	u64 := func(v uint64) { binary.Write(&buf, binary.LittleEndian, v) }
+	const base = "http://p1.example:7077"
+	u32(coordSnapMagic)
+	u32(coordSnapVersion)
+	u64(3) // ring version
+	u32(1) // one node
+	u32(uint32(len(base)))
+	buf.WriteString(base)
+	u32(1) // one partition entry
+	u32(uint32(len(base)))
+	buf.WriteString(base)
+	u64(17) // seq
+	u64(5)  // epoch
+	u64(uint64(mirror.Len()))
+	buf.Write(mirror.Bytes())
+	u64(0) // no alert state
+	return buf.Bytes()
+}
+
+// FuzzXCSNDecode fuzzes the coordinator snapshot decoder: corrupt or
+// truncated containers — including forged length prefixes far beyond
+// the bytes present — must return an error, never panic, and never
+// allocate proportional to an untrusted prefix.
+func FuzzXCSNDecode(f *testing.F) {
+	seed := fuzzCoordSeed(f)
+	f.Add(seed)
+	f.Add(seed[:len(seed)/2]) // truncated inside the mirror blob
+	f.Add(seed[:10])          // truncated inside the header
+	f.Add([]byte{})
+	// Forged mirror length: entry claims ~1 GiB of mirror bytes.
+	forged := append([]byte{}, seed...)
+	if len(forged) > 60 {
+		binary.LittleEndian.PutUint64(forged[52:], maxMirrorBytes-1)
+	}
+	f.Add(forged)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		snap, err := readCoordSnapshot(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// An accepted container must carry decodable mirrors: re-encoding
+		// each must not panic.
+		for _, e := range snap.entries {
+			var buf bytes.Buffer
+			if err := e.mirror.Encode(&buf); err != nil {
+				t.Fatalf("re-encode of accepted mirror: %v", err)
+			}
+		}
+	})
+}

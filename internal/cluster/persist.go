@@ -103,24 +103,37 @@ func (c *Coordinator) SaveSnapshot(path string) error {
 	return os.Rename(tmp.Name(), path)
 }
 
-// LoadSnapshot restores mirrors and cursors from a snapshot written by
-// SaveSnapshot, rebuilds the merged history, and runs a correction pass
-// so the patch log is warm before the first client poll. Mirrors are
-// matched to the configured partitions by base URL: partitions added
-// since the snapshot start empty (their first poll full-resyncs), and
-// snapshot entries for partitions no longer configured are dropped. A
-// missing file is not an error (fresh start).
-func (c *Coordinator) LoadSnapshot(path string) error {
-	f, err := os.Open(path)
-	if err != nil {
-		if os.IsNotExist(err) {
-			return nil
-		}
-		return fmt.Errorf("cluster: restore: %w", err)
-	}
-	defer f.Close()
+// coordSnapEntry is one partition's restored state.
+type coordSnapEntry struct {
+	seq, epoch uint64
+	mirror     *cumulative.History
+}
 
-	br := bufio.NewReader(f)
+// coordSnapshot is the decoded form of a SaveSnapshot file.
+type coordSnapshot struct {
+	ringVersion uint64
+	nodes       []string
+	entries     map[string]coordSnapEntry
+	alerts      []byte
+}
+
+// readBlob reads exactly n bytes without trusting n for the allocation:
+// a forged length prefix in a corrupt snapshot must fail with a short
+// read, not a multi-gigabyte up-front allocation.
+func readBlob(r io.Reader, n uint64) ([]byte, error) {
+	var buf bytes.Buffer
+	if _, err := io.CopyN(&buf, r, int64(n)); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// readCoordSnapshot decodes a coordinator snapshot container (any
+// supported version). Corrupt or truncated input returns an error; no
+// input may panic or force allocations beyond the bytes actually
+// present (fuzzed by FuzzXCSNDecode).
+func readCoordSnapshot(r io.Reader) (*coordSnapshot, error) {
+	br := bufio.NewReader(r)
 	var readErr error
 	u32 := func() uint32 {
 		var v uint32
@@ -140,82 +153,101 @@ func (c *Coordinator) LoadSnapshot(path string) error {
 		if readErr == nil {
 			readErr = errors.New("bad magic")
 		}
-		return fmt.Errorf("cluster: restore %s: %w", path, readErr)
+		return nil, readErr
 	}
 	version := u32()
 	if readErr != nil || version < 1 || version > coordSnapVersion {
 		if readErr == nil {
 			readErr = fmt.Errorf("unsupported version %d", version)
 		}
-		return fmt.Errorf("cluster: restore %s: %w", path, readErr)
+		return nil, readErr
 	}
-	var ringVersion uint64
-	var nodes []string
+	snap := &coordSnapshot{}
 	if version >= 2 {
-		ringVersion = u64()
+		snap.ringVersion = u64()
 		nn := u32()
 		if readErr != nil || nn > maxSnapParts {
-			return fmt.Errorf("cluster: restore %s: %w", path, orImplausible(readErr))
+			return nil, orImplausible(readErr)
 		}
 		for i := uint32(0); i < nn; i++ {
 			nl := u32()
 			if readErr != nil || nl > 4096 {
-				return fmt.Errorf("cluster: restore %s: %w", path, orImplausible(readErr))
+				return nil, orImplausible(readErr)
 			}
-			buf := make([]byte, nl)
-			if _, err := io.ReadFull(br, buf); err != nil {
-				return fmt.Errorf("cluster: restore %s: %w", path, err)
+			buf, err := readBlob(br, uint64(nl))
+			if err != nil {
+				return nil, err
 			}
-			nodes = append(nodes, string(buf))
+			snap.nodes = append(snap.nodes, string(buf))
 		}
 	}
 	n := u32()
 	if readErr != nil || n > maxSnapParts {
-		return fmt.Errorf("cluster: restore %s: %w", path, orImplausible(readErr))
+		return nil, orImplausible(readErr)
 	}
-	type entry struct {
-		seq, epoch uint64
-		mirror     *cumulative.History
-	}
-	restored := make(map[string]entry, n)
+	snap.entries = make(map[string]coordSnapEntry)
 	for i := uint32(0); i < n; i++ {
 		bl := u32()
 		if readErr != nil || bl > 4096 {
-			return fmt.Errorf("cluster: restore %s: %w", path, orImplausible(readErr))
+			return nil, orImplausible(readErr)
 		}
-		base := make([]byte, bl)
-		if _, err := io.ReadFull(br, base); err != nil {
-			return fmt.Errorf("cluster: restore %s: %w", path, err)
+		base, err := readBlob(br, uint64(bl))
+		if err != nil {
+			return nil, err
 		}
 		seq, epoch := u64(), u64()
 		ml := u64()
 		if readErr != nil || ml > maxMirrorBytes {
-			return fmt.Errorf("cluster: restore %s: %w", path, orImplausible(readErr))
+			return nil, orImplausible(readErr)
 		}
 		// Mirrors are length-prefixed because the history decoder reads
 		// through its own buffer: handing it the rest of the stream would
 		// swallow the next entry's bytes.
-		mb := make([]byte, ml)
-		if _, err := io.ReadFull(br, mb); err != nil {
-			return fmt.Errorf("cluster: restore %s: %w", path, err)
+		mb, err := readBlob(br, ml)
+		if err != nil {
+			return nil, err
 		}
 		mirror, err := cumulative.DecodeHistory(bytes.NewReader(mb))
 		if err != nil {
-			return fmt.Errorf("cluster: restore %s: %w", path, err)
+			return nil, err
 		}
-		restored[string(base)] = entry{seq: seq, epoch: epoch, mirror: mirror}
+		snap.entries[string(base)] = coordSnapEntry{seq: seq, epoch: epoch, mirror: mirror}
 	}
-	var alerts []byte
 	if version >= 3 {
 		al := u64()
 		if readErr != nil || al > maxAlertBytes {
-			return fmt.Errorf("cluster: restore %s: %w", path, orImplausible(readErr))
+			return nil, orImplausible(readErr)
 		}
-		alerts = make([]byte, al)
-		if _, err := io.ReadFull(br, alerts); err != nil {
-			return fmt.Errorf("cluster: restore %s: %w", path, err)
+		snap.alerts, readErr = readBlob(br, al)
+		if readErr != nil {
+			return nil, readErr
 		}
 	}
+	return snap, nil
+}
+
+// LoadSnapshot restores mirrors and cursors from a snapshot written by
+// SaveSnapshot, rebuilds the merged history, and runs a correction pass
+// so the patch log is warm before the first client poll. Mirrors are
+// matched to the configured partitions by base URL: partitions added
+// since the snapshot start empty (their first poll full-resyncs), and
+// snapshot entries for partitions no longer configured are dropped. A
+// missing file is not an error (fresh start).
+func (c *Coordinator) LoadSnapshot(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return fmt.Errorf("cluster: restore: %w", err)
+	}
+	defer f.Close()
+	snap, err := readCoordSnapshot(f)
+	if err != nil {
+		return fmt.Errorf("cluster: restore %s: %w", path, err)
+	}
+	ringVersion, nodes := snap.ringVersion, snap.nodes
+	restored, alerts := snap.entries, snap.alerts
 
 	// A version-2 snapshot's membership is authoritative: it reflects any
 	// rebalance completed since the operator's flag list was written, and

@@ -13,6 +13,7 @@ import (
 	"exterminator/internal/engine"
 	"exterminator/internal/fleet"
 	"exterminator/internal/site"
+	"exterminator/internal/testutil"
 )
 
 // TestDuplicateUploadsConvergeWithCleanSender is the exactly-once
@@ -22,6 +23,7 @@ import (
 // clean-sending client against one fleetd — and to identical fleet-wide
 // run totals.
 func TestDuplicateUploadsConvergeWithCleanSender(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
 	ctx := context.Background()
 	cfg := cumulative.DefaultConfig()
 
@@ -118,6 +120,7 @@ func TestDuplicateUploadsConvergeWithCleanSender(t *testing.T) {
 // overlapping range twice. The sink must strip counters from re-cut
 // deltas while a pending piece still carries them.
 func TestRunCountersSingleCountAcrossShiftedOwner(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
 	ctx := context.Background()
 	cfg := cumulative.DefaultConfig()
 
@@ -217,6 +220,7 @@ func TestRunCountersSingleCountAcrossShiftedOwner(t *testing.T) {
 // double-count and no forced resync after polling resumes, and new
 // evidence keeps flowing incrementally.
 func TestCoordinatorSnapshotRestart(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
 	ctx := context.Background()
 	cfg := cumulative.DefaultConfig()
 

@@ -186,8 +186,10 @@ func DecodeHistory(r io.Reader) (*History, error) {
 		if err != nil || n > maxEntries {
 			return nil, fmt.Errorf("cumulative: overflow obs: %w", orImplausible(err))
 		}
-		obs := make([]Observation, 0, n)
-		for j := uint32(0); j < n; j++ {
+		// Capacity capped: a forged count must not pre-allocate beyond
+		// what the bytes present can actually fill.
+		obs := make([]Observation, 0, min(n, 1024))
+		for j := uint32(0); j < n && err == nil; j++ {
 			x := f64()
 			y := u32() == 1
 			obs = append(obs, Observation{X: x, Y: y})
@@ -206,8 +208,8 @@ func DecodeHistory(r io.Reader) (*History, error) {
 		if err != nil || n > maxEntries {
 			return nil, fmt.Errorf("cumulative: dangling obs: %w", orImplausible(err))
 		}
-		obs := make([]Observation, 0, n)
-		for j := uint32(0); j < n; j++ {
+		obs := make([]Observation, 0, min(n, 1024))
+		for j := uint32(0); j < n && err == nil; j++ {
 			x := f64()
 			y := u32() == 1
 			obs = append(obs, Observation{X: x, Y: y})

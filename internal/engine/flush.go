@@ -36,22 +36,29 @@ func (s *Session) streamingSinks() []StreamingSink {
 // finish; callers must stop the flusher before committing sinks so the
 // post-run Commit never races a flush over the same watermark.
 func (s *Session) startFlusher(ctx context.Context, hist *cumulative.History) (stop func()) {
-	if s.cfg.flushInterval <= 0 || hist == nil || len(s.streamingSinks()) == 0 {
+	if (s.cfg.flushInterval <= 0 && s.cfg.flushSignal == nil) || hist == nil || len(s.streamingSinks()) == 0 {
 		return func() {}
 	}
 	done := make(chan struct{})
 	finished := make(chan struct{})
 	go func() {
 		defer close(finished)
-		t := time.NewTicker(s.cfg.flushInterval)
-		defer t.Stop()
+		// An external flush signal (WithFlushSignal) replaces the
+		// wall-clock ticker one-for-one: deterministic tests and embedders
+		// with their own schedulers fire flush points explicitly.
+		tick := s.cfg.flushSignal
+		if tick == nil {
+			t := time.NewTicker(s.cfg.flushInterval)
+			defer t.Stop()
+			tick = t.C
+		}
 		for {
 			select {
 			case <-done:
 				return
 			case <-ctx.Done():
 				return
-			case <-t.C:
+			case <-tick:
 				s.flushEvidence(ctx, hist)
 			}
 		}

@@ -35,6 +35,7 @@ type config struct {
 
 	flushInterval time.Duration
 	flushEvery    int
+	flushSignal   <-chan time.Time
 
 	patches *patch.Set
 	history *cumulative.History
@@ -196,6 +197,21 @@ func WithFlushInterval(d time.Duration) Option {
 			return fmt.Errorf("engine: negative flush interval %v", d)
 		}
 		c.flushInterval = d
+		return nil
+	}
+}
+
+// WithFlushSignal replaces the flusher's wall-clock ticker with an
+// external trigger channel: each receive fires one flush, exactly as an
+// interval tick would. This is the deterministic-clock seam — tests (or
+// an embedding with its own scheduler) drive flush points explicitly
+// instead of racing a real ticker against real workloads; a fake
+// clock's tick channel (e.g. the chaos test clock's After) plugs in
+// directly. Setting a signal enables the flusher even when no interval
+// is configured.
+func WithFlushSignal(ch <-chan time.Time) Option {
+	return func(c *config) error {
+		c.flushSignal = ch
 		return nil
 	}
 }

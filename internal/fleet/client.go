@@ -31,7 +31,6 @@ import (
 // about ingest bandwidth. Set DisableCompression for servers that
 // predate transparent decompression.
 type Client struct {
-	base   string
 	id     string
 	token  string
 	hc     *http.Client
@@ -41,8 +40,26 @@ type Client struct {
 	// DisableCompression sends request bodies uncompressed.
 	DisableCompression bool
 
-	mu        sync.Mutex
-	lastEpoch uint64 // server incarnation seen by the previous poll
+	mu sync.Mutex
+	// bases are the server base URLs in failover order; active indexes
+	// the one requests currently go to. A transport failure or a 503
+	// (a coordinator standing by) rotates to the next base and sticks —
+	// millions of pollers must not hammer a dead primary on every poll.
+	bases  []string
+	active int
+	// lastEpoch is the highest server incarnation seen by any patch
+	// poll. Epochs are ordered across failovers (a promoted standby
+	// takes an epoch above its predecessor's), so a response stamped
+	// with a *lower* epoch comes from a zombie primary and is rejected;
+	// a *higher* epoch means the server is a new incarnation whose
+	// version numbering restarted, so the client resyncs from 0.
+	lastEpoch uint64
+	// etag and lastVersion are the patch-poll cache validator: the
+	// ETag of the last 200 patch response and the version it carried.
+	// Polls from that version revalidate with If-None-Match; a 304
+	// answers "nothing new" without a body.
+	etag        string
+	lastVersion uint64
 }
 
 // clientMetrics is the upload-side instrument set, registered when the
@@ -53,6 +70,8 @@ type clientMetrics struct {
 	retries    *telemetry.Counter
 	backoffSec *telemetry.Counter
 	errors     *telemetry.Counter
+	notMod     *telemetry.Counter
+	failovers  *telemetry.Counter
 	pushSec    *telemetry.Histogram
 }
 
@@ -66,6 +85,10 @@ func newClientMetrics(reg *telemetry.Registry) *clientMetrics {
 			"Total seconds spent sleeping on Retry-After backoff."),
 		errors: reg.Counter("fleet_client_push_errors_total",
 			"Observation uploads that ultimately failed (after retries)."),
+		notMod: reg.Counter("fleet_client_patch_not_modified_total",
+			"Patch polls answered 304 Not Modified off the If-None-Match validator (no body shipped)."),
+		failovers: reg.Counter("fleet_client_failovers_total",
+			"Requests rotated to a fallback base after a transport failure or 503."),
 		pushSec: reg.Histogram("fleet_client_push_seconds",
 			"Observation upload round-trip latency, including 429 backoff.",
 			telemetry.DefBuckets),
@@ -77,10 +100,49 @@ func newClientMetrics(reg *telemetry.Registry) *clientMetrics {
 // identifier sent with uploads; empty is fine.
 func NewClient(base, id string) *Client {
 	return &Client{
-		base:   strings.TrimRight(base, "/"),
+		bases:  []string{strings.TrimRight(base, "/")},
 		id:     id,
 		hc:     &http.Client{Timeout: 15 * time.Second},
 		logger: slog.New(slog.DiscardHandler),
+	}
+}
+
+// SetFallbacks appends failover base URLs tried — in order, sticky —
+// when the active base fails at the transport level or answers 503
+// (a warm standby gating its read path). Point a fleet of pollers at
+// the primary coordinator with its standby as fallback and a failover
+// needs no client reconfiguration.
+func (c *Client) SetFallbacks(bases ...string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, b := range bases {
+		if b = strings.TrimRight(b, "/"); b != "" {
+			c.bases = append(c.bases, b)
+		}
+	}
+}
+
+// activeBase returns the base URL requests currently target.
+func (c *Client) activeBase() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bases[c.active]
+}
+
+// numBases returns the failover set's size.
+func (c *Client) numBases() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.bases)
+}
+
+// rotateFrom advances to the next base if failed is still the active
+// one (concurrent requests that both fail rotate once, not twice).
+func (c *Client) rotateFrom(failed string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.bases) > 1 && c.bases[c.active] == failed {
+		c.active = (c.active + 1) % len(c.bases)
 	}
 }
 
@@ -186,48 +248,129 @@ func (c *Client) PushReportContext(ctx context.Context, r *report.Report) error 
 // a local set with Set.Merge is always safe: patches compose by maxima.
 //
 // Versions are only ordered within one server incarnation; if the server
-// restarted since this client's previous poll (its epoch changed), the
-// carried-over since would silently skip rederived patches, so the
-// client transparently resyncs from version 0 instead. Callers that
+// failed over or restarted since this client's previous poll (its epoch
+// rose), the carried-over since would silently skip rederived patches,
+// so the client transparently resyncs from version 0 instead. A response
+// stamped with a *lower* epoch than the highest this client has seen
+// comes from a deposed primary still answering; the client rotates to
+// its fallback bases and, if every base is stale, fails with
+// *StalePrimaryError rather than regress the patch log. Callers that
 // persist since across their *own* restarts should poll once with
 // since=0 after loading it.
 func (c *Client) Patches(since uint64) (*patch.Set, uint64, error) {
 	return c.PatchesContext(context.Background(), since)
 }
 
-// PatchesContext is Patches honoring ctx.
+// PatchesContext is Patches honoring ctx. Polls revalidate with the last
+// response's ETag; a 304 Not Modified returns an empty delta and the
+// cached version without shipping a body.
 func (c *Client) PatchesContext(ctx context.Context, since uint64) (*patch.Set, uint64, error) {
-	w, err := c.fetchPatches(ctx, since)
+	c.mu.Lock()
+	inm := ""
+	if c.etag != "" && since >= c.lastVersion {
+		inm = c.etag
+	}
+	lastEpoch := c.lastEpoch
+	c.mu.Unlock()
+
+	w, etag, err := c.fetchPatches(ctx, since, inm)
 	if err != nil {
 		return nil, 0, err
 	}
-	c.mu.Lock()
-	stale := since > 0 && c.lastEpoch != 0 && w.Epoch != 0 && w.Epoch != c.lastEpoch
-	c.lastEpoch = w.Epoch
-	c.mu.Unlock()
-	if stale {
-		if w, err = c.fetchPatches(ctx, 0); err != nil {
+	if w == nil { // 304: nothing changed since the validator was minted
+		if c.m != nil {
+			c.m.notMod.Inc()
+		}
+		c.mu.Lock()
+		v := c.lastVersion
+		c.mu.Unlock()
+		return patch.New(), v, nil
+	}
+	// Reject stale primaries: rotate away from any base answering with
+	// an epoch below the highest we have integrated — merging its
+	// response could not regress the set (patches compose by maxima),
+	// but trusting its *version* would wedge the poll cursor.
+	for tries := 1; w.Epoch != 0 && lastEpoch != 0 && w.Epoch < lastEpoch; tries++ {
+		if tries >= c.numBases() {
+			return nil, 0, &StalePrimaryError{Seen: lastEpoch, Got: w.Epoch}
+		}
+		c.rotateFrom(c.activeBase())
+		if c.m != nil {
+			c.m.failovers.Inc()
+		}
+		if w, etag, err = c.fetchPatches(ctx, since, ""); err != nil {
 			return nil, 0, err
 		}
+		if w == nil {
+			return nil, 0, fmt.Errorf("fleet: get patches: unexpected 304 without validator")
+		}
 	}
+	if since > 0 && lastEpoch != 0 && w.Epoch > lastEpoch {
+		// New incarnation: its version numbering restarted, so our
+		// cursor means nothing to it. Resync from 0.
+		if w, etag, err = c.fetchPatches(ctx, 0, ""); err != nil {
+			return nil, 0, err
+		}
+		if w == nil {
+			return nil, 0, fmt.Errorf("fleet: get patches: unexpected 304 without validator")
+		}
+	}
+	c.mu.Lock()
+	if w.Epoch > c.lastEpoch {
+		c.lastEpoch = w.Epoch
+	}
+	c.etag, c.lastVersion = etag, w.Version
+	c.mu.Unlock()
 	return w.Set(), w.Version, nil
 }
 
-func (c *Client) fetchPatches(ctx context.Context, since uint64) (*WirePatchSet, error) {
-	resp, reqID, err := c.get(ctx, fmt.Sprintf("/v1/patches?since=%d", since))
+// fetchPatches issues one patch poll. A nil WirePatchSet with nil error
+// reports 304 Not Modified (only possible when ifNoneMatch was sent).
+func (c *Client) fetchPatches(ctx context.Context, since uint64, ifNoneMatch string) (*WirePatchSet, string, error) {
+	var hdr map[string]string
+	if ifNoneMatch != "" {
+		hdr = map[string]string{"If-None-Match": ifNoneMatch}
+	}
+	resp, reqID, err := c.get(ctx, fmt.Sprintf("/v1/patches?since=%d", since), hdr)
 	if err != nil {
-		return nil, fmt.Errorf("fleet: get patches (request %s): %w", reqID, err)
+		return nil, "", fmt.Errorf("fleet: get patches (request %s): %w", reqID, err)
+	}
+	defer drain(resp)
+	if resp.StatusCode == http.StatusNotModified && ifNoneMatch != "" {
+		return nil, "", nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, "", httpError("get patches (request "+reqID+")", resp)
+	}
+	w, err := decodeWire(resp.Body)
+	if err != nil {
+		return nil, "", err
+	}
+	return w, resp.Header.Get("ETag"), nil
+}
+
+// Lease fetches the server's lease state (GET /v1/lease): its failover
+// epoch and whether it is currently primary. Standby coordinators probe
+// their primary with this; operators use it to verify a topology.
+func (c *Client) Lease(ctx context.Context) (*LeaseReply, error) {
+	resp, reqID, err := c.get(ctx, "/v1/lease", nil)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: get lease (request %s): %w", reqID, err)
 	}
 	defer drain(resp)
 	if resp.StatusCode != http.StatusOK {
-		return nil, httpError("get patches (request "+reqID+")", resp)
+		return nil, httpError("get lease (request "+reqID+")", resp)
 	}
-	return decodeWire(resp.Body)
+	var lr LeaseReply
+	if err := json.NewDecoder(resp.Body).Decode(&lr); err != nil {
+		return nil, fmt.Errorf("fleet: get lease (request %s): %w", reqID, err)
+	}
+	return &lr, nil
 }
 
 // Status fetches aggregate server statistics.
 func (c *Client) Status() (*StatusReply, error) {
-	resp, reqID, err := c.get(context.Background(), "/v1/status")
+	resp, reqID, err := c.get(context.Background(), "/v1/status", nil)
 	if err != nil {
 		return nil, fmt.Errorf("fleet: get status (request %s): %w", reqID, err)
 	}
@@ -245,7 +388,7 @@ func (c *Client) Status() (*StatusReply, error) {
 // TriageRankings fetches the server's paginated triage ranking (GET
 // /v1/triage): the fleet's top defect clusters, pooled-Bayes first.
 func (c *Client) TriageRankings(ctx context.Context, offset, limit int) (*triage.RankingReply, error) {
-	resp, reqID, err := c.get(ctx, fmt.Sprintf("/v1/triage?offset=%d&limit=%d", offset, limit))
+	resp, reqID, err := c.get(ctx, fmt.Sprintf("/v1/triage?offset=%d&limit=%d", offset, limit), nil)
 	if err != nil {
 		return nil, fmt.Errorf("fleet: get triage (request %s): %w", reqID, err)
 	}
@@ -262,7 +405,7 @@ func (c *Client) TriageRankings(ctx context.Context, offset, limit int) (*triage
 
 // TriageCluster fetches one cluster's detail (GET /v1/triage/{cluster}).
 func (c *Client) TriageCluster(ctx context.Context, id string) (*triage.ClusterDetail, error) {
-	resp, reqID, err := c.get(ctx, "/v1/triage/"+url.PathEscape(id))
+	resp, reqID, err := c.get(ctx, "/v1/triage/"+url.PathEscape(id), nil)
 	if err != nil {
 		return nil, fmt.Errorf("fleet: get triage cluster (request %s): %w", reqID, err)
 	}
@@ -282,7 +425,7 @@ func (c *Client) TriageCluster(ctx context.Context, id string) (*triage.ClusterD
 // feed cluster coordinators (internal/cluster) mirror partitions with;
 // ordinary installations never need it.
 func (c *Client) Deltas(ctx context.Context, since uint64) (*SnapshotDelta, error) {
-	resp, reqID, err := c.get(ctx, fmt.Sprintf("/v1/deltas?since=%d", since))
+	resp, reqID, err := c.get(ctx, fmt.Sprintf("/v1/deltas?since=%d", since), nil)
 	if err != nil {
 		return nil, fmt.Errorf("fleet: get deltas (request %s): %w", reqID, err)
 	}
@@ -329,7 +472,7 @@ func (c *Client) AnnounceRing(ctx context.Context, version uint64) (*RingReply, 
 // /v1/membership): the membership version and partition base URLs a
 // router should split uploads across.
 func (c *Client) Membership(ctx context.Context) (*MembershipReply, error) {
-	resp, reqID, err := c.get(ctx, "/v1/membership")
+	resp, reqID, err := c.get(ctx, "/v1/membership", nil)
 	if err != nil {
 		return nil, fmt.Errorf("fleet: get membership (request %s): %w", reqID, err)
 	}
@@ -349,23 +492,44 @@ func (c *Client) Membership(ctx context.Context) (*MembershipReply, error) {
 // correlation contract: uploads have carried one since PR 6, but a
 // failed *fetch* could not be grepped across tiers. The ID is logged
 // here and returned so callers thread it into their errors.
-func (c *Client) get(ctx context.Context, path string) (resp *http.Response, reqID string, err error) {
+func (c *Client) get(ctx context.Context, path string, header map[string]string) (resp *http.Response, reqID string, err error) {
 	reqID = telemetry.NewRequestID()
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
-	if err != nil {
-		return nil, reqID, err
+	attempts := c.numBases()
+	for attempt := 0; ; attempt++ {
+		base := c.activeBase()
+		req, rerr := http.NewRequestWithContext(ctx, http.MethodGet, base+path, nil)
+		if rerr != nil {
+			return nil, reqID, rerr
+		}
+		req.Header.Set(RequestIDHeader, reqID)
+		if c.token != "" {
+			req.Header.Set("Authorization", "Bearer "+c.token)
+		}
+		for k, v := range header {
+			req.Header.Set(k, v)
+		}
+		resp, err = c.hc.Do(req)
+		switch {
+		case err != nil:
+			c.logger.Warn("fetch failed", "path", path, "base", base, "requestId", reqID, "error", err)
+		case resp.StatusCode == http.StatusServiceUnavailable && attempt+1 < attempts:
+			// A standby coordinator gates its read path with 503; the
+			// promoted peer is one rotation away.
+			drain(resp)
+			err = fmt.Errorf("fleet: %s unavailable (503)", base)
+			c.logger.Warn("fetch got 503; rotating base", "path", path, "base", base, "requestId", reqID)
+		default:
+			c.logger.Debug("fetch", "path", path, "status", resp.StatusCode, "requestId", reqID)
+			return resp, reqID, nil
+		}
+		if attempt+1 >= attempts {
+			return nil, reqID, err
+		}
+		c.rotateFrom(base)
+		if c.m != nil {
+			c.m.failovers.Inc()
+		}
 	}
-	req.Header.Set(RequestIDHeader, reqID)
-	if c.token != "" {
-		req.Header.Set("Authorization", "Bearer "+c.token)
-	}
-	resp, err = c.hc.Do(req)
-	if err != nil {
-		c.logger.Warn("fetch failed", "path", path, "requestId", reqID, "error", err)
-		return nil, reqID, err
-	}
-	c.logger.Debug("fetch", "path", path, "status", resp.StatusCode, "requestId", reqID)
-	return resp, reqID, nil
 }
 
 // StaleRingError reports a 409 stale-ring rejection: the upload was
@@ -380,6 +544,21 @@ type StaleRingError struct {
 
 func (e *StaleRingError) Error() string {
 	return fmt.Sprintf("fleet: upload split under a stale ring (partition requires membership version %d)", e.Required)
+}
+
+// StalePrimaryError reports that every configured base answered a patch
+// poll with an epoch below the highest this client has already
+// integrated — the failover's deposed primary is still serving (and is
+// the only thing serving). The client must not adopt its version
+// numbering; poll again once the topology heals.
+type StalePrimaryError struct {
+	// Seen is the highest epoch this client has integrated; Got is the
+	// stale epoch the server answered with.
+	Seen, Got uint64
+}
+
+func (e *StalePrimaryError) Error() string {
+	return fmt.Sprintf("fleet: stale primary: server epoch %d is below the highest epoch seen %d", e.Got, e.Seen)
 }
 
 // Rate-limit retry bounds: a 429 with Retry-After is obeyed up to
@@ -426,8 +605,10 @@ func (c *Client) post(ctx context.Context, path, batchID string, body, reply any
 		c.m.pushes.Inc()
 		defer c.m.pushSec.ObserveSince(time.Now())
 	}
+	failovers := 0
 	for attempt := 1; ; attempt++ {
-		req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(payload))
+		base := c.activeBase()
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+path, bytes.NewReader(payload))
 		if err != nil {
 			return fmt.Errorf("fleet: post %s: %w", path, err)
 		}
@@ -440,8 +621,25 @@ func (c *Client) post(ctx context.Context, path, batchID string, body, reply any
 			req.Header.Set("Content-Encoding", "gzip")
 		}
 		resp, err := c.hc.Do(req)
-		if err != nil {
-			return fmt.Errorf("fleet: post %s: %w", path, err)
+		if err != nil || resp.StatusCode == http.StatusServiceUnavailable {
+			// Transport failure or a standby gating writes: rotate to the
+			// next base. Failovers don't consume 429 delivery attempts.
+			if err == nil {
+				drain(resp)
+				err = fmt.Errorf("%s unavailable (503)", base)
+			}
+			failovers++
+			if failovers >= c.numBases() {
+				return fmt.Errorf("fleet: post %s: %w", path, err)
+			}
+			c.rotateFrom(base)
+			if c.m != nil {
+				c.m.failovers.Inc()
+			}
+			c.logger.Warn("push failed; rotating base",
+				"path", path, "base", base, "requestId", reqID, "error", err)
+			attempt--
+			continue
 		}
 		if resp.StatusCode == http.StatusTooManyRequests && attempt < maxPushAttempts {
 			wait := retryAfter(resp)

@@ -1,0 +1,28 @@
+package fleet
+
+import (
+	"math/rand/v2"
+	"time"
+)
+
+// JitterFraction is the half-width of the uniform perturbation
+// JitterInterval applies: every poll interval lands in
+// [(1-JitterFraction)·d, (1+JitterFraction)·d].
+const JitterFraction = 0.10
+
+// JitterInterval perturbs a poll interval by a uniform ±10%. Every
+// periodic poller in the fleet (patch pollers, replica cache refreshes,
+// the coordinator's partition polls) sleeps a jittered interval instead
+// of a fixed one: at replica scale, fixed intervals synchronize — one
+// slow scrape or a mass restart phase-locks the fleet and every
+// subsequent poll arrives as a thundering herd. Jitter de-phases the
+// herd within a few cycles and keeps it de-phased.
+//
+// Non-positive intervals are returned unchanged.
+func JitterInterval(d time.Duration) time.Duration {
+	if d <= 0 {
+		return d
+	}
+	f := 1 - JitterFraction + 2*JitterFraction*rand.Float64()
+	return time.Duration(float64(d) * f)
+}

@@ -2,6 +2,7 @@ package fleet
 
 import (
 	"bufio"
+	"bytes"
 	"compress/gzip"
 	"context"
 	"crypto/subtle"
@@ -744,6 +745,11 @@ func (s *Server) handlePatches(w http.ResponseWriter, r *http.Request) {
 	}
 	reqID := EchoRequestID(w, r)
 	ps, version := s.log.Since(since)
+	if MatchETag(w, r, PatchETag(s.epoch, version)) {
+		s.logger.Debug("patches revalidated (304)",
+			"since", since, "version", version, "requestId", reqID)
+		return
+	}
 	wire := ToWire(ps, version)
 	wire.Epoch = s.epoch
 	s.logger.Debug("patches served",
@@ -1121,12 +1127,14 @@ func readFleetSnapshot(r io.Reader) (fleetSnapState, error) {
 		if err != nil {
 			return ""
 		}
-		buf := make([]byte, l)
-		if _, rerr := io.ReadFull(br, buf); rerr != nil {
+		// Copy instead of a trusting make([]byte, l): a forged length
+		// prefix must fail with a short read, not a huge allocation.
+		var buf bytes.Buffer
+		if _, rerr := io.CopyN(&buf, br, int64(l)); rerr != nil {
 			err = rerr
 			return ""
 		}
-		return string(buf)
+		return buf.String()
 	}
 	read(&magic)
 	read(&version)

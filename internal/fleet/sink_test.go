@@ -9,12 +9,14 @@ import (
 	"exterminator/internal/engine"
 	"exterminator/internal/patch"
 	"exterminator/internal/site"
+	"exterminator/internal/testutil"
 )
 
 // TestSinkFetchAndCommit drives the fleet client through the engine
 // sink contract: FetchPatches downloads the fleet's current set, Commit
 // uploads observation history and reports newly derived patches.
 func TestSinkFetchAndCommit(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
 	srv := NewServer(ServerOptions{CorrectEvery: 0})
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
@@ -66,6 +68,7 @@ func TestSinkFetchAndCommit(t *testing.T) {
 // TestSinkCommitSkipsEmptyEvidence: nothing is uploaded for a session
 // with no history and no derived patches (e.g. a clean iterative run).
 func TestSinkCommitSkipsEmptyEvidence(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
 	srv := NewServer(ServerOptions{CorrectEvery: -1})
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()

@@ -4,21 +4,35 @@ import (
 	"context"
 	"net/http/httptest"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"exterminator/internal/engine"
 	"exterminator/internal/mutator"
+	"exterminator/internal/testutil"
 )
 
-// pacedProg is a trivial clean workload that sleeps per run, so the
-// wall-clock flusher fires several times during a short session.
-type pacedProg struct{ d time.Duration }
+// flushOnRun is a clean workload that fires exactly one deterministic
+// mid-run flush: on its trigger run it sends on the session's flush
+// signal (engine.WithFlushSignal) and blocks until the flush is
+// acknowledged. "Evidence visible mid-run" then holds by construction
+// instead of depending on a wall-clock ticker winning a race against
+// the workload's pacing.
+type flushOnRun struct {
+	runs    atomic.Int64
+	trigger int64
+	fire    chan<- time.Time
+	acked   <-chan struct{}
+}
 
-func (p pacedProg) Name() string { return "paced" }
-func (p pacedProg) Run(e *mutator.Env) {
+func (p *flushOnRun) Name() string { return "paced" }
+func (p *flushOnRun) Run(e *mutator.Env) {
 	ptr := e.Malloc(16)
-	time.Sleep(p.d)
+	if p.runs.Add(1) == p.trigger {
+		p.fire <- time.Time{}
+		<-p.acked
+	}
 	e.Free(ptr)
 }
 
@@ -28,6 +42,7 @@ func (p pacedProg) Run(e *mutator.Env) {
 // /v1/status before the session exits — and the post-run commit adds
 // exactly the remainder, never double-counting what was flushed.
 func TestSessionStreamsToLiveFleetMidRun(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
 	srv := NewServer(ServerOptions{CorrectEvery: -1})
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
@@ -35,41 +50,42 @@ func TestSessionStreamsToLiveFleetMidRun(t *testing.T) {
 	client := NewClient(ts.URL, "live")
 	sink := NewSink(client)
 
-	// The observer probes the server the moment a flush is acknowledged:
-	// the session is mid-run (SessionFinished has not fired), yet the
-	// fleet already holds evidence.
+	// The observer probes the server the moment the flush is
+	// acknowledged: the session is mid-run (its trigger run is blocked
+	// inside Run waiting for this ack), yet the fleet already holds
+	// evidence.
+	fire := make(chan time.Time)
+	acked := make(chan struct{}, 1)
 	var (
-		mu          sync.Mutex
-		midRunRuns  int64
-		midRunSeen  bool
-		finishedYet bool
+		mu         sync.Mutex
+		midRunRuns int64
+		midRunSeen bool
 	)
 	obs := engine.ObserverFunc(func(ev engine.Event) {
-		switch ev.(type) {
-		case engine.EvidenceFlushed:
-			mu.Lock()
-			defer mu.Unlock()
-			if midRunSeen || finishedYet {
-				return
-			}
-			st, err := client.Status()
-			if err != nil {
-				t.Errorf("status during flush: %v", err)
-				return
-			}
-			midRunRuns, midRunSeen = st.Runs, true
-		case engine.SessionFinished:
-			mu.Lock()
-			finishedYet = true
-			mu.Unlock()
+		if _, ok := ev.(engine.EvidenceFlushed); !ok {
+			return
 		}
+		mu.Lock()
+		defer mu.Unlock()
+		if midRunSeen {
+			return
+		}
+		st, err := client.Status()
+		if err != nil {
+			t.Errorf("status during flush: %v", err)
+			return
+		}
+		midRunRuns, midRunSeen = st.Runs, true
+		acked <- struct{}{}
 	})
 
-	sess, err := engine.New(engine.Batch(pacedProg{d: 10 * time.Millisecond}),
+	const trigger = 5
+	prog := &flushOnRun{trigger: trigger, fire: fire, acked: acked}
+	sess, err := engine.New(engine.Batch(prog),
 		engine.WithMode(engine.ModeCumulative),
 		engine.WithSeeds(1, 0x9106),
 		engine.WithMaxRuns(10),
-		engine.WithFlushInterval(2*time.Millisecond),
+		engine.WithFlushSignal(fire),
 		engine.WithSink(sink),
 		engine.WithObserver(obs))
 	if err != nil {
@@ -86,15 +102,16 @@ func TestSessionStreamsToLiveFleetMidRun(t *testing.T) {
 	if !midRunSeen {
 		t.Fatal("no mid-run flush reached the fleet")
 	}
-	if midRunRuns == 0 {
-		t.Fatal("fleet showed no evidence at the first mid-run flush")
+	if midRunRuns != trigger-1 {
+		t.Fatalf("fleet showed %d runs at the mid-run flush, want the %d folded before the trigger run",
+			midRunRuns, trigger-1)
 	}
 	total := int64(res.Cumulative.History.Runs)
 	if midRunRuns >= total {
 		t.Fatalf("first flush already showed all %d runs — nothing was streamed mid-run", total)
 	}
 	// No double count at session end: the fleet's total equals the
-	// session's, even though evidence arrived across many deltas plus a
+	// session's, even though evidence arrived across a flush plus a
 	// final commit.
 	if got := srv.Store().Runs(); got != total {
 		t.Fatalf("fleet holds %d runs after session end, session recorded %d", got, total)

@@ -223,6 +223,28 @@ func decodeWire(r io.Reader) (*WirePatchSet, error) {
 	return &w, nil
 }
 
+// LeaseReply is the GET /v1/lease response body: the serving
+// coordinator's incarnation epoch and role. Epochs are the failover
+// ordering: a promoted standby takes an epoch strictly above anything
+// the old primary ever stamped into a patch response, so clients can
+// reject a zombie primary (lower epoch than the highest they have seen)
+// without any out-of-band signal. A warm standby answers with
+// primary=false; its probe loop watches the primary's lease and
+// promotes itself when the primary stops answering.
+type LeaseReply struct {
+	// Epoch is the incarnation stamp this server puts in WirePatchSet
+	// responses (monotonically increasing across failovers).
+	Epoch uint64 `json:"epoch"`
+	// Holder names the lease holder (operator-chosen, diagnostic only).
+	Holder string `json:"holder"`
+	// Primary reports whether this server currently serves the
+	// patch-log read path (a standby answers false and 503s patch and
+	// triage reads until promoted).
+	Primary bool `json:"primary"`
+	// PatchVersion is the holder's current patch-log version.
+	PatchVersion uint64 `json:"patchVersion"`
+}
+
 // StatusReply is the GET /v1/status response body.
 type StatusReply struct {
 	// Build is the serving binary's link-time identity ("version
