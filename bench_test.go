@@ -29,6 +29,7 @@ import (
 	"exterminator/internal/engine"
 	"exterminator/internal/experiments"
 	"exterminator/internal/fleet"
+	"exterminator/internal/fleet/codec"
 	"exterminator/internal/freelist"
 	"exterminator/internal/inject"
 	"exterminator/internal/mem"
@@ -325,18 +326,11 @@ func BenchmarkAblationMSweep(b *testing.B) {
 	}
 }
 
-// Fleet aggregation: batched observation ingest through the HTTP handler
-// (POST /v1/observations), the hot path of the networked cumulative mode.
-// Inline correction is disabled so the measurement isolates decode +
-// sharded absorb; the Bayesian pass runs on the background loop in
-// deployment.
-func BenchmarkFleetIngest(b *testing.B) {
-	srv := fleet.NewServer(fleet.ServerOptions{CorrectEvery: -1})
-	handler := srv.Handler()
-
-	// A realistic batch: ~30 sites of overflow evidence, a handful of
-	// dangling pairs, hints — a few KB of JSON, like one installation's
-	// session (§3.4: "a few kilobytes per execution").
+// benchIngestBatch builds the realistic upload batch both wire-protocol
+// benches share: ~30 sites of overflow evidence, a handful of dangling
+// pairs, hints — a few KB of JSON, like one installation's session
+// (§3.4: "a few kilobytes per execution").
+func benchIngestBatch() *fleet.ObservationBatch {
 	snap := &cumulative.Snapshot{C: 4, P: 0.5, Runs: 5, FailedRuns: 2, CorruptRuns: 2}
 	for i := 0; i < 30; i++ {
 		id := site.ID(0x1000 + uint32(i))
@@ -355,21 +349,130 @@ func BenchmarkFleetIngest(b *testing.B) {
 		})
 	}
 	snap.PadHints = append(snap.PadHints, cumulative.PadHint{Site: 0x1003, Pad: 24})
-	body, err := json.Marshal(fleet.ObservationBatch{Client: "bench", Snapshot: snap})
+	return &fleet.ObservationBatch{Client: "bench", Snapshot: snap}
+}
+
+// benchIngestBodies encodes the shared batch under both codecs.
+func benchIngestBodies(b *testing.B) (bodyV1, bodyV2 []byte) {
+	batch := benchIngestBatch()
+	bodyV1, err := json.Marshal(batch)
 	if err != nil {
 		b.Fatal(err)
 	}
+	var buf codec.Buffer
+	bodyV2, err = fleet.V2Codec.EncodeBatch(&buf, batch)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return bodyV1, bodyV2
+}
 
+// Fleet aggregation: batched observation ingest through the HTTP handler
+// (POST /v1/observations), the hot path of the networked cumulative mode,
+// under each wire protocol — the v1 JSON document vs the v2 binary frame
+// the codec seam negotiates. Inline correction is disabled so the
+// measurement isolates decode + sharded absorb; the Bayesian pass runs on
+// the background loop in deployment.
+func BenchmarkFleetIngest(b *testing.B) {
+	bodyV1, bodyV2 := benchIngestBodies(b)
+	run := func(body []byte, contentType string) func(*testing.B) {
+		return func(b *testing.B) {
+			srv := fleet.NewServer(fleet.ServerOptions{CorrectEvery: -1})
+			handler := srv.Handler()
+			b.ReportAllocs()
+			b.SetBytes(int64(len(body)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				req := httptest.NewRequest(http.MethodPost, "/v1/observations", bytes.NewReader(body))
+				req.Header.Set("Content-Type", contentType)
+				rec := httptest.NewRecorder()
+				handler.ServeHTTP(rec, req)
+				if rec.Code != http.StatusOK {
+					b.Fatalf("ingest failed: %s: %s", rec.Result().Status, rec.Body)
+				}
+			}
+		}
+	}
+	b.Run("v1", run(bodyV1, "application/json"))
+	b.Run("v2", run(bodyV2, codec.ContentTypeV2))
+}
+
+// Saturation: aggregate observations/sec one partition sustains when
+// GOMAXPROCS concurrent installations hammer the ingest handler
+// in-process, per wire protocol — the fleet-scale number the v2 codec
+// exists to move (ISSUE 10: the ingest path must cost near-zero per
+// observation).
+func BenchmarkFleetSaturation(b *testing.B) {
+	batch := benchIngestBatch()
+	nObs := 0
+	for _, so := range batch.Snapshot.Overflow {
+		nObs += len(so.Obs)
+	}
+	for _, po := range batch.Snapshot.Dangling {
+		nObs += len(po.Obs)
+	}
+	bodyV1, bodyV2 := benchIngestBodies(b)
+	run := func(body []byte, contentType string) func(*testing.B) {
+		return func(b *testing.B) {
+			srv := fleet.NewServer(fleet.ServerOptions{CorrectEvery: -1})
+			handler := srv.Handler()
+			b.ReportAllocs()
+			b.SetBytes(int64(len(body)))
+			b.ResetTimer()
+			start := time.Now()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					req := httptest.NewRequest(http.MethodPost, "/v1/observations", bytes.NewReader(body))
+					req.Header.Set("Content-Type", contentType)
+					rec := httptest.NewRecorder()
+					handler.ServeHTTP(rec, req)
+					if rec.Code != http.StatusOK {
+						b.Fatalf("ingest failed: %s: %s", rec.Result().Status, rec.Body)
+					}
+				}
+			})
+			b.ReportMetric(float64(b.N*nObs)/time.Since(start).Seconds(), "obs/sec")
+		}
+	}
+	b.Run("v1", run(bodyV1, "application/json"))
+	b.Run("v2", run(bodyV2, codec.ContentTypeV2))
+}
+
+// Codec microbenches: the cost of producing and parsing one v2 batch
+// frame in isolation (no HTTP, no store) — the per-upload CPU a client
+// pays to encode and a partition pays to decode.
+func BenchmarkWireEncodeV2(b *testing.B) {
+	batch := benchIngestBatch()
+	var sized codec.Buffer
+	frame, err := fleet.V2Codec.EncodeBatch(&sized, batch)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(frame)))
 	b.ReportAllocs()
-	b.SetBytes(int64(len(body)))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		req := httptest.NewRequest(http.MethodPost, "/v1/observations", bytes.NewReader(body))
-		req.Header.Set("Content-Type", "application/json")
-		rec := httptest.NewRecorder()
-		handler.ServeHTTP(rec, req)
-		if rec.Code != http.StatusOK {
-			b.Fatalf("ingest failed: %s: %s", rec.Result().Status, rec.Body)
+		buf := codec.GetBuffer()
+		if _, err := fleet.V2Codec.EncodeBatch(buf, batch); err != nil {
+			b.Fatal(err)
+		}
+		codec.PutBuffer(buf)
+	}
+}
+
+func BenchmarkWireDecodeV2(b *testing.B) {
+	batch := benchIngestBatch()
+	var buf codec.Buffer
+	frame, err := fleet.V2Codec.EncodeBatch(&buf, batch)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(frame)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fleet.V2Codec.DecodeBatch(frame); err != nil {
+			b.Fatal(err)
 		}
 	}
 }
@@ -428,8 +531,9 @@ func BenchmarkIncrementalIdentify(b *testing.B) {
 }
 
 // Cluster routing: splitting one realistic observation batch across an
-// 8-partition consistent-hash ring — the per-upload CPU cost the
-// cluster-aware client adds over a single-server push.
+// 8-partition consistent-hash ring and encoding each piece for the wire
+// — the per-upload CPU cost the cluster-aware client adds over a
+// single-server push, under each negotiated codec.
 func BenchmarkClusterRoute(b *testing.B) {
 	ring := cluster.NewRing(0,
 		"http://p1:7077", "http://p2:7077", "http://p3:7077", "http://p4:7077",
@@ -450,14 +554,29 @@ func BenchmarkClusterRoute(b *testing.B) {
 		})
 	}
 	snap.PadHints = append(snap.PadHints, cumulative.PadHint{Site: snap.Sites[3], Pad: 24})
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		parts := cluster.SplitSnapshot(ring, snap)
-		if len(parts) < 2 {
-			b.Fatal("batch not split")
+	run := func(enc fleet.Codec) func(*testing.B) {
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				parts := cluster.SplitSnapshot(ring, snap)
+				if len(parts) < 2 {
+					b.Fatal("batch not split")
+				}
+				for _, part := range parts {
+					buf := codec.GetBuffer()
+					_, err := enc.EncodeBatch(buf, &fleet.ObservationBatch{
+						Client: "bench", Snapshot: part, RingVersion: 1,
+					})
+					codec.PutBuffer(buf)
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
 		}
 	}
+	b.Run("v1", run(fleet.JSONCodec))
+	b.Run("v2", run(fleet.V2Codec))
 }
 
 // Live ring rebalancing: moved-keys throughput of a 3→4 node resize

@@ -60,6 +60,7 @@ func main() {
 		addr         = flag.String("addr", ":7077", "listen address")
 		shards       = flag.Int("shards", fleet.DefaultShards, "evidence store stripe count")
 		correctEvery = flag.Int("correct-every", 8, "inline correction pass once more than this many batches are pending (-1: background loop only)")
+		correctWork  = flag.Int("correct-workers", 0, "store stripes identified in parallel per correction pass (0: min(GOMAXPROCS, -shards), 1: serial)")
 		correctInt   = flag.Duration("correct-interval", 2*time.Second, "background correction loop interval")
 		snapshot     = flag.String("snapshot", "", "snapshot file: restored on start, written periodically and on shutdown")
 		snapshotInt  = flag.Duration("snapshot-interval", 30*time.Second, "how often to persist the evidence store (with -snapshot)")
@@ -84,6 +85,7 @@ func main() {
 		alertOccurs  = flag.Int("alert-occurrences", 0, "triage alert trigger: total occurrences a cluster must accumulate (0: disabled)")
 		alertCool    = flag.Duration("alert-cooldown", 0, "minimum gap between webhook alerts for the same cluster (0: 1h)")
 		debugAddr    = flag.String("debug-addr", "", "private listen address for net/http/pprof and /metrics (empty: no debug listener; /metrics is always on the main listener too)")
+		wireV2       = flag.Bool("wire-v2", false, "coordinator/replica: ask upstream tiers for the binary v2 wire protocol (servers that lack it keep answering JSON; the node's own surface always negotiates per request)")
 		logJSON      = flag.Bool("log-json", false, "emit structured logs as JSON lines (default: human-readable text)")
 		logDebug     = flag.Bool("log-debug", false, "log at debug level: per-request read-path lines (patches/deltas/status served) with their X-Request-ID")
 		showVersion  = flag.Bool("version", false, "print build version and exit")
@@ -127,7 +129,7 @@ func main() {
 		if *partition || *coordinator != "" {
 			log.Fatal("fleetd: -replica is exclusive with -partition/-coordinator: a replica is a stateless read cache in front of the merge tier")
 		}
-		runReplica(ctx, *addr, *replica, *token, *pollInt, reg, logger)
+		runReplica(ctx, *addr, *replica, *token, *pollInt, *wireV2, reg, logger)
 		return
 	}
 
@@ -143,8 +145,8 @@ func main() {
 		if *rate != 0 || *burst != 0 {
 			log.Print("fleetd: warning: -rate/-burst are ignored in coordinator mode (rate-limit the partitions)")
 		}
-		if *shards != fleet.DefaultShards || *journalLen != 0 || *correctEvery != 8 || *dedupLen != 0 {
-			log.Print("fleetd: warning: -shards/-journal/-correct-every/-dedup are ignored in coordinator mode")
+		if *shards != fleet.DefaultShards || *journalLen != 0 || *correctEvery != 8 || *dedupLen != 0 || *correctWork != 0 {
+			log.Print("fleetd: warning: -shards/-journal/-correct-every/-correct-workers/-dedup are ignored in coordinator mode")
 		}
 		holder := *leaseHolder
 		if holder == "" {
@@ -152,7 +154,7 @@ func main() {
 		}
 		ha := haOptions{standby: *standby, primary: *primary, takeoverAfter: *takeoverN, holder: holder}
 		runCoordinator(ctx, *addr, *coordinator, *token, cumulative.Config{C: *priorC, P: *fillP},
-			*pollInt, *snapshot, *snapshotInt, *rebalJournal, ha, triageCfg, reg, logger)
+			*pollInt, *snapshot, *snapshotInt, *rebalJournal, *wireV2, ha, triageCfg, reg, logger)
 		return
 	}
 	if *rebalJournal != "" {
@@ -169,17 +171,18 @@ func main() {
 		}
 	}
 	srv := fleet.NewServer(fleet.ServerOptions{
-		Shards:       *shards,
-		Config:       cumulative.Config{C: *priorC, P: *fillP},
-		CorrectEvery: *correctEvery,
-		Token:        *token,
-		RatePerSec:   *rate,
-		RateBurst:    *burst,
-		JournalLen:   *journalLen,
-		DedupWindow:  *dedupLen,
-		Triage:       triageCfg,
-		Metrics:      reg,
-		Logger:       logger,
+		Shards:         *shards,
+		Config:         cumulative.Config{C: *priorC, P: *fillP},
+		CorrectEvery:   *correctEvery,
+		CorrectWorkers: *correctWork,
+		Token:          *token,
+		RatePerSec:     *rate,
+		RateBurst:      *burst,
+		JournalLen:     *journalLen,
+		DedupWindow:    *dedupLen,
+		Triage:         triageCfg,
+		Metrics:        reg,
+		Logger:         logger,
 		// See ServerOptions.DisableCorrection: a partition's local N
 		// would understate the Bayesian prior, so the server itself
 		// refuses to derive patches in this mode.
@@ -231,7 +234,7 @@ type haOptions struct {
 // writes a final snapshot on graceful shutdown.
 func runCoordinator(ctx context.Context, addr, partitions, token string, cfg cumulative.Config,
 	pollInt time.Duration, snapshot string, snapshotInt time.Duration, rebalJournal string,
-	ha haOptions, triageCfg triage.Config, reg *telemetry.Registry, logger *slog.Logger) {
+	wireV2 bool, ha haOptions, triageCfg triage.Config, reg *telemetry.Registry, logger *slog.Logger) {
 	var parts []string
 	for _, p := range strings.Split(partitions, ",") {
 		if p = strings.TrimSpace(p); p != "" {
@@ -244,6 +247,7 @@ func runCoordinator(ctx context.Context, addr, partitions, token string, cfg cum
 		Token:            token,
 		Triage:           triageCfg,
 		RebalanceJournal: rebalJournal,
+		WireV2:           wireV2,
 		Standby:          ha.standby,
 		Primary:          ha.primary,
 		TakeoverAfter:    ha.takeoverAfter,
@@ -307,7 +311,7 @@ func runCoordinator(ctx context.Context, addr, partitions, token string, cfg cum
 // snapshot, no journal — a restarted replica rebuilds its entire state
 // from one upstream poll.
 func runReplica(ctx context.Context, addr, upstreams, token string, pollInt time.Duration,
-	reg *telemetry.Registry, logger *slog.Logger) {
+	wireV2 bool, reg *telemetry.Registry, logger *slog.Logger) {
 	var ups []string
 	for _, u := range strings.Split(upstreams, ",") {
 		if u = strings.TrimSpace(u); u != "" {
@@ -318,6 +322,7 @@ func runReplica(ctx context.Context, addr, upstreams, token string, pollInt time
 		Upstreams:    ups,
 		PollInterval: pollInt,
 		Token:        token,
+		WireV2:       wireV2,
 		Metrics:      reg,
 		Logger:       logger,
 	})

@@ -63,6 +63,12 @@ type CoordinatorOptions struct {
 	// single observation. Empty disables crash safety for rebalances —
 	// fine for tests, not for production resizes.
 	RebalanceJournal string
+	// WireV2 opts the coordinator's partition clients into the binary
+	// v2 wire protocol: delta polls advertise v2 in Accept (partitions
+	// that speak it answer in frames; older ones keep answering JSON).
+	// The coordinator's own served surface negotiates per request either
+	// way, so this only controls what it asks its partitions for.
+	WireV2 bool
 	// Metrics is the registry the coordinator's instruments register into
 	// (poll/resync counters, per-partition lag gauges, rebalance phase
 	// histograms). Nil gets a private registry; either way the
@@ -122,6 +128,7 @@ type Coordinator struct {
 	seenPrimaryEpoch atomic.Uint64
 
 	token      string
+	wireV2     bool
 	reportMu   sync.Mutex
 	reports    []*report.Report
 	maxReports int
@@ -265,6 +272,7 @@ func NewCoordinator(opts CoordinatorOptions) (*Coordinator, error) {
 		rebalState:    RebalanceState{State: RebalanceIdle},
 		holder:        opts.LeaseHolder,
 		takeoverAfter: opts.TakeoverAfter,
+		wireV2:        opts.WireV2,
 	}
 	c.epoch.Store(uint64(time.Now().UnixNano()))
 	c.primary.Store(!opts.Standby)
@@ -351,6 +359,7 @@ func (c *Coordinator) newPartition(base string) *partition {
 	if c.token != "" {
 		client.SetToken(c.token)
 	}
+	client.SetWireV2(c.wireV2)
 	p := &partition{
 		base:   base,
 		client: client,
@@ -689,7 +698,7 @@ func (c *Coordinator) handlePatches(w http.ResponseWriter, r *http.Request) {
 	wire.Epoch = epoch
 	c.logger.Debug("patches served",
 		"since", since, "version", version, "requestId", reqID)
-	fleet.WriteJSON(w, wire)
+	fleet.WritePatchSet(w, r, wire)
 }
 
 func (c *Coordinator) handleReports(w http.ResponseWriter, r *http.Request) {

@@ -2,7 +2,6 @@ package cluster
 
 import (
 	"context"
-	"encoding/json"
 	"fmt"
 	"hash/fnv"
 	"io"
@@ -14,6 +13,7 @@ import (
 	"time"
 
 	"exterminator/internal/fleet"
+	"exterminator/internal/fleet/codec"
 	"exterminator/internal/patch"
 	"exterminator/internal/telemetry"
 	"exterminator/internal/version"
@@ -39,6 +39,7 @@ type Replica struct {
 	hc        *http.Client
 	interval  time.Duration
 	maxDeltas int
+	wireV2    bool
 	logger    *slog.Logger
 	reg       *telemetry.Registry
 	metrics   replicaMetrics
@@ -81,6 +82,12 @@ type ReplicaOptions struct {
 	// token-hardened (optional; the replica's own read surface is
 	// unauthenticated, like every patch read path).
 	Token string
+	// WireV2 makes upstream patch polls advertise the binary v2 wire
+	// protocol in Accept; upstreams that speak it answer in frames,
+	// older ones keep answering JSON (the decode negotiates per
+	// response). The replica's own served surface negotiates per
+	// request regardless.
+	WireV2 bool
 	// Metrics is the registry the replica's instruments register into
 	// (nil gets a private one); Logger receives its structured log
 	// (nil discards).
@@ -141,6 +148,7 @@ func NewReplica(opts ReplicaOptions) (*Replica, error) {
 		hc:        &http.Client{Timeout: 15 * time.Second},
 		interval:  opts.PollInterval,
 		maxDeltas: opts.MaxDeltas,
+		wireV2:    opts.WireV2,
 		full:      patch.New(),
 		start:     time.Now(),
 	}
@@ -301,7 +309,11 @@ func (r *Replica) fetchPatches(ctx context.Context, since uint64) (*fleet.WirePa
 	var lastErr error
 	for i := 0; i < len(r.upstreams); i++ {
 		base := r.upstream()
-		resp, err := r.getURL(ctx, fmt.Sprintf("%s/v1/patches?since=%d", base, since))
+		accept := ""
+		if r.wireV2 {
+			accept = codec.ContentTypeV2
+		}
+		resp, err := r.getURL(ctx, fmt.Sprintf("%s/v1/patches?since=%d", base, since), accept)
 		if err != nil {
 			lastErr = err
 			r.rotate()
@@ -319,13 +331,12 @@ func (r *Replica) fetchPatches(ctx context.Context, since uint64) (*fleet.WirePa
 			resp.Body.Close()
 			return nil, fmt.Errorf("cluster: replica poll %s: %s: %s", base, resp.Status, strings.TrimSpace(string(msg)))
 		}
-		var w fleet.WirePatchSet
-		err = json.NewDecoder(resp.Body).Decode(&w)
+		w, err := fleet.DecodePatchSetResponse(resp)
 		resp.Body.Close()
 		if err != nil {
 			return nil, fmt.Errorf("cluster: replica poll %s: %w", base, err)
 		}
-		return &w, nil
+		return w, nil
 	}
 	return nil, lastErr
 }
@@ -333,7 +344,7 @@ func (r *Replica) fetchPatches(ctx context.Context, since uint64) (*fleet.WirePa
 // fetchTriage polls the upstream ranking body the replica re-serves.
 func (r *Replica) fetchTriage(ctx context.Context) ([]byte, error) {
 	base := r.upstream()
-	resp, err := r.getURL(ctx, fmt.Sprintf("%s/v1/triage?limit=%d", base, replicaTriageLimit))
+	resp, err := r.getURL(ctx, fmt.Sprintf("%s/v1/triage?limit=%d", base, replicaTriageLimit), "")
 	if err != nil {
 		return nil, err
 	}
@@ -345,12 +356,15 @@ func (r *Replica) fetchTriage(ctx context.Context) ([]byte, error) {
 	return io.ReadAll(io.LimitReader(resp.Body, 16<<20))
 }
 
-func (r *Replica) getURL(ctx context.Context, url string) (*http.Response, error) {
+func (r *Replica) getURL(ctx context.Context, url, accept string) (*http.Response, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
 	if err != nil {
 		return nil, err
 	}
 	req.Header.Set(fleet.RequestIDHeader, telemetry.NewRequestID())
+	if accept != "" {
+		req.Header.Set("Accept", accept)
+	}
 	return r.hc.Do(req)
 }
 
@@ -411,7 +425,7 @@ func (r *Replica) handlePatches(w http.ResponseWriter, req *http.Request) {
 	wire := fleet.ToWire(ps, vers)
 	wire.Epoch = epoch
 	r.logger.Debug("patches served", "since", since, "version", vers, "requestId", reqID)
-	fleet.WriteJSON(w, wire)
+	fleet.WritePatchSet(w, req, wire)
 }
 
 func (r *Replica) handleTriage(w http.ResponseWriter, req *http.Request) {

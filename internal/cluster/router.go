@@ -9,6 +9,7 @@ import (
 
 	"exterminator/internal/cumulative"
 	"exterminator/internal/fleet"
+	"exterminator/internal/fleet/codec"
 	"exterminator/internal/site"
 	"exterminator/internal/telemetry"
 )
@@ -25,6 +26,11 @@ type Router struct {
 	token   string
 	logger  *slog.Logger
 	reg     *telemetry.Registry
+	// wireV2 opts every partition client into binary v2 uploads and
+	// switches piece stamping to the binary batch identity
+	// (codec.BatchID), which hashes the encoded frame bytes instead of
+	// re-encoding each piece as canonical JSON.
+	wireV2 bool
 }
 
 // ErrNoMembers reports a routing attempt against a ring with no
@@ -83,6 +89,20 @@ func (rt *Router) SetMetrics(reg *telemetry.Registry) {
 	}
 }
 
+// SetWireV2 opts the router into the binary v2 wire protocol: every
+// partition client (existing and lazily created) uploads v2 frames, and
+// SplitBatch stamps pieces with the binary batch identity. Per-client
+// negotiation still applies — a partition that doesn't speak v2
+// downgrades its own client to JSON without affecting the others.
+func (rt *Router) SetWireV2(on bool) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	rt.wireV2 = on
+	for _, c := range rt.clients {
+		c.SetWireV2(on)
+	}
+}
+
 // client returns (creating lazily) the fleet client for a partition.
 func (rt *Router) client(node string) *fleet.Client {
 	rt.mu.Lock()
@@ -99,6 +119,7 @@ func (rt *Router) client(node string) *fleet.Client {
 		if rt.reg != nil {
 			c.SetMetrics(rt.reg)
 		}
+		c.SetWireV2(rt.wireV2)
 		rt.clients[node] = c
 	}
 	return c
@@ -211,6 +232,18 @@ func (rt *Router) SplitBatch(wmRuns, wmObs int, delta *cumulative.Snapshot) ([]P
 	if err != nil {
 		return nil, err
 	}
+	rt.mu.Lock()
+	v2 := rt.wireV2
+	rt.mu.Unlock()
+	stamp := cumulative.BatchID
+	if v2 {
+		// Binary identity: hashes the piece's v2 frame bytes directly —
+		// no canonical-JSON round-trip per piece. IDs are opaque to the
+		// server's dedup window, so the two schemes coexist; what matters
+		// is that retrying a stored piece reproduces its ID, which both
+		// do deterministically.
+		stamp = codec.BatchID
+	}
 	pieces := make([]Piece, 0, len(parts))
 	for node, part := range parts {
 		pieces = append(pieces, Piece{
@@ -218,7 +251,7 @@ func (rt *Router) SplitBatch(wmRuns, wmObs int, delta *cumulative.Snapshot) ([]P
 			Batch: &fleet.ObservationBatch{
 				Client:      rt.id,
 				Snapshot:    part,
-				BatchID:     cumulative.BatchID(rt.id, wmRuns, wmObs, part),
+				BatchID:     stamp(rt.id, wmRuns, wmObs, part),
 				RingVersion: version,
 			},
 		})
@@ -248,38 +281,100 @@ func SplitSnapshot(r *Ring, s *cumulative.Snapshot) map[string]*cumulative.Snaps
 	if r.Len() == 0 {
 		return nil
 	}
+	nodes := r.Nodes()
+	idx := make(map[string]int, len(nodes))
+	for i, n := range nodes {
+		idx[n] = i
+	}
+	// Two passes: resolve every element's owner once into one scratch
+	// array and tally per node, then allocate each part's slices at their
+	// exact final sizes — the fill pass never re-grows an append.
+	nSites, nOver := len(s.Sites), len(s.Overflow)
+	nDang, nPads := len(s.Dangling), len(s.PadHints)
+	nDefs := len(s.DeferralHints)
+	own := make([]int, nSites+nOver+nDang+nPads+nDefs)
+	siteOwn := own[:nSites]
+	overOwn := own[nSites : nSites+nOver]
+	dangOwn := own[nSites+nOver : nSites+nOver+nDang]
+	padOwn := own[nSites+nOver+nDang : nSites+nOver+nDang+nPads]
+	defOwn := own[nSites+nOver+nDang+nPads:]
+	type tally struct{ sites, over, dang, pads, defs int }
+	tallies := make([]tally, len(nodes))
+	for i, id := range s.Sites {
+		j := idx[r.Owner(id)]
+		siteOwn[i] = j
+		tallies[j].sites++
+	}
+	for i, so := range s.Overflow {
+		j := idx[r.Owner(so.Site)]
+		overOwn[i] = j
+		tallies[j].over++
+	}
+	for i, po := range s.Dangling {
+		j := idx[r.Owner(po.Alloc)]
+		dangOwn[i] = j
+		tallies[j].dang++
+	}
+	for i, h := range s.PadHints {
+		j := idx[r.Owner(h.Site)]
+		padOwn[i] = j
+		tallies[j].pads++
+	}
+	for i, h := range s.DeferralHints {
+		j := idx[r.Owner(h.Alloc)]
+		defOwn[i] = j
+		tallies[j].defs++
+	}
 	parts := make(map[string]*cumulative.Snapshot)
-	part := func(node string) *cumulative.Snapshot {
-		p := parts[node]
+	slot := make([]*cumulative.Snapshot, len(nodes))
+	part := func(j int) *cumulative.Snapshot {
+		p := slot[j]
 		if p == nil {
+			t := tallies[j]
 			p = &cumulative.Snapshot{C: s.C, P: s.P}
-			parts[node] = p
+			if t.sites > 0 {
+				p.Sites = make([]site.ID, 0, t.sites)
+			}
+			if t.over > 0 {
+				p.Overflow = make([]cumulative.SiteObservations, 0, t.over)
+			}
+			if t.dang > 0 {
+				p.Dangling = make([]cumulative.PairObservations, 0, t.dang)
+			}
+			if t.pads > 0 {
+				p.PadHints = make([]cumulative.PadHint, 0, t.pads)
+			}
+			if t.defs > 0 {
+				p.DeferralHints = make([]cumulative.DeferralHint, 0, t.defs)
+			}
+			slot[j] = p
+			parts[nodes[j]] = p
 		}
 		return p
 	}
-	for _, id := range s.Sites {
-		p := part(r.Owner(id))
+	for i, id := range s.Sites {
+		p := part(siteOwn[i])
 		p.Sites = append(p.Sites, id)
 	}
-	for _, so := range s.Overflow {
-		p := part(r.Owner(so.Site))
+	for i, so := range s.Overflow {
+		p := part(overOwn[i])
 		p.Overflow = append(p.Overflow, so)
 	}
-	for _, po := range s.Dangling {
-		p := part(r.Owner(po.Alloc))
+	for i, po := range s.Dangling {
+		p := part(dangOwn[i])
 		p.Dangling = append(p.Dangling, po)
 	}
-	for _, h := range s.PadHints {
-		p := part(r.Owner(h.Site))
+	for i, h := range s.PadHints {
+		p := part(padOwn[i])
 		p.PadHints = append(p.PadHints, h)
 	}
-	for _, h := range s.DeferralHints {
-		p := part(r.Owner(h.Alloc))
+	for i, h := range s.DeferralHints {
+		p := part(defOwn[i])
 		p.DeferralHints = append(p.DeferralHints, h)
 	}
 	counterNode := counterOwner(r, s)
 	if counterNode != "" {
-		p := part(counterNode)
+		p := part(idx[counterNode])
 		p.Runs, p.FailedRuns, p.CorruptRuns = s.Runs, s.FailedRuns, s.CorruptRuns
 	}
 	return parts

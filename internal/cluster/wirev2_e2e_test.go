@@ -1,0 +1,176 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"testing"
+
+	"exterminator/internal/cumulative"
+	"exterminator/internal/fleet"
+	"exterminator/internal/site"
+)
+
+// scrapeMetric reads one metric value from a server's /metrics
+// exposition (the tests live outside package fleet, so the typed
+// instruments are not reachable directly).
+func scrapeMetric(t *testing.T, baseURL, name string) string {
+	t.Helper()
+	resp, err := http.Get(baseURL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := regexp.MustCompile(`(?m)^` + regexp.QuoteMeta(name) + ` (.+)$`).FindSubmatch(body)
+	if m == nil {
+		return ""
+	}
+	return string(m[1])
+}
+
+// TestMixedWireVersionsConverge is the v2 acceptance test: a v1 JSON
+// installation and a v2 binary installation upload interleaved evidence
+// through router → partitions → coordinator (itself polling partitions
+// over v2), and the published patch set must be byte-identical to a
+// v1-only control cluster fed the same stream. A v2 read replica over
+// the coordinator must re-serve the same set.
+func TestMixedWireVersionsConverge(t *testing.T) {
+	ctx := context.Background()
+	cfg := cumulative.DefaultConfig()
+
+	type clusterUnderTest struct {
+		partURLs []string
+		routers  [2]*Router
+		coord    *Coordinator
+	}
+	build := func(v2 bool) *clusterUnderTest {
+		cut := &clusterUnderTest{}
+		for i := 0; i < 3; i++ {
+			srv := fleet.NewServer(fleet.ServerOptions{Config: cfg, CorrectEvery: -1})
+			ts := httptest.NewServer(srv.Handler())
+			t.Cleanup(ts.Close)
+			cut.partURLs = append(cut.partURLs, ts.URL)
+		}
+		for i, id := range []string{"install-a", "install-b"} {
+			rt, err := NewRouter(id, cut.partURLs...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cut.routers[i] = rt
+		}
+		coord, err := NewCoordinator(CoordinatorOptions{Partitions: cut.partURLs, Config: cfg, WireV2: v2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cut.coord = coord
+		return cut
+	}
+
+	control := build(false)
+	mixed := build(true)
+	// Mixed cluster: install-a speaks v2 binary frames, install-b stays
+	// on v1 JSON. The control never negotiates v2 anywhere.
+	mixed.routers[0].SetWireV2(true)
+
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 40; i++ {
+		batch := testBatch(rng)
+		which := i % 2
+		if _, err := control.routers[which].PushSnapshot(ctx, batch); err != nil {
+			t.Fatalf("control push %d: %v", i, err)
+		}
+		if _, err := mixed.routers[which].PushSnapshot(ctx, batch); err != nil {
+			t.Fatalf("mixed push %d: %v", i, err)
+		}
+		if i%10 == 5 {
+			if _, err := control.coord.Sync(ctx); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := mixed.coord.Sync(ctx); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if _, err := control.coord.Sync(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mixed.coord.Sync(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	controlBytes := canonicalPatchBytes(t, control.coord.PatchLog())
+	mixedBytes := canonicalPatchBytes(t, mixed.coord.PatchLog())
+	if !bytes.Equal(controlBytes, mixedBytes) {
+		t.Fatalf("mixed-wire cluster diverged from v1-only control:\ncontrol: %s\nmixed:   %s",
+			controlBytes, mixedBytes)
+	}
+	ps, _ := mixed.coord.PatchLog().Full()
+	if ps.Pad(guiltySite) != guiltyPad {
+		t.Fatalf("guilty overflow not patched: %v", ps)
+	}
+	if ps.Deferral(site.Pair{Alloc: guiltyAlloc, Free: guiltyFree}) != guiltyDefer {
+		t.Fatalf("guilty dangling pair not patched: %v", ps)
+	}
+
+	// The mixed partitions really did ingest binary frames (half the
+	// uploads), and the control never saw one.
+	for i, u := range mixed.partURLs {
+		if v := scrapeMetric(t, u, "fleet_ingest_v2_batches_total"); v == "" || v == "0" {
+			t.Errorf("mixed partition %d ingested no v2 frames (metric=%q)", i, v)
+		}
+	}
+	for i, u := range control.partURLs {
+		if v := scrapeMetric(t, u, "fleet_ingest_v2_batches_total"); v != "" && v != "0" {
+			t.Errorf("control partition %d ingested %s v2 frames, want none", i, v)
+		}
+	}
+
+	// Counters survive the split + re-stamp on both wire versions.
+	cs, ms := control.coord.Status(), mixed.coord.Status()
+	if cs.Runs != ms.Runs || cs.CorruptRuns != ms.CorruptRuns {
+		t.Fatalf("run counters diverge: control runs=%d corrupt=%d, mixed runs=%d corrupt=%d",
+			cs.Runs, cs.CorruptRuns, ms.Runs, ms.CorruptRuns)
+	}
+
+	// A v2 read replica over the mixed coordinator re-serves the same
+	// patch set to a v1 poller.
+	coordTS := httptest.NewServer(mixed.coord.Handler())
+	t.Cleanup(coordTS.Close)
+	rep, err := NewReplica(ReplicaOptions{Upstreams: []string{coordTS.URL}, WireV2: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.PollOnce(ctx); err != nil {
+		t.Fatal(err)
+	}
+	repTS := httptest.NewServer(rep.Handler())
+	t.Cleanup(repTS.Close)
+	poller := fleet.NewClient(repTS.URL, "poller")
+	got, _, err := poller.Patches(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Pad(guiltySite) != guiltyPad {
+		t.Fatalf("replica poll over v2 upstream returned %v", got)
+	}
+
+	// And a v2 poller straight off the coordinator decodes the frame
+	// answer to the identical set.
+	v2poller := fleet.NewClient(coordTS.URL, "v2-poller")
+	v2poller.SetWireV2(true)
+	gotV2, _, err := v2poller.Patches(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !gotV2.Equal(got) {
+		t.Fatalf("v2-negotiated patch poll diverged from JSON poll:\n v2:   %v\n json: %v", gotV2, got)
+	}
+}

@@ -13,9 +13,11 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"exterminator/internal/cumulative"
+	"exterminator/internal/fleet/codec"
 	"exterminator/internal/patch"
 	"exterminator/internal/report"
 	"exterminator/internal/site"
@@ -39,6 +41,12 @@ type Client struct {
 
 	// DisableCompression sends request bodies uncompressed.
 	DisableCompression bool
+
+	// wireV2 switches observation uploads to binary v2 frames and adds
+	// the v2 Accept header to patch/delta polls (SetWireV2). A server
+	// that rejects the frame downgrades the client back to JSON for the
+	// rest of its lifetime — the fleet never wedges on an old server.
+	wireV2 atomic.Bool
 
 	mu sync.Mutex
 	// bases are the server base URLs in failover order; active indexes
@@ -66,13 +74,14 @@ type Client struct {
 // embedding process hands the client a registry (SetMetrics). Nil on
 // clients that never did — every touch point is nil-guarded.
 type clientMetrics struct {
-	pushes     *telemetry.Counter
-	retries    *telemetry.Counter
-	backoffSec *telemetry.Counter
-	errors     *telemetry.Counter
-	notMod     *telemetry.Counter
-	failovers  *telemetry.Counter
-	pushSec    *telemetry.Histogram
+	pushes       *telemetry.Counter
+	retries      *telemetry.Counter
+	backoffSec   *telemetry.Counter
+	errors       *telemetry.Counter
+	notMod       *telemetry.Counter
+	failovers    *telemetry.Counter
+	v2Downgrades *telemetry.Counter
+	pushSec      *telemetry.Histogram
 }
 
 func newClientMetrics(reg *telemetry.Registry) *clientMetrics {
@@ -89,6 +98,8 @@ func newClientMetrics(reg *telemetry.Registry) *clientMetrics {
 			"Patch polls answered 304 Not Modified off the If-None-Match validator (no body shipped)."),
 		failovers: reg.Counter("fleet_client_failovers_total",
 			"Requests rotated to a fallback base after a transport failure or 503."),
+		v2Downgrades: reg.Counter("fleet_client_v2_downgrades_total",
+			"Uploads permanently downgraded from v2 binary frames to JSON after a server rejection."),
 		pushSec: reg.Histogram("fleet_client_push_seconds",
 			"Observation upload round-trip latency, including 429 backoff.",
 			telemetry.DefBuckets),
@@ -173,6 +184,19 @@ func (c *Client) SetMetrics(reg *telemetry.Registry) {
 // Bearer <token>` with every request (servers started with -token reject
 // unauthenticated writes).
 func (c *Client) SetToken(token string) { c.token = token }
+
+// SetWireV2 opts the client into the binary v2 wire protocol:
+// observation uploads go out as application/x-exterminator-v2 frames,
+// and patch/delta polls advertise v2 in Accept so servers that speak it
+// answer in frames. Negotiation is self-healing — a server that
+// rejects a v2 upload (415, or 400 from a pre-v2 server that tried to
+// parse the frame as JSON) permanently downgrades this client back to
+// JSON, so pointing a v2 client at a v1 fleet costs one extra
+// round-trip, ever.
+func (c *Client) SetWireV2(on bool) { c.wireV2.Store(on) }
+
+// WireV2 reports whether the client currently uploads v2 frames.
+func (c *Client) WireV2() bool { return c.wireV2.Load() }
 
 // PushSnapshot uploads one batch of observations.
 func (c *Client) PushSnapshot(s *cumulative.Snapshot) (*IngestReply, error) {
@@ -327,9 +351,14 @@ func (c *Client) PatchesContext(ctx context.Context, since uint64) (*patch.Set, 
 // fetchPatches issues one patch poll. A nil WirePatchSet with nil error
 // reports 304 Not Modified (only possible when ifNoneMatch was sent).
 func (c *Client) fetchPatches(ctx context.Context, since uint64, ifNoneMatch string) (*WirePatchSet, string, error) {
-	var hdr map[string]string
+	hdr := map[string]string{}
 	if ifNoneMatch != "" {
-		hdr = map[string]string{"If-None-Match": ifNoneMatch}
+		hdr["If-None-Match"] = ifNoneMatch
+	}
+	if c.wireV2.Load() {
+		// Advertise v2; servers that don't speak it ignore Accept and
+		// answer JSON, which the response decode handles either way.
+		hdr["Accept"] = codec.ContentTypeV2
 	}
 	resp, reqID, err := c.get(ctx, fmt.Sprintf("/v1/patches?since=%d", since), hdr)
 	if err != nil {
@@ -342,7 +371,7 @@ func (c *Client) fetchPatches(ctx context.Context, since uint64, ifNoneMatch str
 	if resp.StatusCode != http.StatusOK {
 		return nil, "", httpError("get patches (request "+reqID+")", resp)
 	}
-	w, err := decodeWire(resp.Body)
+	w, err := DecodePatchSetResponse(resp)
 	if err != nil {
 		return nil, "", err
 	}
@@ -425,7 +454,11 @@ func (c *Client) TriageCluster(ctx context.Context, id string) (*triage.ClusterD
 // feed cluster coordinators (internal/cluster) mirror partitions with;
 // ordinary installations never need it.
 func (c *Client) Deltas(ctx context.Context, since uint64) (*SnapshotDelta, error) {
-	resp, reqID, err := c.get(ctx, fmt.Sprintf("/v1/deltas?since=%d", since), nil)
+	var hdr map[string]string
+	if c.wireV2.Load() {
+		hdr = map[string]string{"Accept": codec.ContentTypeV2}
+	}
+	resp, reqID, err := c.get(ctx, fmt.Sprintf("/v1/deltas?since=%d", since), hdr)
 	if err != nil {
 		return nil, fmt.Errorf("fleet: get deltas (request %s): %w", reqID, err)
 	}
@@ -433,12 +466,11 @@ func (c *Client) Deltas(ctx context.Context, since uint64) (*SnapshotDelta, erro
 	if resp.StatusCode != http.StatusOK {
 		return nil, httpError("get deltas (request "+reqID+")", resp)
 	}
-	var d SnapshotDelta
-	dec := json.NewDecoder(resp.Body)
-	if err := dec.Decode(&d); err != nil {
+	d, err := DecodeSnapshotDeltaResponse(resp)
+	if err != nil {
 		return nil, fmt.Errorf("fleet: decode deltas (request %s): %w", reqID, err)
 	}
-	return &d, nil
+	return d, nil
 }
 
 // EvictKeys drains a key set from the server (POST /v1/evict): the keys'
@@ -580,26 +612,90 @@ func (c *Client) postJSON(ctx context.Context, path string, body, reply any) err
 	return c.post(ctx, path, "", body, reply)
 }
 
+// gzWriterPool recycles upload gzip.Writers: each carries ~hundreds of
+// KB of deflate state, and a fleet client pushes on a steady cadence —
+// re-allocating one per push was measurable allocator pressure.
+var gzWriterPool = sync.Pool{
+	New: func() any { return gzip.NewWriter(io.Discard) },
+}
+
+// v2GzipMinBytes is the frame size below which v2 uploads skip gzip:
+// the binary encoding is already dense, and for small frames the
+// deflate overhead (CPU both ways plus header bytes) beats any saving.
+const v2GzipMinBytes = 1024
+
+// postBody is one encoded request body plus the headers that describe
+// it.
+type postBody struct {
+	payload     []byte
+	contentType string
+	gzipped     bool
+}
+
+// encodePostBody encodes body for path under the client's current wire
+// settings: a v2 binary frame for observation uploads when SetWireV2 is
+// on (gzipped only past v2GzipMinBytes — small frames aren't worth the
+// deflate round-trip), JSON (gzipped unless DisableCompression)
+// otherwise.
+func (c *Client) encodePostBody(path string, body any, allowV2 bool) (postBody, error) {
+	if allowV2 {
+		if b, ok := body.(*ObservationBatch); ok && path == "/v1/observations" {
+			buf := codec.GetBuffer()
+			defer codec.PutBuffer(buf)
+			frame, err := V2Codec.EncodeBatch(buf, b)
+			if err != nil {
+				return postBody{}, fmt.Errorf("fleet: encode %s: %w", path, err)
+			}
+			if c.DisableCompression || len(frame) < v2GzipMinBytes {
+				return postBody{payload: append([]byte(nil), frame...), contentType: codec.ContentTypeV2}, nil
+			}
+			var zbuf bytes.Buffer
+			zw := gzWriterPool.Get().(*gzip.Writer)
+			zw.Reset(&zbuf)
+			_, werr := zw.Write(frame)
+			cerr := zw.Close()
+			gzWriterPool.Put(zw)
+			if werr != nil || cerr != nil {
+				if werr == nil {
+					werr = cerr
+				}
+				return postBody{}, fmt.Errorf("fleet: compress %s: %w", path, werr)
+			}
+			return postBody{payload: zbuf.Bytes(), contentType: codec.ContentTypeV2, gzipped: true}, nil
+		}
+	}
+	var buf bytes.Buffer
+	if c.DisableCompression {
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			return postBody{}, fmt.Errorf("fleet: encode %s: %w", path, err)
+		}
+		return postBody{payload: buf.Bytes(), contentType: "application/json"}, nil
+	}
+	zw := gzWriterPool.Get().(*gzip.Writer)
+	zw.Reset(&buf)
+	err := json.NewEncoder(zw).Encode(body)
+	cerr := zw.Close()
+	gzWriterPool.Put(zw)
+	if err != nil {
+		return postBody{}, fmt.Errorf("fleet: encode %s: %w", path, err)
+	}
+	if cerr != nil {
+		return postBody{}, fmt.Errorf("fleet: compress %s: %w", path, cerr)
+	}
+	return postBody{payload: buf.Bytes(), contentType: "application/json", gzipped: true}, nil
+}
+
 // post is postJSON carrying the batch's identity for log correlation.
 // Every delivery is stamped with one X-Request-ID, held constant across
 // 429 retries of the same payload so all server-side log lines for this
 // upload share a single correlation handle.
 func (c *Client) post(ctx context.Context, path, batchID string, body, reply any) error {
-	var buf bytes.Buffer
-	if c.DisableCompression {
-		if err := json.NewEncoder(&buf).Encode(body); err != nil {
-			return fmt.Errorf("fleet: encode %s: %w", path, err)
-		}
-	} else {
-		zw := gzip.NewWriter(&buf)
-		if err := json.NewEncoder(zw).Encode(body); err != nil {
-			return fmt.Errorf("fleet: encode %s: %w", path, err)
-		}
-		if err := zw.Close(); err != nil {
-			return fmt.Errorf("fleet: compress %s: %w", path, err)
-		}
+	usingV2 := c.wireV2.Load()
+	pb, err := c.encodePostBody(path, body, usingV2)
+	if err != nil {
+		return err
 	}
-	payload := buf.Bytes()
+	usingV2 = pb.contentType == codec.ContentTypeV2
 	reqID := telemetry.NewRequestID()
 	if path == "/v1/observations" && c.m != nil {
 		c.m.pushes.Inc()
@@ -608,16 +704,16 @@ func (c *Client) post(ctx context.Context, path, batchID string, body, reply any
 	failovers := 0
 	for attempt := 1; ; attempt++ {
 		base := c.activeBase()
-		req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+path, bytes.NewReader(payload))
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+path, bytes.NewReader(pb.payload))
 		if err != nil {
 			return fmt.Errorf("fleet: post %s: %w", path, err)
 		}
-		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("Content-Type", pb.contentType)
 		req.Header.Set(RequestIDHeader, reqID)
 		if c.token != "" {
 			req.Header.Set("Authorization", "Bearer "+c.token)
 		}
-		if !c.DisableCompression {
+		if pb.gzipped {
 			req.Header.Set("Content-Encoding", "gzip")
 		}
 		resp, err := c.hc.Do(req)
@@ -659,6 +755,25 @@ func (c *Client) post(ctx context.Context, path, batchID string, body, reply any
 				return fmt.Errorf("fleet: post %s: %w", path, ctx.Err())
 			case <-time.After(wait):
 			}
+			continue
+		}
+		if usingV2 && (resp.StatusCode == http.StatusUnsupportedMediaType || resp.StatusCode == http.StatusBadRequest) {
+			// The server doesn't speak v2 (415 from one that says so, 400
+			// from a pre-v2 server that tried to parse the frame as JSON).
+			// Downgrade this client permanently and redeliver as JSON — a
+			// genuinely malformed batch fails again there and surfaces.
+			drain(resp)
+			c.wireV2.Store(false)
+			usingV2 = false
+			if c.m != nil {
+				c.m.v2Downgrades.Inc()
+			}
+			c.logger.Warn("server rejected v2 frame; downgrading to JSON",
+				"path", path, "base", base, "status", resp.StatusCode, "requestId", reqID)
+			if pb, err = c.encodePostBody(path, body, false); err != nil {
+				return err
+			}
+			attempt--
 			continue
 		}
 		defer drain(resp)

@@ -1,0 +1,102 @@
+package codec
+
+import (
+	"testing"
+
+	"exterminator/internal/cumulative"
+	"exterminator/internal/site"
+)
+
+// FuzzV2FrameDecode drives every v2 frame decoder with arbitrary
+// bytes, the same contract as the XFSN/XCSN persistence targets: no
+// panic, and no allocation sized from a forged length or count prefix
+// (every decoder validates counts against the bytes actually present
+// first). Valid frames that decode must re-encode and decode to the
+// same value — a cheap round-trip oracle on top of crash safety.
+func FuzzV2FrameDecode(f *testing.F) {
+	// Seed with one valid frame of each type, so mutation starts from
+	// structurally plausible inputs.
+	snap := &cumulative.Snapshot{
+		C: 4, P: 0.5, Runs: 3, FailedRuns: 1,
+		Sites: []site.ID{0x10, 0x20},
+		Overflow: []cumulative.SiteObservations{
+			{Site: 0x10, Obs: []cumulative.Observation{{X: 0.25, Y: true}, {X: 0.5}}},
+		},
+		Dangling: []cumulative.PairObservations{
+			{Alloc: 0x20, Free: 0x21, Obs: []cumulative.Observation{{X: 0.125}}},
+		},
+		PadHints:      []cumulative.PadHint{{Site: 0x10, Pad: 8}},
+		DeferralHints: []cumulative.DeferralHint{{Alloc: 0x20, Free: 0x21, Deferral: 100}},
+	}
+	buf := GetBuffer()
+	f.Add(append([]byte(nil), EncodeBatch(buf, &Batch{Client: "c", BatchID: "b", RingVersion: 1, Snapshot: snap})...))
+	buf.B = buf.B[:0]
+	f.Add(append([]byte(nil), EncodeSnapshot(buf, snap)...))
+	buf.B = buf.B[:0]
+	f.Add(append([]byte(nil), EncodePatches(buf, &PatchSet{
+		Version: 2, Epoch: 7,
+		Pads:      []PadEntry{{Site: 1, Pad: 16}},
+		FrontPads: []PadEntry{{Site: 2, Pad: 8}},
+		Deferrals: []DeferralEntry{{Alloc: 3, Free: 4, Deferral: 9}},
+	})...))
+	buf.B = buf.B[:0]
+	whole := append([]byte(nil), EncodeDelta(buf, &Delta{
+		Epoch: 1, Seq: 5, Snapshot: snap, ReqIDs: []string{"r"},
+		Ops: []DeltaOp{{Evict: []site.ID{1, 2}}},
+	})...)
+	PutBuffer(buf)
+	f.Add(whole)
+	// Truncations and a forged length prefix as explicit seeds.
+	if len(whole) > 12 {
+		f.Add(whole[:12:12])
+	}
+	f.Add([]byte("XWF2\x01\x01\xff\xff\xff\x7f"))
+
+	shardOf := func(id site.ID) int { return int(uint32(id) % 7) }
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if b, err := DecodeBatch(data); err == nil {
+			rt := GetBuffer()
+			re := EncodeBatch(rt, b)
+			if _, err := DecodeBatch(re); err != nil {
+				t.Fatalf("re-decode batch: %v", err)
+			}
+			PutBuffer(rt)
+		}
+		if _, parts, err := DecodeBatchSharded(data, 7, shardOf); err == nil {
+			for i, p := range parts {
+				if p == nil {
+					continue
+				}
+				for _, id := range p.Sites {
+					if shardOf(id) != i {
+						t.Fatalf("sharded decode misplaced site %v", id)
+					}
+				}
+			}
+		}
+		if s, err := DecodeSnapshot(data); err == nil {
+			rt := GetBuffer()
+			re := EncodeSnapshot(rt, s)
+			if _, err := DecodeSnapshot(re); err != nil {
+				t.Fatalf("re-decode snapshot: %v", err)
+			}
+			PutBuffer(rt)
+		}
+		if ps, err := DecodePatches(data); err == nil {
+			rt := GetBuffer()
+			re := EncodePatches(rt, ps)
+			if _, err := DecodePatches(re); err != nil {
+				t.Fatalf("re-decode patches: %v", err)
+			}
+			PutBuffer(rt)
+		}
+		if d, err := DecodeDelta(data); err == nil {
+			rt := GetBuffer()
+			re := EncodeDelta(rt, d)
+			if _, err := DecodeDelta(re); err != nil {
+				t.Fatalf("re-decode delta: %v", err)
+			}
+			PutBuffer(rt)
+		}
+	})
+}

@@ -23,13 +23,15 @@ type journal struct {
 	entries []journalEntry
 }
 
-// journalEntry is one journal step: an absorbed batch (snap) or an
+// journalEntry is one journal step: an absorbed batch (snap, or parts
+// when the batch arrived pre-split on the v2 ingest path) or an
 // eviction (evict — the key set a rebalance drained from this
 // partition). reqID is the batch's X-Request-ID correlation field; it
 // rides the delta reply so the coordinator's log can be joined with
 // this partition's, upload by upload.
 type journalEntry struct {
 	snap  *cumulative.Snapshot
+	parts []*cumulative.Snapshot
 	evict []site.ID
 	reqID string
 }
@@ -57,6 +59,15 @@ func newJournal(max int) *journal {
 // not be mutated afterwards (the journal keeps the reference).
 func (j *journal) append(s *cumulative.Snapshot, reqID string) uint64 {
 	return j.push(journalEntry{snap: s, reqID: reqID})
+}
+
+// appendParts records one absorbed batch that arrived pre-split into
+// per-shard parts (v2 ingest): the parts are journaled as-is, never
+// merged — delta pollers absorb each part in turn, which is equivalent
+// because Absorb is commutative over disjoint key sets. The parts must
+// not be mutated afterwards.
+func (j *journal) appendParts(parts []*cumulative.Snapshot, reqID string) uint64 {
+	return j.push(journalEntry{parts: parts, reqID: reqID})
 }
 
 // appendEvict records a rebalance drain of the given keys.

@@ -14,6 +14,7 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strconv"
 	"strings"
 	"sync"
@@ -21,6 +22,7 @@ import (
 	"time"
 
 	"exterminator/internal/cumulative"
+	"exterminator/internal/fleet/codec"
 	"exterminator/internal/report"
 	"exterminator/internal/site"
 	"exterminator/internal/telemetry"
@@ -61,6 +63,13 @@ type ServerOptions struct {
 	// Coordinators that fall further behind than the window receive a
 	// full resync.
 	JournalLen int
+	// CorrectWorkers is the correction pool width: how many evidence
+	// shards an Identify pass rescores concurrently. 0 sizes the pool
+	// elastically — min(GOMAXPROCS, Shards) — so many-core hosts use
+	// their cores without the operator re-deriving the number from the
+	// replica count; 1 (or negative) keeps passes serial. Findings are
+	// merged in shard order, so the pool width never changes results.
+	CorrectWorkers int
 	// DisableCorrection turns Correct into a no-op (cluster partition
 	// mode): the server stores and journals evidence but never derives
 	// patches. A partition holds only its ring slice of the sites, so
@@ -154,6 +163,7 @@ type Server struct {
 // docs/OBSERVABILITY.md for the full reference).
 type serverMetrics struct {
 	batches      *telemetry.Counter
+	v2Batches    *telemetry.Counter
 	observations *telemetry.Counter
 	runs         *telemetry.Counter
 	wireBytes    *telemetry.Counter
@@ -175,6 +185,8 @@ type serverMetrics struct {
 func (m *serverMetrics) register(reg *telemetry.Registry, s *Server) {
 	m.batches = reg.Counter("fleet_ingest_batches_total",
 		"Observation batches absorbed (duplicates and rejections excluded).")
+	m.v2Batches = reg.Counter("fleet_ingest_v2_batches_total",
+		"Batches that arrived as v2 binary frames (subset of fleet_ingest_batches_total).")
 	m.observations = reg.Counter("fleet_ingest_observations_total",
 		"Individual overflow/dangling observations absorbed.")
 	m.runs = reg.Counter("fleet_ingest_runs_total",
@@ -258,6 +270,12 @@ func NewServer(opts ServerOptions) *Server {
 	if s.maxBody <= 0 {
 		s.maxBody = 16 << 20
 	}
+	switch {
+	case opts.CorrectWorkers == 0:
+		s.store.SetIdentifyWorkers(min(runtime.GOMAXPROCS(0), s.store.NumShards()))
+	case opts.CorrectWorkers > 1:
+		s.store.SetIdentifyWorkers(opts.CorrectWorkers)
+	}
 	if s.reg == nil {
 		s.reg = telemetry.NewRegistry()
 	}
@@ -328,6 +346,7 @@ func (s *Server) Correct() (uint64, bool) {
 	s.corrections.Add(1)
 	s.metrics.corrections.Inc()
 	identifyStart := time.Now()
+	//extlint:ignore lockio correctMu exists to serialize whole correction passes; the elastic identify pool's WaitGroup joins CPU-bound stripe scorers, not IO, and the serial pass held the lock for the same work
 	findings := s.store.Identify()
 	s.metrics.identifySec.ObserveSince(identifyStart)
 	changed := false
@@ -469,6 +488,10 @@ func (s *Server) handleObservations(w http.ResponseWriter, r *http.Request) {
 	}
 	reqID := requestID(r)
 	w.Header().Set(RequestIDHeader, reqID)
+	if CodecForContentType(r.Header.Get("Content-Type")) == V2Codec {
+		s.ingestV2(w, r, reqID)
+		return
+	}
 	var batch ObservationBatch
 	wireBytes, bodyBytes, err := decodeBodyMetered(w, r, s.maxBody, &batch)
 	s.metrics.wireBytes.Add(float64(wireBytes))
@@ -526,6 +549,83 @@ func (s *Server) handleObservations(w http.ResponseWriter, r *http.Request) {
 		"requestId", reqID, "batchId", batch.BatchID, "client", batch.Client,
 		"runs", batch.Snapshot.Runs, "observations", obs, "seq", seq,
 		"wireBytes", wireBytes, "bodyBytes", bodyBytes)
+	version := s.log.Version()
+	if n := s.pending.Add(1); s.correctEvery >= 0 && n > int64(s.correctEvery) {
+		version, _ = s.Correct()
+	}
+	WriteJSON(w, IngestReply{
+		OK:          true,
+		RequestID:   reqID,
+		Version:     version,
+		Sites:       s.store.Sites(),
+		Runs:        s.store.Runs(),
+		RingVersion: s.ringVersion.Load(),
+	})
+}
+
+// ingestV2 is the binary-wire ingest path: the frame is decoded
+// straight into per-shard sub-snapshots along the store's own stripes
+// (codec.DecodeBatchSharded keyed by Store.ShardIndex) — no
+// intermediate merged snapshot, no re-split under the ingest lock, and
+// the whole decode runs before deltaMu is even touched, so decoding
+// cost never extends lock hold time. The exactly-once window, the
+// stale-ring fence and the journal discipline are identical to the v1
+// path; only the wire format and the absorb shape differ. Replies stay
+// JSON on every ingest response (success and failure), v2 or not.
+func (s *Server) ingestV2(w http.ResponseWriter, r *http.Request, reqID string) {
+	buf := codec.GetBuffer()
+	wireBytes, bodyBytes, err := readBodyMetered(w, r, s.maxBody, buf)
+	s.metrics.wireBytes.Add(float64(wireBytes))
+	s.metrics.bodyBytes.Add(float64(bodyBytes))
+	if err != nil {
+		codec.PutBuffer(buf)
+		s.logger.Warn("ingest body rejected", "requestId", reqID, "error", err.Error())
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	info, parts, err := codec.DecodeBatchSharded(buf.B, s.store.NumShards(), s.store.ShardIndex)
+	codec.PutBuffer(buf) // decoded values never alias the frame bytes
+	if err != nil {
+		s.logger.Warn("ingest v2 frame rejected", "requestId", reqID, "error", err.Error())
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if !info.HasSnapshot {
+		http.Error(w, "fleet: batch has no snapshot", http.StatusBadRequest)
+		return
+	}
+	// stub carries the batch's identity fields through the same dedup /
+	// stale-ring / ack helpers the v1 path uses.
+	stub := &ObservationBatch{Client: info.Client, BatchID: info.BatchID, RingVersion: info.RingVersion}
+	if stub.BatchID != "" && s.dedup != nil && s.dedup.has(stub.BatchID) {
+		s.ackDuplicate(w, stub, reqID)
+		return
+	}
+	if s.writeIfStale(w, stub, reqID) {
+		return
+	}
+	s.deltaMu.RLock()
+	if s.writeIfStale(w, stub, reqID) {
+		s.deltaMu.RUnlock()
+		return
+	}
+	if stub.BatchID != "" && s.dedup != nil && !s.dedup.admit(stub.BatchID) {
+		s.deltaMu.RUnlock()
+		s.ackDuplicate(w, stub, reqID)
+		return
+	}
+	s.store.AbsorbParts(parts)
+	seq := s.journal.appendParts(parts, reqID)
+	s.deltaMu.RUnlock()
+	s.store.NoteClient(info.Client)
+	s.metrics.batches.Inc()
+	s.metrics.v2Batches.Inc()
+	s.metrics.observations.Add(float64(info.Observations))
+	s.metrics.runs.Add(float64(info.Runs))
+	s.logger.Info("ingest absorbed",
+		"requestId", reqID, "batchId", info.BatchID, "client", info.Client,
+		"runs", info.Runs, "observations", info.Observations, "seq", seq,
+		"wireBytes", wireBytes, "bodyBytes", bodyBytes, "wire", "v2")
 	version := s.log.Version()
 	if n := s.pending.Add(1); s.correctEvery >= 0 && n > int64(s.correctEvery) {
 		version, _ = s.Correct()
@@ -754,7 +854,7 @@ func (s *Server) handlePatches(w http.ResponseWriter, r *http.Request) {
 	wire.Epoch = s.epoch
 	s.logger.Debug("patches served",
 		"since", since, "version", version, "entries", ps.Len(), "requestId", reqID)
-	WriteJSON(w, wire)
+	WritePatchSet(w, r, wire)
 }
 
 // handleDeltas serves the partition→coordinator evidence feed: the
@@ -787,7 +887,7 @@ func (s *Server) handleDeltas(w http.ResponseWriter, r *http.Request) {
 		s.deltaMu.Unlock()
 		s.logger.Info("delta poll answered with full resync",
 			"since", since, "seq", seq, "requestId", reqID)
-		WriteJSON(w, SnapshotDelta{Epoch: s.epoch, Seq: seq, Full: true, Snapshot: hist.Snapshot()})
+		WriteSnapshotDelta(w, r, &SnapshotDelta{Epoch: s.epoch, Seq: seq, Full: true, Snapshot: hist.Snapshot()})
 		return
 	}
 	reply := SnapshotDelta{Epoch: s.epoch, Seq: seq}
@@ -821,7 +921,15 @@ func (s *Server) handleDeltas(w http.ResponseWriter, r *http.Request) {
 		if merged == nil {
 			merged = cumulative.NewHistory(s.store.cfg)
 		}
-		merged.Absorb(e.snap)
+		if e.snap != nil {
+			merged.Absorb(e.snap)
+		}
+		// v2 uploads are journaled pre-split; Absorb is commutative over
+		// the parts' disjoint key sets, so folding them one by one equals
+		// folding the original batch.
+		for _, p := range e.parts {
+			merged.Absorb(p)
+		}
 	}
 	flush()
 	switch {
@@ -832,7 +940,7 @@ func (s *Server) handleDeltas(w http.ResponseWriter, r *http.Request) {
 	}
 	s.logger.Debug("deltas served",
 		"since", since, "seq", seq, "entries", len(entries), "requestId", reqID)
-	WriteJSON(w, reply)
+	WriteSnapshotDelta(w, r, &reply)
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
@@ -918,6 +1026,51 @@ func decodeBodyMetered(w http.ResponseWriter, r *http.Request, limit int64, dst 
 	}
 	wireBytes, bodyBytes = bytesRead()
 	return wireBytes, bodyBytes, nil
+}
+
+// readBodyMetered reads a raw (non-JSON) request body into buf,
+// applying the same wire/decompression limits and byte accounting as
+// decodeBodyMetered: limit bounds both the compressed bytes and the
+// decompressed expansion, and the returned counts are valid even on
+// error. The v2 ingest path uses it to land a whole binary frame in one
+// pooled buffer before decoding.
+func readBodyMetered(w http.ResponseWriter, r *http.Request, limit int64, buf *codec.Buffer) (wireBytes, bodyBytes int64, err error) {
+	wire := &countReader{r: http.MaxBytesReader(w, r.Body, limit)}
+	var body io.Reader = wire
+	gz := false
+	if enc := r.Header.Get("Content-Encoding"); enc != "" {
+		if !strings.EqualFold(enc, "gzip") {
+			return wire.n, wire.n, fmt.Errorf("fleet: unsupported Content-Encoding %q", enc)
+		}
+		zr, zerr := gzip.NewReader(body)
+		if zerr != nil {
+			return wire.n, 0, fmt.Errorf("fleet: decode gzip body: %w", zerr)
+		}
+		defer zr.Close()
+		body = &boundedReader{r: zr, remaining: limit + 1, limit: limit}
+		gz = true
+	}
+	decoded := &countReader{r: body}
+	for {
+		if len(buf.B) == cap(buf.B) {
+			buf.B = append(buf.B, 0)[:len(buf.B)]
+		}
+		n, rerr := decoded.Read(buf.B[len(buf.B):cap(buf.B)])
+		buf.B = buf.B[:len(buf.B)+n]
+		if rerr == io.EOF {
+			break
+		}
+		if rerr != nil {
+			if !gz {
+				return wire.n, wire.n, fmt.Errorf("fleet: read body: %w", rerr)
+			}
+			return wire.n, decoded.n, fmt.Errorf("fleet: read body: %w", rerr)
+		}
+	}
+	if gz {
+		return wire.n, decoded.n, nil
+	}
+	return wire.n, wire.n, nil
 }
 
 // countReader counts the bytes read through it.

@@ -7,6 +7,7 @@ import (
 
 	"exterminator/internal/cumulative"
 	"exterminator/internal/engine"
+	"exterminator/internal/fleet/codec"
 	"exterminator/internal/patch"
 	"exterminator/internal/report"
 )
@@ -128,10 +129,19 @@ func (s *Sink) stream(ctx context.Context, hist *cumulative.History) error {
 		return nil
 	}
 	wmRuns, wmObs := hist.UploadedCounts()
+	// Both ID schemes satisfy the identity contract (retries reproduce
+	// the ID); the binary one skips the canonical-JSON round trip, so a
+	// v2 client stamps an order of magnitude cheaper. The scheme is
+	// fixed at stamping time: a mid-flight codec downgrade retries the
+	// pending batch verbatim, ID included.
+	stamp := cumulative.BatchID
+	if s.c.WireV2() {
+		stamp = codec.BatchID
+	}
 	batch := &ObservationBatch{
 		Client:   s.c.ID(),
 		Snapshot: delta,
-		BatchID:  cumulative.BatchID(s.c.ID(), wmRuns, wmObs, delta),
+		BatchID:  stamp(s.c.ID(), wmRuns, wmObs, delta),
 	}
 	reply, err := s.c.PushBatchContext(ctx, batch)
 	if err != nil {

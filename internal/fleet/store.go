@@ -26,6 +26,10 @@ type Store struct {
 	corruptRuns atomic.Int64
 	batches     atomic.Int64
 
+	// identifyWorkers is the correction pool width: shards scored
+	// concurrently per Identify pass. 1 = serial (the default).
+	identifyWorkers atomic.Int64
+
 	clientMu sync.Mutex
 	clients  map[string]bool
 }
@@ -63,6 +67,15 @@ func NewStore(n int, cfg cumulative.Config) *Store {
 func (st *Store) shardIndex(id site.ID) int {
 	return int((uint32(id) * 2654435761) % uint32(len(st.shards)))
 }
+
+// NumShards returns the stripe count.
+func (st *Store) NumShards() int { return len(st.shards) }
+
+// ShardIndex exposes the shard mapping for callers that pre-split work
+// along the store's own stripes (the v2 ingest path decodes uploads
+// directly into per-shard parts using this function, so the decoded
+// split and the store's split are the same split by construction).
+func (st *Store) ShardIndex(id site.ID) int { return st.shardIndex(id) }
 
 // AbsorbSnapshot folds one uploaded snapshot into the store. The snapshot
 // is split into per-shard sub-snapshots; each shard is locked once. Run
@@ -110,6 +123,37 @@ func (st *Store) AbsorbSnapshot(s *cumulative.Snapshot) {
 		sh := &st.shards[i]
 		sh.mu.Lock()
 		sh.hist.Absorb(p)
+		sh.mu.Unlock()
+	}
+}
+
+// AbsorbParts folds an upload that was already decoded into per-shard
+// sub-snapshots (codec.DecodeBatchSharded keyed by ShardIndex) — the
+// zero-copy half of the v2 ingest path: no merged snapshot is ever
+// materialized and no re-split happens under load. Run counters may
+// appear on any part (the codec puts them on the first non-nil one);
+// they are summed into the global atomics and stripped before the shard
+// absorb, so shard histories end up byte-identical to the
+// AbsorbSnapshot path.
+func (st *Store) AbsorbParts(parts []*cumulative.Snapshot) {
+	for _, p := range parts {
+		if p == nil {
+			continue
+		}
+		st.runs.Add(int64(p.Runs))
+		st.failedRuns.Add(int64(p.FailedRuns))
+		st.corruptRuns.Add(int64(p.CorruptRuns))
+	}
+	st.batches.Add(1)
+	for i, p := range parts {
+		if p == nil {
+			continue
+		}
+		q := *p
+		q.Runs, q.FailedRuns, q.CorruptRuns = 0, 0, 0
+		sh := &st.shards[i]
+		sh.mu.Lock()
+		sh.hist.Absorb(&q)
 		sh.mu.Unlock()
 	}
 }
@@ -205,15 +249,61 @@ func (st *Store) Identify() *cumulative.Findings {
 	if n == 0 {
 		return f
 	}
-	for i := range st.shards {
-		sh := &st.shards[i]
-		sh.mu.Lock()
-		sf := sh.hist.IdentifyWithSites(n)
-		sh.mu.Unlock()
+	workers := int(st.identifyWorkers.Load())
+	if workers <= 1 || len(st.shards) == 1 {
+		for i := range st.shards {
+			sh := &st.shards[i]
+			sh.mu.Lock()
+			sf := sh.hist.IdentifyWithSites(n)
+			sh.mu.Unlock()
+			f.Overflows = append(f.Overflows, sf.Overflows...)
+			f.Danglings = append(f.Danglings, sf.Danglings...)
+		}
+		return f
+	}
+	// Elastic pool: score up to `workers` shards concurrently, each
+	// goroutine holding exactly one shard lock at a time (no nesting, so
+	// no ordering constraint between shard locks). Per-shard results land
+	// in indexed slots and merge in shard order, keeping findings
+	// deterministic regardless of which shard finishes first.
+	if workers > len(st.shards) {
+		workers = len(st.shards)
+	}
+	results := make([]*cumulative.Findings, len(st.shards))
+	next := atomic.Int64{}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(st.shards) {
+					return
+				}
+				sh := &st.shards[i]
+				sh.mu.Lock()
+				results[i] = sh.hist.IdentifyWithSites(n)
+				sh.mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	for _, sf := range results {
 		f.Overflows = append(f.Overflows, sf.Overflows...)
 		f.Danglings = append(f.Danglings, sf.Danglings...)
 	}
 	return f
+}
+
+// SetIdentifyWorkers sets the correction pool width: how many shards an
+// Identify pass scores concurrently. n <= 1 keeps passes serial; n is
+// clamped to the shard count at use. Safe to change at runtime.
+func (st *Store) SetIdentifyWorkers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	st.identifyWorkers.Store(int64(n))
 }
 
 // TriageCandidates collects every shard's ranked per-site candidates

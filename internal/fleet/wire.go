@@ -58,8 +58,8 @@ import (
 // form. Client is an opaque installation identifier used only for
 // statistics.
 type ObservationBatch struct {
-	Client   string               `json:"client,omitempty"`
-	Snapshot *cumulative.Snapshot `json:"snapshot"`
+	Client   string               `json:"client,omitempty" v2:"1"`
+	Snapshot *cumulative.Snapshot `json:"snapshot" v2:"2"`
 	// BatchID is the batch's content-addressed identity
 	// (cumulative.BatchID): a digest of the client id, the upload
 	// watermark position the delta was cut at, and the canonical
@@ -68,7 +68,7 @@ type ObservationBatch struct {
 	// ingest exactly-once under retried uploads (lost acks). Empty means
 	// "no identity": the batch is absorbed unconditionally (legacy
 	// at-least-once clients).
-	BatchID string `json:"batchId,omitempty"`
+	BatchID string `json:"batchId,omitempty" v2:"3"`
 	// RingVersion is the cluster membership version the uploader split
 	// this batch under (cluster.Ring.Version). A partition whose
 	// required ring version is newer rejects the batch with 409 and
@@ -76,7 +76,7 @@ type ObservationBatch struct {
 	// re-splits under the new topology instead of stranding evidence on
 	// a former owner. Zero means "unversioned": the batch is accepted
 	// regardless (single-node deployments and legacy clients).
-	RingVersion uint64 `json:"ringVersion,omitempty"`
+	RingVersion uint64 `json:"ringVersion,omitempty" v2:"4"`
 }
 
 // RequestIDHeader is the correlation header every fleet tier propagates:
@@ -125,32 +125,32 @@ type IngestReply struct {
 
 // PadEntry is one pad-table entry on the wire.
 type PadEntry struct {
-	Site site.ID `json:"site"`
-	Pad  uint32  `json:"pad"`
+	Site site.ID `json:"site" v2:"1"`
+	Pad  uint32  `json:"pad" v2:"2"`
 }
 
 // DeferralEntry is one deferral-table entry on the wire.
 type DeferralEntry struct {
-	Alloc    site.ID `json:"alloc"`
-	Free     site.ID `json:"free"`
-	Deferral uint64  `json:"deferral"`
+	Alloc    site.ID `json:"alloc" v2:"1"`
+	Free     site.ID `json:"free" v2:"2"`
+	Deferral uint64  `json:"deferral" v2:"3"`
 }
 
 // WirePatchSet is a versioned patch.Set in the fleet wire encoding: the
 // GET /v1/patches response body, and also a standalone file format
 // (cmd/patchmerge reads and writes it alongside the binary .xtp format).
 type WirePatchSet struct {
-	Version uint64 `json:"version"`
+	Version uint64 `json:"version" v2:"1"`
 	// Epoch identifies the server incarnation that issued Version.
 	// Versions are only ordered within one epoch: after a restart the
 	// server rederives its patch log from the (possibly stale) snapshot
 	// and restarts version numbering, so a client holding a version from
 	// another epoch must resync from 0 instead of delta-polling (the
 	// Client does this transparently). Zero in standalone files.
-	Epoch     uint64          `json:"epoch,omitempty"`
-	Pads      []PadEntry      `json:"pads,omitempty"`
-	FrontPads []PadEntry      `json:"frontPads,omitempty"`
-	Deferrals []DeferralEntry `json:"deferrals,omitempty"`
+	Epoch     uint64          `json:"epoch,omitempty" v2:"2"`
+	Pads      []PadEntry      `json:"pads,omitempty" v2:"3"`
+	FrontPads []PadEntry      `json:"frontPads,omitempty" v2:"4"`
+	Deferrals []DeferralEntry `json:"deferrals,omitempty" v2:"5"`
 }
 
 // ToWire converts a patch set to its wire form, sorted for deterministic
@@ -302,29 +302,29 @@ type SnapshotDelta struct {
 	// Epoch identifies the server incarnation that issued Seq. Sequence
 	// numbers are only ordered within one epoch; a poller holding a Seq
 	// from another epoch receives a Full resync.
-	Epoch uint64 `json:"epoch"`
+	Epoch uint64 `json:"epoch" v2:"1"`
 	// Seq is the journal position the delta runs up to; poll with it
 	// next time.
-	Seq uint64 `json:"seq"`
+	Seq uint64 `json:"seq" v2:"2"`
 	// Full marks a resync: Snapshot is the server's entire evidence
 	// store, not a delta, and must *replace* (not augment) whatever the
 	// poller previously mirrored from this server.
-	Full bool `json:"full,omitempty"`
+	Full bool `json:"full,omitempty" v2:"3"`
 	// Snapshot is the merged evidence (nil when nothing changed). It is
 	// only used when the window holds no evictions; otherwise Ops carries
 	// the ordered sequence instead.
-	Snapshot *cumulative.Snapshot `json:"snapshot,omitempty"`
+	Snapshot *cumulative.Snapshot `json:"snapshot,omitempty" v2:"4"`
 	// Ops is the ordered delta when the window contains rebalance
 	// evictions: additions and evictions must be applied in sequence
 	// (an eviction removes a key's entire evidence from the mirror at
 	// that point in the stream). Consecutive additions are pre-merged.
 	// Mutually exclusive with Snapshot.
-	Ops []DeltaOp `json:"ops,omitempty"`
+	Ops []DeltaOp `json:"ops,omitempty" v2:"5"`
 	// ReqIDs are the X-Request-ID correlation fields of the uploads this
 	// delta covers (bounded; oldest first). The coordinator logs them
 	// when it applies the delta, so one upload is grep-able from the
 	// client through the partition to the coordinator.
-	ReqIDs []string `json:"reqIds,omitempty"`
+	ReqIDs []string `json:"reqIds,omitempty" v2:"6"`
 }
 
 // SnapshotObservations counts the individual overflow and dangling
@@ -349,8 +349,8 @@ func SnapshotObservations(s *cumulative.Snapshot) int {
 // moved to another partition and must leave the poller's mirror of this
 // one).
 type DeltaOp struct {
-	Evict    []site.ID            `json:"evict,omitempty"`
-	Snapshot *cumulative.Snapshot `json:"snapshot,omitempty"`
+	Evict    []site.ID            `json:"evict,omitempty" v2:"1"`
+	Snapshot *cumulative.Snapshot `json:"snapshot,omitempty" v2:"2"`
 }
 
 // EvictRequest is the POST /v1/evict body: atomically remove and return
